@@ -1,0 +1,89 @@
+// Reproduces the communication-cost analysis of Sec. 4.1 and Eq. 1:
+// with K ≈ N/2 significant coefficients, M ≈ K log2(N/K) ≈ N/2 random
+// measurements suffice, cutting the A/D-conversion (the readout bottleneck)
+// and communication cost to M/N ≈ 0.5 of a full scan.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "cs/theory.hpp"
+#include "data/tactile.hpp"
+#include "data/thermal.hpp"
+#include "data/ultrasound.hpp"
+#include "dsp/basis.hpp"
+#include "dsp/sparsity.hpp"
+
+namespace {
+
+using namespace flexcs;
+
+void print_tables() {
+  struct Source {
+    const char* label;
+    std::unique_ptr<data::FrameGenerator> gen;
+  };
+  std::vector<Source> sources;
+  sources.push_back({"temperature 32x32",
+                     std::make_unique<data::ThermalHandGenerator>()});
+  sources.push_back(
+      {"tactile 32x32", std::make_unique<data::TactileGenerator>()});
+  sources.push_back({"ultrasound 100x33",
+                     std::make_unique<data::UltrasoundGenerator>()});
+
+  std::printf(
+      "Sec. 4.1 / Eq. 1 — measurements and communication cost per frame\n");
+  Table t({"signal", "N", "measured K", "Eq.1 M", "M/N", "ADC conv. saved",
+           "scan cycles"});
+  for (auto& s : sources) {
+    Rng rng(7);
+    // K averaged over 20 frames, the paper's significance threshold.
+    double ksum = 0.0;
+    std::size_t n = 0, cols = 0, rows = 0;
+    for (int i = 0; i < 20; ++i) {
+      const auto frame = s.gen->sample(rng).values;
+      const la::Matrix coeffs = dsp::analyze(dsp::BasisKind::kDct2D, frame);
+      ksum += static_cast<double>(dsp::significant_count(coeffs, 1e-4));
+      n = coeffs.size();
+      rows = frame.rows();
+      cols = frame.cols();
+    }
+    const auto k = static_cast<std::size_t>(ksum / 20.0 + 0.5);
+    const double m = cs::required_measurements(k, n);
+    t.add_row({s.label, strformat("%zu", n), strformat("%zu", k),
+               strformat("%.0f", m),
+               strformat("%.2f", cs::communication_cost_ratio(
+                                     static_cast<std::size_t>(m + 0.5), n)),
+               strformat("%.0f", static_cast<double>(n) - m),
+               strformat("%zu", cs::scan_cycles(rows, cols))});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+
+  // Eq. 1 sensitivity: M(K) for a 32x32 array.
+  std::printf("Eq. 1 sensitivity — required M vs sparsity K (N = 1024)\n");
+  Table sens({"K", "M = K log2(N/K)", "M/N"});
+  for (std::size_t k : {32u, 64u, 128u, 256u, 512u}) {
+    const double m = cs::required_measurements(k, 1024);
+    sens.add_row({strformat("%zu", k), strformat("%.0f", m),
+                  strformat("%.2f", m / 1024.0)});
+  }
+  std::printf("%s\n", sens.to_text().c_str());
+}
+
+void BM_RequiredMeasurements(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::required_measurements(512, 1024));
+  }
+}
+BENCHMARK(BM_RequiredMeasurements);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Reproduces the encoder-hardware measurements of Fig. 5:
+//
+//   Fig. 5b — temperature-sensor pixel: linearity of current vs temperature
+//             with the 500/25 um access TFT at VWL = 1 V;
+//   Fig. 5c/d — 8-stage shift register at CLK 10 kHz / data 1 kHz, VDD 3 V
+//             (gate level and transistor level);
+//   Fig. 5e — self-biased amplifier: ~28 dB gain at 30 kHz from a 50 mV
+//             input (our behavioural model: ~27 dB, ~1.1 V swing).
+//
+// Plus the compact-model extraction step of the design flow (Sec. 3.3).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "fe/amplifier.hpp"
+#include "fe/sensor_array.hpp"
+#include "fe/shift_register.hpp"
+#include "fe/sim.hpp"
+
+namespace {
+
+using namespace flexcs;
+
+void print_tables() {
+  const fe::CellLibrary lib;
+
+  // --- Sec. 3.3: compact-model parameter extraction.
+  {
+    Rng rng(3);
+    fe::TftParams golden;
+    golden.kp = 5.0e-5;
+    golden.vth = -1.0;
+    const auto iv = fe::synthesize_iv_sweep(golden, 0.02, rng);
+    const fe::TftParams fit = fe::fit_tft_params(iv, fe::TftParams{});
+    std::printf("Sec. 3.3 — CNT-TFT model extraction from wafer I-V data\n");
+    Table t({"parameter", "golden", "extracted"});
+    t.add_row({"kp (A/V^2)", strformat("%.2e", golden.kp),
+               strformat("%.2e", fit.kp)});
+    t.add_row({"vth (V)", strformat("%.2f", golden.vth),
+               strformat("%.2f", fit.vth)});
+    t.add_row({"fit RMS error", "-", strformat("%.3f",
+                                               fe::iv_fit_error(fit, iv))});
+    std::printf("%s\n", t.to_text().c_str());
+  }
+
+  // --- Fig. 5b: sensor pixel linearity.
+  {
+    fe::SensorArraySim array;
+    std::printf("Fig. 5b — pixel current vs temperature (Pt sensor + "
+                "500/25um access TFT, VWL = 1 V)\n");
+    Table t({"T (C)", "I (uA)", "readback value"});
+    for (double temp = 25.0; temp <= 40.01; temp += 3.0) {
+      const double u = (temp - 25.0) / 15.0;
+      const double i = array.pixel_current(u);
+      t.add_row({strformat("%.0f", temp), strformat("%.2f", i * 1e6),
+                 strformat("%.3f", array.current_to_value(i))});
+    }
+    std::printf("%s\n", t.to_text().c_str());
+    // Linearity: max deviation of I(T) from the straight line through the
+    // endpoints, as a fraction of the current span.
+    const double i0 = array.pixel_current(0.0), i1 = array.pixel_current(1.0);
+    double worst = 0.0;
+    for (double u = 0.0; u <= 1.0001; u += 0.05) {
+      const double ideal = i0 + u * (i1 - i0);
+      worst = std::max(worst, std::fabs(array.pixel_current(u) - ideal) /
+                                  std::fabs(i1 - i0));
+    }
+    std::printf("pixel nonlinearity: %.2f %% of span (paper: \"great "
+                "linearity\")\n\n", 100.0 * worst);
+  }
+
+  // --- Fig. 5c/d: shift register.
+  {
+    std::printf("Fig. 5c/d — 8-stage shift register, CLK 10 kHz, VDD 3 V\n");
+    fe::ShiftRegisterSpec spec;
+    spec.data = {false, true, true, true, true, true, false, false};
+    const fe::SrCheckResult gate = fe::check_shift_register_logic(spec, 1e-5);
+    const fe::CellLibrary cells;
+    const fe::SrCheckResult xtor =
+        fe::check_shift_register_transistor(spec, cells);
+    Table t({"level", "stages", "TFTs", "CLK (kHz)", "bits checked",
+             "bit errors", "functional"});
+    t.add_row({"gate (event-driven)", "8", "-", "10",
+               strformat("%zu", gate.bits_checked),
+               strformat("%zu", gate.bit_errors),
+               gate.functional ? "yes" : "NO"});
+    t.add_row({"transistor (MNA)", "8", strformat("%zu", xtor.tft_count),
+               "10", strformat("%zu", xtor.bits_checked),
+               strformat("%zu", xtor.bit_errors),
+               xtor.functional ? "yes" : "NO"});
+    std::printf("%s", t.to_text().c_str());
+    std::printf("max functional CLK at 10 us cell delay (gate level): "
+                "%.0f kHz\n\n",
+                fe::max_functional_clock(8, 1e-5) / 1e3);
+  }
+
+  // --- Fig. 5e: amplifier.
+  {
+    std::printf("Fig. 5e — self-biased amplifier (9 TFTs, VDD 3 V, "
+                "VSS -3 V, 50 mV input)\n");
+    const fe::CellLibrary cells;
+    Table t({"freq (kHz)", "gain (dB)", "output swing (V)"});
+    for (double f : {10e3, 30e3, 60e3}) {
+      fe::AmplifierSpec spec;
+      spec.input_freq = f;
+      const fe::AmplifierResult r = fe::measure_amplifier(spec, cells);
+      t.add_row({strformat("%.0f", f / 1e3), strformat("%.1f", r.gain_db),
+                 strformat("%.2f", r.output_amplitude)});
+    }
+    std::printf("%s", t.to_text().c_str());
+    std::printf("paper operating point: 28 dB at 30 kHz, ~1.3 V swing\n\n");
+  }
+}
+
+void BM_DcOperatingPoint_Inverter(benchmark::State& state) {
+  fe::Circuit ckt;
+  ckt.add_vsource("vdd", "0", fe::Waveform::make_dc(3.0));
+  ckt.add_vsource("vss", "0", fe::Waveform::make_dc(-3.0));
+  ckt.add_vsource("in", "0", fe::Waveform::make_dc(1.0));
+  const fe::CellLibrary lib;
+  lib.add_inverter(ckt, "in", "out", "u0");
+  fe::Simulator sim(ckt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.dc_operating_point());
+  }
+}
+BENCHMARK(BM_DcOperatingPoint_Inverter);
+
+void BM_AmplifierTransient(benchmark::State& state) {
+  const fe::CellLibrary lib;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fe::measure_amplifier(fe::AmplifierSpec{}, lib));
+  }
+}
+BENCHMARK(BM_AmplifierTransient)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

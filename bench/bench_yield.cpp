@@ -1,0 +1,71 @@
+// Reproduces the yield claims of Sec. 3.2: s-CNT purity > 99.997 % gives
+// CNT-TFT yield > 99.9 % (validated in the paper over > 5000 devices), and
+// makes the 304-TFT shift register and the sensor array manufacturable.
+// Also connects the process yield to the sparse-error rates swept in Sec. 4.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "fe/yield.hpp"
+
+namespace {
+
+using namespace flexcs;
+
+void print_tables() {
+  std::printf("Sec. 3.2 — purity vs yield (Poisson m-CNT bridging model, "
+              "analytic + Monte-Carlo over 5000 devices)\n");
+  Table t({"s-CNT purity", "TFT yield", "MC yield (5000 TFTs)",
+           "304-TFT SR yield", "9-TFT amp yield"});
+  Rng rng(1);
+  for (double purity : {0.99, 0.999, 0.9999, 0.99997}) {
+    fe::CntProcess proc;
+    proc.purity = purity;
+    const std::size_t devices = 5000;
+    const std::size_t fails = fe::sample_failing_tfts(proc, devices, rng);
+    t.add_row({strformat("%.5f", purity),
+               strformat("%.5f", fe::tft_yield(proc)),
+               strformat("%.5f", 1.0 - static_cast<double>(fails) /
+                                           static_cast<double>(devices)),
+               strformat("%.4f", fe::circuit_yield(proc, 304)),
+               strformat("%.4f", fe::circuit_yield(proc, 9))});
+  }
+  std::printf("%s", t.to_text().c_str());
+  std::printf("paper: purity > 99.997%% -> TFT yield > 99.9%% "
+              "(>5000 devices measured)\n\n");
+
+  std::printf("Pixel sparse-error rate = TFT defects + transient errors "
+              "(the x-axis of Fig. 6)\n");
+  Table e({"purity", "transient rate", "expected pixel error rate"});
+  for (double purity : {0.999, 0.99997}) {
+    for (double transient : {0.0, 0.05, 0.10, 0.20}) {
+      fe::CntProcess proc;
+      proc.purity = purity;
+      e.add_row({strformat("%.5f", purity), strformat("%.2f", transient),
+                 strformat("%.4f",
+                           fe::expected_pixel_error_rate(proc, transient))});
+    }
+  }
+  std::printf("%s\n", e.to_text().c_str());
+}
+
+void BM_McCircuitYield(benchmark::State& state) {
+  fe::CntProcess proc;
+  proc.purity = 0.999;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fe::mc_circuit_yield(proc, 304, 200, rng));
+  }
+}
+BENCHMARK(BM_McCircuitYield);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

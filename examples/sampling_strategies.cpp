@@ -1,0 +1,68 @@
+// Sampling strategies when defects are NOT known in advance (paper Sec. 4.3):
+//   * resampling: 10 rounds of sample+reconstruct, per-pixel median;
+//   * RPCA: detect outliers by robust PCA on the frame, exclude, sample.
+//
+// Usage: ./build/examples/sampling_strategies [defect_rate]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "cs/metrics.hpp"
+#include "cs/pipeline.hpp"
+#include "data/thermal.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flexcs;
+  const double defect_rate = argc > 1 ? std::atof(argv[1]) : 0.06;
+  Rng rng(11);
+
+  data::ThermalHandGenerator generator;
+  const la::Matrix truth = generator.sample(rng).values;
+  cs::DefectOptions dopts;
+  dopts.rate = defect_rate;
+  const cs::CorruptedFrame corrupted = cs::inject_defects(truth, dopts, rng);
+
+  const cs::Encoder encoder;
+  const cs::Decoder decoder(32, 32);
+  const double sampling = 0.5;
+
+  // Strategy 1: plain CS, blind to defects (defective pixels may be read).
+  const cs::SamplingPattern blind =
+      cs::random_pattern(32, 32, sampling, rng);
+  const la::Matrix rec_blind =
+      decoder.decode(blind, encoder.encode(corrupted.values, blind, rng))
+          .frame;
+
+  // Strategy 2: resampling with a median vote.
+  cs::ResampleOptions ropts;
+  ropts.rounds = 10;
+  ropts.aggregate = cs::Aggregate::kMedian;
+  const la::Matrix rec_median = cs::reconstruct_resample(
+      corrupted.values, sampling, ropts, encoder, decoder, rng);
+
+  // Strategy 3: RPCA outlier detection, then exclusion.
+  cs::RpcaFilterOptions fopts;
+  const auto rec_rpca = cs::reconstruct_rpca_batch(
+      {corrupted.values}, sampling, fopts, encoder, decoder, rng);
+
+  // Oracle reference (defects known from testing).
+  const la::Matrix rec_oracle =
+      cs::reconstruct_oracle(corrupted, sampling, encoder, decoder, rng);
+
+  Table table({"strategy", "RMSE"});
+  table.add_row({"no CS (raw frame)",
+                 strformat("%.4f", cs::rmse(corrupted.values, truth))});
+  table.add_row({"CS, blind sampling",
+                 strformat("%.4f", cs::rmse(rec_blind, truth))});
+  table.add_row({"CS + resample median (10 rounds)",
+                 strformat("%.4f", cs::rmse(rec_median, truth))});
+  table.add_row({"CS + RPCA outlier exclusion",
+                 strformat("%.4f", cs::rmse(rec_rpca[0], truth))});
+  table.add_row({"CS + oracle exclusion",
+                 strformat("%.4f", cs::rmse(rec_oracle, truth))});
+  std::printf("defect rate %.0f %%, sampling %.0f %%\n\n%s\n",
+              100.0 * defect_rate, 100.0 * sampling,
+              table.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Temperature-imaging robustness demo (the paper's headline result): with
+// ~10 % of pixels defective, using the raw array gives RMSE ~0.2 while the
+// CS pipeline that excludes tested-bad pixels recovers RMSE ~0.05.
+//
+// Usage: ./build/examples/temperature_imaging [defect_rate] [sampling]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/pgm.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "cs/metrics.hpp"
+#include "cs/pipeline.hpp"
+#include "data/thermal.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flexcs;
+  const double defect_rate = argc > 1 ? std::atof(argv[1]) : 0.10;
+  const double sampling = argc > 2 ? std::atof(argv[2]) : 0.5;
+  Rng rng(7);
+
+  data::ThermalHandGenerator generator;
+  const la::Matrix truth = generator.sample(rng).values;
+
+  // Inject the paper's sparse-error model: stuck-at-0/1 pixels.
+  cs::DefectOptions dopts;
+  dopts.rate = defect_rate;
+  const cs::CorruptedFrame corrupted = cs::inject_defects(truth, dopts, rng);
+  std::printf("injected %zu defective pixels (%.0f %% of the array)\n",
+              corrupted.defect_count, 100.0 * defect_rate);
+
+  // Baseline: use the defective frame directly.
+  const double rmse_no_cs = cs::rmse(corrupted.values, truth);
+
+  // CS pipeline: test identifies the bad pixels; sample only good ones.
+  const cs::Encoder encoder;
+  const cs::Decoder decoder(32, 32);
+  const la::Matrix recon =
+      cs::reconstruct_oracle(corrupted, sampling, encoder, decoder, rng);
+  const double rmse_cs = cs::rmse(recon, truth);
+
+  Table table({"approach", "RMSE", "PSNR (dB)"});
+  table.add_row({"raw readout (no CS)", strformat("%.4f", rmse_no_cs),
+                 strformat("%.1f", cs::psnr(truth, corrupted.values))});
+  table.add_row({strformat("CS @ %.0f%% sampling", 100.0 * sampling),
+                 strformat("%.4f", rmse_cs),
+                 strformat("%.1f", cs::psnr(truth, recon))});
+  std::printf("\n%s\n", table.to_text().c_str());
+
+  auto dump = [](const char* path, const la::Matrix& m) {
+    GrayImage img{m.rows(), m.cols(),
+                  std::vector<double>(m.data(), m.data() + m.size())};
+    write_pgm(path, img);
+  };
+  dump("temp_truth.pgm", truth);
+  dump("temp_defective.pgm", corrupted.values);
+  dump("temp_reconstructed.pgm", recon);
+  std::printf("wrote temp_truth.pgm / temp_defective.pgm / "
+              "temp_reconstructed.pgm\n");
+  return 0;
+}

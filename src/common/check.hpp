@@ -1,0 +1,40 @@
+// Lightweight precondition / invariant checking for the flexcs library.
+//
+// FLEXCS_CHECK(cond, msg) throws flexcs::CheckError when `cond` is false.
+// Checks are always on: this library targets correctness-critical EDA /
+// signal-recovery code where silent out-of-contract use is worse than the
+// cost of a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flexcs {
+
+/// Thrown when a FLEXCS_CHECK precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FLEXCS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace flexcs
+
+#define FLEXCS_CHECK(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::flexcs::detail::check_fail(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                   \
+  } while (false)
+
+#define FLEXCS_CHECK_OK(cond) FLEXCS_CHECK(cond, std::string{})

@@ -1,0 +1,72 @@
+#include "common/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace flexcs {
+
+void write_pgm(const std::string& path, const GrayImage& img) {
+  FLEXCS_CHECK(img.pixels.size() == img.rows * img.cols,
+               "image pixel count must match rows*cols");
+  std::ofstream f(path, std::ios::binary);
+  FLEXCS_CHECK(f.good(), "cannot open file for writing: " + path);
+  f << "P5\n" << img.cols << " " << img.rows << "\n255\n";
+  for (double v : img.pixels) {
+    const double clamped = std::clamp(v, 0.0, 1.0);
+    const unsigned char byte =
+        static_cast<unsigned char>(std::lround(clamped * 255.0));
+    f.put(static_cast<char>(byte));
+  }
+  FLEXCS_CHECK(f.good(), "write failed: " + path);
+}
+
+GrayImage read_pgm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  FLEXCS_CHECK(f.good(), "cannot open file for reading: " + path);
+
+  auto next_token = [&f]() {
+    std::string tok;
+    while (f >> tok) {
+      if (tok[0] == '#') {
+        std::string rest;
+        std::getline(f, rest);
+        continue;
+      }
+      return tok;
+    }
+    FLEXCS_CHECK(false, "unexpected end of PGM header");
+    return std::string{};
+  };
+
+  const std::string magic = next_token();
+  FLEXCS_CHECK(magic == "P5" || magic == "P2", "not a PGM file");
+  GrayImage img;
+  img.cols = static_cast<std::size_t>(std::stoul(next_token()));
+  img.rows = static_cast<std::size_t>(std::stoul(next_token()));
+  const unsigned long maxval = std::stoul(next_token());
+  FLEXCS_CHECK(maxval > 0 && maxval <= 255, "only 8-bit PGM supported");
+  img.pixels.resize(img.rows * img.cols);
+
+  if (magic == "P5") {
+    f.get();  // single whitespace after maxval
+    for (auto& px : img.pixels) {
+      const int byte = f.get();
+      FLEXCS_CHECK(byte != EOF, "truncated PGM data");
+      px = static_cast<double>(byte) / static_cast<double>(maxval);
+    }
+  } else {
+    for (auto& px : img.pixels) {
+      unsigned long v = 0;
+      f >> v;
+      FLEXCS_CHECK(static_cast<bool>(f), "truncated ASCII PGM data");
+      px = static_cast<double>(v) / static_cast<double>(maxval);
+    }
+  }
+  return img;
+}
+
+}  // namespace flexcs

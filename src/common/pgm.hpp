@@ -1,0 +1,27 @@
+// Minimal PGM (portable graymap) I/O so examples can dump sensor frames and
+// reconstructions for visual inspection without an image-library dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexcs {
+
+/// Row-major grayscale image with values expected in [0, 1].
+struct GrayImage {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> pixels;  // rows * cols, row-major
+
+  double& at(std::size_t r, std::size_t c) { return pixels[r * cols + c]; }
+  double at(std::size_t r, std::size_t c) const { return pixels[r * cols + c]; }
+};
+
+/// Writes `img` as binary PGM (P5), clamping values into [0,1] and scaling to
+/// 8-bit. Throws CheckError on I/O failure.
+void write_pgm(const std::string& path, const GrayImage& img);
+
+/// Reads a binary (P5) or ASCII (P2) PGM into [0,1] doubles.
+GrayImage read_pgm(const std::string& path);
+
+}  // namespace flexcs

@@ -1,0 +1,68 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components of flexcs (dataset synthesis, sampling-matrix
+// draws, defect injection, ML weight init) take an explicit Rng so that a
+// single seed reproduces an entire experiment end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flexcs {
+
+/// xoshiro256** PRNG seeded via SplitMix64.
+///
+/// Small, fast, and fully specified here so results are identical across
+/// platforms and standard-library implementations (std::mt19937 distributions
+/// are not portable across stdlibs).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double normal();
+
+  /// Normal with mean mu, standard deviation sigma.
+  double normal(double mu, double sigma);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  /// k distinct indices drawn uniformly from [0, n), in increasing order.
+  /// Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = uniform_index(i + 1);
+      std::swap(v[i], v[j]);
+    }
+  }
+
+  /// Deterministically derive an independent child stream (for parallel or
+  /// per-trial sub-experiments).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace flexcs

@@ -1,0 +1,24 @@
+// Small string/format helpers shared across flexcs modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexcs {
+
+/// printf-style formatting into std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string s);
+
+}  // namespace flexcs

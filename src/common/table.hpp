@@ -1,0 +1,40 @@
+// Fixed-width table and CSV emission used by the benchmark harnesses to print
+// the paper-style result rows (Fig. 2, Fig. 6, Sec. 4.1 tables).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flexcs {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// fixed-width text table (for terminal output) or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 4);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Renders an aligned text table with a header separator.
+  std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// Writes CSV to a file; throws CheckError on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flexcs

@@ -1,0 +1,64 @@
+#include "cs/decoder.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "solvers/admm.hpp"
+
+namespace flexcs::cs {
+
+Decoder::Decoder(std::size_t rows, std::size_t cols, DecoderOptions opts,
+                 std::shared_ptr<const solvers::SparseSolver> solver)
+    : rows_(rows),
+      cols_(cols),
+      opts_(opts),
+      solver_(std::move(solver)),
+      psi_(dsp::synthesis_matrix(opts.basis, rows, cols)) {
+  FLEXCS_CHECK(rows_ > 0 && cols_ > 0, "decoder over empty array");
+  if (!solver_) solver_ = std::make_shared<solvers::AdmmLassoSolver>();
+}
+
+la::Matrix Decoder::measurement_matrix(const SamplingPattern& pattern) const {
+  FLEXCS_CHECK(pattern.rows == rows_ && pattern.cols == cols_,
+               "decoder: pattern shape mismatch");
+  return psi_.select_rows(pattern.indices);
+}
+
+DecodeResult Decoder::decode(const SamplingPattern& pattern,
+                             const la::Vector& measurements) const {
+  return decode_with(pattern, measurements, *solver_, opts_);
+}
+
+DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
+                                  const la::Vector& measurements,
+                                  const solvers::SparseSolver& solver,
+                                  const DecoderOptions& opts) const {
+  FLEXCS_CHECK(measurements.size() == pattern.m(),
+               "decoder: measurement count mismatch");
+  FLEXCS_CHECK(opts.basis == opts_.basis,
+               "decode_with cannot change the basis (Ψ is cached)");
+  const la::Matrix a = measurement_matrix(pattern);
+
+  solvers::SolveResult sr = solver.solve(a, measurements);
+  if (opts.debias) {
+    sr.x = solvers::debias_on_support(a, measurements, sr.x,
+                                      opts.support_threshold);
+  }
+
+  DecodeResult out;
+  out.coefficients = sr.x;
+  out.solver_iterations = sr.iterations;
+  out.converged = sr.converged;
+
+  // Synthesise the frame from the recovered coefficients (y = Ψ x, done via
+  // the fast transform rather than the dense matrix).
+  const la::Matrix coeff_grid = la::Matrix::from_flat(sr.x, rows_, cols_);
+  out.frame = dsp::synthesize(opts.basis, coeff_grid);
+  if (opts.clamp01) {
+    for (std::size_t i = 0; i < out.frame.size(); ++i)
+      out.frame.data()[i] = std::clamp(out.frame.data()[i], 0.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace flexcs::cs

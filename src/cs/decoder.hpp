@@ -1,0 +1,68 @@
+// The CS decoder (the "silicon side" of Eq. 8/9): recovers the full frame
+// from the sampled measurements by L1-minimising the coefficients in the
+// sparsifying basis Ψ and re-synthesising the frame.
+#pragma once
+
+#include <memory>
+
+#include "cs/sampling.hpp"
+#include "dsp/basis.hpp"
+#include "la/matrix.hpp"
+#include "solvers/solver.hpp"
+
+namespace flexcs::cs {
+
+struct DecoderOptions {
+  dsp::BasisKind basis = dsp::BasisKind::kDct2D;
+  bool debias = true;        // least-squares re-fit on the recovered support
+  bool clamp01 = true;       // clamp the reconstruction into [0, 1]
+  double support_threshold = 1e-6;  // |coef| above this counts as support
+};
+
+struct DecodeResult {
+  la::Matrix frame;         // reconstructed rows x cols frame
+  la::Vector coefficients;  // recovered sparse coefficient vector (size N)
+  int solver_iterations = 0;
+  bool converged = false;
+};
+
+/// Decoder for a fixed array geometry. Builds Ψ once (N x N) and derives the
+/// per-pattern measurement matrix A = Φ_M·Ψ by row selection, then runs the
+/// configured sparse solver.
+class Decoder {
+ public:
+  /// `solver` may be null, which selects the library default (ADMM-BPDN).
+  Decoder(std::size_t rows, std::size_t cols, DecoderOptions opts = {},
+          std::shared_ptr<const solvers::SparseSolver> solver = nullptr);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const la::Matrix& psi() const { return psi_; }
+  const DecoderOptions& options() const { return opts_; }
+  const solvers::SparseSolver& solver() const { return *solver_; }
+
+  /// Recovers a frame from measurements taken with `pattern`.
+  DecodeResult decode(const SamplingPattern& pattern,
+                      const la::Vector& measurements) const;
+
+  /// Same decode, but with an explicit solver and options (reusing the
+  /// cached Ψ). Used by robust pipelines that need a screening pass with
+  /// different shrinkage than the production decode.
+  DecodeResult decode_with(const SamplingPattern& pattern,
+                           const la::Vector& measurements,
+                           const solvers::SparseSolver& solver,
+                           const DecoderOptions& opts) const;
+
+  /// The measurement matrix A = Φ_M·Ψ for a pattern (exposed for tests and
+  /// for solver benchmarking).
+  la::Matrix measurement_matrix(const SamplingPattern& pattern) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  DecoderOptions opts_;
+  std::shared_ptr<const solvers::SparseSolver> solver_;
+  la::Matrix psi_;  // N x N synthesis matrix
+};
+
+}  // namespace flexcs::cs

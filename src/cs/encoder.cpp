@@ -1,0 +1,54 @@
+#include "cs/encoder.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace flexcs::cs {
+
+la::Vector Encoder::encode(const la::Matrix& frame,
+                           const SamplingPattern& pattern, Rng& rng) const {
+  FLEXCS_CHECK(frame.rows() == pattern.rows && frame.cols() == pattern.cols,
+               "encoder: frame/pattern shape mismatch");
+  la::Vector y = apply_pattern(pattern, frame.flatten());
+  if (opts_.measurement_noise > 0.0) {
+    for (std::size_t i = 0; i < y.size(); ++i)
+      y[i] += rng.normal(0.0, opts_.measurement_noise);
+  }
+  return y;
+}
+
+la::Vector Encoder::encode_scanned(const la::Matrix& frame,
+                                   const ScanSchedule& schedule,
+                                   Rng& rng) const {
+  FLEXCS_CHECK(schedule.cycles.size() == frame.cols(),
+               "encoder: schedule/frame shape mismatch");
+  // Column-scan readout. Measurements are emitted in (column, row) scan
+  // order, then reordered to the canonical row-major pattern order so both
+  // encode paths agree bit-for-bit.
+  struct Read {
+    std::size_t pixel_index;
+    double value;
+  };
+  std::vector<Read> reads;
+  for (const auto& cyc : schedule.cycles) {
+    FLEXCS_CHECK(cyc.row_select.size() == frame.rows(),
+                 "encoder: schedule row width mismatch");
+    for (std::size_t r = 0; r < frame.rows(); ++r) {
+      if (!cyc.row_select[r]) continue;
+      double v = frame(r, cyc.column);
+      if (opts_.measurement_noise > 0.0)
+        v += rng.normal(0.0, opts_.measurement_noise);
+      reads.push_back({r * frame.cols() + cyc.column, v});
+    }
+  }
+  std::sort(reads.begin(), reads.end(),
+            [](const Read& a, const Read& b) {
+              return a.pixel_index < b.pixel_index;
+            });
+  la::Vector y(reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) y[i] = reads[i].value;
+  return y;
+}
+
+}  // namespace flexcs::cs

@@ -1,0 +1,35 @@
+// The CS encoder (the "FE side" of Eq. 8): random subsampling of the sensor
+// array, as realised by the active-matrix scan of Fig. 4. The behavioural
+// encoder here mirrors what fe::SensorArraySim produces electrically.
+#pragma once
+
+#include "cs/sampling.hpp"
+#include "la/matrix.hpp"
+
+namespace flexcs::cs {
+
+struct EncoderOptions {
+  double measurement_noise = 0.0;  // additive Gaussian sigma per read (eps
+                                   // of Eq. 2); models amp/ADC noise
+};
+
+/// Behavioural model of the flexible encoder: reads the sampled pixels of a
+/// frame in column-scan order.
+class Encoder {
+ public:
+  explicit Encoder(EncoderOptions opts = {}) : opts_(opts) {}
+
+  /// Measures frame pixels according to the pattern: y_M = Φ_M·y (+ noise).
+  la::Vector encode(const la::Matrix& frame, const SamplingPattern& pattern,
+                    Rng& rng) const;
+
+  /// Same, but follows the hardware schedule cycle by cycle (identical
+  /// result by construction; used to validate the scan path).
+  la::Vector encode_scanned(const la::Matrix& frame,
+                            const ScanSchedule& schedule, Rng& rng) const;
+
+ private:
+  EncoderOptions opts_;
+};
+
+}  // namespace flexcs::cs

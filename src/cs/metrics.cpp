@@ -1,0 +1,52 @@
+#include "cs/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace flexcs::cs {
+
+double rmse(const la::Matrix& a, const la::Matrix& b) {
+  FLEXCS_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+               "rmse shape mismatch");
+  FLEXCS_CHECK(!a.empty(), "rmse of empty frames");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double rmse(const la::Vector& a, const la::Vector& b) {
+  FLEXCS_CHECK(a.size() == b.size() && !a.empty(), "rmse size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double psnr(const la::Matrix& reference, const la::Matrix& test) {
+  const double e = rmse(reference, test);
+  if (e == 0.0) return std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(1.0 / e);
+}
+
+double max_error(const la::Matrix& a, const la::Matrix& b) {
+  return la::max_abs_diff(a, b);
+}
+
+double mae(const la::Matrix& a, const la::Matrix& b) {
+  FLEXCS_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+               "mae shape mismatch");
+  FLEXCS_CHECK(!a.empty(), "mae of empty frames");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s += std::fabs(a.data()[i] - b.data()[i]);
+  return s / static_cast<double>(a.size());
+}
+
+}  // namespace flexcs::cs

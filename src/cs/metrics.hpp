@@ -1,0 +1,22 @@
+// Evaluation metrics for the reconstruction experiments (Sec. 4).
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace flexcs::cs {
+
+/// Root-mean-square error between two frames of equal shape.
+double rmse(const la::Matrix& a, const la::Matrix& b);
+double rmse(const la::Vector& a, const la::Vector& b);
+
+/// Peak signal-to-noise ratio in dB for signals normalised to [0, 1].
+/// Returns +inf when the frames are identical.
+double psnr(const la::Matrix& reference, const la::Matrix& test);
+
+/// Largest absolute pixel error.
+double max_error(const la::Matrix& a, const la::Matrix& b);
+
+/// Mean absolute error.
+double mae(const la::Matrix& a, const la::Matrix& b);
+
+}  // namespace flexcs::cs

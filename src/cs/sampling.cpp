@@ -1,0 +1,107 @@
+#include "cs/sampling.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace flexcs::cs {
+
+SamplingPattern random_pattern(std::size_t rows, std::size_t cols,
+                               double fraction, Rng& rng) {
+  FLEXCS_CHECK(rows > 0 && cols > 0, "pattern over empty array");
+  FLEXCS_CHECK(fraction > 0.0 && fraction <= 1.0,
+               "sampling fraction must be in (0,1]");
+  SamplingPattern p;
+  p.rows = rows;
+  p.cols = cols;
+  const std::size_t n = rows * cols;
+  const std::size_t m = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(n)));
+  p.indices = rng.sample_without_replacement(n, m);
+  return p;
+}
+
+SamplingPattern random_pattern_excluding(std::size_t rows, std::size_t cols,
+                                         double fraction,
+                                         const std::vector<bool>& exclude,
+                                         Rng& rng) {
+  FLEXCS_CHECK(rows > 0 && cols > 0, "pattern over empty array");
+  FLEXCS_CHECK(exclude.size() == rows * cols, "exclude mask size mismatch");
+  FLEXCS_CHECK(fraction > 0.0 && fraction <= 1.0,
+               "sampling fraction must be in (0,1]");
+
+  std::vector<std::size_t> good;
+  good.reserve(exclude.size());
+  for (std::size_t i = 0; i < exclude.size(); ++i)
+    if (!exclude[i]) good.push_back(i);
+  FLEXCS_CHECK(!good.empty(), "every pixel is excluded");
+
+  const std::size_t n = rows * cols;
+  const std::size_t want = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(n)));
+  const std::size_t m = std::min(want, good.size());
+
+  const std::vector<std::size_t> pick =
+      rng.sample_without_replacement(good.size(), m);
+  SamplingPattern p;
+  p.rows = rows;
+  p.cols = cols;
+  p.indices.reserve(m);
+  for (std::size_t i : pick) p.indices.push_back(good[i]);
+  std::sort(p.indices.begin(), p.indices.end());
+  return p;
+}
+
+la::Vector apply_pattern(const SamplingPattern& p, const la::Vector& y) {
+  FLEXCS_CHECK(y.size() == p.n(), "apply_pattern: frame size mismatch");
+  la::Vector out(p.m());
+  for (std::size_t i = 0; i < p.m(); ++i) out[i] = y[p.indices[i]];
+  return out;
+}
+
+la::Matrix pattern_matrix(const SamplingPattern& p) {
+  la::Matrix phi(p.m(), p.n(), 0.0);
+  for (std::size_t i = 0; i < p.m(); ++i) phi(i, p.indices[i]) = 1.0;
+  return phi;
+}
+
+std::size_t ScanSchedule::total_reads() const {
+  std::size_t total = 0;
+  for (const auto& cyc : cycles)
+    total += static_cast<std::size_t>(
+        std::count(cyc.row_select.begin(), cyc.row_select.end(), true));
+  return total;
+}
+
+ScanSchedule make_scan_schedule(const SamplingPattern& p) {
+  ScanSchedule s;
+  s.cycles.resize(p.cols);
+  for (std::size_t c = 0; c < p.cols; ++c) {
+    s.cycles[c].column = c;
+    s.cycles[c].row_select.assign(p.rows, false);
+  }
+  for (std::size_t idx : p.indices) {
+    const std::size_t r = idx / p.cols;
+    const std::size_t c = idx % p.cols;
+    FLEXCS_CHECK(r < p.rows, "pattern index out of range");
+    s.cycles[c].row_select[r] = true;
+  }
+  return s;
+}
+
+SamplingPattern pattern_from_schedule(const ScanSchedule& s, std::size_t rows,
+                                      std::size_t cols) {
+  FLEXCS_CHECK(s.cycles.size() == cols, "schedule/shape mismatch");
+  SamplingPattern p;
+  p.rows = rows;
+  p.cols = cols;
+  for (const auto& cyc : s.cycles) {
+    FLEXCS_CHECK(cyc.row_select.size() == rows, "schedule row width mismatch");
+    for (std::size_t r = 0; r < rows; ++r)
+      if (cyc.row_select[r]) p.indices.push_back(r * cols + cyc.column);
+  }
+  std::sort(p.indices.begin(), p.indices.end());
+  return p;
+}
+
+}  // namespace flexcs::cs

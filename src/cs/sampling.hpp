@@ -1,0 +1,74 @@
+// The sampling matrix Φ_M of Eq. 8 and its hardware realisation (Fig. 4).
+//
+// Φ_M consists of M randomly chosen rows of the N x N identity, i.e. a
+// subset of pixel indices. The active-matrix encoder realises it by scanning
+// the array column by column (√N cycles for a square array): in the cycle
+// for column c, the row driver asserts exactly the rows whose pixel (r, c)
+// is sampled. This module represents the pattern, draws it (optionally
+// avoiding known-defective pixels), and derives the per-cycle driver words.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace flexcs::cs {
+
+/// An M-of-N pixel sampling pattern over a rows x cols array.
+/// Indices are row-major pixel indices, strictly increasing.
+struct SamplingPattern {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::size_t> indices;
+
+  std::size_t n() const { return rows * cols; }
+  std::size_t m() const { return indices.size(); }
+  double fraction() const {
+    return n() == 0 ? 0.0 : static_cast<double>(m()) / static_cast<double>(n());
+  }
+};
+
+/// Draws floor(fraction * N) distinct pixels uniformly at random.
+SamplingPattern random_pattern(std::size_t rows, std::size_t cols,
+                               double fraction, Rng& rng);
+
+/// Draws the pattern from the pixels NOT flagged in `exclude` (row-major
+/// mask, size N). The requested count is floor(fraction * N) capped at the
+/// number of available pixels — the paper's "sample good pixels only" mode.
+SamplingPattern random_pattern_excluding(std::size_t rows, std::size_t cols,
+                                         double fraction,
+                                         const std::vector<bool>& exclude,
+                                         Rng& rng);
+
+/// Extracts the sampled entries of a vectorised frame: y_M = Φ_M · y.
+la::Vector apply_pattern(const SamplingPattern& p, const la::Vector& y);
+
+/// Materialises Φ_M as a dense M x N matrix (tests / LP decoding).
+la::Matrix pattern_matrix(const SamplingPattern& p);
+
+/// Per-cycle driver control of Fig. 4: scanning column `cycle`, the row
+/// driver word has bit r set iff pixel (r, cycle) is sampled. The sensor
+/// array is built from p-type TFTs, so the array is low-enabled: an
+/// asserted select is driven to 0 V. `active_low` reflects that polarity.
+struct ScanCycle {
+  std::size_t column = 0;
+  std::vector<bool> row_select;  // size rows; true = read this row
+};
+
+struct ScanSchedule {
+  std::vector<ScanCycle> cycles;  // one per column, in scan order
+  bool active_low = true;
+
+  /// Total asserted row-selects across all cycles (equals the pattern's M).
+  std::size_t total_reads() const;
+};
+
+/// Derives the column-by-column schedule for a pattern.
+ScanSchedule make_scan_schedule(const SamplingPattern& p);
+
+/// Rebuilds the pattern from a schedule (inverse of make_scan_schedule).
+SamplingPattern pattern_from_schedule(const ScanSchedule& s, std::size_t rows,
+                                      std::size_t cols);
+
+}  // namespace flexcs::cs

@@ -1,0 +1,45 @@
+#include "cs/theory.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::cs {
+
+double required_measurements(std::size_t sparsity_k, std::size_t n,
+                             double log_base) {
+  FLEXCS_CHECK(n > 0, "N must be positive");
+  FLEXCS_CHECK(sparsity_k > 0 && sparsity_k <= n, "K must be in [1, N]");
+  FLEXCS_CHECK(log_base > 1.0, "log base must exceed 1");
+  const double k = static_cast<double>(sparsity_k);
+  const double nn = static_cast<double>(n);
+  if (sparsity_k == n) return nn;  // log(1) = 0; dense signal needs all N
+  return k * std::log(nn / k) / std::log(log_base);
+}
+
+double reconstruction_error_bound(std::size_t n, std::size_t m,
+                                  double measurement_noise, double tail_l1,
+                                  std::size_t sparsity_k) {
+  FLEXCS_CHECK(m > 0 && m <= n, "need 0 < M <= N");
+  FLEXCS_CHECK(sparsity_k > 0, "K must be positive");
+  FLEXCS_CHECK(measurement_noise >= 0.0 && tail_l1 >= 0.0,
+               "noise and tail must be non-negative");
+  const double measurement_term =
+      std::sqrt(static_cast<double>(n) / static_cast<double>(m)) *
+      measurement_noise;
+  const double approximation_term =
+      tail_l1 / std::sqrt(static_cast<double>(sparsity_k));
+  return measurement_term + approximation_term;
+}
+
+double communication_cost_ratio(std::size_t m, std::size_t n) {
+  FLEXCS_CHECK(n > 0, "N must be positive");
+  return static_cast<double>(m) / static_cast<double>(n);
+}
+
+std::size_t scan_cycles(std::size_t rows, std::size_t cols) {
+  (void)rows;
+  return cols;  // one scan cycle per column of the active matrix
+}
+
+}  // namespace flexcs::cs

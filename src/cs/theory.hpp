@@ -1,0 +1,28 @@
+// Compressed-sensing theory helpers: Eq. 1 (measurement count) and Eq. 2
+// (reconstruction error bound) of the paper, plus the communication-cost
+// accounting of Sec. 4.1.
+#pragma once
+
+#include <cstddef>
+
+namespace flexcs::cs {
+
+/// Eq. 1: M ≈ K·log(N/K). The paper's rule of thumb uses the base-2
+/// logarithm (so K = N/2 gives M = N/2, matching its "only N/2 measurements"
+/// claim); base is configurable for sensitivity studies.
+double required_measurements(std::size_t sparsity_k, std::size_t n,
+                             double log_base = 2.0);
+
+/// Eq. 2: ||x_cs - x*||_2 ≲ sqrt(N/M)·eps + ||x - x_K||_1 / sqrt(K).
+/// `tail_l1` is the l1 norm of the best-K approximation residual.
+double reconstruction_error_bound(std::size_t n, std::size_t m,
+                                  double measurement_noise, double tail_l1,
+                                  std::size_t sparsity_k);
+
+/// Sec. 4.1: relative communication/ADC cost of the CS scheme, M/N.
+double communication_cost_ratio(std::size_t m, std::size_t n);
+
+/// Scan cycles needed by the Fig. 4 active-matrix encoder (one per column).
+std::size_t scan_cycles(std::size_t rows, std::size_t cols);
+
+}  // namespace flexcs::cs

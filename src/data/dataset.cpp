@@ -1,0 +1,53 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace flexcs::data {
+
+Dataset make_dataset(const FrameGenerator& gen, std::size_t count, Rng& rng) {
+  Dataset ds;
+  ds.rows = gen.rows();
+  ds.cols = gen.cols();
+  ds.num_classes = gen.num_classes();
+  ds.frames.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Frame f = gen.sample(rng);
+    FLEXCS_CHECK(f.values.rows() == ds.rows && f.values.cols() == ds.cols,
+                 "generator produced inconsistent frame shape");
+    ds.frames.push_back(std::move(f));
+  }
+  return ds;
+}
+
+Split train_test_split(const Dataset& ds, double test_fraction, Rng& rng) {
+  FLEXCS_CHECK(test_fraction > 0.0 && test_fraction < 1.0,
+               "test_fraction must be in (0,1)");
+  Split out;
+  out.train.rows = out.test.rows = ds.rows;
+  out.train.cols = out.test.cols = ds.cols;
+  out.train.num_classes = out.test.num_classes = ds.num_classes;
+
+  // Group indices by label so the split is stratified.
+  std::map<int, std::vector<std::size_t>> by_label;
+  for (std::size_t i = 0; i < ds.frames.size(); ++i)
+    by_label[ds.frames[i].label].push_back(i);
+
+  for (auto& [label, idx] : by_label) {
+    (void)label;
+    rng.shuffle(idx);
+    const std::size_t n_test =
+        static_cast<std::size_t>(test_fraction * static_cast<double>(idx.size()) + 0.5);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (i < n_test)
+        out.test.frames.push_back(ds.frames[idx[i]]);
+      else
+        out.train.frames.push_back(ds.frames[idx[i]]);
+    }
+  }
+  return out;
+}
+
+}  // namespace flexcs::data

@@ -1,0 +1,57 @@
+// Frame/dataset plumbing shared by the three synthetic signal generators that
+// stand in for the paper's public datasets (thermal hands [14], tactile
+// glove [5], ultrasound RF [15]). See DESIGN.md §2 for the substitution
+// rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace flexcs::data {
+
+/// One sensor frame, values normalised to [0, 1], plus an optional class
+/// label (used by the tactile object-recognition study; -1 when unlabeled).
+struct Frame {
+  la::Matrix values;
+  int label = -1;
+};
+
+/// A labelled collection of frames of uniform shape.
+struct Dataset {
+  std::vector<Frame> frames;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  int num_classes = 0;  // 0 for unlabeled sets
+
+  std::size_t size() const { return frames.size(); }
+};
+
+/// Interface for the synthetic signal generators.
+class FrameGenerator {
+ public:
+  virtual ~FrameGenerator() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+  virtual int num_classes() const = 0;  // 0 if unlabeled
+  /// Draws one frame; label is in [0, num_classes) for labelled generators.
+  virtual Frame sample(Rng& rng) const = 0;
+};
+
+/// Draws `count` frames from the generator's own label distribution
+/// (uniform over classes for the labelled generators). For exactly balanced
+/// classes, call TactileGenerator::sample_class in a round-robin instead.
+Dataset make_dataset(const FrameGenerator& gen, std::size_t count, Rng& rng);
+
+/// Splits a dataset into train/test with the given test fraction, shuffling
+/// deterministically with `rng`. Class balance is preserved per label.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split train_test_split(const Dataset& ds, double test_fraction, Rng& rng);
+
+}  // namespace flexcs::data

@@ -1,0 +1,126 @@
+#include "data/shapes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::data {
+
+double soft_edge(double signed_distance, double softness) {
+  // Logistic profile; softness is the 12%-88% transition width.
+  const double s = std::max(1e-6, softness);
+  return 1.0 / (1.0 + std::exp(4.0 * signed_distance / s));
+}
+
+void add_soft_ellipse(la::Matrix& img, double cy, double cx, double ry,
+                      double rx, double angle, double intensity,
+                      double softness) {
+  FLEXCS_CHECK(ry > 0.0 && rx > 0.0, "ellipse radii must be positive");
+  const double ca = std::cos(angle), sa = std::sin(angle);
+  for (std::size_t r = 0; r < img.rows(); ++r) {
+    for (std::size_t c = 0; c < img.cols(); ++c) {
+      const double dy = static_cast<double>(r) - cy;
+      const double dx = static_cast<double>(c) - cx;
+      const double u = ca * dx + sa * dy;
+      const double v = -sa * dx + ca * dy;
+      // Approximate signed distance: scaled radial excess in pixels.
+      const double rad = std::sqrt((u / rx) * (u / rx) + (v / ry) * (v / ry));
+      const double dist = (rad - 1.0) * std::min(rx, ry);
+      img(r, c) += intensity * soft_edge(dist, softness);
+    }
+  }
+}
+
+void add_soft_capsule(la::Matrix& img, double y0, double x0, double y1,
+                      double x1, double radius, double intensity,
+                      double softness) {
+  FLEXCS_CHECK(radius > 0.0, "capsule radius must be positive");
+  const double ey = y1 - y0, ex = x1 - x0;
+  const double len2 = ey * ey + ex * ex;
+  for (std::size_t r = 0; r < img.rows(); ++r) {
+    for (std::size_t c = 0; c < img.cols(); ++c) {
+      const double py = static_cast<double>(r) - y0;
+      const double px = static_cast<double>(c) - x0;
+      double t = 0.0;
+      if (len2 > 0.0) t = std::clamp((py * ey + px * ex) / len2, 0.0, 1.0);
+      const double dy = py - t * ey;
+      const double dx = px - t * ex;
+      const double dist = std::sqrt(dy * dy + dx * dx) - radius;
+      img(r, c) += intensity * soft_edge(dist, softness);
+    }
+  }
+}
+
+void add_soft_ring(la::Matrix& img, double cy, double cx, double r, double w,
+                   double intensity, double softness) {
+  FLEXCS_CHECK(r > 0.0 && w > 0.0, "ring radius/width must be positive");
+  for (std::size_t rr = 0; rr < img.rows(); ++rr) {
+    for (std::size_t cc = 0; cc < img.cols(); ++cc) {
+      const double dy = static_cast<double>(rr) - cy;
+      const double dx = static_cast<double>(cc) - cx;
+      const double dist = std::fabs(std::sqrt(dy * dy + dx * dx) - r) - w;
+      img(rr, cc) += intensity * soft_edge(dist, softness);
+    }
+  }
+}
+
+la::Matrix gaussian_blur(const la::Matrix& img, double sigma) {
+  if (sigma <= 0.0) return img;
+  const int half = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<double> kernel(2 * half + 1);
+  double ksum = 0.0;
+  for (int i = -half; i <= half; ++i) {
+    kernel[i + half] = std::exp(-0.5 * (i / sigma) * (i / sigma));
+    ksum += kernel[i + half];
+  }
+  for (auto& k : kernel) k /= ksum;
+
+  const auto rows = static_cast<int>(img.rows());
+  const auto cols = static_cast<int>(img.cols());
+  la::Matrix tmp(img.rows(), img.cols(), 0.0);
+  // Horizontal pass with clamped edges.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double s = 0.0;
+      for (int k = -half; k <= half; ++k) {
+        const int cc = std::clamp(c + k, 0, cols - 1);
+        s += kernel[k + half] * img(r, cc);
+      }
+      tmp(r, c) = s;
+    }
+  }
+  la::Matrix out(img.rows(), img.cols(), 0.0);
+  // Vertical pass.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double s = 0.0;
+      for (int k = -half; k <= half; ++k) {
+        const int rr = std::clamp(r + k, 0, rows - 1);
+        s += kernel[k + half] * tmp(rr, c);
+      }
+      out(r, c) = s;
+    }
+  }
+  return out;
+}
+
+void clamp_inplace(la::Matrix& img, double lo, double hi) {
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img.data()[i] = std::clamp(img.data()[i], lo, hi);
+}
+
+void normalize01(la::Matrix& img) {
+  double lo = img.data()[0], hi = img.data()[0];
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    lo = std::min(lo, img.data()[i]);
+    hi = std::max(hi, img.data()[i]);
+  }
+  const double range = hi - lo;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img.data()[i] = range > 0.0 ? (img.data()[i] - lo) / range
+                                : img.data()[i] - lo;
+  }
+}
+
+}  // namespace flexcs::data

@@ -1,0 +1,43 @@
+// Soft-shape rasterisation primitives for the synthetic sensor-frame
+// generators: smooth (anti-aliased) blobs, capsules and rings whose edges
+// fall off over a controllable width, plus separable Gaussian blur. Smooth
+// shapes are what make the synthetic frames DCT-compressible like the
+// paper's real body-sensing signals.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace flexcs::data {
+
+/// Smoothstep-like edge profile: 1 deep inside the shape, 0 far outside,
+/// transitioning over `softness` pixels around distance 0.
+double soft_edge(double signed_distance, double softness);
+
+/// Adds `intensity * profile` of an axis-aligned-after-rotation ellipse
+/// centred at (cy, cx) with radii (ry, rx), rotated by `angle` radians.
+void add_soft_ellipse(la::Matrix& img, double cy, double cx, double ry,
+                      double rx, double angle, double intensity,
+                      double softness);
+
+/// Adds a capsule (line segment with circular caps) from (y0,x0) to (y1,x1)
+/// with the given radius.
+void add_soft_capsule(la::Matrix& img, double y0, double x0, double y1,
+                      double x1, double radius, double intensity,
+                      double softness);
+
+/// Adds an annulus centred at (cy, cx) with mid-radius r and half-width w.
+void add_soft_ring(la::Matrix& img, double cy, double cx, double r, double w,
+                   double intensity, double softness);
+
+/// Separable Gaussian blur with standard deviation sigma (pixels); kernel
+/// truncated at 3 sigma, edges clamped.
+la::Matrix gaussian_blur(const la::Matrix& img, double sigma);
+
+/// Clamps all entries into [lo, hi] in place.
+void clamp_inplace(la::Matrix& img, double lo, double hi);
+
+/// Affine-normalises entries to exactly span [0, 1] (no-op shift to 0 when
+/// the image is constant).
+void normalize01(la::Matrix& img);
+
+}  // namespace flexcs::data

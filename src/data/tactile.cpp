@@ -1,0 +1,186 @@
+#include "data/tactile.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "data/shapes.hpp"
+
+namespace flexcs::data {
+namespace {
+
+constexpr double kPi = 3.1415926535897932384626433832795;
+
+// A grasp footprint is a composition of primitive contacts. Each class gets
+// a fixed spec; per-sample jitter perturbs pose and pressure.
+enum class PatternType {
+  kBlob,        // one large contact (e.g. ball in the palm)
+  kBar,         // elongated contact (pen, rod)
+  kRing,        // annular contact (mug rim, tape roll)
+  kTwoBlobs,    // pinch grip
+  kFingerRow,   // 3-5 fingertip contacts in an arc
+  kCrossBars,   // two crossed bars (scissors-like)
+  kBlobPlusBar, // palm contact plus a handle
+  kDotGrid,     // many small contacts (textured object)
+};
+
+struct ClassSpec {
+  PatternType type;
+  double size;    // primary dimension in pixels (at 32x32)
+  double aspect;  // elongation for bars/ellipses
+  double angle;   // canonical orientation (radians)
+  int count;      // number of contacts for multi-contact types
+};
+
+// 26 visually distinct grasp classes. Sizes/angles chosen so that no two
+// classes coincide after moderate jitter.
+const ClassSpec kSpecs[TactileGenerator::kNumClasses] = {
+    {PatternType::kBlob, 5.0, 1.0, 0.0, 1},          // 0  small ball
+    {PatternType::kBlob, 8.5, 1.0, 0.0, 1},          // 1  large ball
+    {PatternType::kBlob, 6.5, 1.8, 0.5, 1},          // 2  egg / ellipsoid
+    {PatternType::kBar, 11.0, 0.22, 0.0, 1},         // 3  horizontal rod
+    {PatternType::kBar, 11.0, 0.22, kPi / 2, 1},     // 4  vertical rod
+    {PatternType::kBar, 12.5, 0.35, kPi / 4, 1},     // 5  thick diagonal rod
+    {PatternType::kBar, 8.0, 0.5, kPi / 6, 1},       // 6  short wide bar
+    {PatternType::kRing, 7.5, 1.6, 0.0, 1},          // 7  mug rim
+    {PatternType::kRing, 10.5, 1.3, 0.0, 1},         // 8  large ring
+    {PatternType::kRing, 5.0, 2.2, 0.0, 1},          // 9  thick small ring
+    {PatternType::kTwoBlobs, 4.0, 1.0, 0.0, 2},      // 10 pinch, horizontal
+    {PatternType::kTwoBlobs, 4.0, 1.0, kPi / 2, 2},  // 11 pinch, vertical
+    {PatternType::kTwoBlobs, 6.0, 1.4, kPi / 4, 2},  // 12 wide pinch
+    {PatternType::kFingerRow, 2.6, 1.0, 0.0, 3},     // 13 three-finger grip
+    {PatternType::kFingerRow, 2.6, 1.0, 0.0, 4},     // 14 four-finger grip
+    {PatternType::kFingerRow, 2.9, 1.0, 0.0, 5},     // 15 five-finger grip
+    {PatternType::kFingerRow, 3.6, 1.3, kPi / 5, 3}, // 16 splayed grip
+    {PatternType::kCrossBars, 9.5, 0.25, kPi / 4, 2},// 17 scissors
+    {PatternType::kCrossBars, 11.5, 0.2, kPi / 3, 2},// 18 open scissors
+    {PatternType::kBlobPlusBar, 6.0, 0.3, 0.0, 2},   // 19 mug with handle
+    {PatternType::kBlobPlusBar, 4.5, 0.35, kPi / 2, 2}, // 20 pan grip
+    {PatternType::kBlobPlusBar, 7.5, 0.25, kPi / 4, 2}, // 21 hammer
+    {PatternType::kDotGrid, 1.7, 1.0, 0.0, 6},       // 22 six-dot texture
+    {PatternType::kDotGrid, 1.7, 1.0, kPi / 6, 9},   // 23 nine-dot texture
+    {PatternType::kDotGrid, 2.4, 1.0, 0.0, 4},       // 24 four coarse dots
+    {PatternType::kBlob, 12.0, 1.1, 0.3, 1},         // 25 flat palm press
+};
+
+}  // namespace
+
+TactileGenerator::TactileGenerator(TactileOptions opts) : opts_(opts) {
+  FLEXCS_CHECK(opts_.rows >= 16 && opts_.cols >= 16,
+               "tactile frames need at least 16x16 pixels");
+}
+
+Frame TactileGenerator::sample(Rng& rng) const {
+  return sample_class(static_cast<int>(rng.uniform_index(kNumClasses)), rng);
+}
+
+Frame TactileGenerator::sample_class(int label, Rng& rng) const {
+  FLEXCS_CHECK(label >= 0 && label < kNumClasses, "tactile label out of range");
+  const ClassSpec& spec = kSpecs[label];
+  const double j = opts_.jitter;
+  const double R = static_cast<double>(opts_.rows);
+  const double C = static_cast<double>(opts_.cols);
+  const double scale = std::min(R, C) / 32.0;
+
+  la::Matrix img(opts_.rows, opts_.cols, 0.0);
+
+  const double cy = R * 0.5 + 1.2 * j * rng.normal() * scale;
+  const double cx = C * 0.5 + 1.2 * j * rng.normal() * scale;
+  const double angle = spec.angle + 0.18 * j * rng.normal();
+  const double pressure = 0.85 * (1.0 + 0.12 * j * rng.normal());
+  const double size = spec.size * scale * (1.0 + 0.08 * j * rng.normal());
+  const double soft = 1.2 * scale;
+
+  switch (spec.type) {
+    case PatternType::kBlob:
+      add_soft_ellipse(img, cy, cx, size, size * spec.aspect, angle, pressure,
+                       soft);
+      break;
+    case PatternType::kBar: {
+      const double half = size;
+      const double dy = half * std::sin(angle), dx = half * std::cos(angle);
+      add_soft_capsule(img, cy - dy, cx - dx, cy + dy, cx + dx,
+                       size * spec.aspect, pressure, soft);
+      break;
+    }
+    case PatternType::kRing:
+      add_soft_ring(img, cy, cx, size, spec.aspect * scale, pressure, soft);
+      break;
+    case PatternType::kTwoBlobs: {
+      const double sep = (size * 2.0 + 3.0 * scale);
+      const double dy = 0.5 * sep * std::sin(angle);
+      const double dx = 0.5 * sep * std::cos(angle);
+      add_soft_ellipse(img, cy - dy, cx - dx, size, size * spec.aspect, angle,
+                       pressure, soft);
+      add_soft_ellipse(img, cy + dy, cx + dx, size, size * spec.aspect, angle,
+                       pressure * (1.0 + 0.1 * j * rng.normal()), soft);
+      break;
+    }
+    case PatternType::kFingerRow: {
+      // Fingertips on an arc plus an opposing thumb pad.
+      const double arc_r = 9.0 * scale;
+      for (int i = 0; i < spec.count; ++i) {
+        const double t =
+            (static_cast<double>(i) / std::max(1, spec.count - 1) - 0.5) *
+                1.35 + angle;
+        const double fy = cy - arc_r * std::cos(t) * 0.8;
+        const double fx = cx + arc_r * std::sin(t);
+        add_soft_ellipse(img, fy, fx, size, size * spec.aspect,
+                         t + 0.08 * j * rng.normal(),
+                         pressure * (1.0 + 0.1 * j * rng.normal()), soft);
+      }
+      add_soft_ellipse(img, cy + 6.5 * scale, cx, size * 1.6, size * 1.3,
+                       angle, pressure * 0.9, soft);
+      break;
+    }
+    case PatternType::kCrossBars: {
+      for (int i = 0; i < 2; ++i) {
+        const double a = angle + (i == 0 ? 0.0 : kPi / 2.2);
+        const double dy = size * std::sin(a), dx = size * std::cos(a);
+        add_soft_capsule(img, cy - dy, cx - dx, cy + dy, cx + dx,
+                         size * spec.aspect, pressure, soft);
+      }
+      break;
+    }
+    case PatternType::kBlobPlusBar: {
+      add_soft_ellipse(img, cy, cx, size, size, angle, pressure, soft);
+      const double a = angle + kPi / 2.0;
+      const double start = size * 1.1;
+      const double end = size * 2.3;
+      add_soft_capsule(img, cy + start * std::sin(a), cx + start * std::cos(a),
+                       cy + end * std::sin(a), cx + end * std::cos(a),
+                       size * spec.aspect * 1.5, pressure * 0.85, soft);
+      break;
+    }
+    case PatternType::kDotGrid: {
+      const int per_row = spec.count <= 4 ? 2 : 3;
+      const double pitch = 6.0 * scale;
+      int placed = 0;
+      for (int gy = 0; placed < spec.count; ++gy) {
+        for (int gx = 0; gx < per_row && placed < spec.count; ++gx, ++placed) {
+          const double oy = (gy - (spec.count / per_row - 1) * 0.5) * pitch;
+          const double ox = (gx - (per_row - 1) * 0.5) * pitch;
+          const double ry = cy + oy * std::cos(angle) - ox * std::sin(angle);
+          const double rx = cx + oy * std::sin(angle) + ox * std::cos(angle);
+          add_soft_ellipse(img, ry, rx, size, size, 0.0,
+                           pressure * (1.0 + 0.12 * j * rng.normal()), soft);
+        }
+      }
+      break;
+    }
+  }
+
+  clamp_inplace(img, 0.0, 1.2);
+  img = gaussian_blur(img, opts_.blur_sigma);
+  if (opts_.sensor_noise > 0.0) {
+    for (std::size_t i = 0; i < img.size(); ++i)
+      img.data()[i] += rng.normal(0.0, opts_.sensor_noise);
+  }
+  clamp_inplace(img, 0.0, 1.0);
+
+  Frame f;
+  f.values = std::move(img);
+  f.label = label;
+  return f;
+}
+
+}  // namespace flexcs::data

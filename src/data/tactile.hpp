@@ -1,0 +1,46 @@
+// Synthetic tactile-glove pressure maps standing in for the 26-object
+// dataset of Sundaram et al. [5] used in the paper's object-recognition
+// study (Fig. 6b).
+//
+// Each of the 26 classes is a distinct grasp "footprint": an arrangement of
+// soft contact patches (blobs, bars, rings, multi-finger contact rows) with
+// per-sample pose, pressure and noise jitter. Frames are 32x32 like the
+// paper's tactile arrays and DCT-compressible like the real recordings.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace flexcs::data {
+
+struct TactileOptions {
+  std::size_t rows = 32;
+  std::size_t cols = 32;
+  double jitter = 1.0;         // pose/pressure variation scale
+  // Read-noise sigma, calibrated (as for ThermalOptions) so the significant
+  // DCT-coefficient fraction lands in the paper's ~50 % band.
+  double sensor_noise = 0.0003;
+  double blur_sigma = 1.6;
+};
+
+class TactileGenerator final : public FrameGenerator {
+ public:
+  static constexpr int kNumClasses = 26;
+
+  explicit TactileGenerator(TactileOptions opts = {});
+
+  std::string name() const override { return "tactile-grasp"; }
+  std::size_t rows() const override { return opts_.rows; }
+  std::size_t cols() const override { return opts_.cols; }
+  int num_classes() const override { return kNumClasses; }
+
+  /// Draws a frame with a uniformly random class label.
+  Frame sample(Rng& rng) const override;
+
+  /// Draws a frame of a specific class in [0, kNumClasses).
+  Frame sample_class(int label, Rng& rng) const;
+
+ private:
+  TactileOptions opts_;
+};
+
+}  // namespace flexcs::data

@@ -1,0 +1,79 @@
+#include "data/thermal.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "data/shapes.hpp"
+
+namespace flexcs::data {
+
+ThermalHandGenerator::ThermalHandGenerator(ThermalOptions opts)
+    : opts_(opts) {
+  FLEXCS_CHECK(opts_.rows >= 16 && opts_.cols >= 16,
+               "thermal frames need at least 16x16 pixels");
+}
+
+Frame ThermalHandGenerator::sample(Rng& rng) const {
+  const double R = static_cast<double>(opts_.rows);
+  const double C = static_cast<double>(opts_.cols);
+  const double j = opts_.jitter;
+
+  la::Matrix img(opts_.rows, opts_.cols, 0.0);
+
+  // Ambient gradient (cooler at one side, as with a hand over a bench).
+  const double grad_angle = rng.uniform(0.0, 2.0 * 3.14159265358979) * j;
+  const double gx = std::cos(grad_angle), gy = std::sin(grad_angle);
+  const double grad_mag = opts_.ambient_temp * 0.3;
+  for (std::size_t r = 0; r < opts_.rows; ++r)
+    for (std::size_t c = 0; c < opts_.cols; ++c)
+      img(r, c) = opts_.ambient_temp +
+                  grad_mag * (gx * (static_cast<double>(c) / C - 0.5) +
+                              gy * (static_cast<double>(r) / R - 0.5));
+
+  // Hand pose.
+  const double cy = R * (0.62 + 0.05 * j * rng.normal());
+  const double cx = C * (0.50 + 0.05 * j * rng.normal());
+  const double scale = std::min(R, C) / 32.0 *
+                       (1.0 + 0.08 * j * rng.normal());
+  const double hand_angle = 0.15 * j * rng.normal();
+  const double level =
+      (opts_.hand_temp - opts_.ambient_temp) *
+      (1.0 + 0.05 * j * rng.normal());
+
+  // Palm.
+  add_soft_ellipse(img, cy, cx, 7.5 * scale, 5.5 * scale, hand_angle, level,
+                   1.6 * scale);
+
+  // Five fingers fanned from the top of the palm. The thumb (i = 0) is
+  // shorter and splayed wider.
+  const double palm_top_y = cy - 6.0 * scale;
+  for (int i = 0; i < 5; ++i) {
+    const double spread =
+        (static_cast<double>(i) - 2.0) * 0.26 + hand_angle +
+        0.04 * j * rng.normal();
+    const double base_x = cx + (static_cast<double>(i) - 2.0) * 2.6 * scale;
+    const double base_y = palm_top_y + std::fabs(static_cast<double>(i) - 2.0) * 0.7 * scale;
+    double len = (i == 0 || i == 4 ? 7.0 : 9.5) * scale *
+                 (1.0 + 0.1 * j * rng.normal());
+    const double tip_y = base_y - len * std::cos(spread);
+    const double tip_x = base_x + len * std::sin(spread * 2.2);
+    add_soft_capsule(img, base_y, base_x, tip_y, tip_x, 1.25 * scale,
+                     level * (0.92 + 0.05 * j * rng.normal()), 1.3 * scale);
+  }
+
+  clamp_inplace(img, 0.0, 1.2);
+  img = gaussian_blur(img, opts_.blur_sigma);
+
+  if (opts_.sensor_noise > 0.0) {
+    for (std::size_t i = 0; i < img.size(); ++i)
+      img.data()[i] += rng.normal(0.0, opts_.sensor_noise);
+  }
+  clamp_inplace(img, 0.0, 1.0);
+
+  Frame f;
+  f.values = std::move(img);
+  f.label = -1;
+  return f;
+}
+
+}  // namespace flexcs::data

@@ -1,0 +1,86 @@
+#include "data/ultrasound.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "data/shapes.hpp"
+
+namespace flexcs::data {
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+UltrasoundGenerator::UltrasoundGenerator(UltrasoundOptions opts)
+    : opts_(opts) {
+  FLEXCS_CHECK(opts_.depth_samples >= 32 && opts_.scan_lines >= 8,
+               "ultrasound frames need at least 32x8 samples");
+  FLEXCS_CHECK(opts_.num_interfaces >= 1, "need at least one interface");
+}
+
+Frame UltrasoundGenerator::sample(Rng& rng) const {
+  const std::size_t rows = opts_.depth_samples;
+  const std::size_t cols = opts_.scan_lines;
+
+  // Interface depth profiles: slowly varying across scan lines.
+  struct Interface {
+    double base_depth;
+    double slope;
+    double curvature;
+    double reflectivity;
+  };
+  std::vector<Interface> interfaces;
+  interfaces.reserve(static_cast<std::size_t>(opts_.num_interfaces));
+  for (int i = 0; i < opts_.num_interfaces; ++i) {
+    Interface f;
+    f.base_depth = rng.uniform(0.12, 0.88) * static_cast<double>(rows);
+    f.slope = rng.normal(0.0, 0.25);
+    f.curvature = rng.normal(0.0, 0.01);
+    f.reflectivity = rng.uniform(0.35, 1.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    interfaces.push_back(f);
+  }
+
+  la::Matrix rf(rows, cols, 0.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double x = static_cast<double>(c) -
+                     0.5 * static_cast<double>(cols);
+    for (const auto& f : interfaces) {
+      const double depth = f.base_depth + f.slope * x + f.curvature * x * x;
+      // Gabor pulse centred at `depth` along this scan line.
+      const int lo = std::max(0, static_cast<int>(depth - 4 * opts_.pulse_sigma));
+      const int hi = std::min(static_cast<int>(rows) - 1,
+                              static_cast<int>(depth + 4 * opts_.pulse_sigma));
+      const double phase = rng.uniform(0.0, kTwoPi) * 0.05;  // slight decohere
+      for (int r = lo; r <= hi; ++r) {
+        const double t = static_cast<double>(r) - depth;
+        const double env =
+            std::exp(-0.5 * (t / opts_.pulse_sigma) * (t / opts_.pulse_sigma));
+        const double atten = std::exp(-opts_.attenuation * static_cast<double>(r));
+        rf(static_cast<std::size_t>(r), c) +=
+            f.reflectivity * atten * env *
+            std::cos(kTwoPi * opts_.center_freq * t + phase);
+      }
+    }
+    // Speckle: smoothed per-line scatter floor.
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double atten = std::exp(-opts_.attenuation * static_cast<double>(r));
+      rf(r, c) += opts_.speckle * atten * rng.normal();
+    }
+  }
+
+  // Mild lateral smoothing (transducer aperture) and normalisation to [0,1]
+  // with the zero level at 0.5 (RF data is signed).
+  rf = gaussian_blur(rf, 0.5);
+  double maxabs = 1e-12;
+  for (std::size_t i = 0; i < rf.size(); ++i)
+    maxabs = std::max(maxabs, std::fabs(rf.data()[i]));
+  for (std::size_t i = 0; i < rf.size(); ++i)
+    rf.data()[i] = 0.5 + 0.5 * rf.data()[i] / maxabs;
+
+  Frame f;
+  f.values = std::move(rf);
+  f.label = -1;
+  return f;
+}
+
+}  // namespace flexcs::data

@@ -1,0 +1,39 @@
+// Synthetic ultrasound RF frames standing in for the open breast-lesion RF
+// dataset [15] used in the paper's Fig. 2 sparsity study (100x33 frames:
+// 100 depth samples by 33 scan lines).
+//
+// Each scan line is a sum of Gabor echo pulses (tissue interfaces) over a
+// speckle floor; adjacent lines share interface depths so the frame has 2-D
+// structure, which is what makes its DCT decay like the real recordings.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace flexcs::data {
+
+struct UltrasoundOptions {
+  std::size_t depth_samples = 100;  // rows
+  std::size_t scan_lines = 33;      // cols
+  int num_interfaces = 5;           // echo-producing tissue boundaries
+  double center_freq = 0.18;        // cycles/sample of the RF carrier
+  double pulse_sigma = 3.0;         // Gabor envelope width (samples)
+  double speckle = 0.005;           // speckle scale (calibrated to the
+                                    // paper's ~50 % significant band)
+  double attenuation = 0.012;       // per-sample depth attenuation
+};
+
+class UltrasoundGenerator final : public FrameGenerator {
+ public:
+  explicit UltrasoundGenerator(UltrasoundOptions opts = {});
+
+  std::string name() const override { return "ultrasound-rf"; }
+  std::size_t rows() const override { return opts_.depth_samples; }
+  std::size_t cols() const override { return opts_.scan_lines; }
+  int num_classes() const override { return 0; }
+  Frame sample(Rng& rng) const override;
+
+ private:
+  UltrasoundOptions opts_;
+};
+
+}  // namespace flexcs::data

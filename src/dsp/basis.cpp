@@ -1,0 +1,94 @@
+#include "dsp/basis.hpp"
+
+#include "common/check.hpp"
+#include "dsp/dct.hpp"
+#include "dsp/wavelet.hpp"
+
+namespace flexcs::dsp {
+namespace {
+
+std::size_t haar_levels_for(std::size_t rows, std::size_t cols) {
+  const std::size_t lr = max_haar_levels(rows);
+  const std::size_t lc = max_haar_levels(cols);
+  const std::size_t levels = std::min(lr, lc);
+  FLEXCS_CHECK(levels >= 1, "Haar basis requires even dimensions");
+  return levels;
+}
+
+}  // namespace
+
+std::string to_string(BasisKind kind) {
+  switch (kind) {
+    case BasisKind::kDct2D: return "dct2d";
+    case BasisKind::kHaar2D: return "haar2d";
+  }
+  return "unknown";
+}
+
+la::Matrix synthesis_matrix(BasisKind kind, std::size_t rows,
+                            std::size_t cols) {
+  FLEXCS_CHECK(rows > 0 && cols > 0, "synthesis_matrix of empty grid");
+  const std::size_t n = rows * cols;
+
+  if (kind == BasisKind::kDct2D) {
+    // Ψ[(a·cols+b), (u·cols+v)] = Dr(u,a) · Dc(v,b): exactly Eq. 5 of the
+    // paper in the square case, built from the separable 1-D DCT matrices.
+    const la::Matrix dr = dct_matrix(rows);
+    const la::Matrix dc = dct_matrix(cols);
+    la::Matrix psi(n, n);
+    for (std::size_t a = 0; a < rows; ++a) {
+      for (std::size_t b = 0; b < cols; ++b) {
+        const std::size_t pix = a * cols + b;
+        for (std::size_t u = 0; u < rows; ++u) {
+          const double dru = dr(u, a);
+          for (std::size_t v = 0; v < cols; ++v) {
+            psi(pix, u * cols + v) = dru * dc(v, b);
+          }
+        }
+      }
+    }
+    return psi;
+  }
+
+  // Haar: apply the inverse transform to each unit coefficient impulse.
+  const std::size_t levels = haar_levels_for(rows, cols);
+  la::Matrix psi(n, n);
+  la::Matrix impulse(rows, cols, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    impulse.fill(0.0);
+    impulse(k / cols, k % cols) = 1.0;
+    const la::Matrix atom = ihaar2d(impulse, levels);
+    for (std::size_t p = 0; p < n; ++p)
+      psi(p, k) = atom(p / cols, p % cols);
+  }
+  return psi;
+}
+
+la::Matrix analysis_matrix(BasisKind kind, std::size_t rows,
+                           std::size_t cols) {
+  return synthesis_matrix(kind, rows, cols).transposed();
+}
+
+la::Matrix analyze(BasisKind kind, const la::Matrix& frame) {
+  switch (kind) {
+    case BasisKind::kDct2D:
+      return dct2d(frame);
+    case BasisKind::kHaar2D:
+      return haar2d(frame, haar_levels_for(frame.rows(), frame.cols()));
+  }
+  FLEXCS_CHECK(false, "unknown basis kind");
+  return {};
+}
+
+la::Matrix synthesize(BasisKind kind, const la::Matrix& coeffs) {
+  switch (kind) {
+    case BasisKind::kDct2D:
+      return idct2d(coeffs);
+    case BasisKind::kHaar2D:
+      return ihaar2d(coeffs, haar_levels_for(coeffs.rows(), coeffs.cols()));
+  }
+  FLEXCS_CHECK(false, "unknown basis kind");
+  return {};
+}
+
+}  // namespace flexcs::dsp

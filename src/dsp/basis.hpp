@@ -1,0 +1,36 @@
+// The paper's sparsifying-basis matrix Ψ (Eqs. 4–7), generalised to
+// rectangular arrays, for both DCT and Haar bases.
+//
+// Convention: a frame is a rows x cols matrix vectorised row-major into
+// y (N = rows*cols). Coefficients x live on the same grid vectorised
+// row-major. Ψ is the *synthesis* operator, y = Ψ · x (Eq. 3); since both
+// bases are orthonormal, the analysis operator is Ψ^T.
+#pragma once
+
+#include <string>
+
+#include "la/matrix.hpp"
+
+namespace flexcs::dsp {
+
+enum class BasisKind {
+  kDct2D,   // the paper's default (Eq. 4-7)
+  kHaar2D,  // ablation basis (requires dyadic dimensions)
+};
+
+std::string to_string(BasisKind kind);
+
+/// Dense N x N synthesis matrix Ψ with y = Ψ x. Columns are the vectorised
+/// inverse-transform of unit coefficient impulses, so Ψ is orthonormal.
+la::Matrix synthesis_matrix(BasisKind kind, std::size_t rows, std::size_t cols);
+
+/// Analysis matrix Ψ^T (x = Ψ^T y for orthonormal bases).
+la::Matrix analysis_matrix(BasisKind kind, std::size_t rows, std::size_t cols);
+
+/// Applies the analysis transform to a frame (no dense matrix needed).
+la::Matrix analyze(BasisKind kind, const la::Matrix& frame);
+
+/// Applies the synthesis transform to a coefficient grid.
+la::Matrix synthesize(BasisKind kind, const la::Matrix& coeffs);
+
+}  // namespace flexcs::dsp

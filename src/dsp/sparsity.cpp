@@ -1,0 +1,81 @@
+#include "dsp/sparsity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace flexcs::dsp {
+
+la::Vector sorted_abs_coefficients(const la::Matrix& coeffs) {
+  la::Vector out(coeffs.size());
+  for (std::size_t i = 0; i < coeffs.size(); ++i)
+    out[i] = std::fabs(coeffs.data()[i]);
+  std::sort(out.begin(), out.end(), std::greater<double>());
+  return out;
+}
+
+std::size_t significant_count(const la::Matrix& coeffs, double rel_threshold) {
+  FLEXCS_CHECK(rel_threshold >= 0.0, "rel_threshold must be non-negative");
+  double maxabs = 0.0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i)
+    maxabs = std::max(maxabs, std::fabs(coeffs.data()[i]));
+  if (maxabs == 0.0) return 0;
+  const double thr = rel_threshold * maxabs;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i)
+    if (std::fabs(coeffs.data()[i]) >= thr) ++count;
+  return count;
+}
+
+double significant_fraction(const la::Matrix& coeffs, double rel_threshold) {
+  FLEXCS_CHECK(!coeffs.empty(), "significant_fraction of empty matrix");
+  return static_cast<double>(significant_count(coeffs, rel_threshold)) /
+         static_cast<double>(coeffs.size());
+}
+
+la::Matrix best_k_approximation(const la::Matrix& coeffs, std::size_t k) {
+  if (k >= coeffs.size()) return coeffs;
+  // Find the magnitude of the k-th largest entry.
+  std::vector<double> mags(coeffs.size());
+  for (std::size_t i = 0; i < coeffs.size(); ++i)
+    mags[i] = std::fabs(coeffs.data()[i]);
+  std::vector<std::size_t> idx(coeffs.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                   idx.end(), [&mags](std::size_t a, std::size_t b) {
+                     return mags[a] > mags[b];
+                   });
+  la::Matrix out(coeffs.rows(), coeffs.cols(), 0.0);
+  for (std::size_t j = 0; j < k; ++j)
+    out.data()[idx[j]] = coeffs.data()[idx[j]];
+  return out;
+}
+
+double best_k_relative_error(const la::Matrix& coeffs, std::size_t k) {
+  const double total = coeffs.norm_fro();
+  if (total == 0.0) return 0.0;
+  const la::Matrix approx = best_k_approximation(coeffs, k);
+  la::Matrix resid = coeffs;
+  resid -= approx;
+  return resid.norm_fro() / total;
+}
+
+std::size_t k_for_energy(const la::Matrix& coeffs, double energy_fraction) {
+  FLEXCS_CHECK(energy_fraction > 0.0 && energy_fraction <= 1.0,
+               "energy_fraction must be in (0, 1]");
+  const la::Vector sorted = sorted_abs_coefficients(coeffs);
+  double total = 0.0;
+  for (double v : sorted) total += v * v;
+  if (total == 0.0) return 0;
+  const double target = energy_fraction * total;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    acc += sorted[k] * sorted[k];
+    if (acc >= target) return k + 1;
+  }
+  return sorted.size();
+}
+
+}  // namespace flexcs::dsp

@@ -1,0 +1,33 @@
+// Sparsity statistics used for Fig. 2 of the paper: sorted-coefficient decay
+// and the count of "significant" coefficients (>= rel_threshold * max).
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace flexcs::dsp {
+
+/// Absolute values of all entries, sorted descending.
+la::Vector sorted_abs_coefficients(const la::Matrix& coeffs);
+
+/// Number of entries with |c| >= rel_threshold * max|c| — the paper's
+/// "significant coefficient" count (threshold 1e-4 in Fig. 2b).
+std::size_t significant_count(const la::Matrix& coeffs,
+                              double rel_threshold = 1e-4);
+
+/// Fraction of significant coefficients, significant_count / N.
+double significant_fraction(const la::Matrix& coeffs,
+                            double rel_threshold = 1e-4);
+
+/// Best K-term approximation: keep the K largest-magnitude entries,
+/// zero the rest.
+la::Matrix best_k_approximation(const la::Matrix& coeffs, std::size_t k);
+
+/// Relative l2 error of the best-K approximation,
+/// ||c - c_K||_2 / ||c||_2 (0 when coeffs are all-zero).
+double best_k_relative_error(const la::Matrix& coeffs, std::size_t k);
+
+/// Smallest K whose best-K approximation captures `energy_fraction` of the
+/// total squared energy (e.g. 0.999).
+std::size_t k_for_energy(const la::Matrix& coeffs, double energy_fraction);
+
+}  // namespace flexcs::dsp

@@ -1,0 +1,137 @@
+#include "dsp/wavelet.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::dsp {
+namespace {
+
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+
+// Single analysis level on the first `len` entries: averages to the front
+// half, details to the back half.
+void haar_step(la::Vector& v, std::size_t len) {
+  la::Vector tmp(len);
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    tmp[i] = (v[2 * i] + v[2 * i + 1]) * kInvSqrt2;
+    tmp[half + i] = (v[2 * i] - v[2 * i + 1]) * kInvSqrt2;
+  }
+  for (std::size_t i = 0; i < len; ++i) v[i] = tmp[i];
+}
+
+void ihaar_step(la::Vector& v, std::size_t len) {
+  la::Vector tmp(len);
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    tmp[2 * i] = (v[i] + v[half + i]) * kInvSqrt2;
+    tmp[2 * i + 1] = (v[i] - v[half + i]) * kInvSqrt2;
+  }
+  for (std::size_t i = 0; i < len; ++i) v[i] = tmp[i];
+}
+
+void check_levels(std::size_t n, std::size_t levels) {
+  FLEXCS_CHECK(levels <= max_haar_levels(n),
+               "too many Haar levels for this length");
+}
+
+}  // namespace
+
+std::size_t max_haar_levels(std::size_t n) {
+  std::size_t levels = 0;
+  while (n > 1 && n % 2 == 0) {
+    n /= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+la::Vector haar1d(const la::Vector& x, std::size_t levels) {
+  check_levels(x.size(), levels);
+  la::Vector v = x;
+  std::size_t len = x.size();
+  for (std::size_t l = 0; l < levels; ++l) {
+    haar_step(v, len);
+    len /= 2;
+  }
+  return v;
+}
+
+la::Vector ihaar1d(const la::Vector& coeffs, std::size_t levels) {
+  check_levels(coeffs.size(), levels);
+  la::Vector v = coeffs;
+  std::size_t len = coeffs.size() >> levels;
+  for (std::size_t l = 0; l < levels; ++l) {
+    len *= 2;
+    ihaar_step(v, len);
+  }
+  return v;
+}
+
+la::Matrix haar2d(const la::Matrix& img, std::size_t levels) {
+  check_levels(img.rows(), levels);
+  check_levels(img.cols(), levels);
+  la::Matrix m = img;
+  std::size_t rlen = img.rows(), clen = img.cols();
+  for (std::size_t l = 0; l < levels; ++l) {
+    // Rows.
+    for (std::size_t r = 0; r < rlen; ++r) {
+      la::Vector row(clen);
+      for (std::size_t c = 0; c < clen; ++c) row[c] = m(r, c);
+      haar_step(row, clen);
+      for (std::size_t c = 0; c < clen; ++c) m(r, c) = row[c];
+    }
+    // Columns.
+    for (std::size_t c = 0; c < clen; ++c) {
+      la::Vector col(rlen);
+      for (std::size_t r = 0; r < rlen; ++r) col[r] = m(r, c);
+      haar_step(col, rlen);
+      for (std::size_t r = 0; r < rlen; ++r) m(r, c) = col[r];
+    }
+    rlen /= 2;
+    clen /= 2;
+  }
+  return m;
+}
+
+la::Matrix ihaar2d(const la::Matrix& coeffs, std::size_t levels) {
+  check_levels(coeffs.rows(), levels);
+  check_levels(coeffs.cols(), levels);
+  la::Matrix m = coeffs;
+  std::size_t rlen = coeffs.rows() >> levels;
+  std::size_t clen = coeffs.cols() >> levels;
+  for (std::size_t l = 0; l < levels; ++l) {
+    rlen *= 2;
+    clen *= 2;
+    // Undo columns first (inverse order of analysis).
+    for (std::size_t c = 0; c < clen; ++c) {
+      la::Vector col(rlen);
+      for (std::size_t r = 0; r < rlen; ++r) col[r] = m(r, c);
+      ihaar_step(col, rlen);
+      for (std::size_t r = 0; r < rlen; ++r) m(r, c) = col[r];
+    }
+    for (std::size_t r = 0; r < rlen; ++r) {
+      la::Vector row(clen);
+      for (std::size_t c = 0; c < clen; ++c) row[c] = m(r, c);
+      ihaar_step(row, clen);
+      for (std::size_t c = 0; c < clen; ++c) m(r, c) = row[c];
+    }
+  }
+  return m;
+}
+
+la::Matrix haar_matrix(std::size_t n, std::size_t levels) {
+  check_levels(n, levels);
+  la::Matrix h(n, n);
+  la::Vector e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e.fill(0.0);
+    e[c] = 1.0;
+    const la::Vector col = haar1d(e, levels);
+    h.set_col(c, col);
+  }
+  return h;
+}
+
+}  // namespace flexcs::dsp

@@ -1,0 +1,30 @@
+// Orthonormal Haar wavelet transform (1-D and separable 2-D, multi-level).
+//
+// The paper notes that other sparsifying bases (Fourier, wavelets) work as
+// well as the DCT; we provide Haar as the ablation basis.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace flexcs::dsp {
+
+/// Maximum number of Haar levels for a length (how often it divides by 2).
+std::size_t max_haar_levels(std::size_t n);
+
+/// 1-D orthonormal Haar analysis. `levels` must be <= max_haar_levels(n);
+/// n must be divisible by 2^levels.
+la::Vector haar1d(const la::Vector& x, std::size_t levels);
+
+/// Inverse of haar1d.
+la::Vector ihaar1d(const la::Vector& coeffs, std::size_t levels);
+
+/// Separable 2-D Haar: rows then columns at each level (square layout).
+la::Matrix haar2d(const la::Matrix& img, std::size_t levels);
+
+/// Inverse of haar2d.
+la::Matrix ihaar2d(const la::Matrix& coeffs, std::size_t levels);
+
+/// Dense n x n analysis matrix H with coeffs = H x (1-D, given levels).
+la::Matrix haar_matrix(std::size_t n, std::size_t levels);
+
+}  // namespace flexcs::dsp

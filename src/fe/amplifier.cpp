@@ -1,0 +1,111 @@
+#include "fe/amplifier.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+
+namespace {
+
+// A pseudo-CMOS inverter stage with analog sizing: the pull-down width sets
+// the small-signal gain (A ~ gm_pullup / gm_pulldown since the pull-down's
+// source is the output node).
+std::size_t add_gain_stage(Circuit& ckt, const CellLibrary& lib,
+                           const AmplifierSpec& spec, const std::string& in,
+                           const std::string& out, const std::string& prefix) {
+  const CellParams& cp = lib.params();
+  auto sized = [&](double w) {
+    TftParams p = cp.base;
+    p.w = w;
+    p.l = cp.l;
+    return p;
+  };
+  const std::string b = prefix + ".b";
+  ckt.add_tft(in, cp.vdd, b, sized(spec.w_input), prefix + ".M1");
+  ckt.add_tft(cp.vss, b, cp.vss, sized(spec.w_load), prefix + ".M2");
+  ckt.add_tft(in, cp.vdd, out, sized(spec.w_pullup), prefix + ".M3");
+  ckt.add_tft(b, out, cp.vss, sized(spec.w_pulldown), prefix + ".M4");
+  return 4;
+}
+
+}  // namespace
+
+std::size_t build_amplifier(Circuit& ckt, const CellLibrary& lib,
+                            const AmplifierSpec& spec) {
+  const CellParams& cp = lib.params();
+
+  ckt.add_vsource(cp.vdd, "0", Waveform::make_dc(spec.vdd), "Vdd");
+  ckt.add_vsource(cp.vss, "0", Waveform::make_dc(spec.vss), "Vss");
+  ckt.add_vsource("vtune", "0", Waveform::make_dc(spec.vtune), "Vtune");
+  ckt.add_vsource(
+      "vin", "0",
+      Waveform::make_sine(0.0, spec.input_amplitude, spec.input_freq), "Vin");
+
+  // AC coupling into the self-biased input node.
+  ckt.add_capacitor("vin", "amp_in", spec.c_in, "Cin");
+
+  // First stage: pseudo-CMOS inverter (M1-M4) from amp_in to s1.
+  std::size_t tfts = add_gain_stage(ckt, lib, spec, "amp_in", "s1", "a1");
+
+  // M9: feedback TFT in the linear region between the first-stage output
+  // and its input; with the gate at Vtune it self-biases the inverter at
+  // its switching threshold (the high-gain point) and sets the feedback
+  // resistance.
+  TftParams m9 = lib.params().base;
+  m9.w = spec.w_input;  // paper: M1, M5, M9 = 50 um
+  m9.l = lib.params().l;
+  ckt.add_tft("vtune", "s1", "amp_in", m9, "M9");
+  ++tfts;
+
+  // Second stage: common-source buffer (M5-M8).
+  tfts += add_gain_stage(ckt, lib, spec, "s1", "vout", "a2");
+
+  // Light capacitive load (probe/pad).
+  ckt.add_capacitor("vout", "0", 10e-12, "Cload");
+  return tfts;
+}
+
+AmplifierResult measure_amplifier(const AmplifierSpec& spec,
+                                  const CellLibrary& lib) {
+  FLEXCS_CHECK(spec.input_amplitude > 0 && spec.input_freq > 0,
+               "invalid amplifier stimulus");
+  Circuit ckt;
+  const std::size_t tfts = build_amplifier(ckt, lib, spec);
+
+  Simulator sim(ckt);
+  const double period = 1.0 / spec.input_freq;
+  // Long enough for the self-bias point to settle through Cin, then a few
+  // steady-state periods for the measurement window.
+  const double t_stop = 12.0 * period;
+  const double dt = period / 200.0;
+  const TransientResult tr = sim.transient(t_stop, dt);
+
+  AmplifierResult result;
+  result.tft_count = tfts;
+  result.converged = tr.converged;
+  if (!tr.converged) return result;
+
+  const SineFit out =
+      measure_sine(tr.trace(ckt.find_node("vout")), tr.time, spec.input_freq);
+  result.output_amplitude = out.amplitude;
+  result.output_dc = out.mean;
+  result.gain_db =
+      20.0 * std::log10(std::max(1e-12, out.amplitude) / spec.input_amplitude);
+  return result;
+}
+
+std::vector<std::pair<double, double>> amplifier_gain_sweep(
+    const AmplifierSpec& spec, const CellLibrary& lib,
+    const std::vector<double>& freqs) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(freqs.size());
+  for (double f : freqs) {
+    AmplifierSpec s = spec;
+    s.input_freq = f;
+    out.emplace_back(f, measure_amplifier(s, lib).gain_db);
+  }
+  return out;
+}
+
+}  // namespace flexcs::fe

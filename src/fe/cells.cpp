@@ -1,0 +1,118 @@
+#include "fe/cells.hpp"
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+
+CellLibrary::CellLibrary(CellParams params) : params_(params) {
+  FLEXCS_CHECK(params_.w_drive > 0 && params_.w_input > 0 &&
+                   params_.w_load > 0 && params_.w_pass > 0 && params_.l > 0,
+               "cell geometry must be positive");
+}
+
+TftParams CellLibrary::sized(double w) const {
+  TftParams p = params_.base;
+  p.w = w;
+  p.l = params_.l;
+  return p;
+}
+
+std::size_t CellLibrary::add_inverter(Circuit& ckt, const std::string& in,
+                                      const std::string& out,
+                                      const std::string& prefix) const {
+  const std::string b = prefix + ".b";  // internal inverted-input node
+  // Stage 1 (ratioed): M1 pulls b to VDD while `in` is low; M2 is a weak
+  // always-on load to VSS (gate tied to VSS), so b falls towards VSS when
+  // M1 turns off. b carries NOT(in) at shifted levels.
+  ckt.add_tft(in, params_.vdd, b, sized(params_.w_input), prefix + ".M1");
+  ckt.add_tft(params_.vss, b, params_.vss, sized(params_.w_load),
+              prefix + ".M2");
+  // Stage 2 (output): M3 pulls out to VDD while `in` is low; M4, gated by
+  // the inverted input b, pulls out low while `in` is high. Exactly one of
+  // them is strongly on in steady state — this is what restores the swing.
+  ckt.add_tft(in, params_.vdd, out, sized(params_.w_drive), prefix + ".M3");
+  ckt.add_tft(b, out, params_.vss, sized(params_.w_drive), prefix + ".M4");
+  return 4;
+}
+
+std::size_t CellLibrary::add_buffer(Circuit& ckt, const std::string& in,
+                                    const std::string& out,
+                                    const std::string& prefix) const {
+  const std::string mid = prefix + ".mid";
+  std::size_t n = add_inverter(ckt, in, mid, prefix + ".i0");
+  n += add_inverter(ckt, mid, out, prefix + ".i1");
+  return n;
+}
+
+std::size_t CellLibrary::add_nand2(Circuit& ckt, const std::string& a,
+                                   const std::string& b,
+                                   const std::string& out,
+                                   const std::string& prefix) const {
+  // First stage: inverted copies of both inputs (2 TFTs each).
+  const std::string na = prefix + ".na";
+  const std::string nb = prefix + ".nb";
+  ckt.add_tft(a, params_.vdd, na, sized(params_.w_input), prefix + ".M1a");
+  ckt.add_tft(params_.vss, na, params_.vss, sized(params_.w_load),
+              prefix + ".M2a");
+  ckt.add_tft(b, params_.vdd, nb, sized(params_.w_input), prefix + ".M1b");
+  ckt.add_tft(params_.vss, nb, params_.vss, sized(params_.w_load),
+              prefix + ".M2b");
+  // Output stage: parallel pull-ups (on when either input is low) and a
+  // series pull-down chain gated by the inverted inputs (on only when both
+  // inputs are high).
+  ckt.add_tft(a, params_.vdd, out, sized(params_.w_drive), prefix + ".M3a");
+  ckt.add_tft(b, params_.vdd, out, sized(params_.w_drive), prefix + ".M3b");
+  const std::string mid = prefix + ".pd";
+  ckt.add_tft(na, out, mid, sized(2.0 * params_.w_drive), prefix + ".M4a");
+  ckt.add_tft(nb, mid, params_.vss, sized(2.0 * params_.w_drive),
+              prefix + ".M4b");
+  return 8;
+}
+
+std::size_t CellLibrary::add_xor2(Circuit& ckt, const std::string& a,
+                                  const std::string& b, const std::string& out,
+                                  const std::string& prefix) const {
+  // Classic 4-NAND XOR: t = a NAND b; out = (a NAND t) NAND (b NAND t).
+  const std::string t = prefix + ".t";
+  const std::string u = prefix + ".u";
+  const std::string v = prefix + ".v";
+  std::size_t n = add_nand2(ckt, a, b, t, prefix + ".n0");
+  n += add_nand2(ckt, a, t, u, prefix + ".n1");
+  n += add_nand2(ckt, b, t, v, prefix + ".n2");
+  n += add_nand2(ckt, u, v, out, prefix + ".n3");
+  return n;
+}
+
+std::size_t CellLibrary::add_dlatch(Circuit& ckt, const std::string& d,
+                                    const std::string& en,
+                                    const std::string& q,
+                                    const std::string& prefix) const {
+  const std::string store = prefix + ".s";   // storage node
+  const std::string qb = prefix + ".qb";
+  // Pass transistor: transparent while en is low (p-type: on when vsg > 0).
+  ckt.add_tft(en, d, store, sized(params_.w_pass), prefix + ".MP");
+  // Storage-node hold capacitor (gate capacitance surrogate) keeps the
+  // dynamic value between clock phases.
+  ckt.add_capacitor(store, "0", 10e-12, prefix + ".Cs");
+  // Output inverters: qb = NOT store; q = NOT qb (restored).
+  std::size_t n = 1;
+  n += add_inverter(ckt, store, qb, prefix + ".i0");
+  n += add_inverter(ckt, qb, q, prefix + ".i1");
+  return n;
+}
+
+std::size_t CellLibrary::add_dff(Circuit& ckt, const std::string& d,
+                                 const std::string& clk,
+                                 const std::string& clk_n,
+                                 const std::string& q,
+                                 const std::string& prefix) const {
+  const std::string m = prefix + ".m";  // master output
+  // Master transparent while clk is low, slave transparent while clk is
+  // high (clk_n low): q updates on the rising edge of clk with the value
+  // the master captured at that edge.
+  std::size_t n = add_dlatch(ckt, d, clk, m, prefix + ".lm");
+  n += add_dlatch(ckt, m, clk_n, q, prefix + ".ls");
+  return n;
+}
+
+}  // namespace flexcs::fe

@@ -1,0 +1,81 @@
+// Pseudo-CMOS standard cells (Huang et al., DATE 2010 — the paper's Sec. 3.2
+// design style): logic built exclusively from p-type TFTs, since air-stable
+// n-type CNT TFTs are not available. Each gate is a two-stage structure —
+// a ratioed level-shifting first stage generating the inverted input, and a
+// full-swing output stage — powered from VDD and a negative tuning rail VSS.
+//
+// Cells are emitted into a Circuit with a caller-supplied instance prefix,
+// so larger blocks (shift registers, amplifiers) compose them freely.
+#pragma once
+
+#include <string>
+
+#include "fe/netlist.hpp"
+
+namespace flexcs::fe {
+
+struct CellParams {
+  // Rails (node names). VSS is the negative "Vss/Vtune" rail of the
+  // pseudo-CMOS style; logic swings between ~0 and VDD at the outputs.
+  std::string vdd = "vdd";
+  std::string vss = "vss";
+
+  // Device geometry, following the paper's Fig. 5 annotations
+  // (L = 10 um; small devices 50 um, large devices 150 um).
+  double l = 10e-6;
+  double w_drive = 150e-6;  // output-stage transistors
+  double w_input = 50e-6;   // first-stage input transistor
+  double w_load = 15e-6;    // ratioed loads (weak)
+  double w_pass = 50e-6;    // latch pass transistors
+
+  TftParams base;  // vth/kp/etc of the technology (w, l overridden per use)
+};
+
+/// Emits pseudo-CMOS cells into a circuit. All methods create internal nodes
+/// under `prefix` and return the number of TFTs added.
+class CellLibrary {
+ public:
+  explicit CellLibrary(CellParams params = {});
+
+  const CellParams& params() const { return params_; }
+
+  /// Four-TFT pseudo-CMOS inverter (pseudo-D): out = NOT in.
+  std::size_t add_inverter(Circuit& ckt, const std::string& in,
+                           const std::string& out,
+                           const std::string& prefix) const;
+
+  /// Two cascaded inverters: out = in with restored levels.
+  std::size_t add_buffer(Circuit& ckt, const std::string& in,
+                         const std::string& out,
+                         const std::string& prefix) const;
+
+  /// Eight-TFT pseudo-CMOS NAND2.
+  std::size_t add_nand2(Circuit& ckt, const std::string& a,
+                        const std::string& b, const std::string& out,
+                        const std::string& prefix) const;
+
+  /// XOR2 composed of four NAND2 cells (32 TFTs).
+  std::size_t add_xor2(Circuit& ckt, const std::string& a,
+                       const std::string& b, const std::string& out,
+                       const std::string& prefix) const;
+
+  /// Level-sensitive D latch: transparent while `en` is LOW (p-type pass
+  /// transistor), holding otherwise. `q` is the restored output.
+  std::size_t add_dlatch(Circuit& ckt, const std::string& d,
+                         const std::string& en, const std::string& q,
+                         const std::string& prefix) const;
+
+  /// Master-slave D flip-flop sampling `d` on the rising edge of clk
+  /// (clk and its complement clk_n are supplied externally, as in TFT
+  /// shift-register practice). `q` changes shortly after the edge.
+  std::size_t add_dff(Circuit& ckt, const std::string& d,
+                      const std::string& clk, const std::string& clk_n,
+                      const std::string& q, const std::string& prefix) const;
+
+ private:
+  TftParams sized(double w) const;
+
+  CellParams params_;
+};
+
+}  // namespace flexcs::fe

@@ -1,0 +1,129 @@
+#include "fe/digital.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+
+std::size_t LogicNetwork::signal(const std::string& name) {
+  FLEXCS_CHECK(!name.empty(), "signal name must be non-empty");
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const std::size_t id = names_.size();
+  ids_[name] = id;
+  names_.push_back(name);
+  return id;
+}
+
+std::size_t LogicNetwork::find_signal(const std::string& name) const {
+  auto it = ids_.find(name);
+  FLEXCS_CHECK(it != ids_.end(), "unknown signal: " + name);
+  return it->second;
+}
+
+const std::string& LogicNetwork::signal_name(std::size_t id) const {
+  FLEXCS_CHECK(id < names_.size(), "signal id out of range");
+  return names_[id];
+}
+
+void LogicNetwork::add_gate(GateKind kind,
+                            const std::vector<std::string>& inputs,
+                            const std::string& output, double delay) {
+  const std::size_t expected =
+      (kind == GateKind::kBuf || kind == GateKind::kInv) ? 1 : 2;
+  FLEXCS_CHECK(inputs.size() == expected, "wrong input arity for gate");
+  FLEXCS_CHECK(delay >= 0.0, "gate delay must be non-negative");
+  Gate g;
+  g.kind = kind;
+  for (const auto& in : inputs) g.inputs.push_back(signal(in));
+  g.output = signal(output);
+  g.delay = delay;
+  gates_.push_back(std::move(g));
+}
+
+void LogicNetwork::schedule_input(const std::string& name, double time,
+                                  bool value) {
+  FLEXCS_CHECK(time >= 0.0, "stimulus time must be non-negative");
+  pending_inputs_.push_back({time, signal(name), value, 0});
+}
+
+bool LogicNetwork::eval_gate(const Gate& g, const std::vector<bool>& values,
+                             const std::vector<bool>& dff_state,
+                             std::size_t gate_idx, bool clk_rising) const {
+  switch (g.kind) {
+    case GateKind::kBuf: return values[g.inputs[0]];
+    case GateKind::kInv: return !values[g.inputs[0]];
+    case GateKind::kNand2:
+      return !(values[g.inputs[0]] && values[g.inputs[1]]);
+    case GateKind::kAnd2:
+      return values[g.inputs[0]] && values[g.inputs[1]];
+    case GateKind::kOr2:
+      return values[g.inputs[0]] || values[g.inputs[1]];
+    case GateKind::kXor2:
+      return values[g.inputs[0]] != values[g.inputs[1]];
+    case GateKind::kDff:
+      // On a clock rising edge the DFF captures D; otherwise it holds.
+      return clk_rising ? values[g.inputs[0]] : dff_state[gate_idx];
+  }
+  return false;
+}
+
+std::vector<Transition> LogicNetwork::run(double t_stop) {
+  FLEXCS_CHECK(t_stop > 0.0, "t_stop must be positive");
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  std::size_t seq = 0;
+  for (const auto& e : pending_inputs_)
+    queue.push({e.time, e.signal, e.value, seq++});
+
+  std::vector<bool> values(names_.size(), false);
+  std::vector<bool> dff_state(gates_.size(), false);
+  std::vector<Transition> log;
+
+  // Map from signal -> gates that read it (combinational fan-out), and
+  // from clock signal -> DFFs it clocks.
+  std::vector<std::vector<std::size_t>> fanout(names_.size());
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+    const Gate& g = gates_[gi];
+    if (g.kind == GateKind::kDff) {
+      fanout[g.inputs[1]].push_back(gi);  // clock only; D sampled at edge
+    } else {
+      for (std::size_t in : g.inputs) fanout[in].push_back(gi);
+    }
+  }
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (ev.time > t_stop) break;
+    if (values[ev.signal] == ev.value) continue;  // no transition
+
+    const bool rising = ev.value && !values[ev.signal];
+    values[ev.signal] = ev.value;
+    log.push_back({ev.time, ev.signal, ev.value});
+
+    for (std::size_t gi : fanout[ev.signal]) {
+      const Gate& g = gates_[gi];
+      const bool is_dff = g.kind == GateKind::kDff;
+      if (is_dff && !(ev.signal == g.inputs[1] && rising))
+        continue;  // DFFs only react to their clock's rising edge
+      const bool out = eval_gate(g, values, dff_state, gi, rising);
+      if (is_dff) dff_state[gi] = out;
+      queue.push({ev.time + g.delay, g.output, out, seq++});
+    }
+  }
+  return log;
+}
+
+bool LogicNetwork::value_at(const std::vector<Transition>& transitions,
+                            std::size_t signal, double t) {
+  bool v = false;
+  for (const auto& tr : transitions) {
+    if (tr.time > t) break;
+    if (tr.signal == signal) v = tr.value;
+  }
+  return v;
+}
+
+}  // namespace flexcs::fe

@@ -1,0 +1,78 @@
+// Event-driven gate-level logic simulator. After characterising the
+// pseudo-CMOS cells electrically (propagation delay from the transistor-
+// level simulator), larger blocks like the 8-stage shift register are
+// simulated at gate level — the standard two-tier EDA flow of Sec. 3.3.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace flexcs::fe {
+
+enum class GateKind { kBuf, kInv, kNand2, kAnd2, kOr2, kXor2, kDff };
+
+struct Gate {
+  GateKind kind;
+  std::vector<std::size_t> inputs;  // signal ids (for kDff: {d, clk})
+  std::size_t output;
+  double delay;  // propagation delay (s)
+};
+
+/// A recorded signal transition.
+struct Transition {
+  double time;
+  std::size_t signal;
+  bool value;
+};
+
+/// Gate-level netlist + event-driven simulation.
+class LogicNetwork {
+ public:
+  /// Returns the id of a named signal, creating it if new.
+  std::size_t signal(const std::string& name);
+  std::size_t find_signal(const std::string& name) const;
+  std::size_t num_signals() const { return names_.size(); }
+  const std::string& signal_name(std::size_t id) const;
+
+  void add_gate(GateKind kind, const std::vector<std::string>& inputs,
+                const std::string& output, double delay);
+
+  std::size_t num_gates() const { return gates_.size(); }
+
+  /// External stimulus: drive `signal` to `value` at `time`.
+  void schedule_input(const std::string& name, double time, bool value);
+
+  /// Runs until `t_stop`; returns all transitions in time order (inputs and
+  /// gate outputs). Initial state of every signal is false.
+  std::vector<Transition> run(double t_stop);
+
+  /// Value of a signal at time t given a transition record.
+  static bool value_at(const std::vector<Transition>& transitions,
+                       std::size_t signal, double t);
+
+ private:
+  struct Event {
+    double time;
+    std::size_t signal;
+    bool value;
+    std::size_t seq;  // tie-break for determinism
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  bool eval_gate(const Gate& g, const std::vector<bool>& values,
+                 const std::vector<bool>& dff_state, std::size_t gate_idx,
+                 bool clk_rising) const;
+
+  std::map<std::string, std::size_t> ids_;
+  std::vector<std::string> names_;
+  std::vector<Gate> gates_;
+  std::vector<Event> pending_inputs_;
+};
+
+}  // namespace flexcs::fe

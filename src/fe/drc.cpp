@@ -1,0 +1,137 @@
+#include "fe/drc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+// Euclidean gap between two disjoint rectangles (0 if they touch/overlap).
+double rect_gap(const Rect& a, const Rect& b) {
+  const double dx = std::max({a.x0 - b.x1, b.x0 - a.x1, 0.0});
+  const double dy = std::max({a.y0 - b.y1, b.y0 - a.y1, 0.0});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+bool Rect::overlaps(const Rect& o) const {
+  return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+}
+
+bool Rect::encloses(const Rect& inner, double margin) const {
+  return x0 <= inner.x0 - margin && x1 >= inner.x1 + margin &&
+         y0 <= inner.y0 - margin && y1 >= inner.y1 + margin;
+}
+
+void Layout::add(const std::string& layer, double x0, double y0, double x1,
+                 double y1) {
+  FLEXCS_CHECK(x1 > x0 && y1 > y0, "degenerate rectangle");
+  rects.push_back({layer, x0, y0, x1, y1});
+}
+
+std::vector<std::size_t> Layout::on_layer(const std::string& layer) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < rects.size(); ++i)
+    if (rects[i].layer == layer) out.push_back(i);
+  return out;
+}
+
+DrcRules cnt_process_rules() {
+  DrcRules r;
+  r.widths = {{"metal", 5.0}, {"gate", 8.0}, {"cnt", 10.0}, {"via", 4.0}};
+  r.spacings = {{"metal", 5.0}, {"gate", 10.0}, {"cnt", 8.0}};
+  // Metal must enclose contact vias. (Gate/active overlap is a crossing
+  // relationship, not an enclosure, so it is not expressible as a rule of
+  // this checker.)
+  r.enclosures = {{"metal", "via", 1.0}};
+  return r;
+}
+
+std::vector<DrcViolation> run_drc(const Layout& layout,
+                                  const DrcRules& rules) {
+  std::vector<DrcViolation> violations;
+
+  for (const auto& rule : rules.widths) {
+    for (std::size_t i : layout.on_layer(rule.layer)) {
+      const Rect& r = layout.rects[i];
+      const double w = std::min(r.width(), r.height());
+      if (w < rule.min_width) {
+        violations.push_back(
+            {"width:" + rule.layer, i, i, w, rule.min_width,
+             strformat("shape %zu width %.2f < %.2f", i, w, rule.min_width)});
+      }
+    }
+  }
+
+  for (const auto& rule : rules.spacings) {
+    const auto idx = layout.on_layer(rule.layer);
+    for (std::size_t a = 0; a < idx.size(); ++a) {
+      for (std::size_t b = a + 1; b < idx.size(); ++b) {
+        const Rect& ra = layout.rects[idx[a]];
+        const Rect& rb = layout.rects[idx[b]];
+        if (ra.overlaps(rb)) continue;  // same net assumed; no spacing check
+        const double gap = rect_gap(ra, rb);
+        if (gap < rule.min_spacing && gap > 0.0) {
+          violations.push_back({"spacing:" + rule.layer, idx[a], idx[b], gap,
+                                rule.min_spacing,
+                                strformat("shapes %zu/%zu gap %.2f < %.2f",
+                                          idx[a], idx[b], gap,
+                                          rule.min_spacing)});
+        }
+      }
+    }
+  }
+
+  for (const auto& rule : rules.enclosures) {
+    const auto outer = layout.on_layer(rule.outer_layer);
+    for (std::size_t i : layout.on_layer(rule.inner_layer)) {
+      const Rect& inner = layout.rects[i];
+      const bool ok = std::any_of(outer.begin(), outer.end(),
+                                  [&](std::size_t o) {
+                                    return layout.rects[o].encloses(
+                                        inner, rule.margin);
+                                  });
+      if (!ok) {
+        violations.push_back(
+            {"enclosure:" + rule.outer_layer + "/" + rule.inner_layer, i, i,
+             0.0, rule.margin,
+             strformat("%s shape %zu not enclosed by %s with margin %.2f",
+                       rule.inner_layer.c_str(), i, rule.outer_layer.c_str(),
+                       rule.margin)});
+      }
+    }
+  }
+  return violations;
+}
+
+Layout pseudo_cmos_inverter_layout(double channel_l_um, double w_drive_um) {
+  FLEXCS_CHECK(channel_l_um > 0 && w_drive_um > 0, "invalid cell geometry");
+  Layout lay;
+  const double l = channel_l_um;
+  const double w = w_drive_um;
+  // Four transistor sites in a row; each site: CNT active strip, gate strip
+  // crossing it, source/drain metal on both sides, one via per terminal.
+  double x = 0.0;
+  for (int site = 0; site < 4; ++site) {
+    const double ax0 = x, ax1 = x + l + 24.0;
+    // CNT active (oversized so it encloses the gate by >= 2 um).
+    lay.add("cnt", ax0, 0.0, ax1, w);
+    // Gate crossing vertically, centred in the site.
+    const double gx0 = x + 12.0 - l * 0.0;
+    lay.add("gate", gx0, -6.0, gx0 + l, w + 6.0);
+    // Source/drain metal.
+    lay.add("metal", ax0 + 2.0, 10.0, gx0 - 1.0, w - 10.0);
+    lay.add("metal", gx0 + l + 1.0, 10.0, ax1 - 2.0, w - 10.0);
+    // Contact vias inside the metal.
+    lay.add("via", ax0 + 4.0, w / 2 - 2.0, ax0 + 8.0, w / 2 + 2.0);
+    lay.add("via", ax1 - 8.0, w / 2 - 2.0, ax1 - 4.0, w / 2 + 2.0);
+    x = ax1 + 12.0;  // site pitch leaves >= min spacing between CNT islands
+  }
+  return lay;
+}
+
+}  // namespace flexcs::fe

@@ -1,0 +1,74 @@
+// Minimal design-rule checker over rectangle layouts — the "customized
+// physical verification scripts" of Sec. 3.3, adapted to the CNT process:
+// minimum width, minimum same-layer spacing, and layer-pair enclosure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexcs::fe {
+
+struct Rect {
+  std::string layer;
+  double x0, y0, x1, y1;  // x0 < x1, y0 < y1 (microns)
+
+  double width() const { return x1 - x0; }
+  double height() const { return y1 - y0; }
+  bool overlaps(const Rect& o) const;
+  /// True if this rect covers `inner` expanded by `margin` on every side.
+  bool encloses(const Rect& inner, double margin) const;
+};
+
+struct Layout {
+  std::vector<Rect> rects;
+
+  void add(const std::string& layer, double x0, double y0, double x1,
+           double y1);
+  std::vector<std::size_t> on_layer(const std::string& layer) const;
+};
+
+struct WidthRule {
+  std::string layer;
+  double min_width;  // applies to both dimensions
+};
+
+struct SpacingRule {
+  std::string layer;
+  double min_spacing;  // between disjoint shapes on the layer
+};
+
+struct EnclosureRule {
+  std::string outer_layer;
+  std::string inner_layer;
+  double margin;  // every inner shape must be enclosed by some outer shape
+};
+
+struct DrcRules {
+  std::vector<WidthRule> widths;
+  std::vector<SpacingRule> spacings;
+  std::vector<EnclosureRule> enclosures;
+};
+
+/// The CNT-TFT process rules used by the library's cells (illustrative
+/// numbers consistent with the 10-25 um channel lengths of the paper).
+DrcRules cnt_process_rules();
+
+struct DrcViolation {
+  std::string rule;       // e.g. "width:metal1"
+  std::size_t rect_a;     // index into layout.rects
+  std::size_t rect_b;     // second rect for spacing; == rect_a otherwise
+  double measured;
+  double required;
+  std::string message;
+};
+
+/// Runs all rules; returns every violation found (empty = clean).
+std::vector<DrcViolation> run_drc(const Layout& layout, const DrcRules& rules);
+
+/// Generates the layout of a pseudo-CMOS inverter footprint (4 gates,
+/// metal routing, CNT active areas) — used to exercise the checker on a
+/// realistic cell and in the examples.
+Layout pseudo_cmos_inverter_layout(double channel_l_um = 10.0,
+                                   double w_drive_um = 150.0);
+
+}  // namespace flexcs::fe

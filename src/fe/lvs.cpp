@@ -1,0 +1,162 @@
+#include "fe/lvs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+// Buckets a positive parameter on a log grid with the given tolerance.
+std::uint64_t bucket(double value, double rel_tol) {
+  if (value <= 0.0) return 0;
+  const double step = std::log1p(rel_tol);
+  return static_cast<std::uint64_t>(
+      std::llround(std::log(value) / step));
+}
+
+struct Graph {
+  // Per-node and per-device labels refined in alternating rounds.
+  std::vector<std::uint64_t> node_labels;
+  // Each device: a static type/param hash and terminal node ids with
+  // per-terminal role tags.
+  struct Device {
+    std::uint64_t base;
+    std::vector<std::pair<int, NodeId>> terminals;  // (role, node)
+    bool symmetric_pair = false;  // roles of first two terminals swappable
+  };
+  std::vector<Device> devices;
+};
+
+Graph build_graph(const Circuit& c, double tol) {
+  Graph g;
+  g.node_labels.assign(c.num_nodes(), 1);
+  g.node_labels[kGround] = 0xABCD;  // ground is distinguishable
+
+  for (const auto& r : c.resistors()) {
+    Graph::Device d;
+    d.base = hash_mix(0x1111, bucket(r.ohms, tol));
+    d.terminals = {{0, r.a}, {0, r.b}};  // resistors are symmetric
+    d.symmetric_pair = true;
+    g.devices.push_back(std::move(d));
+  }
+  for (const auto& cp : c.capacitors()) {
+    Graph::Device d;
+    d.base = hash_mix(0x2222, bucket(cp.farads, tol));
+    d.terminals = {{0, cp.a}, {0, cp.b}};
+    d.symmetric_pair = true;
+    g.devices.push_back(std::move(d));
+  }
+  for (const auto& v : c.vsources()) {
+    Graph::Device d;
+    d.base = hash_mix(0x3333, bucket(std::fabs(v.wave.dc) + 1.0, tol));
+    d.terminals = {{1, v.pos}, {2, v.neg}};
+    g.devices.push_back(std::move(d));
+  }
+  for (const auto& t : c.tfts()) {
+    Graph::Device d;
+    d.base = hash_mix(hash_mix(0x4444, bucket(t.params.w, tol)),
+                      bucket(t.params.l, tol));
+    d.terminals = {{3, t.gate}, {4, t.source}, {5, t.drain}};
+    g.devices.push_back(std::move(d));
+  }
+  return g;
+}
+
+// One refinement round: device labels from node labels, then node labels
+// from incident device labels.
+std::vector<std::uint64_t> refine(Graph& g, int rounds) {
+  std::vector<std::uint64_t> dev_labels(g.devices.size());
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < g.devices.size(); ++i) {
+      const auto& d = g.devices[i];
+      std::uint64_t h = d.base;
+      if (d.symmetric_pair && d.terminals.size() == 2) {
+        // Order-independent combine for symmetric two-terminal devices.
+        const std::uint64_t a = g.node_labels[d.terminals[0].second];
+        const std::uint64_t b = g.node_labels[d.terminals[1].second];
+        h = hash_mix(h, std::min(a, b));
+        h = hash_mix(h, std::max(a, b));
+      } else {
+        for (const auto& [role, node] : d.terminals) {
+          h = hash_mix(h, static_cast<std::uint64_t>(role));
+          h = hash_mix(h, g.node_labels[node]);
+        }
+      }
+      dev_labels[i] = h;
+    }
+    // Node labels: sorted multiset of (device label, terminal role).
+    std::vector<std::vector<std::uint64_t>> incident(g.node_labels.size());
+    for (std::size_t i = 0; i < g.devices.size(); ++i) {
+      for (const auto& [role, node] : g.devices[i].terminals) {
+        incident[node].push_back(
+            hash_mix(dev_labels[i], static_cast<std::uint64_t>(role + 101)));
+      }
+    }
+    for (std::size_t n = 0; n < g.node_labels.size(); ++n) {
+      std::sort(incident[n].begin(), incident[n].end());
+      std::uint64_t h = hash_mix(g.node_labels[n], 0x5555);
+      for (std::uint64_t v : incident[n]) h = hash_mix(h, v);
+      g.node_labels[n] = h;
+    }
+  }
+  return dev_labels;
+}
+
+}  // namespace
+
+LvsResult compare_netlists(const Circuit& a, const Circuit& b,
+                           const LvsOptions& opts) {
+  LvsResult result;
+
+  result.device_counts_match =
+      a.resistors().size() == b.resistors().size() &&
+      a.capacitors().size() == b.capacitors().size() &&
+      a.vsources().size() == b.vsources().size() &&
+      a.tfts().size() == b.tfts().size();
+  if (!result.device_counts_match) {
+    result.mismatches.push_back(strformat(
+        "device counts differ: R %zu/%zu, C %zu/%zu, V %zu/%zu, M %zu/%zu",
+        a.resistors().size(), b.resistors().size(), a.capacitors().size(),
+        b.capacitors().size(), a.vsources().size(), b.vsources().size(),
+        a.tfts().size(), b.tfts().size()));
+  }
+
+  result.node_count_match = a.num_nodes() == b.num_nodes();
+  if (!result.node_count_match) {
+    result.mismatches.push_back(strformat("node counts differ: %zu vs %zu",
+                                          a.num_nodes(), b.num_nodes()));
+  }
+  if (!result.device_counts_match || !result.node_count_match) return result;
+
+  Graph ga = build_graph(a, opts.param_rel_tol);
+  Graph gb = build_graph(b, opts.param_rel_tol);
+  std::vector<std::uint64_t> da = refine(ga, opts.refinement_rounds);
+  std::vector<std::uint64_t> db = refine(gb, opts.refinement_rounds);
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  std::vector<std::uint64_t> na = ga.node_labels, nb = gb.node_labels;
+  std::sort(na.begin(), na.end());
+  std::sort(nb.begin(), nb.end());
+
+  std::size_t dev_mismatch = 0;
+  for (std::size_t i = 0; i < da.size(); ++i)
+    if (da[i] != db[i]) ++dev_mismatch;
+  if (dev_mismatch > 0) {
+    result.mismatches.push_back(
+        strformat("%zu device signatures differ", dev_mismatch));
+  }
+  if (na != nb) result.mismatches.push_back("node signatures differ");
+
+  result.equivalent = result.mismatches.empty();
+  return result;
+}
+
+}  // namespace flexcs::fe

@@ -1,0 +1,34 @@
+// Layout-versus-schematic style netlist comparison (Sec. 3.3): checks that
+// two Circuit netlists are structurally equivalent up to node renaming,
+// using iterative neighbourhood-refinement hashing (a Weisfeiler-Leman
+// style canonical signature).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fe/netlist.hpp"
+
+namespace flexcs::fe {
+
+struct LvsResult {
+  bool equivalent = false;
+  // First-level diagnostics when not equivalent:
+  bool device_counts_match = false;
+  bool node_count_match = false;
+  std::vector<std::string> mismatches;  // human-readable findings
+};
+
+struct LvsOptions {
+  int refinement_rounds = 8;
+  // Device parameters are bucketed to this relative tolerance before
+  // hashing (1 % default), so e.g. extracted vs drawn W/L may differ
+  // slightly without flagging.
+  double param_rel_tol = 0.01;
+};
+
+/// Compares two netlists for structural equivalence.
+LvsResult compare_netlists(const Circuit& a, const Circuit& b,
+                           const LvsOptions& opts = {});
+
+}  // namespace flexcs::fe

@@ -1,0 +1,129 @@
+#include "fe/netlist.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace flexcs::fe {
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+double Waveform::value(double t) const {
+  switch (kind) {
+    case Kind::kDc:
+      return dc;
+    case Kind::kPulse: {
+      if (t < t_delay) return v0;
+      const double tp = std::fmod(t - t_delay, period);
+      // Linear rise/fall edges of duration t_rise.
+      if (tp < t_rise) return v0 + (v1 - v0) * tp / t_rise;
+      if (tp < width) return v1;
+      if (tp < width + t_rise)
+        return v1 + (v0 - v1) * (tp - width) / t_rise;
+      return v0;
+    }
+    case Kind::kSine:
+      return dc + amplitude * std::sin(kTwoPi * freq * t);
+  }
+  return 0.0;
+}
+
+Waveform Waveform::make_dc(double v) {
+  Waveform w;
+  w.kind = Kind::kDc;
+  w.dc = v;
+  return w;
+}
+
+Waveform Waveform::make_pulse(double v0, double v1, double delay,
+                              double width, double period, double rise) {
+  FLEXCS_CHECK(width > 0 && period > width, "pulse needs 0 < width < period");
+  FLEXCS_CHECK(rise > 0 && rise < width, "pulse needs 0 < rise < width");
+  Waveform w;
+  w.kind = Kind::kPulse;
+  w.v0 = v0;
+  w.v1 = v1;
+  w.t_delay = delay;
+  w.width = width;
+  w.period = period;
+  w.t_rise = rise;
+  return w;
+}
+
+Waveform Waveform::make_sine(double dc, double amplitude, double freq) {
+  FLEXCS_CHECK(freq > 0, "sine frequency must be positive");
+  Waveform w;
+  w.kind = Kind::kSine;
+  w.dc = dc;
+  w.amplitude = amplitude;
+  w.freq = freq;
+  return w;
+}
+
+Circuit::Circuit() {
+  node_ids_["0"] = kGround;
+  node_ids_["gnd"] = kGround;
+  node_names_.push_back("0");
+}
+
+NodeId Circuit::node(const std::string& name) {
+  FLEXCS_CHECK(!name.empty(), "node name must be non-empty");
+  auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = node_names_.size();
+  node_ids_[name] = id;
+  node_names_.push_back(name);
+  return id;
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  auto it = node_ids_.find(name);
+  FLEXCS_CHECK(it != node_ids_.end(), "unknown node: " + name);
+  return it->second;
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return node_ids_.count(name) > 0;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  FLEXCS_CHECK(id < node_names_.size(), "node id out of range");
+  return node_names_[id];
+}
+
+void Circuit::add_resistor(const std::string& a, const std::string& b,
+                           double ohms, std::string name) {
+  FLEXCS_CHECK(ohms > 0, "resistance must be positive");
+  if (name.empty()) name = strformat("R%zu", resistors_.size());
+  resistors_.push_back({node(a), node(b), ohms, std::move(name)});
+}
+
+void Circuit::add_capacitor(const std::string& a, const std::string& b,
+                            double farads, std::string name) {
+  FLEXCS_CHECK(farads > 0, "capacitance must be positive");
+  if (name.empty()) name = strformat("C%zu", capacitors_.size());
+  capacitors_.push_back({node(a), node(b), farads, std::move(name)});
+}
+
+void Circuit::add_vsource(const std::string& pos, const std::string& neg,
+                          Waveform wave, std::string name) {
+  if (name.empty()) name = strformat("V%zu", vsources_.size());
+  vsources_.push_back({node(pos), node(neg), wave, std::move(name)});
+}
+
+void Circuit::add_tft(const std::string& gate, const std::string& source,
+                      const std::string& drain, const TftParams& params,
+                      std::string name) {
+  if (name.empty()) name = strformat("M%zu", tfts_.size());
+  tfts_.push_back({node(gate), node(source), node(drain), params,
+                   std::move(name)});
+}
+
+std::size_t Circuit::device_count() const {
+  return resistors_.size() + capacitors_.size() + vsources_.size() +
+         tfts_.size();
+}
+
+}  // namespace flexcs::fe

@@ -1,0 +1,106 @@
+// Circuit netlist representation for the FE substrate: named nodes and a
+// small device set (R, C, V-source, p-type CNT TFT) sufficient for the
+// paper's encoder circuits (active matrix, shift register, amplifier).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fe/tft.hpp"
+
+namespace flexcs::fe {
+
+using NodeId = std::size_t;
+constexpr NodeId kGround = 0;
+
+/// Source waveform: value(t) = dc                     (kDc)
+///                  pulse train between v0/v1         (kPulse)
+///                  dc + amplitude sin(2 pi f t)      (kSine)
+struct Waveform {
+  enum class Kind { kDc, kPulse, kSine } kind = Kind::kDc;
+  double dc = 0.0;
+  // Pulse: v0 before t_delay, then alternate v1/v0 with the given widths.
+  double v0 = 0.0, v1 = 0.0;
+  double t_delay = 0.0, t_rise = 1e-9;
+  double width = 1e-3, period = 2e-3;
+  // Sine:
+  double amplitude = 0.0, freq = 1e3;
+
+  double value(double t) const;
+
+  static Waveform make_dc(double v);
+  static Waveform make_pulse(double v0, double v1, double delay, double width,
+                             double period, double rise = 1e-9);
+  static Waveform make_sine(double dc, double amplitude, double freq);
+};
+
+struct Resistor {
+  NodeId a, b;
+  double ohms;
+  std::string name;
+};
+
+struct Capacitor {
+  NodeId a, b;
+  double farads;
+  std::string name;
+};
+
+struct VSource {
+  NodeId pos, neg;
+  Waveform wave;
+  std::string name;
+};
+
+struct TftInstance {
+  NodeId gate, source, drain;
+  TftParams params;
+  std::string name;
+};
+
+/// A flat circuit. Node 0 is ground. Nodes are created on demand by name.
+class Circuit {
+ public:
+  Circuit();
+
+  /// Returns the id for a node name, creating it if new. "0" and "gnd" map
+  /// to ground.
+  NodeId node(const std::string& name);
+
+  /// Looks up an existing node; throws if unknown.
+  NodeId find_node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
+
+  std::size_t num_nodes() const { return node_names_.size(); }
+  const std::string& node_name(NodeId id) const;
+
+  void add_resistor(const std::string& a, const std::string& b, double ohms,
+                    std::string name = {});
+  void add_capacitor(const std::string& a, const std::string& b,
+                     double farads, std::string name = {});
+  void add_vsource(const std::string& pos, const std::string& neg,
+                   Waveform wave, std::string name = {});
+  void add_tft(const std::string& gate, const std::string& source,
+               const std::string& drain, const TftParams& params,
+               std::string name = {});
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<TftInstance>& tfts() const { return tfts_; }
+
+  /// Total device count (used by yield estimation and LVS).
+  std::size_t device_count() const;
+
+ private:
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<std::string> node_names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<TftInstance> tfts_;
+};
+
+}  // namespace flexcs::fe

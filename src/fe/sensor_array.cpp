@@ -1,0 +1,151 @@
+#include "fe/sensor_array.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+
+double PtSensor::resistance(double temp_c) const {
+  const double r = r0 * (1.0 + alpha * (temp_c - t0));
+  return std::max(1.0, r);  // physical floor
+}
+
+SensorArraySim::SensorArraySim(SensorArrayOptions opts)
+    : opts_(std::move(opts)), access_(opts_.access_tft) {
+  FLEXCS_CHECK(opts_.rows > 0 && opts_.cols > 0, "empty sensor array");
+  FLEXCS_CHECK(opts_.temp_max > opts_.temp_min, "invalid temperature range");
+  FLEXCS_CHECK(opts_.vwl > 0, "VWL must be positive");
+
+  // Build the calibration table once: current at 256 normalised levels.
+  const std::size_t levels = 256;
+  calib_u_.resize(levels);
+  calib_i_.resize(levels);
+  for (std::size_t i = 0; i < levels; ++i) {
+    const double u =
+        static_cast<double>(i) / static_cast<double>(levels - 1);
+    calib_u_[i] = u;
+    const double temp =
+        opts_.temp_min + u * (opts_.temp_max - opts_.temp_min);
+    calib_i_[i] = solve_pixel_current(opts_.sensor.resistance(temp));
+  }
+  // Pt resistance grows with T, so current falls with u: calib_i_ is
+  // monotone decreasing, which current_to_value relies on.
+  for (std::size_t i = 1; i < levels; ++i)
+    FLEXCS_CHECK(calib_i_[i] < calib_i_[i - 1],
+                 "pixel current must be monotone in temperature");
+}
+
+double SensorArraySim::solve_pixel_current(double r_sensor) const {
+  // Series stack: VWL -- sensor -- (vx) -- access TFT -- 0 V, word line
+  // gate at 0 V (low-enabled). Solve for the mid node by bisection on
+  //   (VWL - vx)/R == I_tft(vg=0, vs=vx, vd=0).
+  double lo = 0.0, hi = opts_.vwl;
+  for (int it = 0; it < 60; ++it) {
+    const double vx = 0.5 * (lo + hi);
+    const double i_res = (opts_.vwl - vx) / r_sensor;
+    const double i_tft = access_.channel_current(0.0, vx, 0.0);
+    // i_res decreases with vx; i_tft increases with vx.
+    if (i_tft < i_res)
+      lo = vx;
+    else
+      hi = vx;
+  }
+  const double vx = 0.5 * (lo + hi);
+  return (opts_.vwl - vx) / r_sensor;
+}
+
+double SensorArraySim::pixel_current(double u) const {
+  const double temp =
+      opts_.temp_min + std::clamp(u, 0.0, 1.0) * (opts_.temp_max - opts_.temp_min);
+  return solve_pixel_current(opts_.sensor.resistance(temp));
+}
+
+double SensorArraySim::current_to_value(double current) const {
+  // calib_i_ is decreasing in u: binary search for the bracketing segment,
+  // then interpolate linearly.
+  if (current >= calib_i_.front()) return 0.0;
+  if (current <= calib_i_.back()) return 1.0;
+  std::size_t lo = 0, hi = calib_i_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (calib_i_[mid] > current)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double span = calib_i_[hi] - calib_i_[lo];
+  const double t = span != 0.0 ? (current - calib_i_[lo]) / span : 0.0;
+  return std::clamp(calib_u_[lo] + t * (calib_u_[hi] - calib_u_[lo]), 0.0,
+                    1.0);
+}
+
+void SensorArraySim::set_faults(std::vector<PixelFault> faults) {
+  FLEXCS_CHECK(faults.empty() || faults.size() == opts_.rows * opts_.cols,
+               "fault map size mismatch");
+  faults_ = std::move(faults);
+}
+
+la::Vector SensorArraySim::read_frame(const la::Matrix& frame,
+                                      const cs::ScanSchedule& schedule,
+                                      Rng& rng) const {
+  FLEXCS_CHECK(frame.rows() == opts_.rows && frame.cols() == opts_.cols,
+               "frame shape mismatch");
+  FLEXCS_CHECK(schedule.cycles.size() == opts_.cols,
+               "schedule/array mismatch");
+
+  std::vector<std::pair<std::size_t, double>> reads;
+  for (const auto& cyc : schedule.cycles) {
+    for (std::size_t r = 0; r < opts_.rows; ++r) {
+      if (!cyc.row_select[r]) continue;
+      const std::size_t idx = r * opts_.cols + cyc.column;
+      double current = 0.0;
+      const PixelFault fault =
+          faults_.empty() ? PixelFault::kNone : faults_[idx];
+      switch (fault) {
+        case PixelFault::kNone:
+          current = pixel_current(frame.data()[idx]);
+          break;
+        case PixelFault::kTftStuckOff:
+          current = 1e-12;  // leakage only
+          break;
+        case PixelFault::kSensorShort:
+          // Only the TFT limits the current: sensor resistance ~ 0.
+          current = solve_pixel_current(1.0);
+          break;
+      }
+      if (opts_.read_noise > 0.0)
+        current *= 1.0 + opts_.read_noise * rng.normal();
+      reads.emplace_back(idx, current_to_value(current));
+    }
+  }
+  std::sort(reads.begin(), reads.end());
+  la::Vector out(reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) out[i] = reads[i].second;
+  return out;
+}
+
+la::Matrix SensorArraySim::read_full_frame(const la::Matrix& frame,
+                                           Rng& rng) const {
+  cs::SamplingPattern all;
+  all.rows = opts_.rows;
+  all.cols = opts_.cols;
+  all.indices.resize(opts_.rows * opts_.cols);
+  for (std::size_t i = 0; i < all.indices.size(); ++i) all.indices[i] = i;
+  const la::Vector v = read_frame(frame, cs::make_scan_schedule(all), rng);
+  return la::Matrix::from_flat(v, opts_.rows, opts_.cols);
+}
+
+std::vector<PixelFault> faults_from_defect_mask(const std::vector<bool>& mask,
+                                                Rng& rng) {
+  std::vector<PixelFault> faults(mask.size(), PixelFault::kNone);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (!mask[i]) continue;
+    faults[i] = rng.bernoulli(0.5) ? PixelFault::kTftStuckOff
+                                   : PixelFault::kSensorShort;
+  }
+  return faults;
+}
+
+}  // namespace flexcs::fe

@@ -1,0 +1,90 @@
+// Electrical model of the active-matrix temperature sensor array (Fig. 4 /
+// Fig. 5b): each pixel is a platinum resistive temperature sensor in series
+// with a p-type access TFT (W/L = 500/25 um) biased in the linear region;
+// VWL = 1 V, VBL = 0 V. The scan controller reads the pixels selected by the
+// sampling schedule, one column per cycle — this is the hardware realisation
+// of the behavioural cs::Encoder.
+#pragma once
+
+#include <vector>
+
+#include "cs/sampling.hpp"
+#include "fe/tft.hpp"
+#include "la/matrix.hpp"
+
+namespace flexcs::fe {
+
+/// Platinum RTD: R(T) = r0 (1 + alpha (T - t0)).
+struct PtSensor {
+  double r0 = 10e3;      // resistance at t0 (ohm)
+  double alpha = 3.85e-3;  // Pt TCR (1/K)
+  double t0 = 25.0;      // reference temperature (C)
+
+  double resistance(double temp_c) const;
+};
+
+enum class PixelFault {
+  kNone,
+  kTftStuckOff,   // access TFT open: reads (almost) zero current
+  kSensorShort,   // sensor shorted: reads maximum current
+};
+
+struct SensorArrayOptions {
+  std::size_t rows = 32;
+  std::size_t cols = 32;
+  double vwl = 1.0;              // word-line (sensor) supply
+  double temp_min = 25.0;        // frame value 0 maps to this temperature
+  double temp_max = 40.0;        // frame value 1 maps to this
+  double read_noise = 0.0;       // relative current noise per read
+  PtSensor sensor;
+  // Access TFT per Fig. 5b: W/L = 500/25 um, biased in the linear region.
+  TftParams access_tft{.w = 500e-6, .l = 25e-6};
+};
+
+/// Simulates per-pixel readout currents and converts them back to
+/// normalised values through its own calibration table (built once from the
+/// golden pixel model, as production test would).
+class SensorArraySim {
+ public:
+  explicit SensorArraySim(SensorArrayOptions opts = {});
+
+  const SensorArrayOptions& options() const { return opts_; }
+
+  /// Readout current of a pixel holding normalised value u (fault-free).
+  double pixel_current(double u) const;
+
+  /// Inverts a measured current back to a normalised value via the
+  /// calibration table (clamped to [0, 1]).
+  double current_to_value(double current) const;
+
+  /// Sets a per-pixel fault map (row-major, size rows*cols). Empty = none.
+  void set_faults(std::vector<PixelFault> faults);
+  const std::vector<PixelFault>& faults() const { return faults_; }
+
+  /// Electrically reads the pixels selected by the schedule, in the same
+  /// canonical order as cs::Encoder (ascending pixel index). `frame` holds
+  /// normalised values in [0, 1].
+  la::Vector read_frame(const la::Matrix& frame,
+                        const cs::ScanSchedule& schedule, Rng& rng) const;
+
+  /// Full-array read (all pixels), returning the electrically degraded
+  /// frame — the "no CS" baseline path with faults applied.
+  la::Matrix read_full_frame(const la::Matrix& frame, Rng& rng) const;
+
+ private:
+  double solve_pixel_current(double r_sensor) const;
+
+  SensorArrayOptions opts_;
+  Tft access_;
+  std::vector<PixelFault> faults_;
+  // Calibration table: currents at uniformly spaced normalised values.
+  std::vector<double> calib_u_;
+  std::vector<double> calib_i_;
+};
+
+/// Converts a cs defect mask into electrical pixel faults (stuck-low pixels
+/// become open TFTs, stuck-high pixels become shorted sensors).
+std::vector<PixelFault> faults_from_defect_mask(const std::vector<bool>& mask,
+                                                Rng& rng);
+
+}  // namespace flexcs::fe

@@ -1,0 +1,174 @@
+#include "fe/shift_register.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace flexcs::fe {
+
+std::size_t build_shift_register(Circuit& ckt, const CellLibrary& lib,
+                                 const ShiftRegisterSpec& spec) {
+  FLEXCS_CHECK(spec.stages >= 1, "shift register needs at least one stage");
+  const double period = 1.0 / spec.clk_hz;
+
+  // Rails.
+  ckt.add_vsource(lib.params().vdd, "0", Waveform::make_dc(spec.vdd), "Vdd");
+  ckt.add_vsource(lib.params().vss, "0", Waveform::make_dc(spec.vss), "Vss");
+
+  // Two-phase clock. Logic low is driven slightly negative so that p-type
+  // pass devices and pull-ups turn on hard (standard TFT practice).
+  const double lo = -1.0, hi = spec.vdd;
+  ckt.add_vsource("clk", "0",
+                  Waveform::make_pulse(lo, hi, 0.5 * period, 0.5 * period,
+                                       period, period / 50.0),
+                  "Vclk");
+  ckt.add_vsource("clkn", "0",
+                  Waveform::make_pulse(hi, lo, 0.5 * period, 0.5 * period,
+                                       period, period / 50.0),
+                  "Vclkn");
+
+  std::size_t tfts = 0;
+  std::string prev = "din";
+  for (std::size_t s = 1; s <= spec.stages; ++s) {
+    const std::string q = strformat("q%zu", s);
+    tfts += lib.add_dff(ckt, prev, "clk", "clkn", q,
+                        strformat("ff%zu", s));
+    prev = q;
+  }
+  return tfts;
+}
+
+void build_shift_register_logic(LogicNetwork& net, std::size_t stages,
+                                double dff_delay) {
+  FLEXCS_CHECK(stages >= 1, "shift register needs at least one stage");
+  std::string prev = "din";
+  for (std::size_t s = 1; s <= stages; ++s) {
+    const std::string q = "q" + std::to_string(s);
+    net.add_gate(GateKind::kDff, {prev, "clk"}, q, dff_delay);
+    prev = q;
+  }
+}
+
+SrCheckResult check_shift_register_logic(const ShiftRegisterSpec& spec,
+                                         double dff_delay) {
+  LogicNetwork net;
+  build_shift_register_logic(net, spec.stages, dff_delay);
+
+  const double period = 1.0 / spec.clk_hz;
+  const std::size_t nbits = spec.data.size();
+  FLEXCS_CHECK(nbits > 0, "no data bits supplied");
+
+  // Clock rising edges at (k + 0.5) * period; data changes at k * period.
+  for (std::size_t k = 0; k < nbits; ++k) {
+    net.schedule_input("din", static_cast<double>(k) * period, spec.data[k]);
+    net.schedule_input("clk", (static_cast<double>(k) + 0.5) * period, true);
+    net.schedule_input("clk", (static_cast<double>(k) + 1.0) * period, false);
+  }
+  const double t_stop =
+      (static_cast<double>(nbits) + spec.stages + 1.0) * period;
+  // Keep clocking while the last bits drain through the chain.
+  for (std::size_t k = nbits; k < nbits + spec.stages + 1; ++k) {
+    net.schedule_input("clk", (static_cast<double>(k) + 0.5) * period, true);
+    net.schedule_input("clk", (static_cast<double>(k) + 1.0) * period, false);
+  }
+  const auto log = net.run(t_stop);
+
+  SrCheckResult result;
+  result.stages = spec.stages;
+  result.clk_hz = spec.clk_hz;
+  for (std::size_t s = 1; s <= spec.stages; ++s) {
+    const std::size_t sig = net.find_signal("q" + std::to_string(s));
+    for (std::size_t k = 0; k < nbits; ++k) {
+      // Bit k reaches stage s at edge (k + s - 0.5) * period and is
+      // overwritten one period later; sample in the middle of that window.
+      const double t_sample = static_cast<double>(k + s) * period;
+      const bool got = LogicNetwork::value_at(log, sig, t_sample);
+      ++result.bits_checked;
+      if (got != spec.data[k]) ++result.bit_errors;
+    }
+  }
+  result.functional = result.bit_errors == 0;
+  return result;
+}
+
+double max_functional_clock(std::size_t stages, double dff_delay) {
+  FLEXCS_CHECK(dff_delay > 0, "dff delay must be positive");
+  ShiftRegisterSpec spec;
+  spec.stages = stages;
+  spec.data = {true, false, true, true, false, false, true, false};
+  double best = 0.0;
+  for (double f = 1e2; f <= 1e8; f *= 1.25) {
+    spec.clk_hz = f;
+    if (check_shift_register_logic(spec, dff_delay).functional)
+      best = f;
+    else
+      break;
+  }
+  return best;
+}
+
+SrCheckResult check_shift_register_transistor(const ShiftRegisterSpec& spec,
+                                              const CellLibrary& lib) {
+  FLEXCS_CHECK(!spec.data.empty(), "no data bits supplied");
+  Circuit ckt;
+  const std::size_t tfts = build_shift_register(ckt, lib, spec);
+
+  // The ideal-source waveform set is DC/pulse/sine, so the data stream is
+  // driven with a single pulse source. That represents exactly the streams
+  // consisting of one contiguous run of ones (e.g. 00111000...), which is
+  // what the hardware bring-up pattern in Fig. 5d uses as well.
+  std::size_t first_one = spec.data.size(), last_one = 0;
+  for (std::size_t i = 0; i < spec.data.size(); ++i) {
+    if (spec.data[i]) {
+      first_one = std::min(first_one, i);
+      last_one = i;
+    }
+  }
+  FLEXCS_CHECK(first_one < spec.data.size(), "data must contain a 1");
+  for (std::size_t i = first_one; i <= last_one; ++i)
+    FLEXCS_CHECK(spec.data[i],
+                 "transistor-level check needs a contiguous run of ones");
+
+  const double period = 1.0 / spec.clk_hz;
+  const double lo = -1.0;
+  const double stream_period =
+      static_cast<double>(spec.data.size() + spec.stages + 2) * period;
+  ckt.add_vsource(
+      "din", "0",
+      Waveform::make_pulse(lo, spec.vdd,
+                           static_cast<double>(first_one) * period,
+                           static_cast<double>(last_one - first_one + 1) *
+                               period,
+                           stream_period, period / 50.0),
+      "Vdin");
+
+  Simulator sim(ckt);
+  const double t_stop = stream_period;
+  const double dt = period / 40.0;
+  const TransientResult tr = sim.transient(t_stop, dt);
+
+  SrCheckResult result;
+  result.stages = spec.stages;
+  result.clk_hz = spec.clk_hz;
+  result.tft_count = tfts;
+  if (!tr.converged) return result;
+
+  const double vth_logic = 0.5 * spec.vdd;
+  for (std::size_t s = 1; s <= spec.stages; ++s) {
+    const NodeId q = ckt.find_node(strformat("q%zu", s));
+    const la::Vector trace = tr.trace(q);
+    for (std::size_t k = 0; k < spec.data.size(); ++k) {
+      const double t_sample = (static_cast<double>(k + s) + 0.45) * period;
+      if (t_sample >= t_stop) break;
+      const auto idx = static_cast<std::size_t>(t_sample / dt);
+      const bool got = trace[std::min(idx, trace.size() - 1)] > vth_logic;
+      ++result.bits_checked;
+      if (got != spec.data[k]) ++result.bit_errors;
+    }
+  }
+  result.functional = result.bits_checked > 0 && result.bit_errors == 0;
+  return result;
+}
+
+}  // namespace flexcs::fe

@@ -1,0 +1,58 @@
+// The scan-driver shift register of the encoder (Fig. 5c-d): an 8-stage
+// master-slave DFF chain, modelled both at transistor level (pseudo-CMOS
+// cells in the MNA simulator) and at gate level (event-driven simulator).
+// The fabricated SR runs with CLK at 10 kHz, data at 1 kHz, VDD = 3 V.
+#pragma once
+
+#include <vector>
+
+#include "fe/cells.hpp"
+#include "fe/digital.hpp"
+#include "fe/sim.hpp"
+
+namespace flexcs::fe {
+
+struct ShiftRegisterSpec {
+  std::size_t stages = 8;
+  double vdd = 3.0;
+  double vss = -3.0;
+  double clk_hz = 10e3;
+  // Bit sequence applied to the data input, one bit per clock period.
+  std::vector<bool> data;
+};
+
+/// Builds the transistor-level SR netlist. Nodes: "din", "clk", "clkn",
+/// outputs "q1".."qN". Supplies and clock/data sources are included.
+/// Returns the number of TFTs emitted (for the Fig. 5 complexity claim).
+std::size_t build_shift_register(Circuit& ckt, const CellLibrary& lib,
+                                 const ShiftRegisterSpec& spec);
+
+struct SrCheckResult {
+  bool functional = false;      // every stage matched the expected sequence
+  std::size_t stages = 0;
+  std::size_t tft_count = 0;
+  std::size_t bits_checked = 0;
+  std::size_t bit_errors = 0;
+  double clk_hz = 0.0;
+};
+
+/// Transistor-level functional check: simulates the SR and samples each
+/// stage output mid clock-period, comparing with the ideally shifted data.
+SrCheckResult check_shift_register_transistor(const ShiftRegisterSpec& spec,
+                                              const CellLibrary& lib);
+
+/// Builds the gate-level SR (DFF chain) in a LogicNetwork.
+/// Signals: "din", "clk", outputs "q1".."qN".
+void build_shift_register_logic(LogicNetwork& net, std::size_t stages,
+                                double dff_delay);
+
+/// Gate-level functional check at a given clock rate; also used to find the
+/// maximum clock rate for a given cell delay.
+SrCheckResult check_shift_register_logic(const ShiftRegisterSpec& spec,
+                                         double dff_delay);
+
+/// Largest clock frequency (searched over a log grid) at which the
+/// gate-level SR still shifts correctly for the given DFF delay.
+double max_functional_clock(std::size_t stages, double dff_delay);
+
+}  // namespace flexcs::fe

@@ -1,0 +1,293 @@
+#include "fe/sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "la/decomp.hpp"
+
+namespace flexcs::fe {
+
+la::Vector TransientResult::trace(NodeId n) const {
+  la::Vector out(voltages.rows());
+  for (std::size_t i = 0; i < voltages.rows(); ++i) out[i] = voltages(i, n);
+  return out;
+}
+
+Simulator::Simulator(const Circuit& circuit, SimOptions opts)
+    : circuit_(circuit), opts_(opts) {
+  FLEXCS_CHECK(circuit.num_nodes() >= 1, "empty circuit");
+}
+
+// Assembles the MNA residual and Jacobian.
+// Unknown layout: x = [v_1 .. v_{N-1}, i_src_0 .. i_src_{S-1}].
+struct Simulator::NewtonSystem {
+  const Circuit& ckt;
+  const SimOptions& opts;
+  std::size_t nn;  // node count (including ground)
+  std::size_t ns;  // vsource count
+  double t = 0.0;
+  double source_scale = 1.0;
+  // Transient state: when dt > 0, capacitors use the BE companion model
+  // against v_prev; when dt <= 0 they are open (DC analysis).
+  double dt = 0.0;
+  const la::Vector* v_prev = nullptr;
+
+  std::size_t unknowns() const { return (nn - 1) + ns; }
+  std::size_t vidx(NodeId n) const { return n - 1; }  // n > 0
+
+  // KCL/branch residual f at node voltages v (v[0] = 0 = ground) and
+  // source currents isrc. Jacobian filled only when jac != nullptr.
+  void assemble(const la::Vector& v, const la::Vector& isrc, la::Matrix* jac,
+                la::Vector& f) const {
+    const std::size_t m = unknowns();
+    if (jac != nullptr) *jac = la::Matrix(m, m, 0.0);
+    f = la::Vector(m, 0.0);
+
+    auto add_f = [&](NodeId n, double current_leaving) {
+      if (n != kGround) f[vidx(n)] += current_leaving;
+    };
+    auto add_j = [&](NodeId n, std::size_t col, double dval) {
+      if (jac != nullptr && n != kGround) (*jac)(vidx(n), col) += dval;
+    };
+    auto add_j_v = [&](NodeId n, NodeId wrt, double dval) {
+      if (jac != nullptr && n != kGround && wrt != kGround)
+        (*jac)(vidx(n), vidx(wrt)) += dval;
+    };
+
+    // gmin keeps floating nodes (e.g. gates) well-defined.
+    for (NodeId n = 1; n < nn; ++n) {
+      f[vidx(n)] += opts.gmin * v[n];
+      add_j_v(n, n, opts.gmin);
+    }
+
+    for (const auto& r : ckt.resistors()) {
+      const double g = 1.0 / r.ohms;
+      const double i = g * (v[r.a] - v[r.b]);
+      add_f(r.a, i);
+      add_f(r.b, -i);
+      add_j_v(r.a, r.a, g);
+      add_j_v(r.a, r.b, -g);
+      add_j_v(r.b, r.a, -g);
+      add_j_v(r.b, r.b, g);
+    }
+
+    if (dt > 0.0) {
+      for (const auto& c : ckt.capacitors()) {
+        const double g = c.farads / dt;
+        const double vprev_ab = (*v_prev)[c.a] - (*v_prev)[c.b];
+        const double i = g * ((v[c.a] - v[c.b]) - vprev_ab);
+        add_f(c.a, i);
+        add_f(c.b, -i);
+        add_j_v(c.a, c.a, g);
+        add_j_v(c.a, c.b, -g);
+        add_j_v(c.b, c.a, -g);
+        add_j_v(c.b, c.b, g);
+      }
+    }
+
+    for (const auto& m_dev : ckt.tfts()) {
+      const Tft dev(m_dev.params);
+      const double vg = v[m_dev.gate], vs = v[m_dev.source],
+                   vd = v[m_dev.drain];
+      const double i = dev.channel_current(vg, vs, vd);
+      // i flows source -> drain inside the device: it leaves the source
+      // node and enters the drain node.
+      add_f(m_dev.source, i);
+      add_f(m_dev.drain, -i);
+      if (jac != nullptr) {
+        // Numeric partials (the compact model is smooth).
+        const double h = 1e-6;
+        const double dig = (dev.channel_current(vg + h, vs, vd) -
+                            dev.channel_current(vg - h, vs, vd)) /
+                           (2 * h);
+        const double dis = (dev.channel_current(vg, vs + h, vd) -
+                            dev.channel_current(vg, vs - h, vd)) /
+                           (2 * h);
+        const double did = (dev.channel_current(vg, vs, vd + h) -
+                            dev.channel_current(vg, vs, vd - h)) /
+                           (2 * h);
+        add_j_v(m_dev.source, m_dev.gate, dig);
+        add_j_v(m_dev.source, m_dev.source, dis);
+        add_j_v(m_dev.source, m_dev.drain, did);
+        add_j_v(m_dev.drain, m_dev.gate, -dig);
+        add_j_v(m_dev.drain, m_dev.source, -dis);
+        add_j_v(m_dev.drain, m_dev.drain, -did);
+      }
+    }
+
+    for (std::size_t k = 0; k < ns; ++k) {
+      const auto& src = ckt.vsources()[k];
+      const std::size_t col = (nn - 1) + k;
+      // Branch current isrc[k] flows into the + terminal of the source.
+      add_f(src.pos, isrc[k]);
+      add_f(src.neg, -isrc[k]);
+      add_j(src.pos, col, 1.0);
+      add_j(src.neg, col, -1.0);
+      // Branch equation: v_pos - v_neg = scaled source value.
+      f[col] = v[src.pos] - v[src.neg] - source_scale * src.wave.value(t);
+      if (jac != nullptr) {
+        if (src.pos != kGround) (*jac)(col, vidx(src.pos)) += 1.0;
+        if (src.neg != kGround) (*jac)(col, vidx(src.neg)) -= 1.0;
+      }
+    }
+  }
+
+  double residual_norm(const la::Vector& f) const {
+    double m = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i)
+      m = std::max(m, std::fabs(f[i]));
+    return m;
+  }
+
+  // Damped Newton iteration on (v, isrc). Returns convergence and writes
+  // the iteration count used.
+  bool newton(la::Vector& v, la::Vector& isrc, int* iterations) const {
+    la::Matrix jac;
+    la::Vector f;
+    for (int it = 0; it < opts.max_newton_iterations; ++it) {
+      assemble(v, isrc, &jac, f);
+      const double f0 = residual_norm(f);
+
+      la::Vector dx;
+      try {
+        dx = la::solve(jac, f);
+      } catch (const CheckError&) {
+        if (iterations != nullptr) *iterations = it + 1;
+        return false;  // singular Jacobian
+      }
+
+      // Clamp per-node voltage steps, then line-search on the residual so
+      // deep logic chains (e.g. 4-level XOR) cannot oscillate.
+      la::Vector step(unknowns());
+      double max_dv = 0.0;
+      for (std::size_t n = 1; n < nn; ++n) {
+        double s = std::clamp(-dx[vidx(n)], -opts.voltage_step_limit,
+                              opts.voltage_step_limit);
+        step[vidx(n)] = s;
+        max_dv = std::max(max_dv, std::fabs(s));
+      }
+      for (std::size_t k = 0; k < ns; ++k)
+        step[(nn - 1) + k] = -dx[(nn - 1) + k];
+
+      la::Vector v_try = v, i_try = isrc, f_try;
+      double factor = 1.0;
+      double accepted_factor = 1.0;
+      for (int ls = 0; ls < 7; ++ls) {
+        for (std::size_t n = 1; n < nn; ++n)
+          v_try[n] = v[n] + factor * step[vidx(n)];
+        for (std::size_t k = 0; k < ns; ++k)
+          i_try[k] = isrc[k] + factor * step[(nn - 1) + k];
+        assemble(v_try, i_try, nullptr, f_try);
+        if (residual_norm(f_try) < f0 || ls == 6) {
+          accepted_factor = factor;
+          break;
+        }
+        factor *= 0.5;
+      }
+      v = v_try;
+      isrc = i_try;
+      if (iterations != nullptr) *iterations = it + 1;
+
+      if (f0 < opts.current_tol && max_dv * accepted_factor < opts.voltage_tol)
+        return true;
+    }
+    return false;
+  }
+};
+
+DcResult Simulator::solve_dc(double t, double source_scale,
+                             const la::Vector* initial) const {
+  const std::size_t nn = circuit_.num_nodes();
+  const std::size_t ns = circuit_.vsources().size();
+
+  NewtonSystem sys{circuit_, opts_, nn, ns};
+  sys.t = t;
+  sys.source_scale = source_scale;
+
+  DcResult result;
+  result.node_voltages = la::Vector(nn, 0.0);
+  result.source_currents = la::Vector(ns, 0.0);
+  if (initial != nullptr && initial->size() == nn) {
+    result.node_voltages = *initial;
+    result.node_voltages[0] = 0.0;
+  }
+  result.converged = sys.newton(result.node_voltages, result.source_currents,
+                                &result.iterations);
+  return result;
+}
+
+DcResult Simulator::dc_operating_point(double t) const {
+  DcResult r = solve_dc(t, 1.0, nullptr);
+  if (r.converged) return r;
+
+  // Source stepping: ramp the sources from 10 % to 100 %, reusing each
+  // solution as the next initial guess.
+  la::Vector guess(circuit_.num_nodes(), 0.0);
+  for (double scale = 0.1; scale <= 1.001; scale += 0.1) {
+    r = solve_dc(t, scale, &guess);
+    if (!r.converged) return r;
+    guess = r.node_voltages;
+  }
+  return r;
+}
+
+TransientResult Simulator::transient(double t_stop, double dt) const {
+  FLEXCS_CHECK(t_stop > 0 && dt > 0 && dt < t_stop, "need 0 < dt < t_stop");
+  const std::size_t nn = circuit_.num_nodes();
+  const std::size_t ns = circuit_.vsources().size();
+  const auto steps = static_cast<std::size_t>(std::ceil(t_stop / dt));
+
+  TransientResult out;
+  out.time.reserve(steps + 1);
+  out.voltages = la::Matrix(steps + 1, nn, 0.0);
+
+  // Initial condition: DC operating point at t = 0.
+  DcResult dc = dc_operating_point(0.0);
+  out.converged = dc.converged;
+  la::Vector v = dc.node_voltages;
+  la::Vector isrc = dc.source_currents;
+  out.time.push_back(0.0);
+  for (std::size_t n = 0; n < nn; ++n) out.voltages(0, n) = v[n];
+
+  NewtonSystem sys{circuit_, opts_, nn, ns};
+  sys.dt = dt;
+
+  la::Vector v_prev = v;
+  for (std::size_t step = 1; step <= steps; ++step) {
+    sys.t = static_cast<double>(step) * dt;
+    sys.v_prev = &v_prev;
+    if (!sys.newton(v, isrc, nullptr)) out.converged = false;
+    out.time.push_back(sys.t);
+    for (std::size_t n = 0; n < nn; ++n) out.voltages(step, n) = v[n];
+    v_prev = v;
+  }
+  return out;
+}
+
+SineFit measure_sine(const la::Vector& trace, const std::vector<double>& time,
+                     double freq, int periods) {
+  FLEXCS_CHECK(trace.size() == time.size() && trace.size() > 4,
+               "trace/time mismatch");
+  FLEXCS_CHECK(freq > 0 && periods > 0, "invalid sine-fit parameters");
+  const double t_end = time.back();
+  const double window = static_cast<double>(periods) / freq;
+  const double t_start = std::max(0.0, t_end - window);
+
+  double vmin = 1e300, vmax = -1e300, sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (time[i] < t_start) continue;
+    vmin = std::min(vmin, trace[i]);
+    vmax = std::max(vmax, trace[i]);
+    sum += trace[i];
+    ++count;
+  }
+  FLEXCS_CHECK(count > 2, "sine window has too few samples");
+  SineFit fit;
+  fit.amplitude = 0.5 * (vmax - vmin);
+  fit.mean = sum / static_cast<double>(count);
+  return fit;
+}
+
+}  // namespace flexcs::fe

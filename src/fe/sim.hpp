@@ -1,0 +1,68 @@
+// Modified-nodal-analysis circuit simulator: Newton-Raphson DC operating
+// point and backward-Euler transient analysis over the Circuit device set
+// (R, C, V-source, CNT TFT). Small and dense — the encoder circuits of the
+// paper are at most a few hundred devices.
+#pragma once
+
+#include "fe/netlist.hpp"
+#include "la/matrix.hpp"
+
+namespace flexcs::fe {
+
+struct SimOptions {
+  int max_newton_iterations = 200;
+  double current_tol = 1e-9;   // KCL residual (A)
+  double voltage_tol = 1e-6;   // Newton step (V)
+  double voltage_step_limit = 1.0;  // per-iteration damping clamp (V)
+  double gmin = 1e-9;          // conductance from every node to ground
+};
+
+struct DcResult {
+  la::Vector node_voltages;  // indexed by NodeId (entry 0 = ground = 0 V)
+  la::Vector source_currents;
+  bool converged = false;
+  int iterations = 0;
+
+  double v(NodeId n) const { return node_voltages[n]; }
+};
+
+struct TransientResult {
+  std::vector<double> time;
+  la::Matrix voltages;  // one row per time point, one column per node
+  bool converged = false;
+
+  /// Voltage trace of one node across all stored time points.
+  la::Vector trace(NodeId n) const;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Circuit& circuit, SimOptions opts = {});
+
+  /// DC operating point with sources evaluated at time t (capacitors open).
+  /// Falls back to source stepping when plain Newton fails.
+  DcResult dc_operating_point(double t = 0.0) const;
+
+  /// Backward-Euler transient from a DC operating point at t = 0.
+  /// Stores every step; time points are i * dt for i in [0, steps].
+  TransientResult transient(double t_stop, double dt) const;
+
+ private:
+  struct NewtonSystem;
+  DcResult solve_dc(double t, double source_scale,
+                    const la::Vector* initial) const;
+
+  const Circuit& circuit_;
+  SimOptions opts_;
+};
+
+/// Measured amplitude and DC level of a steady-state sinusoidal trace,
+/// using the last `periods` periods of the waveform.
+struct SineFit {
+  double amplitude = 0.0;
+  double mean = 0.0;
+};
+SineFit measure_sine(const la::Vector& trace, const std::vector<double>& time,
+                     double freq, int periods = 3);
+
+}  // namespace flexcs::fe

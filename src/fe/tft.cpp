@@ -1,0 +1,164 @@
+#include "fe/tft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+double softplus(double x, double s) {
+  // Numerically safe s * ln(1 + exp(x/s)).
+  const double t = x / s;
+  if (t > 30.0) return x;
+  if (t < -30.0) return s * std::exp(t);
+  return s * std::log1p(std::exp(t));
+}
+
+}  // namespace
+
+Tft::Tft(TftParams p) : params_(p) {
+  FLEXCS_CHECK(p.w > 0 && p.l > 0, "TFT geometry must be positive");
+  FLEXCS_CHECK(p.vth < 0, "model is p-type: vth must be negative");
+  FLEXCS_CHECK(p.kp > 0 && p.ss > 0 && p.alpha > 0,
+               "TFT model parameters must be positive");
+  FLEXCS_CHECK(p.lambda >= 0, "lambda must be non-negative");
+}
+
+double Tft::effective_overdrive(double vsg) const {
+  return softplus(vsg - std::fabs(params_.vth), params_.ss);
+}
+
+double Tft::channel_current(double vg, double vs, double vd) const {
+  // Symmetry: conduction is defined for vsd >= 0; otherwise swap terminals.
+  if (vd > vs) return -channel_current(vg, vd, vs);
+  const double vsd = vs - vd;
+  const double veff = effective_overdrive(vs - vg);
+  if (veff <= 0.0) return 0.0;
+  const double beta = params_.kp * params_.w / params_.l;
+  const double sat = 0.5 * beta * veff * veff;
+  return sat * std::tanh(params_.alpha * vsd / veff) *
+         (1.0 + params_.lambda * vsd);
+}
+
+double Tft::on_current(double vdd) const {
+  FLEXCS_CHECK(vdd > 0, "vdd must be positive");
+  // Gate grounded, source at vdd, drain at 0: fully on.
+  return channel_current(0.0, vdd, 0.0);
+}
+
+double Tft::gm(double vg, double vs, double vd) const {
+  const double h = 1e-6;
+  return (channel_current(vg + h, vs, vd) - channel_current(vg - h, vs, vd)) /
+         (2.0 * h);
+}
+
+double Tft::gds(double vg, double vs, double vd) const {
+  const double h = 1e-6;
+  return (channel_current(vg, vs, vd + h) - channel_current(vg, vs, vd - h)) /
+         (2.0 * h);
+}
+
+std::vector<IvPoint> synthesize_iv_sweep(const TftParams& golden,
+                                         double noise_rel, Rng& rng) {
+  FLEXCS_CHECK(noise_rel >= 0.0, "noise must be non-negative");
+  const Tft dev(golden);
+  std::vector<IvPoint> data;
+  // Output sweep family: vsg in {1.0 .. 3.0}, vsd in [0, 3] — the usual
+  // transfer/output characterisation grid at a 3 V supply.
+  for (double vsg = 1.0; vsg <= 3.01; vsg += 0.5) {
+    for (double vsd = 0.1; vsd <= 3.01; vsd += 0.1) {
+      IvPoint p;
+      p.vs = 3.0;
+      p.vg = 3.0 - vsg;
+      p.vd = 3.0 - vsd;
+      p.id = dev.channel_current(p.vg, p.vs, p.vd) *
+             (1.0 + noise_rel * rng.normal());
+      data.push_back(p);
+    }
+  }
+  return data;
+}
+
+double iv_fit_error(const TftParams& params,
+                    const std::vector<IvPoint>& data) {
+  FLEXCS_CHECK(!data.empty(), "no I-V data");
+  const Tft dev(params);
+  double se = 0.0;
+  double scale = 0.0;
+  for (const auto& p : data) scale = std::max(scale, std::fabs(p.id));
+  FLEXCS_CHECK(scale > 0.0, "all-zero I-V data");
+  for (const auto& p : data) {
+    const double e = (dev.channel_current(p.vg, p.vs, p.vd) - p.id) / scale;
+    se += e * e;
+  }
+  return std::sqrt(se / static_cast<double>(data.size()));
+}
+
+TftParams fit_tft_params(const std::vector<IvPoint>& data,
+                         const TftParams& initial) {
+  FLEXCS_CHECK(!data.empty(), "no I-V data to fit");
+
+  // Coarse grid over (kp, vth) around the initial guess.
+  TftParams best = initial;
+  double best_err = iv_fit_error(best, data);
+  for (double kp_scale = 0.25; kp_scale <= 4.01; kp_scale *= 1.4142) {
+    for (double vth = -2.0; vth <= -0.2; vth += 0.1) {
+      TftParams cand = initial;
+      cand.kp = initial.kp * kp_scale;
+      cand.vth = vth;
+      const double err = iv_fit_error(cand, data);
+      if (err < best_err) {
+        best_err = err;
+        best = cand;
+      }
+    }
+  }
+
+  // Gauss-Newton refinement on (log kp, vth) with numeric Jacobian.
+  for (int it = 0; it < 30; ++it) {
+    const double h_kp = 1e-4;   // relative step in log kp
+    const double h_vth = 1e-5;  // absolute step in vth
+
+    TftParams p_kp = best;
+    p_kp.kp *= std::exp(h_kp);
+    TftParams p_vth = best;
+    p_vth.vth += h_vth;
+
+    const Tft d0(best), d1(p_kp), d2(p_vth);
+    double jtj00 = 0, jtj01 = 0, jtj11 = 0, jtr0 = 0, jtr1 = 0;
+    for (const auto& pt : data) {
+      const double f0 = d0.channel_current(pt.vg, pt.vs, pt.vd);
+      const double j0 =
+          (d1.channel_current(pt.vg, pt.vs, pt.vd) - f0) / h_kp;
+      const double j1 =
+          (d2.channel_current(pt.vg, pt.vs, pt.vd) - f0) / h_vth;
+      const double r = pt.id - f0;
+      jtj00 += j0 * j0;
+      jtj01 += j0 * j1;
+      jtj11 += j1 * j1;
+      jtr0 += j0 * r;
+      jtr1 += j1 * r;
+    }
+    // Levenberg damping keeps the 2x2 solve well-posed.
+    const double damp = 1e-9 * (jtj00 + jtj11) + 1e-30;
+    jtj00 += damp;
+    jtj11 += damp;
+    const double det = jtj00 * jtj11 - jtj01 * jtj01;
+    if (std::fabs(det) < 1e-30) break;
+    const double d_logkp = (jtr0 * jtj11 - jtr1 * jtj01) / det;
+    const double d_vth = (jtr1 * jtj00 - jtr0 * jtj01) / det;
+
+    TftParams next = best;
+    next.kp *= std::exp(std::clamp(d_logkp, -0.5, 0.5));
+    next.vth = std::clamp(next.vth + std::clamp(d_vth, -0.2, 0.2), -3.0, -0.05);
+    const double err = iv_fit_error(next, data);
+    if (err >= best_err - 1e-12) break;
+    best = next;
+    best_err = err;
+  }
+  return best;
+}
+
+}  // namespace flexcs::fe

@@ -1,0 +1,83 @@
+// Behavioural compact model of a p-type carbon-nanotube thin-film transistor
+// (CNT TFT), in the spirit of the Verilog-A compact model the authors built
+// for their design flow (Sec. 3.3, ref. [11]).
+//
+// The I-V surface is a single smooth expression (softplus overdrive +
+// tanh linear/saturation interpolation), which keeps Newton iteration in the
+// circuit simulator robust:
+//
+//   veff = ss * ln(1 + exp((vsg - |vth|)/ss))          (smooth overdrive)
+//   id   = k (W/L) (veff^2/2) tanh(alpha vsd / veff) (1 + lambda vsd)
+//
+// Only p-type devices are modelled: air-stable n-type CNT TFTs do not exist
+// (Sec. 3.2), which is exactly why the circuits use the pseudo-CMOS style.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace flexcs::fe {
+
+struct TftParams {
+  double w = 100e-6;    // channel width (m)
+  double l = 25e-6;     // channel length (m)
+  double vth = -0.8;    // threshold voltage (V); negative = p-type
+  double kp = 4e-5;     // process transconductance k' (A/V^2)
+  double lambda = 0.05; // channel-length modulation (1/V)
+  double ss = 0.12;     // subthreshold smoothness (V); sets the off-slope
+  double alpha = 1.4;   // linear/saturation interpolation sharpness
+};
+
+/// p-type CNT TFT. Terminal currents follow the passive sign convention:
+/// drain_current() is the current flowing source -> drain through the
+/// channel (positive when vs > vd and the gate is low relative to source).
+class Tft {
+ public:
+  explicit Tft(TftParams p = {});
+
+  const TftParams& params() const { return params_; }
+
+  /// Channel current from source to drain for the given terminal voltages.
+  /// Symmetric: reversing source/drain negates the current.
+  double channel_current(double vg, double vs, double vd) const;
+
+  /// Smooth effective overdrive (V) at a source-gate voltage vsg.
+  double effective_overdrive(double vsg) const;
+
+  /// On-current at the given bias (|vsd| = |vgs| = vdd), a scalar figure of
+  /// merit used by the yield and characterisation code.
+  double on_current(double vdd) const;
+
+  /// Small-signal transconductance d(id)/d(vg) by central difference.
+  double gm(double vg, double vs, double vd) const;
+
+  /// Small-signal output conductance d(id)/d(vd) by central difference.
+  double gds(double vg, double vs, double vd) const;
+
+ private:
+  TftParams params_;
+};
+
+/// One measured I-V point (for parameter extraction).
+struct IvPoint {
+  double vg, vs, vd;
+  double id;  // measured source->drain current
+};
+
+/// Synthesises a "wafer measurement" I-V sweep from a golden device plus
+/// multiplicative measurement noise — stands in for the >5000-device wafer
+/// characterisation data of Sec. 3.2.
+std::vector<IvPoint> synthesize_iv_sweep(const TftParams& golden,
+                                         double noise_rel, Rng& rng);
+
+/// Extracts (kp, vth) from measured I-V data by Gauss-Newton least squares
+/// on the compact model, starting from a coarse grid search. Other
+/// parameters are taken from `initial`.
+TftParams fit_tft_params(const std::vector<IvPoint>& data,
+                         const TftParams& initial);
+
+/// Root-mean-square relative current error of a parameter set against data.
+double iv_fit_error(const TftParams& params, const std::vector<IvPoint>& data);
+
+}  // namespace flexcs::fe

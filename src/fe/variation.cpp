@@ -1,0 +1,189 @@
+#include "fe/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fe/sim.hpp"
+
+namespace flexcs::fe {
+
+TftParams perturb(const TftParams& nominal, const VariationModel& model,
+                  Rng& rng) {
+  FLEXCS_CHECK(model.vth_sigma >= 0 && model.kp_rel_sigma >= 0 &&
+                   model.w_rel_sigma >= 0,
+               "variation sigmas must be non-negative");
+  TftParams p = nominal;
+  p.vth = std::min(-0.05, nominal.vth + rng.normal(0.0, model.vth_sigma));
+  p.kp = nominal.kp *
+         std::max(0.05, 1.0 + rng.normal(0.0, model.kp_rel_sigma));
+  p.w = nominal.w * std::max(0.2, 1.0 + rng.normal(0.0, model.w_rel_sigma));
+  return p;
+}
+
+namespace {
+
+// Builds one inverter with independently perturbed devices and returns a
+// circuit whose input source can be re-set per sweep point.
+struct VariedInverter {
+  Circuit ckt;
+  NodeId out;
+};
+
+VariedInverter build_varied_inverter(const CellParams& cell,
+                                     const VariationModel& model, Rng& rng,
+                                     double vdd, double vss, double vin) {
+  VariedInverter v;
+  v.ckt.add_vsource("vdd", "0", Waveform::make_dc(vdd));
+  v.ckt.add_vsource("vss", "0", Waveform::make_dc(vss));
+  v.ckt.add_vsource("in", "0", Waveform::make_dc(vin), "Vin");
+
+  auto sized = [&](double w) {
+    TftParams p = cell.base;
+    p.w = w;
+    p.l = cell.l;
+    return perturb(p, model, rng);
+  };
+  // Same topology as CellLibrary::add_inverter, with per-device variation.
+  v.ckt.add_tft("in", "vdd", "b", sized(cell.w_input), "M1");
+  v.ckt.add_tft("vss", "b", "vss", sized(cell.w_load), "M2");
+  v.ckt.add_tft("in", "vdd", "out", sized(cell.w_drive), "M3");
+  v.ckt.add_tft("b", "out", "vss", sized(cell.w_drive), "M4");
+  v.out = v.ckt.find_node("out");
+  return v;
+}
+
+}  // namespace
+
+InverterVtc inverter_vtc(const CellParams& cell, const VariationModel& model,
+                         Rng& rng, const VtcOptions& opts) {
+  FLEXCS_CHECK(opts.step > 0 && opts.vin_high > opts.vin_low,
+               "bad VTC sweep range");
+  // Draw the four devices once, then sweep by rebuilding the circuit with
+  // the same parameters and a different input level. To keep the draw
+  // fixed across the sweep we fork a dedicated stream and reseed per point.
+  const std::uint64_t draw_seed = rng.next_u64();
+
+  InverterVtc vtc;
+  vtc.valid = true;
+  for (double vin = opts.vin_low; vin <= opts.vin_high + 1e-9;
+       vin += opts.step) {
+    Rng draw(draw_seed);  // identical devices at every sweep point
+    VariedInverter inv = build_varied_inverter(cell, model, draw, opts.vdd,
+                                               opts.vss, vin);
+    Simulator sim(inv.ckt);
+    const DcResult dc = sim.dc_operating_point();
+    if (!dc.converged) vtc.valid = false;
+    vtc.vin.push_back(vin);
+    vtc.vout.push_back(dc.v(inv.out));
+  }
+
+  // Extract the switching threshold (vout crossing vdd/2) and local gain.
+  const double mid = 0.5 * opts.vdd;
+  vtc.output_high = vtc.vout.front();
+  vtc.output_low = vtc.vout.back();
+  for (std::size_t i = 1; i < vtc.vout.size(); ++i) {
+    if ((vtc.vout[i - 1] - mid) * (vtc.vout[i] - mid) <= 0.0 &&
+        vtc.vout[i - 1] != vtc.vout[i]) {
+      const double t = (mid - vtc.vout[i - 1]) / (vtc.vout[i] - vtc.vout[i - 1]);
+      vtc.switching_threshold =
+          vtc.vin[i - 1] + t * (vtc.vin[i] - vtc.vin[i - 1]);
+      vtc.gain_at_threshold =
+          std::fabs((vtc.vout[i] - vtc.vout[i - 1]) /
+                    (vtc.vin[i] - vtc.vin[i - 1]));
+      break;
+    }
+  }
+  return vtc;
+}
+
+VariationStats inverter_variation_mc(const CellParams& cell,
+                                     const VariationModel& model, int trials,
+                                     Rng& rng) {
+  FLEXCS_CHECK(trials > 0, "need at least one MC trial");
+  VariationStats stats;
+  stats.trials = trials;
+  stats.swing_min = 1e300;
+  double vth_sum = 0.0, vth_sum2 = 0.0, gain_sum = 0.0;
+  int measured = 0;
+
+  for (int t = 0; t < trials; ++t) {
+    const InverterVtc vtc = inverter_vtc(cell, model, rng);
+    const double swing = vtc.output_high - vtc.output_low;
+    stats.swing_min = std::min(stats.swing_min, swing);
+    const bool works = vtc.valid && vtc.gain_at_threshold > 1.0 &&
+                       swing > 0.5 * 3.0;  // at least half-VDD swing
+    if (works) ++stats.functional;
+    if (vtc.switching_threshold != 0.0) {
+      vth_sum += vtc.switching_threshold;
+      vth_sum2 += vtc.switching_threshold * vtc.switching_threshold;
+      gain_sum += vtc.gain_at_threshold;
+      ++measured;
+    }
+  }
+  if (measured > 0) {
+    stats.vth_mean = vth_sum / measured;
+    stats.vth_sigma = std::sqrt(std::max(
+        0.0, vth_sum2 / measured - stats.vth_mean * stats.vth_mean));
+    stats.gain_mean = gain_sum / measured;
+  }
+  return stats;
+}
+
+CellDelay characterize_inverter_delay(const CellParams& cell,
+                                      double c_load) {
+  FLEXCS_CHECK(c_load > 0, "load capacitance must be positive");
+  Circuit ckt;
+  ckt.add_vsource("vdd", "0", Waveform::make_dc(3.0));
+  ckt.add_vsource("vss", "0", Waveform::make_dc(-3.0));
+  // Input: low -> high at 2 us, high -> low at 7 us; fast (10 ns) edges.
+  // The cells switch in well under a microsecond, so the window is tight
+  // and the step fine.
+  ckt.add_vsource("in", "0",
+                  Waveform::make_pulse(-1.0, 3.0, 2e-6, 5e-6, 12e-6, 10e-9),
+                  "Vin");
+  const CellLibrary lib(cell);
+  lib.add_inverter(ckt, "in", "out", "u0");
+  ckt.add_capacitor("out", "0", c_load, "Cl");
+
+  Simulator sim(ckt);
+  const TransientResult tr = sim.transient(12e-6, 2e-9);
+  CellDelay d;
+  if (!tr.converged) return d;
+
+  const la::Vector out = tr.trace(ckt.find_node("out"));
+  const la::Vector in = tr.trace(ckt.find_node("in"));
+  const double in_mid = 1.0;   // halfway of the -1 .. 3 V input step
+  const double out_mid = 1.5;  // vdd / 2
+
+  // Linearly interpolated 50 % crossing time.
+  auto crossing = [&](const la::Vector& v, double level, double t_from,
+                      bool rising) {
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      if (tr.time[i] < t_from) continue;
+      const bool crossed = rising ? (v[i - 1] < level && v[i] >= level)
+                                  : (v[i - 1] > level && v[i] <= level);
+      if (crossed) {
+        const double t =
+            (level - v[i - 1]) / (v[i] - v[i - 1]);
+        return tr.time[i - 1] + t * (tr.time[i] - tr.time[i - 1]);
+      }
+    }
+    return -1.0;
+  };
+
+  // Falling output after the rising input edge at 2 us.
+  const double t_in_rise = crossing(in, in_mid, 1.5e-6, true);
+  const double t_out_fall = crossing(out, out_mid, t_in_rise, false);
+  // Rising output after the falling input edge at 7 us.
+  const double t_in_fall = crossing(in, in_mid, 6.5e-6, false);
+  const double t_out_rise = crossing(out, out_mid, t_in_fall, true);
+  if (t_in_rise < 0 || t_out_fall < 0 || t_in_fall < 0 || t_out_rise < 0)
+    return d;
+  d.tphl = t_out_fall - t_in_rise;
+  d.tplh = t_out_rise - t_in_fall;
+  d.valid = d.tphl > 0 && d.tplh > 0;
+  return d;
+}
+
+}  // namespace flexcs::fe

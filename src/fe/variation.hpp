@@ -1,0 +1,83 @@
+// Device-variation modelling and Monte-Carlo circuit analysis. Process
+// variation is one of the paper's three named reliability problems
+// ("large device variation, device defects and transient errors", Sec. 1);
+// this module quantifies its circuit-level impact: inverter switching-
+// threshold spread, noise margins, and parametric yield of the cells.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fe/cells.hpp"
+#include "fe/tft.hpp"
+
+namespace flexcs::fe {
+
+/// Lot-to-lot / device-to-device variation of the CNT TFT parameters,
+/// expressed as relative (kp) and absolute (vth) Gaussian sigmas.
+struct VariationModel {
+  double vth_sigma = 0.08;   // V; threshold-voltage spread
+  double kp_rel_sigma = 0.1; // relative transconductance spread
+  double w_rel_sigma = 0.02; // lithography width spread
+};
+
+/// Draws a varied copy of `nominal`.
+TftParams perturb(const TftParams& nominal, const VariationModel& model,
+                  Rng& rng);
+
+/// DC transfer curve of a pseudo-CMOS inverter built from (possibly
+/// perturbed) device parameters; `vin` and the returned `vout` are aligned.
+struct InverterVtc {
+  std::vector<double> vin;
+  std::vector<double> vout;
+  double switching_threshold = 0.0;  // vin where vout crosses vdd/2
+  double gain_at_threshold = 0.0;    // |dVout/dVin| there
+  double output_high = 0.0;          // vout at vin = logic low
+  double output_low = 0.0;           // vout at vin = logic high
+  bool valid = false;                // all DC points converged
+};
+
+struct VtcOptions {
+  double vdd = 3.0;
+  double vss = -3.0;
+  double vin_low = -1.0;
+  double vin_high = 3.0;
+  double step = 0.1;
+};
+
+/// Sweeps the inverter VTC with per-instance device parameters. The four
+/// TFTs of the cell are drawn independently from `model` (pass a zero-sigma
+/// model for the nominal curve).
+InverterVtc inverter_vtc(const CellParams& cell, const VariationModel& model,
+                         Rng& rng, const VtcOptions& opts = {});
+
+/// Monte-Carlo summary of inverter behaviour under variation.
+struct VariationStats {
+  int trials = 0;
+  int functional = 0;        // valid VTC with gain > 1 and full-ish swing
+  double vth_mean = 0.0;     // switching threshold statistics
+  double vth_sigma = 0.0;
+  double gain_mean = 0.0;
+  double swing_min = 0.0;    // worst-case output swing observed
+};
+
+VariationStats inverter_variation_mc(const CellParams& cell,
+                                     const VariationModel& model, int trials,
+                                     Rng& rng);
+
+/// Propagation delay of a pseudo-CMOS cell measured electrically: drives a
+/// step into the cell loaded with `c_load` and reports the 50 %-to-50 %
+/// delays for both edges. This is the characterisation step that supplies
+/// the event-driven gate model's delay (the standard two-tier flow).
+struct CellDelay {
+  double tplh = 0.0;  // output rising (s)
+  double tphl = 0.0;  // output falling (s)
+  bool valid = false;
+
+  double worst() const { return tplh > tphl ? tplh : tphl; }
+};
+
+CellDelay characterize_inverter_delay(const CellParams& cell,
+                                      double c_load = 10e-12);
+
+}  // namespace flexcs::fe

@@ -1,0 +1,56 @@
+#include "fe/yield.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+
+double bridging_rate(const CntProcess& p) {
+  FLEXCS_CHECK(p.purity >= 0.0 && p.purity <= 1.0, "purity must be in [0,1]");
+  FLEXCS_CHECK(p.tubes_per_channel > 0, "tube count must be positive");
+  FLEXCS_CHECK(p.bridge_fraction >= 0.0 && p.bridge_fraction <= 1.0,
+               "bridge fraction must be in [0,1]");
+  return p.tubes_per_channel * (1.0 - p.purity) * p.bridge_fraction;
+}
+
+double tft_failure_probability(const CntProcess& p) {
+  return -std::expm1(-bridging_rate(p));  // 1 - exp(-lambda), accurately
+}
+
+double tft_yield(const CntProcess& p) {
+  return std::exp(-bridging_rate(p));
+}
+
+double circuit_yield(const CntProcess& p, std::size_t n_tfts) {
+  // Independent devices: Poisson rates add.
+  return std::exp(-bridging_rate(p) * static_cast<double>(n_tfts));
+}
+
+double expected_pixel_error_rate(const CntProcess& p, double transient_rate) {
+  FLEXCS_CHECK(transient_rate >= 0.0 && transient_rate <= 1.0,
+               "transient rate must be in [0,1]");
+  const double p_fail = tft_failure_probability(p);
+  // A pixel reads wrong if its TFT is dead OR a transient error hits.
+  return 1.0 - (1.0 - p_fail) * (1.0 - transient_rate);
+}
+
+std::size_t sample_failing_tfts(const CntProcess& p, std::size_t n,
+                                Rng& rng) {
+  const double pf = tft_failure_probability(p);
+  std::size_t fails = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (rng.bernoulli(pf)) ++fails;
+  return fails;
+}
+
+double mc_circuit_yield(const CntProcess& p, std::size_t n_tfts,
+                        std::size_t trials, Rng& rng) {
+  FLEXCS_CHECK(trials > 0, "need at least one trial");
+  std::size_t good = 0;
+  for (std::size_t t = 0; t < trials; ++t)
+    if (sample_failing_tfts(p, n_tfts, rng) == 0) ++good;
+  return static_cast<double>(good) / static_cast<double>(trials);
+}
+
+}  // namespace flexcs::fe

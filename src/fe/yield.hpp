@@ -1,0 +1,47 @@
+// Yield model for CNT TFTs (Sec. 3.2): the dominant failure mode is a
+// metallic CNT bridging the source-drain gap. With s-CNT purity p and an
+// expected `tubes_per_channel` tubes crossing the channel, the number of
+// bridging m-CNTs is Poisson with rate
+//   lambda = tubes_per_channel * (1 - p) * bridge_fraction,
+// and the TFT fails iff at least one bridges:  P_fail = 1 - exp(-lambda).
+// The paper reports purity > 99.997 % giving TFT yield > 99.9 %, validated
+// over > 5000 devices.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace flexcs::fe {
+
+struct CntProcess {
+  double purity = 0.99997;        // fraction of semiconducting tubes
+  double tubes_per_channel = 500; // expected tubes crossing the channel
+  double bridge_fraction = 0.05;  // m-CNTs that actually short S-D
+};
+
+/// Expected number of shorting m-CNTs per device.
+double bridging_rate(const CntProcess& p);
+
+/// Per-TFT failure probability, 1 - exp(-lambda).
+double tft_failure_probability(const CntProcess& p);
+
+/// Per-TFT yield.
+double tft_yield(const CntProcess& p);
+
+/// Probability that a circuit of n TFTs has no failing device.
+double circuit_yield(const CntProcess& p, std::size_t n_tfts);
+
+/// Expected fraction of defective pixels in an active-matrix array where a
+/// pixel fails if its access TFT fails, plus an independent per-read
+/// transient error rate — the "sparse error" rate swept in Sec. 4.
+double expected_pixel_error_rate(const CntProcess& p, double transient_rate);
+
+/// Monte-Carlo: samples the number of failing TFTs among n devices.
+std::size_t sample_failing_tfts(const CntProcess& p, std::size_t n, Rng& rng);
+
+/// Monte-Carlo estimate of circuit yield over `trials` circuits of n TFTs.
+double mc_circuit_yield(const CntProcess& p, std::size_t n_tfts,
+                        std::size_t trials, Rng& rng);
+
+}  // namespace flexcs::fe

@@ -1,0 +1,206 @@
+#include "la/decomp.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::la {
+
+Matrix cholesky(const Matrix& a) {
+  FLEXCS_CHECK(a.rows() == a.cols(), "cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    FLEXCS_CHECK(d > 0.0, "matrix not positive definite in cholesky");
+    l(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector cholesky_solve(const Matrix& l, const Vector& b) {
+  Vector y = solve_lower(l, b);
+  return solve_upper(l.transposed(), y);
+}
+
+LuFactors lu_decompose(const Matrix& a) {
+  FLEXCS_CHECK(a.rows() == a.cols(), "lu requires a square matrix");
+  const std::size_t n = a.rows();
+  LuFactors f;
+  f.lu = a;
+  f.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) f.perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at/below the diagonal.
+    std::size_t piv = k;
+    double maxval = std::fabs(f.lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(f.lu(i, k));
+      if (v > maxval) {
+        maxval = v;
+        piv = i;
+      }
+    }
+    FLEXCS_CHECK(maxval > 1e-300, "singular matrix in lu_decompose");
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(f.lu(k, c), f.lu(piv, c));
+      std::swap(f.perm[k], f.perm[piv]);
+      f.sign = -f.sign;
+    }
+    const double pivot = f.lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = f.lu(i, k) / pivot;
+      f.lu(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) f.lu(i, c) -= m * f.lu(k, c);
+    }
+  }
+  return f;
+}
+
+Vector lu_solve(const LuFactors& f, const Vector& b) {
+  const std::size_t n = f.lu.rows();
+  FLEXCS_CHECK(b.size() == n, "lu_solve size mismatch");
+  // Apply permutation, then forward/back substitution on the packed factors.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[f.perm[i]];
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = y[i];
+    for (std::size_t k = 0; k < i; ++k) s -= f.lu(i, k) * y[k];
+    y[i] = s;  // L has unit diagonal
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= f.lu(ii, k) * x[k];
+    x[ii] = s / f.lu(ii, ii);
+  }
+  return x;
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  return lu_solve(lu_decompose(a), b);
+}
+
+Matrix inverse(const Matrix& a) {
+  const std::size_t n = a.rows();
+  const LuFactors f = lu_decompose(a);
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e.fill(0.0);
+    e[c] = 1.0;
+    inv.set_col(c, lu_solve(f, e));
+  }
+  return inv;
+}
+
+double determinant(const Matrix& a) {
+  FLEXCS_CHECK(a.rows() == a.cols(), "determinant requires a square matrix");
+  LuFactors f;
+  try {
+    f = lu_decompose(a);
+  } catch (const CheckError&) {
+    return 0.0;  // singular
+  }
+  double det = static_cast<double>(f.sign);
+  for (std::size_t i = 0; i < a.rows(); ++i) det *= f.lu(i, i);
+  return det;
+}
+
+QrFactors qr_decompose(const Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  FLEXCS_CHECK(m >= n, "qr_decompose requires rows >= cols");
+  // Householder QR accumulating the reflectors into an explicit thin Q.
+  Matrix r = a;
+  Matrix qfull = Matrix::identity(m);
+  Vector v(m);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the reflector for column k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    const double alpha = (r(k, k) > 0.0) ? -norm : norm;
+    double vnorm2 = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      v[i] = (i < k) ? 0.0 : r(i, k);
+      if (i == k) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) continue;
+    const double beta = 2.0 / vnorm2;
+
+    // r <- (I - beta v v^T) r, columns k..n-1.
+    for (std::size_t c = k; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += v[i] * r(i, c);
+      s *= beta;
+      for (std::size_t i = k; i < m; ++i) r(i, c) -= s * v[i];
+    }
+    // qfull <- qfull (I - beta v v^T).
+    for (std::size_t rr = 0; rr < m; ++rr) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += qfull(rr, i) * v[i];
+      s *= beta;
+      for (std::size_t i = k; i < m; ++i) qfull(rr, i) -= s * v[i];
+    }
+  }
+
+  QrFactors f;
+  f.q = Matrix(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) f.q(i, j) = qfull(i, j);
+  f.r = Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) f.r(i, j) = r(i, j);
+  return f;
+}
+
+Vector solve_upper(const Matrix& r, const Vector& b) {
+  const std::size_t n = r.rows();
+  FLEXCS_CHECK(r.cols() == n && b.size() == n, "solve_upper shape mismatch");
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= r(ii, k) * x[k];
+    FLEXCS_CHECK(std::fabs(r(ii, ii)) > 1e-300, "singular upper triangle");
+    x[ii] = s / r(ii, ii);
+  }
+  return x;
+}
+
+Vector solve_lower(const Matrix& l, const Vector& b, bool unit_diagonal) {
+  const std::size_t n = l.rows();
+  FLEXCS_CHECK(l.cols() == n && b.size() == n, "solve_lower shape mismatch");
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * x[k];
+    if (unit_diagonal) {
+      x[i] = s;
+    } else {
+      FLEXCS_CHECK(std::fabs(l(i, i)) > 1e-300, "singular lower triangle");
+      x[i] = s / l(i, i);
+    }
+  }
+  return x;
+}
+
+Vector lstsq(const Matrix& a, const Vector& b) {
+  FLEXCS_CHECK(a.rows() == b.size(), "lstsq shape mismatch");
+  const QrFactors f = qr_decompose(a);
+  const Vector qtb = matvec_t(f.q, b);
+  return solve_upper(f.r, qtb);
+}
+
+}  // namespace flexcs::la

@@ -1,0 +1,61 @@
+// Matrix factorisations and linear solvers: Cholesky, LU with partial
+// pivoting, Householder QR, triangular solves, general solve and linear
+// least squares.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace flexcs::la {
+
+/// Cholesky factor L (lower triangular) with A = L L^T.
+/// Throws CheckError if A is not symmetric positive definite (within a
+/// pivot tolerance).
+Matrix cholesky(const Matrix& a);
+
+/// Solves A x = b given the Cholesky factor L of A.
+Vector cholesky_solve(const Matrix& l, const Vector& b);
+
+/// LU factorisation with partial pivoting: P A = L U.
+/// `lu` stores L (unit diagonal, below) and U (on/above diagonal);
+/// `perm[i]` is the source row of permuted row i.
+struct LuFactors {
+  Matrix lu;
+  std::vector<std::size_t> perm;
+  int sign = 1;  // determinant sign of the permutation
+};
+
+/// Throws CheckError when the matrix is singular to working precision.
+LuFactors lu_decompose(const Matrix& a);
+
+/// Solves A x = b from an LU factorisation.
+Vector lu_solve(const LuFactors& f, const Vector& b);
+
+/// Convenience: solve a square system A x = b (LU under the hood).
+Vector solve(const Matrix& a, const Vector& b);
+
+/// Matrix inverse via LU; prefer solve() when possible.
+Matrix inverse(const Matrix& a);
+
+/// Determinant via LU (0 for a singular matrix).
+double determinant(const Matrix& a);
+
+/// Thin Householder QR: A (m x n, m >= n) = Q (m x n) R (n x n).
+struct QrFactors {
+  Matrix q;  // m x n with orthonormal columns
+  Matrix r;  // n x n upper triangular
+};
+
+QrFactors qr_decompose(const Matrix& a);
+
+/// Solves upper-triangular R x = b by back substitution.
+Vector solve_upper(const Matrix& r, const Vector& b);
+
+/// Solves lower-triangular L x = b by forward substitution.
+/// When unit_diagonal is true the diagonal is assumed to be ones.
+Vector solve_lower(const Matrix& l, const Vector& b, bool unit_diagonal = false);
+
+/// Minimum-residual least squares min_x ||A x - b||_2 via QR (m >= n, full
+/// column rank; throws otherwise).
+Vector lstsq(const Matrix& a, const Vector& b);
+
+}  // namespace flexcs::la

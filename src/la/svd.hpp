@@ -1,0 +1,35 @@
+// Singular value decomposition via one-sided Jacobi rotations, plus the
+// singular-value soft-thresholding operator used by RPCA.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace flexcs::la {
+
+/// Thin SVD A = U diag(s) V^T with singular values in descending order.
+/// For an m x n input, U is m x k, V is n x k with k = min(m, n).
+struct SvdResult {
+  Matrix u;
+  Vector s;
+  Matrix v;
+};
+
+/// One-sided Jacobi SVD. Accurate for the small/medium dense matrices used in
+/// this library (sensor frames up to a few thousand entries per side).
+SvdResult svd(const Matrix& a, double tol = 1e-12, int max_sweeps = 60);
+
+/// Reconstructs U diag(s) V^T.
+Matrix svd_reconstruct(const SvdResult& r);
+
+/// Singular-value soft-thresholding: U shrink(s, tau) V^T, the proximal
+/// operator of the nuclear norm used by RPCA's low-rank update.
+/// Returns the shrunk matrix and reports the resulting rank.
+Matrix sv_shrink(const Matrix& a, double tau, std::size_t* rank_out = nullptr);
+
+/// Nuclear norm (sum of singular values).
+double nuclear_norm(const Matrix& a);
+
+/// Effective rank: number of singular values > tol * s_max.
+std::size_t effective_rank(const Matrix& a, double tol = 1e-10);
+
+}  // namespace flexcs::la

@@ -1,0 +1,200 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace flexcs::lp {
+namespace {
+
+// Tableau layout: rows 0..m-1 are constraints, row m is the (reduced-cost)
+// objective row. Columns 0..n-1 are variables, column n is the RHS.
+class Tableau {
+ public:
+  Tableau(std::size_t m, std::size_t n) : m_(m), n_(n), t_(m + 1, n + 1, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return t_(r, c); }
+  double at(std::size_t r, std::size_t c) const { return t_(r, c); }
+  std::size_t m() const { return m_; }
+  std::size_t n() const { return n_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pivot_val = t_(pr, pc);
+    const double inv = 1.0 / pivot_val;
+    for (std::size_t c = 0; c <= n_; ++c) t_(pr, c) *= inv;
+    for (std::size_t r = 0; r <= m_; ++r) {
+      if (r == pr) continue;
+      const double factor = t_(r, pc);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c <= n_; ++c) t_(r, c) -= factor * t_(pr, c);
+    }
+  }
+
+ private:
+  std::size_t m_, n_;
+  la::Matrix t_;
+};
+
+// Runs simplex iterations on a tableau whose objective row holds reduced
+// costs to be *minimised* (entering column has negative reduced cost).
+LpStatus iterate(Tableau& t, std::vector<std::size_t>& basis,
+                 const LpOptions& opts, int& iters, bool use_bland_always) {
+  const std::size_t m = t.m(), n = t.n();
+  int degenerate_streak = 0;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    // Entering variable. Dantzig: most negative reduced cost. Bland: lowest
+    // index with negative reduced cost (anti-cycling).
+    const bool bland = use_bland_always || degenerate_streak > 32;
+    std::size_t pc = n;
+    double best = -opts.tol;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double rc = t.at(m, c);
+      if (rc < best) {
+        pc = c;
+        if (bland) break;
+        best = rc;
+      }
+    }
+    if (pc == n) return LpStatus::kOptimal;
+
+    // Leaving variable: min-ratio test, ties broken by lowest basis index.
+    std::size_t pr = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double col = t.at(r, pc);
+      if (col <= opts.tol) continue;
+      const double ratio = t.at(r, n) / col;
+      if (ratio < best_ratio - opts.tol ||
+          (ratio < best_ratio + opts.tol && pr < m &&
+           basis[r] < basis[pr])) {
+        best_ratio = ratio;
+        pr = r;
+      }
+    }
+    if (pr == m) return LpStatus::kUnbounded;
+
+    degenerate_streak = (best_ratio <= opts.tol) ? degenerate_streak + 1 : 0;
+    t.pivot(pr, pc);
+    basis[pr] = pc;
+    ++iters;
+  }
+  return LpStatus::kIterLimit;
+}
+
+}  // namespace
+
+std::string to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+LpResult solve_standard_form(const la::Matrix& a, const la::Vector& b,
+                             const la::Vector& c, const LpOptions& opts) {
+  const std::size_t m = a.rows(), n = a.cols();
+  FLEXCS_CHECK(b.size() == m, "LP: b size mismatch");
+  FLEXCS_CHECK(c.size() == n, "LP: c size mismatch");
+  FLEXCS_CHECK(m > 0 && n > 0, "LP: empty problem");
+
+  LpResult result;
+
+  // Phase 1: minimise the sum of m artificial variables. Flip rows with
+  // negative b so the artificial basis starts feasible.
+  Tableau t(m, n + m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double sign = (b[r] < 0.0) ? -1.0 : 1.0;
+    for (std::size_t cc = 0; cc < n; ++cc) t.at(r, cc) = sign * a(r, cc);
+    t.at(r, n + r) = 1.0;
+    t.at(r, n + m) = sign * b[r];
+  }
+  // Objective row: sum of artificials expressed via the constraint rows.
+  for (std::size_t cc = 0; cc <= n + m; ++cc) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < m; ++r) s += t.at(r, cc);
+    if (cc < n + m && cc >= n) {
+      t.at(m, cc) = 0.0;  // reduced cost of basic artificials is zero
+    } else {
+      t.at(m, cc) = -s;
+    }
+  }
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t r = 0; r < m; ++r) basis[r] = n + r;
+
+  LpStatus phase1 = iterate(t, basis, opts, result.iterations,
+                            /*use_bland_always=*/false);
+  if (phase1 == LpStatus::kIterLimit) {
+    // Retry remaining iterations with Bland's rule (guaranteed finite).
+    phase1 = iterate(t, basis, opts, result.iterations,
+                     /*use_bland_always=*/true);
+  }
+  if (phase1 != LpStatus::kOptimal) {
+    result.status = phase1 == LpStatus::kUnbounded ? LpStatus::kInfeasible
+                                                   : phase1;
+    return result;
+  }
+  // Phase-1 objective value is -t(m, rhs); infeasible if > tol.
+  if (-t.at(m, n + m) > 1e-7) {
+    result.status = LpStatus::kInfeasible;
+    return result;
+  }
+
+  // Drive any artificial variables still in the basis out (or drop
+  // redundant rows by pivoting on any nonzero structural column).
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) continue;
+    std::size_t pc = n;
+    for (std::size_t cc = 0; cc < n; ++cc) {
+      if (std::fabs(t.at(r, cc)) > opts.tol) {
+        pc = cc;
+        break;
+      }
+    }
+    if (pc < n) {
+      t.pivot(r, pc);
+      basis[r] = pc;
+    }
+    // else: the row is all-zero over structural columns — redundant
+    // constraint; the artificial stays basic at value zero, harmless.
+  }
+
+  // Phase 2: install the real objective, priced out over the current basis.
+  for (std::size_t cc = 0; cc <= n + m; ++cc) t.at(m, cc) = 0.0;
+  for (std::size_t cc = 0; cc < n; ++cc) t.at(m, cc) = c[cc];
+  // Make artificial columns unattractive so they never re-enter.
+  for (std::size_t cc = n; cc < n + m; ++cc)
+    t.at(m, cc) = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] >= n) continue;
+    const double cb = c[basis[r]];
+    if (cb == 0.0) continue;
+    for (std::size_t cc = 0; cc <= n + m; ++cc) {
+      if (std::isinf(t.at(m, cc))) continue;
+      t.at(m, cc) -= cb * t.at(r, cc);
+    }
+  }
+
+  LpStatus phase2 = iterate(t, basis, opts, result.iterations,
+                            /*use_bland_always=*/false);
+  if (phase2 == LpStatus::kIterLimit) {
+    phase2 = iterate(t, basis, opts, result.iterations,
+                     /*use_bland_always=*/true);
+  }
+  result.status = phase2;
+  if (phase2 != LpStatus::kOptimal) return result;
+
+  result.x = la::Vector(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) result.x[basis[r]] = t.at(r, n + m);
+  }
+  result.objective = dot(result.x, c);
+  return result;
+}
+
+}  // namespace flexcs::lp

@@ -1,0 +1,45 @@
+// Dense two-phase primal simplex for standard-form linear programs.
+//
+// The paper (Sec. 3.1) notes that the L1 decoding problem "can be
+// re-formulated as a linear programming problem and solved efficiently in the
+// silicon side" [23]. solvers/bp_lp.cpp performs that reformulation on top of
+// this solver.
+#pragma once
+
+#include <string>
+
+#include "la/matrix.hpp"
+
+namespace flexcs::lp {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+};
+
+std::string to_string(LpStatus status);
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterLimit;
+  la::Vector x;          // primal solution (valid when optimal)
+  double objective = 0;  // c^T x at the solution
+  int iterations = 0;    // total pivots across both phases
+};
+
+struct LpOptions {
+  int max_iterations = 20000;  // per phase
+  double tol = 1e-9;           // feasibility / optimality tolerance
+};
+
+/// Solves  min c^T x  s.t.  A x = b,  x >= 0  (standard form).
+///
+/// Rows of A must be <= cols. b may have any sign (rows are flipped
+/// internally so the phase-1 start is feasible). Dense two-phase tableau
+/// simplex; pivoting uses Dantzig's rule with a Bland fallback to guarantee
+/// termination on degenerate problems.
+LpResult solve_standard_form(const la::Matrix& a, const la::Vector& b,
+                             const la::Vector& c, const LpOptions& opts = {});
+
+}  // namespace flexcs::lp

@@ -1,0 +1,340 @@
+#include "ml/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::ml {
+
+void he_init(std::vector<float>& w, std::size_t fan_in, Rng& rng) {
+  FLEXCS_CHECK(fan_in > 0, "he_init needs positive fan-in");
+  const double sigma = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (auto& v : w) v = static_cast<float>(rng.normal(0.0, sigma));
+}
+
+// ---------------------------------------------------------------------------
+// Conv2D
+
+Conv2D::Conv2D(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+               std::size_t pad, Rng& rng)
+    : in_ch_(in_ch), out_ch_(out_ch), kernel_(kernel), pad_(pad) {
+  FLEXCS_CHECK(in_ch > 0 && out_ch > 0 && kernel > 0, "bad conv shape");
+  FLEXCS_CHECK(pad < kernel, "padding must be smaller than the kernel");
+  weights_.values.resize(out_ch * in_ch * kernel * kernel);
+  weights_.grads.resize(weights_.values.size(), 0.0f);
+  he_init(weights_.values, in_ch * kernel * kernel, rng);
+  bias_.values.resize(out_ch, 0.0f);
+  bias_.grads.resize(out_ch, 0.0f);
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
+  FLEXCS_CHECK(x.c() == in_ch_, "conv input channel mismatch");
+  FLEXCS_CHECK(x.h() + 2 * pad_ >= kernel_ && x.w() + 2 * pad_ >= kernel_,
+               "conv input too small");
+  input_ = x;
+  const std::size_t oh = x.h() + 2 * pad_ - kernel_ + 1;
+  const std::size_t ow = x.w() + 2 * pad_ - kernel_ + 1;
+  Tensor y(x.n(), out_ch_, oh, ow, 0.0f);
+
+  const auto ih = static_cast<std::ptrdiff_t>(x.h());
+  const auto iw = static_cast<std::ptrdiff_t>(x.w());
+  for (std::size_t in = 0; in < x.n(); ++in) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float b = bias_.values[oc];
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = b;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            const float* wbase =
+                &weights_.values[((oc * in_ch_ + ic) * kernel_) * kernel_];
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                        static_cast<std::ptrdiff_t>(pad_);
+              if (sy < 0 || sy >= ih) continue;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t sx =
+                    static_cast<std::ptrdiff_t>(ox + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (sx < 0 || sx >= iw) continue;
+                acc += wbase[ky * kernel_ + kx] *
+                       x.at(in, ic, static_cast<std::size_t>(sy),
+                            static_cast<std::size_t>(sx));
+              }
+            }
+          }
+          y.at(in, oc, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = input_;
+  FLEXCS_CHECK(grad_out.c() == out_ch_ && grad_out.n() == x.n(),
+               "conv grad shape mismatch");
+  Tensor grad_in(x.n(), x.c(), x.h(), x.w(), 0.0f);
+  const auto ih = static_cast<std::ptrdiff_t>(x.h());
+  const auto iw = static_cast<std::ptrdiff_t>(x.w());
+
+  for (std::size_t in = 0; in < x.n(); ++in) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t oy = 0; oy < grad_out.h(); ++oy) {
+        for (std::size_t ox = 0; ox < grad_out.w(); ++ox) {
+          const float g = grad_out.at(in, oc, oy, ox);
+          if (g == 0.0f) continue;
+          bias_.grads[oc] += g;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            float* wgrad =
+                &weights_.grads[((oc * in_ch_ + ic) * kernel_) * kernel_];
+            const float* wval =
+                &weights_.values[((oc * in_ch_ + ic) * kernel_) * kernel_];
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                        static_cast<std::ptrdiff_t>(pad_);
+              if (sy < 0 || sy >= ih) continue;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t sx =
+                    static_cast<std::ptrdiff_t>(ox + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (sx < 0 || sx >= iw) continue;
+                const auto ssy = static_cast<std::size_t>(sy);
+                const auto ssx = static_cast<std::size_t>(sx);
+                wgrad[ky * kernel_ + kx] += g * x.at(in, ic, ssy, ssx);
+                grad_in.at(in, ic, ssy, ssx) += g * wval[ky * kernel_ + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+
+Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
+  input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y.data()[i] = std::max(0.0f, y.data()[i]);
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  FLEXCS_CHECK(grad_out.size() == input_.size(), "relu grad shape mismatch");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (input_.data()[i] <= 0.0f) g.data()[i] = 0.0f;
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2
+
+Tensor MaxPool2::forward(const Tensor& x, bool /*training*/) {
+  FLEXCS_CHECK(x.h() % 2 == 0 && x.w() % 2 == 0,
+               "maxpool2 needs even spatial dims");
+  input_ = x;
+  const std::size_t oh = x.h() / 2, ow = x.w() / 2;
+  Tensor y(x.n(), x.c(), oh, ow);
+  argmax_.assign(y.size(), 0);
+  std::size_t out_idx = 0;
+  for (std::size_t in = 0; in < x.n(); ++in) {
+    for (std::size_t ic = 0; ic < x.c(); ++ic) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -1e30f;
+          std::size_t best_idx = 0;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t sy = 2 * oy + dy, sx = 2 * ox + dx;
+              const float v = x.at(in, ic, sy, sx);
+              if (v > best) {
+                best = v;
+                best_idx = ((in * x.c() + ic) * x.h() + sy) * x.w() + sx;
+              }
+            }
+          }
+          y.at(in, ic, oy, ox) = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2::backward(const Tensor& grad_out) {
+  FLEXCS_CHECK(grad_out.size() == argmax_.size(), "pool grad shape mismatch");
+  Tensor g(input_.n(), input_.c(), input_.h(), input_.w(), 0.0f);
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    g.data()[argmax_[i]] += grad_out.data()[i];
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
+  h_ = x.h();
+  w_ = x.w();
+  Tensor y(x.n(), x.c(), 1, 1);
+  const float inv = 1.0f / static_cast<float>(x.h() * x.w());
+  for (std::size_t in = 0; in < x.n(); ++in) {
+    for (std::size_t ic = 0; ic < x.c(); ++ic) {
+      float s = 0.0f;
+      for (std::size_t iy = 0; iy < x.h(); ++iy)
+        for (std::size_t ix = 0; ix < x.w(); ++ix) s += x.at(in, ic, iy, ix);
+      y.at(in, ic, 0, 0) = s * inv;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  Tensor g(grad_out.n(), grad_out.c(), h_, w_);
+  const float inv = 1.0f / static_cast<float>(h_ * w_);
+  for (std::size_t in = 0; in < g.n(); ++in)
+    for (std::size_t ic = 0; ic < g.c(); ++ic) {
+      const float v = grad_out.at(in, ic, 0, 0) * inv;
+      for (std::size_t iy = 0; iy < h_; ++iy)
+        for (std::size_t ix = 0; ix < w_; ++ix) g.at(in, ic, iy, ix) = v;
+    }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+
+Dense::Dense(std::size_t in_features, std::size_t units, Rng& rng)
+    : in_features_(in_features), units_(units) {
+  FLEXCS_CHECK(in_features > 0 && units > 0, "bad dense shape");
+  weights_.values.resize(units * in_features);
+  weights_.grads.resize(weights_.values.size(), 0.0f);
+  he_init(weights_.values, in_features, rng);
+  bias_.values.resize(units, 0.0f);
+  bias_.grads.resize(units, 0.0f);
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  FLEXCS_CHECK(x.c() * x.h() * x.w() == in_features_,
+               "dense input feature mismatch");
+  input_ = x;
+  Tensor y(x.n(), units_, 1, 1);
+  for (std::size_t in = 0; in < x.n(); ++in) {
+    const float* xrow = x.data() + in * in_features_;
+    for (std::size_t u = 0; u < units_; ++u) {
+      const float* wrow = &weights_.values[u * in_features_];
+      float acc = bias_.values[u];
+      for (std::size_t f = 0; f < in_features_; ++f) acc += wrow[f] * xrow[f];
+      y.at(in, u, 0, 0) = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  FLEXCS_CHECK(grad_out.c() == units_, "dense grad shape mismatch");
+  Tensor g(input_.n(), input_.c(), input_.h(), input_.w(), 0.0f);
+  for (std::size_t in = 0; in < input_.n(); ++in) {
+    const float* xrow = input_.data() + in * in_features_;
+    float* grow = g.data() + in * in_features_;
+    for (std::size_t u = 0; u < units_; ++u) {
+      const float go = grad_out.at(in, u, 0, 0);
+      if (go == 0.0f) continue;
+      bias_.grads[u] += go;
+      float* wgrad = &weights_.grads[u * in_features_];
+      const float* wval = &weights_.values[u * in_features_];
+      for (std::size_t f = 0; f < in_features_; ++f) {
+        wgrad[f] += go * xrow[f];
+        grow[f] += go * wval[f];
+      }
+    }
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+
+Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(&rng) {
+  FLEXCS_CHECK(rate >= 0.0 && rate < 1.0, "dropout rate must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  if (!training || rate_ == 0.0) {
+    mask_.clear();
+    return x;
+  }
+  mask_.resize(x.size());
+  const float scale = 1.0f / static_cast<float>(1.0 - rate_);
+  Tensor y = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mask_[i] = rng_->bernoulli(rate_) ? 0.0f : scale;
+    y.data()[i] *= mask_[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;
+  FLEXCS_CHECK(mask_.size() == grad_out.size(), "dropout grad mismatch");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= mask_[i];
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Loss
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  FLEXCS_CHECK(labels.size() == logits.n(), "label count mismatch");
+  const std::size_t classes = logits.c();
+  FLEXCS_CHECK(logits.h() == 1 && logits.w() == 1, "logits must be (N,C,1,1)");
+
+  LossResult r;
+  r.grad_logits = Tensor(logits.n(), classes, 1, 1);
+  double total = 0.0;
+  for (std::size_t in = 0; in < logits.n(); ++in) {
+    const int label = labels[in];
+    FLEXCS_CHECK(label >= 0 && static_cast<std::size_t>(label) < classes,
+                 "label out of range");
+    // Stable softmax.
+    float maxv = -1e30f;
+    for (std::size_t c = 0; c < classes; ++c)
+      maxv = std::max(maxv, logits.at(in, c, 0, 0));
+    double denom = 0.0;
+    std::size_t best = 0;
+    float bestv = -1e30f;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const float v = logits.at(in, c, 0, 0);
+      denom += std::exp(static_cast<double>(v - maxv));
+      if (v > bestv) {
+        bestv = v;
+        best = c;
+      }
+    }
+    if (static_cast<int>(best) == label) ++r.correct;
+    const double log_denom = std::log(denom);
+    const double logit_l =
+        static_cast<double>(logits.at(in, static_cast<std::size_t>(label), 0, 0) - maxv);
+    total += log_denom - logit_l;
+    const float inv_n = 1.0f / static_cast<float>(logits.n());
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(logits.at(in, c, 0, 0) - maxv)) / denom;
+      const double target = (static_cast<int>(c) == label) ? 1.0 : 0.0;
+      r.grad_logits.at(in, c, 0, 0) = static_cast<float>(p - target) * inv_n;
+    }
+  }
+  r.loss = total / static_cast<double>(logits.n());
+  return r;
+}
+
+}  // namespace flexcs::ml

@@ -1,0 +1,133 @@
+// Neural-network layers with explicit forward/backward passes. The set is
+// exactly what the paper's classifier needs (Sec. 4.2): convolutions,
+// ReLU, max pooling, dropout, dense heads — composed into residual blocks
+// in network.hpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/tensor.hpp"
+
+namespace flexcs::ml {
+
+/// A learnable parameter: values and the gradient accumulated by backward.
+struct Param {
+  std::vector<float> values;
+  std::vector<float> grads;
+
+  void zero_grads() { std::fill(grads.begin(), grads.end(), 0.0f); }
+};
+
+/// Base layer. Layers are stateful across forward/backward (they cache
+/// whatever the backward pass needs), so one layer instance serves one
+/// position in one network.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual std::string name() const = 0;
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+  /// Gradient w.r.t. the layer input; parameter gradients are accumulated
+  /// into params().
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual std::vector<Param*> params() { return {}; }
+};
+
+/// 2-D convolution, stride 1, same or valid padding, square kernel.
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+         std::size_t pad, Rng& rng);
+  std::string name() const override { return "conv2d"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weights_, &bias_}; }
+
+  std::size_t in_channels() const { return in_ch_; }
+  std::size_t out_channels() const { return out_ch_; }
+
+ private:
+  std::size_t in_ch_, out_ch_, kernel_, pad_;
+  Param weights_;  // [out_ch][in_ch][k][k]
+  Param bias_;     // [out_ch]
+  Tensor input_;   // cached for backward
+};
+
+class ReLU final : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor input_;
+};
+
+/// 2x2 max pooling with stride 2 (even H/W required).
+class MaxPool2 final : public Layer {
+ public:
+  std::string name() const override { return "maxpool2"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor input_;
+  std::vector<std::size_t> argmax_;  // winner index per output element
+};
+
+/// Global average pool: (N, C, H, W) -> (N, C, 1, 1).
+class GlobalAvgPool final : public Layer {
+ public:
+  std::string name() const override { return "gap"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::size_t h_ = 0, w_ = 0;
+};
+
+/// Fully connected on flattened input: (N, C, H, W) -> (N, units, 1, 1).
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t units, Rng& rng);
+  std::string name() const override { return "dense"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weights_, &bias_}; }
+
+ private:
+  std::size_t in_features_, units_;
+  Param weights_;  // [units][in_features]
+  Param bias_;
+  Tensor input_;
+};
+
+/// Inverted dropout: active only in training mode.
+class Dropout final : public Layer {
+ public:
+  Dropout(double rate, Rng& rng);
+  std::string name() const override { return "dropout"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  double rate_;
+  Rng* rng_;
+  std::vector<float> mask_;
+};
+
+/// Softmax + categorical cross-entropy on logits (N, classes, 1, 1).
+struct LossResult {
+  double loss = 0.0;         // mean over the batch
+  Tensor grad_logits;        // d loss / d logits
+  std::size_t correct = 0;   // top-1 hits
+};
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// He-normal initialisation helper used by the layers.
+void he_init(std::vector<float>& w, std::size_t fan_in, Rng& rng);
+
+}  // namespace flexcs::ml

@@ -1,0 +1,168 @@
+#include "ml/network.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace flexcs::ml {
+
+ResidualBlock::ResidualBlock(std::size_t in_ch, std::size_t out_ch, Rng& rng)
+    : conv1_(in_ch, out_ch, 3, 1, rng), conv2_(out_ch, out_ch, 3, 1, rng) {
+  if (in_ch != out_ch)
+    projection_ = std::make_unique<Conv2D>(in_ch, out_ch, 1, 0, rng);
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool training) {
+  Tensor main = conv2_.forward(
+      relu1_.forward(conv1_.forward(x, training), training), training);
+  skip_ = projection_ ? projection_->forward(x, training) : x;
+  FLEXCS_CHECK(main.size() == skip_.size(), "residual shape mismatch");
+  sum_ = main;
+  for (std::size_t i = 0; i < sum_.size(); ++i)
+    sum_.data()[i] += skip_.data()[i];
+  Tensor y = sum_;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y.data()[i] = std::max(0.0f, y.data()[i]);
+  return y;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  FLEXCS_CHECK(grad_out.size() == sum_.size(), "residual grad mismatch");
+  // Through the post-add ReLU.
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (sum_.data()[i] <= 0.0f) g.data()[i] = 0.0f;
+
+  // Main path.
+  Tensor grad_main = conv1_.backward(relu1_.backward(conv2_.backward(g)));
+  // Skip path.
+  Tensor grad_skip = projection_ ? projection_->backward(g) : g;
+  FLEXCS_CHECK(grad_main.size() == grad_skip.size(),
+               "residual grad path mismatch");
+  for (std::size_t i = 0; i < grad_main.size(); ++i)
+    grad_main.data()[i] += grad_skip.data()[i];
+  return grad_main;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> p = conv1_.params();
+  for (Param* q : conv2_.params()) p.push_back(q);
+  if (projection_)
+    for (Param* q : projection_->params()) p.push_back(q);
+  return p;
+}
+
+void Network::add(std::unique_ptr<Layer> layer) {
+  FLEXCS_CHECK(layer != nullptr, "null layer");
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Network::forward(const Tensor& x, bool training) {
+  FLEXCS_CHECK(!layers_.empty(), "empty network");
+  Tensor t = x;
+  for (auto& layer : layers_) t = layer->forward(t, training);
+  return t;
+}
+
+void Network::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+}
+
+std::vector<Param*> Network::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_)
+    for (Param* p : layer->params()) out.push_back(p);
+  return out;
+}
+
+void Network::zero_grads() {
+  for (Param* p : params()) p->zero_grads();
+}
+
+std::size_t Network::num_parameters() {
+  std::size_t total = 0;
+  for (Param* p : params()) total += p->values.size();
+  return total;
+}
+
+std::vector<std::vector<float>> Network::save_weights() {
+  std::vector<std::vector<float>> out;
+  for (Param* p : params()) out.push_back(p->values);
+  return out;
+}
+
+void Network::load_weights(const std::vector<std::vector<float>>& weights) {
+  auto ps = params();
+  FLEXCS_CHECK(weights.size() == ps.size(), "weight snapshot mismatch");
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    FLEXCS_CHECK(weights[i].size() == ps[i]->values.size(),
+                 "weight tensor size mismatch");
+    ps[i]->values = weights[i];
+  }
+}
+
+namespace {
+constexpr std::uint32_t kWeightsMagic = 0x464C5857;  // "FLXW"
+}  // namespace
+
+void Network::save_weights_file(const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  FLEXCS_CHECK(f.good(), "cannot open weight file for writing: " + path);
+  const auto ps = params();
+  const auto count = static_cast<std::uint32_t>(ps.size());
+  f.write(reinterpret_cast<const char*>(&kWeightsMagic), sizeof(kWeightsMagic));
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Param* p : ps) {
+    const auto n = static_cast<std::uint64_t>(p->values.size());
+    f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    f.write(reinterpret_cast<const char*>(p->values.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  FLEXCS_CHECK(f.good(), "weight file write failed: " + path);
+}
+
+void Network::load_weights_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  FLEXCS_CHECK(f.good(), "cannot open weight file for reading: " + path);
+  std::uint32_t magic = 0, count = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  FLEXCS_CHECK(f.good() && magic == kWeightsMagic, "not a flexcs weight file");
+  const auto ps = params();
+  FLEXCS_CHECK(count == ps.size(), "weight file parameter count mismatch");
+  for (Param* p : ps) {
+    std::uint64_t n = 0;
+    f.read(reinterpret_cast<char*>(&n), sizeof(n));
+    FLEXCS_CHECK(f.good() && n == p->values.size(),
+                 "weight file tensor size mismatch");
+    f.read(reinterpret_cast<char*>(p->values.data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+    FLEXCS_CHECK(f.good(), "truncated weight file");
+  }
+}
+
+Network make_mini_resnet(std::size_t input_hw, int classes, Rng& rng,
+                         std::size_t base_channels, double dropout_rate) {
+  FLEXCS_CHECK(input_hw % 4 == 0, "input size must be divisible by 4");
+  FLEXCS_CHECK(classes > 1, "need at least two classes");
+  const std::size_t c1 = base_channels, c2 = 2 * base_channels;
+  Network net;
+  net.add(std::make_unique<Conv2D>(1, c1, 3, 1, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<ResidualBlock>(c1, c1, rng));
+  net.add(std::make_unique<MaxPool2>());
+  net.add(std::make_unique<ResidualBlock>(c1, c2, rng));
+  net.add(std::make_unique<MaxPool2>());
+  net.add(std::make_unique<ResidualBlock>(c2, c2, rng));
+  net.add(std::make_unique<GlobalAvgPool>());
+  net.add(std::make_unique<Dropout>(dropout_rate, rng));
+  net.add(std::make_unique<Dense>(c2, static_cast<std::size_t>(classes), rng));
+  (void)input_hw;
+  return net;
+}
+
+}  // namespace flexcs::ml

@@ -1,0 +1,71 @@
+// Network composition: sequential container, residual blocks (He et al.
+// 2016, the paper's [28]), and the mini-ResNet used for the tactile
+// object-recognition study.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/layers.hpp"
+
+namespace flexcs::ml {
+
+/// Residual block: conv-relu-conv plus identity (or 1x1 projection when the
+/// channel count changes), ReLU after the add.
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(std::size_t in_ch, std::size_t out_ch, Rng& rng);
+  std::string name() const override { return "resblock"; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+ private:
+  Conv2D conv1_;
+  ReLU relu1_;
+  Conv2D conv2_;
+  std::unique_ptr<Conv2D> projection_;  // 1x1 when in_ch != out_ch
+  Tensor skip_;       // cached skip-path activation
+  Tensor sum_;        // cached pre-activation sum for the final ReLU
+};
+
+/// Sequential network with a softmax-cross-entropy head.
+class Network {
+ public:
+  void add(std::unique_ptr<Layer> layer);
+  std::size_t num_layers() const { return layers_.size(); }
+
+  Tensor forward(const Tensor& x, bool training);
+  /// Backpropagates from d loss / d logits; accumulates parameter grads.
+  void backward(const Tensor& grad_logits);
+
+  std::vector<Param*> params();
+  void zero_grads();
+
+  /// Total learnable scalar count.
+  std::size_t num_parameters();
+
+  /// Snapshot / restore of all parameter values (for best-checkpoint
+  /// selection during training).
+  std::vector<std::vector<float>> save_weights();
+  void load_weights(const std::vector<std::vector<float>>& weights);
+
+  /// Binary weight-file I/O so trained classifiers can be reused across
+  /// runs. The file records the per-parameter tensor sizes and refuses to
+  /// load into a mismatching architecture.
+  void save_weights_file(const std::string& path);
+  void load_weights_file(const std::string& path);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// The classifier of Sec. 4.2: a small ResNet for 32x32 single-channel
+/// frames over `classes` categories, with max-pooling for down-sampling and
+/// dropout before the head (both called out in the paper).
+Network make_mini_resnet(std::size_t input_hw, int classes, Rng& rng,
+                         std::size_t base_channels = 8,
+                         double dropout_rate = 0.25);
+
+}  // namespace flexcs::ml

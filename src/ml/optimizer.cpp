@@ -1,0 +1,49 @@
+#include "ml/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::ml {
+
+Adam::Adam(std::vector<Param*> params, AdamOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  FLEXCS_CHECK(!params_.empty(), "optimizer needs parameters");
+  FLEXCS_CHECK(opts_.lr > 0, "learning rate must be positive");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    FLEXCS_CHECK(p != nullptr && p->values.size() == p->grads.size(),
+                 "malformed parameter");
+    m_.emplace_back(p->values.size(), 0.0f);
+    v_.emplace_back(p->values.size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const double b1 = opts_.beta1, b2 = opts_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(step_count_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param& p = *params_[pi];
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (std::size_t i = 0; i < p.values.size(); ++i) {
+      const double g = p.grads[i];
+      m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * g);
+      v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * g * g);
+      const double mhat = m[i] / bias1;
+      const double vhat = v[i] / bias2;
+      p.values[i] -= static_cast<float>(opts_.lr * mhat /
+                                        (std::sqrt(vhat) + opts_.eps));
+    }
+  }
+}
+
+void Adam::scale_learning_rate(double factor) {
+  FLEXCS_CHECK(factor > 0, "lr scale must be positive");
+  opts_.lr *= factor;
+}
+
+}  // namespace flexcs::ml

@@ -1,0 +1,36 @@
+// Adam optimiser (the paper trains its ResNet with Adam, Sec. 4.2).
+#pragma once
+
+#include <vector>
+
+#include "ml/layers.hpp"
+
+namespace flexcs::ml {
+
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, AdamOptions opts = {});
+
+  /// One update from the accumulated gradients (does not zero them).
+  void step();
+
+  double learning_rate() const { return opts_.lr; }
+  /// The paper reduces the learning rate by 10x until validation loss
+  /// converges; the trainer calls this on plateau.
+  void scale_learning_rate(double factor);
+
+ private:
+  std::vector<Param*> params_;
+  AdamOptions opts_;
+  std::vector<std::vector<float>> m_, v_;
+  long step_count_ = 0;
+};
+
+}  // namespace flexcs::ml

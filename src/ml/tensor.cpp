@@ -1,0 +1,35 @@
+#include "ml/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::ml {
+
+Tensor::Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w,
+               float fill)
+    : n_(n), c_(c), h_(h), w_(w), data_(n * c * h * w, fill) {
+  FLEXCS_CHECK(n > 0 && c > 0 && h > 0 && w > 0, "empty tensor dimension");
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::reshape(std::size_t n, std::size_t c, std::size_t h,
+                     std::size_t w) {
+  FLEXCS_CHECK(n * c * h * w == data_.size(), "reshape size mismatch");
+  n_ = n;
+  c_ = c;
+  h_ = h;
+  w_ = w;
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  FLEXCS_CHECK(a.size() == b.size(), "tensor size mismatch");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+}  // namespace flexcs::ml

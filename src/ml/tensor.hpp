@@ -1,0 +1,50 @@
+// Minimal dense float tensor (NCHW) for the from-scratch classifier used in
+// the paper's tactile object-recognition study (Sec. 4.2, ResNet-based).
+// Float precision: the networks are small and training speed matters more
+// than the last few bits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flexcs::ml {
+
+/// Dense tensor with explicit NCHW shape (n = batch, c = channels).
+/// Rank-2 data uses (n, c, 1, 1).
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w,
+         float fill = 0.0f);
+
+  std::size_t n() const { return n_; }
+  std::size_t c() const { return c_; }
+  std::size_t h() const { return h_; }
+  std::size_t w() const { return w_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t in, std::size_t ic, std::size_t ih, std::size_t iw) {
+    return data_[((in * c_ + ic) * h_ + ih) * w_ + iw];
+  }
+  float at(std::size_t in, std::size_t ic, std::size_t ih,
+           std::size_t iw) const {
+    return data_[((in * c_ + ic) * h_ + ih) * w_ + iw];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float v);
+  /// Reinterprets the layout without copying; product must match size().
+  void reshape(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+
+  /// Elementwise max |a - b| (shapes must match).
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+ private:
+  std::size_t n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace flexcs::ml

@@ -1,0 +1,169 @@
+#include "ml/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace flexcs::ml {
+namespace {
+
+Tensor to_tensor(const std::vector<const la::Matrix*>& frames) {
+  FLEXCS_CHECK(!frames.empty(), "empty batch");
+  const std::size_t h = frames[0]->rows(), w = frames[0]->cols();
+  Tensor t(frames.size(), 1, h, w);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    FLEXCS_CHECK(frames[i]->rows() == h && frames[i]->cols() == w,
+                 "frame shape mismatch in batch");
+    for (std::size_t p = 0; p < h * w; ++p)
+      t.data()[i * h * w + p] = static_cast<float>(frames[i]->data()[p]);
+  }
+  return t;
+}
+
+EvalResult eval_impl(Network& net, const std::vector<const la::Matrix*>& frames,
+                     const std::vector<int>& labels, std::size_t batch_size) {
+  FLEXCS_CHECK(frames.size() == labels.size() && !frames.empty(),
+               "evaluation set mismatch");
+  double loss = 0.0;
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < frames.size(); start += batch_size) {
+    const std::size_t end = std::min(frames.size(), start + batch_size);
+    std::vector<const la::Matrix*> chunk(frames.begin() + static_cast<std::ptrdiff_t>(start),
+                                         frames.begin() + static_cast<std::ptrdiff_t>(end));
+    std::vector<int> chunk_labels(labels.begin() + static_cast<std::ptrdiff_t>(start),
+                                  labels.begin() + static_cast<std::ptrdiff_t>(end));
+    const Tensor logits = net.forward(to_tensor(chunk), /*training=*/false);
+    const LossResult r = softmax_cross_entropy(logits, chunk_labels);
+    loss += r.loss * static_cast<double>(chunk.size());
+    correct += r.correct;
+  }
+  EvalResult out;
+  out.loss = loss / static_cast<double>(frames.size());
+  out.accuracy =
+      static_cast<double>(correct) / static_cast<double>(frames.size());
+  return out;
+}
+
+}  // namespace
+
+Tensor batch_from_frames(const std::vector<const la::Matrix*>& frames) {
+  return to_tensor(frames);
+}
+
+EvalResult evaluate(Network& net, const data::Dataset& ds,
+                    std::size_t batch_size) {
+  std::vector<const la::Matrix*> frames;
+  std::vector<int> labels;
+  for (const auto& f : ds.frames) {
+    frames.push_back(&f.values);
+    labels.push_back(f.label);
+  }
+  return eval_impl(net, frames, labels, batch_size);
+}
+
+EvalResult evaluate_frames(Network& net, const std::vector<la::Matrix>& frames,
+                           const std::vector<int>& labels,
+                           std::size_t batch_size) {
+  std::vector<const la::Matrix*> ptrs;
+  ptrs.reserve(frames.size());
+  for (const auto& f : frames) ptrs.push_back(&f);
+  return eval_impl(net, ptrs, labels, batch_size);
+}
+
+TrainResult train_classifier(Network& net, const data::Dataset& train,
+                             const data::Dataset& val,
+                             const TrainOptions& opts, Rng& rng) {
+  FLEXCS_CHECK(!train.frames.empty() && !val.frames.empty(),
+               "need non-empty train and validation sets");
+  FLEXCS_CHECK(opts.epochs > 0 && opts.batch_size > 0, "bad train options");
+
+  Adam adam(net.params(), opts.adam);
+  TrainResult result;
+  double best_val_acc = -1.0;
+  double best_val_loss = 1e300;
+  int epochs_since_improvement = 0;
+  std::vector<std::vector<float>> best_weights;
+
+  std::vector<std::size_t> order(train.frames.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t epoch_correct = 0;
+
+    std::vector<la::Matrix> augmented;  // storage for corrupted copies
+    for (std::size_t start = 0; start < order.size();
+         start += opts.batch_size) {
+      const std::size_t end = std::min(order.size(), start + opts.batch_size);
+      std::vector<const la::Matrix*> frames;
+      std::vector<int> labels;
+      augmented.clear();
+      augmented.reserve(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        const la::Matrix& src = train.frames[order[i]].values;
+        if (opts.augment_defect_rate > 0.0) {
+          augmented.push_back(src);
+          const double rate = rng.uniform(0.0, opts.augment_defect_rate);
+          for (std::size_t p = 0; p < augmented.back().size(); ++p) {
+            if (rng.bernoulli(rate))
+              augmented.back().data()[p] = rng.bernoulli(0.5) ? 1.0 : 0.0;
+          }
+          frames.push_back(&augmented.back());
+        } else {
+          frames.push_back(&src);
+        }
+        labels.push_back(train.frames[order[i]].label);
+      }
+      net.zero_grads();
+      const Tensor logits = net.forward(to_tensor(frames), /*training=*/true);
+      const LossResult r = softmax_cross_entropy(logits, labels);
+      net.backward(r.grad_logits);
+      adam.step();
+      epoch_loss += r.loss * static_cast<double>(frames.size());
+      epoch_correct += r.correct;
+    }
+
+    EpochStats stats;
+    stats.train_loss = epoch_loss / static_cast<double>(order.size());
+    stats.train_accuracy = static_cast<double>(epoch_correct) /
+                           static_cast<double>(order.size());
+    const EvalResult v = evaluate(net, val, opts.batch_size);
+    stats.val_loss = v.loss;
+    stats.val_accuracy = v.accuracy;
+    stats.learning_rate = adam.learning_rate();
+    result.history.push_back(stats);
+
+    if (opts.verbose) {
+      std::printf(
+          "epoch %2d  train loss %.4f acc %.3f | val loss %.4f acc %.3f | "
+          "lr %.2g\n",
+          epoch + 1, stats.train_loss, stats.train_accuracy, stats.val_loss,
+          stats.val_accuracy, stats.learning_rate);
+    }
+
+    // Best-checkpoint selection on validation accuracy (the paper keeps the
+    // weights with the best validation accuracy for final evaluation).
+    if (v.accuracy > best_val_acc) {
+      best_val_acc = v.accuracy;
+      best_weights = net.save_weights();
+    }
+    // Learning-rate schedule: reduce by 10x when validation loss plateaus.
+    if (v.loss < best_val_loss - 1e-4) {
+      best_val_loss = v.loss;
+      epochs_since_improvement = 0;
+    } else if (++epochs_since_improvement >= opts.plateau_patience) {
+      if (adam.learning_rate() * opts.lr_plateau_factor >= opts.min_lr)
+        adam.scale_learning_rate(opts.lr_plateau_factor);
+      epochs_since_improvement = 0;
+    }
+  }
+
+  if (!best_weights.empty()) net.load_weights(best_weights);
+  result.best_val_accuracy = std::max(best_val_acc, 0.0);
+  return result;
+}
+
+}  // namespace flexcs::ml

@@ -1,0 +1,67 @@
+// Training loop for the tactile classifier, following the paper's recipe
+// (Sec. 4.2): Adam, categorical cross-entropy, learning-rate reduction by
+// 10x on validation plateau, best-validation-accuracy checkpoint selection.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "ml/network.hpp"
+#include "ml/optimizer.hpp"
+
+namespace flexcs::ml {
+
+struct TrainOptions {
+  int epochs = 20;
+  std::size_t batch_size = 16;
+  AdamOptions adam;
+  double lr_plateau_factor = 0.1;  // multiply lr by this on plateau
+  int plateau_patience = 3;        // epochs without val-loss improvement
+  double min_lr = 1e-5;
+  // Training-time robustness augmentation: each training frame gets sparse
+  // stuck-at-0/1 errors at a rate drawn uniformly from [0, this]. Real
+  // tactile recordings contain such glitches, which is what makes the
+  // paper's baseline degrade gracefully rather than collapse.
+  double augment_defect_rate = 0.0;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double val_loss = 0.0;
+  double val_accuracy = 0.0;
+  double learning_rate = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double best_val_accuracy = 0.0;
+};
+
+/// Converts labelled frames to an input batch tensor + labels.
+Tensor batch_from_frames(const std::vector<const la::Matrix*>& frames);
+
+/// Trains `net` on `train`, validating each epoch on `val`; restores the
+/// weights with the best validation accuracy before returning.
+TrainResult train_classifier(Network& net, const data::Dataset& train,
+                             const data::Dataset& val,
+                             const TrainOptions& opts, Rng& rng);
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Evaluates without updating weights.
+EvalResult evaluate(Network& net, const data::Dataset& ds,
+                    std::size_t batch_size = 32);
+
+/// Evaluates on externally supplied frames (e.g. corrupted or CS-
+/// reconstructed versions of the dataset frames) with the dataset's labels.
+EvalResult evaluate_frames(Network& net,
+                           const std::vector<la::Matrix>& frames,
+                           const std::vector<int>& labels,
+                           std::size_t batch_size = 32);
+
+}  // namespace flexcs::ml

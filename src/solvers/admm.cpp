@@ -1,0 +1,85 @@
+#include "solvers/admm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "la/decomp.hpp"
+#include "solvers/fista.hpp"
+
+namespace flexcs::solvers {
+
+SolveResult AdmmLassoSolver::solve(const la::Matrix& a,
+                                   const la::Vector& b) const {
+  const std::size_t m = a.rows(), n = a.cols();
+  FLEXCS_CHECK(b.size() == m, "ADMM: shape mismatch");
+
+  SolveResult result;
+  result.x = la::Vector(n, 0.0);
+  if (b.norm2() == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  const la::Vector atb = matvec_t(a, b);
+  const double lambda =
+      opts_.lambda > 0.0 ? opts_.lambda : 1e-3 * atb.norm_inf();
+  const double rho = opts_.rho;
+
+  // Woodbury: (A^T A + rho I)^{-1} q = (q - A^T (rho I + A A^T)^{-1} A q)/rho.
+  la::Matrix small = matmul_a_bt(a, a);  // A A^T, M x M
+  for (std::size_t i = 0; i < m; ++i) small(i, i) += rho;
+  const la::Matrix chol = la::cholesky(small);
+
+  auto apply_inverse = [&](const la::Vector& q) {
+    const la::Vector aq = matvec(a, q);
+    const la::Vector w = la::cholesky_solve(chol, aq);
+    la::Vector out = q - matvec_t(a, w);
+    out /= rho;
+    return out;
+  };
+
+  la::Vector x(n, 0.0), z(n, 0.0), u(n, 0.0);
+
+  for (int it = 0; it < opts_.max_iterations; ++it) {
+    // x-update: argmin 0.5||Ax-b||^2 + rho/2 ||x - z + u||^2.
+    la::Vector q = atb;
+    for (std::size_t i = 0; i < n; ++i) q[i] += rho * (z[i] - u[i]);
+    x = apply_inverse(q);
+
+    // z-update: soft threshold.
+    la::Vector z_old = z;
+    for (std::size_t i = 0; i < n; ++i)
+      z[i] = soft_threshold(x[i] + u[i], lambda / rho);
+
+    // Dual update.
+    for (std::size_t i = 0; i < n; ++i) u[i] += x[i] - z[i];
+
+    // Standard ADMM stopping criteria (Boyd et al. §3.3).
+    double r_norm = 0.0, s_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ri = x[i] - z[i];
+      const double si = rho * (z[i] - z_old[i]);
+      r_norm += ri * ri;
+      s_norm += si * si;
+    }
+    r_norm = std::sqrt(r_norm);
+    s_norm = std::sqrt(s_norm);
+    const double sqrt_n = std::sqrt(static_cast<double>(n));
+    const double eps_pri =
+        sqrt_n * opts_.abs_tol +
+        opts_.rel_tol * std::max(x.norm2(), z.norm2());
+    const double eps_dual =
+        sqrt_n * opts_.abs_tol + opts_.rel_tol * rho * u.norm2();
+    result.iterations = it + 1;
+    if (r_norm < eps_pri && s_norm < eps_dual) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.x = z;  // z is the sparse iterate
+  result.residual_norm = (matvec(a, z) - b).norm2();
+  return result;
+}
+
+}  // namespace flexcs::solvers

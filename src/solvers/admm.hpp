@@ -1,0 +1,32 @@
+// ADMM solver for the lasso / basis-pursuit-denoising decoder problem:
+//   min_x 0.5||Ax - b||^2 + lambda ||x||_1.
+//
+// The x-update solves (A^T A + rho I) x = A^T b + rho (z - u). Because the
+// CS matrix is wide (M < N), the inverse is applied through the Woodbury
+// identity using a Cholesky factor of the small M x M matrix (rho I + A A^T),
+// precomputed once per solve. This is the library's default decoder.
+#pragma once
+
+#include "solvers/solver.hpp"
+
+namespace flexcs::solvers {
+
+struct AdmmOptions {
+  double lambda = 0.0;      // 0 => scale-adaptive: 1e-3 * ||A^T b||_inf
+  double rho = 1.0;         // augmented Lagrangian parameter
+  int max_iterations = 400;
+  double abs_tol = 1e-7;
+  double rel_tol = 1e-5;
+};
+
+class AdmmLassoSolver final : public SparseSolver {
+ public:
+  explicit AdmmLassoSolver(AdmmOptions opts = {}) : opts_(opts) {}
+  std::string name() const override { return "admm"; }
+  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ private:
+  AdmmOptions opts_;
+};
+
+}  // namespace flexcs::solvers

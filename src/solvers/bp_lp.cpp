@@ -1,0 +1,39 @@
+#include "solvers/bp_lp.hpp"
+
+#include "common/check.hpp"
+#include "lp/simplex.hpp"
+
+namespace flexcs::solvers {
+
+SolveResult BpLpSolver::solve(const la::Matrix& a,
+                              const la::Vector& b) const {
+  const std::size_t m = a.rows(), n = a.cols();
+  FLEXCS_CHECK(b.size() == m, "BP-LP: shape mismatch");
+
+  // Stack [A, -A] for the positive/negative parts.
+  la::Matrix big(m, 2 * n);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      big(r, c) = a(r, c);
+      big(r, n + c) = -a(r, c);
+    }
+  }
+  la::Vector cost(2 * n, 1.0);
+
+  lp::LpOptions lp_opts;
+  lp_opts.max_iterations = opts_.max_iterations;
+  const lp::LpResult lp_res = lp::solve_standard_form(big, b, cost, lp_opts);
+
+  SolveResult result;
+  result.x = la::Vector(n, 0.0);
+  result.iterations = lp_res.iterations;
+  result.converged = lp_res.status == lp::LpStatus::kOptimal;
+  if (result.converged) {
+    for (std::size_t c = 0; c < n; ++c)
+      result.x[c] = lp_res.x[c] - lp_res.x[n + c];
+  }
+  result.residual_norm = (matvec(a, result.x) - b).norm2();
+  return result;
+}
+
+}  // namespace flexcs::solvers

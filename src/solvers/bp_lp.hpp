@@ -1,0 +1,29 @@
+// Basis pursuit via linear programming — the reformulation the paper cites
+// for silicon-side decoding (Sec. 3.1, [23]):
+//   min ||x||_1  s.t.  A x = b
+// becomes, with x = p - q and p, q >= 0:
+//   min 1^T p + 1^T q  s.t.  A p - A q = b,  p, q >= 0.
+//
+// Exact (no shrinkage bias) but O((M+N)^3)-ish in practice; intended for
+// small problems and for cross-validating the first-order solvers.
+#pragma once
+
+#include "solvers/solver.hpp"
+
+namespace flexcs::solvers {
+
+struct BpLpOptions {
+  int max_iterations = 50000;  // simplex pivots per phase
+};
+
+class BpLpSolver final : public SparseSolver {
+ public:
+  explicit BpLpSolver(BpLpOptions opts = {}) : opts_(opts) {}
+  std::string name() const override { return "bp-lp"; }
+  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ private:
+  BpLpOptions opts_;
+};
+
+}  // namespace flexcs::solvers

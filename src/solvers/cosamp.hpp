@@ -1,0 +1,25 @@
+// CoSaMP (Compressive Sampling Matching Pursuit, Needell & Tropp 2009):
+// batch greedy recovery with support pruning. Needs a target sparsity K.
+#pragma once
+
+#include "solvers/solver.hpp"
+
+namespace flexcs::solvers {
+
+struct CosampOptions {
+  std::size_t sparsity = 0;     // K; 0 => a.rows() / 4
+  int max_iterations = 50;
+  double residual_tol = 1e-6;   // stop when ||r||/||b|| below this
+};
+
+class CosampSolver final : public SparseSolver {
+ public:
+  explicit CosampSolver(CosampOptions opts = {}) : opts_(opts) {}
+  std::string name() const override { return "cosamp"; }
+  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ private:
+  CosampOptions opts_;
+};
+
+}  // namespace flexcs::solvers

@@ -1,0 +1,82 @@
+#include "solvers/fista.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::solvers {
+
+double soft_threshold(double v, double t) {
+  if (v > t) return v - t;
+  if (v < -t) return v + t;
+  return 0.0;
+}
+
+la::Vector soft_threshold(const la::Vector& v, double t) {
+  la::Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = soft_threshold(v[i], t);
+  return out;
+}
+
+SolveResult FistaSolver::solve(const la::Matrix& a,
+                               const la::Vector& b) const {
+  const std::size_t n = a.cols();
+  FLEXCS_CHECK(b.size() == a.rows(), "FISTA: shape mismatch");
+
+  SolveResult result;
+  result.x = la::Vector(n, 0.0);
+  const double bnorm = b.norm2();
+  if (bnorm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  const la::Vector atb = matvec_t(a, b);
+  const double lambda =
+      opts_.lambda > 0.0 ? opts_.lambda : 1e-3 * atb.norm_inf();
+
+  // Lipschitz constant of the gradient is sigma_max(A)^2.
+  const double sigma = la::spectral_norm(a);
+  FLEXCS_CHECK(sigma > 0.0, "FISTA: zero operator");
+  const double step = 1.0 / (sigma * sigma);
+
+  la::Vector x(n, 0.0);
+  la::Vector y = x;  // extrapolation point
+  double t = 1.0;
+
+  for (int it = 0; it < opts_.max_iterations; ++it) {
+    // Gradient step at y: grad = A^T (A y - b).
+    const la::Vector ay = matvec(a, y);
+    la::Vector grad = matvec_t(a, ay);
+    grad -= atb;
+    la::Vector x_new(n);
+    for (std::size_t i = 0; i < n; ++i)
+      x_new[i] = soft_threshold(y[i] - step * grad[i], step * lambda);
+
+    const double dx = la::max_abs_diff(x_new, x);
+    const double xmax = std::max(1e-12, x_new.norm_inf());
+    result.iterations = it + 1;
+
+    if (opts_.accelerate) {
+      const double t_new = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+      const double beta = (t - 1.0) / t_new;
+      for (std::size_t i = 0; i < n; ++i)
+        y[i] = x_new[i] + beta * (x_new[i] - x[i]);
+      t = t_new;
+    } else {
+      y = x_new;
+    }
+    x = x_new;
+
+    if (dx / xmax < opts_.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.x = x;
+  result.residual_norm = (matvec(a, x) - b).norm2();
+  return result;
+}
+
+}  // namespace flexcs::solvers

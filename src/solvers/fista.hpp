@@ -1,0 +1,31 @@
+// ISTA / FISTA proximal-gradient solvers for the lasso (basis pursuit
+// denoising) form of the decoder:  min_x 0.5||Ax - b||^2 + lambda ||x||_1.
+#pragma once
+
+#include "solvers/solver.hpp"
+
+namespace flexcs::solvers {
+
+struct FistaOptions {
+  double lambda = 0.0;        // 0 => scale-adaptive: 1e-3 * ||A^T b||_inf
+  int max_iterations = 500;
+  double tol = 1e-7;          // relative change in x between iterations
+  bool accelerate = true;     // FISTA momentum; false gives plain ISTA
+};
+
+class FistaSolver final : public SparseSolver {
+ public:
+  explicit FistaSolver(FistaOptions opts = {}) : opts_(opts) {}
+  std::string name() const override { return opts_.accelerate ? "fista" : "ista"; }
+  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ private:
+  FistaOptions opts_;
+};
+
+/// Soft-thresholding shrink(v, t) = sign(v) * max(|v| - t, 0), the proximal
+/// operator of t*||.||_1. Exposed for reuse (ADMM, RPCA).
+double soft_threshold(double v, double t);
+la::Vector soft_threshold(const la::Vector& v, double t);
+
+}  // namespace flexcs::solvers

@@ -1,0 +1,66 @@
+#include "solvers/irls.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "la/decomp.hpp"
+
+namespace flexcs::solvers {
+
+SolveResult IrlsSolver::solve(const la::Matrix& a,
+                              const la::Vector& b) const {
+  const std::size_t m = a.rows(), n = a.cols();
+  FLEXCS_CHECK(b.size() == m, "IRLS: shape mismatch");
+
+  SolveResult result;
+  result.x = la::Vector(n, 0.0);
+  if (b.norm2() == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Start from the minimum-l2-norm solution (W = I).
+  la::Vector x(n, 0.0);
+  double eps = opts_.eps_initial;
+
+  for (int it = 0; it < opts_.max_iterations; ++it) {
+    // Weighted Gram K = A W A^T with W = diag(|x| + eps).
+    la::Matrix k(m, m, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double w = std::fabs(x[j]) + eps;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double arw = a(r, j) * w;
+        if (arw == 0.0) continue;
+        for (std::size_t c = r; c < m; ++c) k(r, c) += arw * a(c, j);
+      }
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      k(r, r) += opts_.ridge;
+      for (std::size_t c = 0; c < r; ++c) k(r, c) = k(c, r);
+    }
+
+    const la::Matrix chol = la::cholesky(k);
+    const la::Vector y = la::cholesky_solve(chol, b);
+    la::Vector x_new = matvec_t(a, y);
+    for (std::size_t j = 0; j < n; ++j)
+      x_new[j] *= std::fabs(x[j]) + eps;
+
+    const double dx = la::max_abs_diff(x_new, x);
+    const double xmax = std::max(1e-12, x_new.norm_inf());
+    x = x_new;
+    result.iterations = it + 1;
+
+    // Anneal the smoothing parameter as the iterate stabilises.
+    eps = std::max(opts_.eps_floor, eps * 0.5);
+    if (dx / xmax < opts_.tol && eps <= opts_.eps_floor * 2.0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.x = x;
+  result.residual_norm = (matvec(a, x) - b).norm2();
+  return result;
+}
+
+}  // namespace flexcs::solvers

@@ -1,0 +1,28 @@
+// Iteratively Reweighted Least Squares (FOCUSS-style) for basis pursuit:
+// approximates min ||x||_1 s.t. Ax = b by solving a sequence of weighted
+// minimum-norm problems x = W A^T (A W A^T)^{-1} b with W = diag(|x| + eps).
+#pragma once
+
+#include "solvers/solver.hpp"
+
+namespace flexcs::solvers {
+
+struct IrlsOptions {
+  int max_iterations = 60;
+  double tol = 1e-7;          // relative change in x
+  double eps_initial = 1.0;   // smoothing, annealed towards eps_floor
+  double eps_floor = 1e-8;
+  double ridge = 1e-10;       // diagonal regulariser for A W A^T
+};
+
+class IrlsSolver final : public SparseSolver {
+ public:
+  explicit IrlsSolver(IrlsOptions opts = {}) : opts_(opts) {}
+  std::string name() const override { return "irls"; }
+  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ private:
+  IrlsOptions opts_;
+};
+
+}  // namespace flexcs::solvers

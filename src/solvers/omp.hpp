@@ -1,0 +1,24 @@
+// Orthogonal Matching Pursuit: greedy support selection with an
+// incrementally-updated Cholesky factor of the support Gram matrix.
+#pragma once
+
+#include "solvers/solver.hpp"
+
+namespace flexcs::solvers {
+
+struct OmpOptions {
+  std::size_t max_sparsity = 0;   // 0 => a.rows() / 2
+  double residual_tol = 1e-6;     // stop when ||r||/||b|| below this
+};
+
+class OmpSolver final : public SparseSolver {
+ public:
+  explicit OmpSolver(OmpOptions opts = {}) : opts_(opts) {}
+  std::string name() const override { return "omp"; }
+  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ private:
+  OmpOptions opts_;
+};
+
+}  // namespace flexcs::solvers

@@ -1,0 +1,79 @@
+#include "solvers/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "la/decomp.hpp"
+#include "solvers/admm.hpp"
+#include "solvers/bp_lp.hpp"
+#include "solvers/cosamp.hpp"
+#include "solvers/fista.hpp"
+#include "solvers/irls.hpp"
+#include "solvers/omp.hpp"
+
+namespace flexcs::solvers {
+
+la::Vector debias_on_support(const la::Matrix& a, const la::Vector& b,
+                             const la::Vector& x, double threshold) {
+  FLEXCS_CHECK(a.cols() == x.size() && a.rows() == b.size(),
+               "debias: shape mismatch");
+  std::vector<std::size_t> support;
+  for (std::size_t j = 0; j < x.size(); ++j)
+    if (std::fabs(x[j]) > threshold) support.push_back(j);
+  if (support.empty()) return la::Vector(x.size(), 0.0);
+
+  if (support.size() > a.rows()) {
+    // Keep only the strongest a.rows() entries so least squares is
+    // over-determined.
+    std::sort(support.begin(), support.end(),
+              [&x](std::size_t i, std::size_t j) {
+                return std::fabs(x[i]) > std::fabs(x[j]);
+              });
+    support.resize(a.rows());
+    std::sort(support.begin(), support.end());
+  }
+
+  la::Matrix as(a.rows(), support.size());
+  for (std::size_t j = 0; j < support.size(); ++j)
+    for (std::size_t r = 0; r < a.rows(); ++r) as(r, j) = a(r, support[j]);
+  // Ridge-regularised normal equations: the support columns can be linearly
+  // dependent (e.g. Haar atoms whose footprint was never sampled produce
+  // all-zero columns), so plain QR least squares may be singular.
+  la::Matrix g = la::gram(as);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < g.rows(); ++i) trace += g(i, i);
+  const double ridge =
+      1e-10 * std::max(1.0, trace / static_cast<double>(g.rows()));
+  for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += ridge;
+  const la::Vector coef =
+      la::cholesky_solve(la::cholesky(g), la::matvec_t(as, b));
+
+  la::Vector out(x.size(), 0.0);
+  for (std::size_t j = 0; j < support.size(); ++j) out[support[j]] = coef[j];
+  return out;
+}
+
+std::vector<std::string> solver_names() {
+  return {"omp", "cosamp", "ista", "fista", "admm", "irls", "bp-lp"};
+}
+
+std::unique_ptr<SparseSolver> make_solver(const std::string& name) {
+  if (name == "omp") return std::make_unique<OmpSolver>();
+  if (name == "cosamp") return std::make_unique<CosampSolver>();
+  if (name == "ista") {
+    FistaOptions o;
+    o.accelerate = false;
+    o.max_iterations = 2000;
+    return std::make_unique<FistaSolver>(o);
+  }
+  if (name == "fista") return std::make_unique<FistaSolver>();
+  if (name == "admm") return std::make_unique<AdmmLassoSolver>();
+  if (name == "irls") return std::make_unique<IrlsSolver>();
+  if (name == "bp-lp") return std::make_unique<BpLpSolver>();
+  FLEXCS_CHECK(false, "unknown solver name: " + name);
+  return nullptr;
+}
+
+}  // namespace flexcs::solvers

@@ -1,0 +1,52 @@
+// Common interface for sparse-recovery solvers: given measurements b = A x0
+// (+ noise) with x0 sparse, estimate x0. A is M x N with M <= N.
+//
+// The paper's decoder solves the L1 problem of Eq. 9; this module provides
+// that solver in several interchangeable forms (greedy, first-order convex,
+// reweighted least squares, and the LP reformulation of [23]).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace flexcs::solvers {
+
+struct SolveResult {
+  la::Vector x;             // recovered coefficient vector (size N)
+  int iterations = 0;       // iterations actually used
+  bool converged = false;   // tolerance met before the iteration cap
+  double residual_norm = 0; // ||A x - b||_2 at the solution
+};
+
+/// Abstract sparse solver. Implementations are stateless w.r.t. problem data
+/// (options fixed at construction), so one instance can be reused across
+/// frames and threads.
+class SparseSolver {
+ public:
+  virtual ~SparseSolver() = default;
+
+  /// Short identifier, e.g. "fista" or "omp".
+  virtual std::string name() const = 0;
+
+  /// Solves for sparse x from b ≈ A x. Requires a.rows() == b.size().
+  virtual SolveResult solve(const la::Matrix& a, const la::Vector& b) const = 0;
+};
+
+/// Least-squares re-fit restricted to the support {i : |x[i]| > threshold}.
+/// Standard de-biasing step after L1 solvers (removes the shrinkage bias).
+/// If the support is larger than the number of measurements, the largest
+/// a.rows() entries are kept.
+la::Vector debias_on_support(const la::Matrix& a, const la::Vector& b,
+                             const la::Vector& x, double threshold = 1e-8);
+
+/// Names accepted by make_solver.
+std::vector<std::string> solver_names();
+
+/// Factory with library-default options per solver: "omp", "cosamp", "ista",
+/// "fista", "admm", "irls", "bp-lp". Throws CheckError for unknown names.
+std::unique_ptr<SparseSolver> make_solver(const std::string& name);
+
+}  // namespace flexcs::solvers

@@ -1,0 +1,104 @@
+#include "dsp/basis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dsp/dct.hpp"
+#include "la/decomp.hpp"
+
+namespace flexcs::dsp {
+namespace {
+
+constexpr double kTestPi = 3.1415926535897932384626433832795;
+
+la::Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  la::Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+class BasisKinds : public ::testing::TestWithParam<BasisKind> {};
+
+TEST_P(BasisKinds, SynthesisMatrixIsOrthonormal) {
+  const la::Matrix psi = synthesis_matrix(GetParam(), 8, 8);
+  EXPECT_LT(la::max_abs_diff(la::gram(psi), la::Matrix::identity(64)), 1e-10);
+}
+
+TEST_P(BasisKinds, AnalyzeSynthesizeRoundTrip) {
+  Rng rng(7);
+  const la::Matrix frame = random_matrix(8, 8, rng);
+  const la::Matrix coeffs = analyze(GetParam(), frame);
+  EXPECT_LT(la::max_abs_diff(synthesize(GetParam(), coeffs), frame), 1e-10);
+}
+
+TEST_P(BasisKinds, MatrixAgreesWithFastTransform) {
+  Rng rng(8);
+  const la::Matrix frame = random_matrix(8, 8, rng);
+  const la::Matrix psi = synthesis_matrix(GetParam(), 8, 8);
+  // y = Psi x  <=>  frame = synthesize(coeffs)
+  const la::Matrix coeffs = analyze(GetParam(), frame);
+  const la::Vector y = matvec(psi, coeffs.flatten());
+  EXPECT_LT(la::max_abs_diff(y, frame.flatten()), 1e-10);
+}
+
+TEST_P(BasisKinds, AnalysisMatrixIsTranspose) {
+  const la::Matrix psi = synthesis_matrix(GetParam(), 4, 4);
+  const la::Matrix ana = analysis_matrix(GetParam(), 4, 4);
+  EXPECT_LT(la::max_abs_diff(ana, psi.transposed()), 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BasisKinds,
+                         ::testing::Values(BasisKind::kDct2D,
+                                           BasisKind::kHaar2D));
+
+TEST(Basis, DctSupportsRectangularArrays) {
+  Rng rng(9);
+  const la::Matrix frame = random_matrix(10, 6, rng);
+  const la::Matrix psi = synthesis_matrix(BasisKind::kDct2D, 10, 6);
+  EXPECT_LT(la::max_abs_diff(la::gram(psi), la::Matrix::identity(60)), 1e-10);
+  const la::Vector y = matvec(psi, analyze(BasisKind::kDct2D, frame).flatten());
+  EXPECT_LT(la::max_abs_diff(y, frame.flatten()), 1e-10);
+}
+
+TEST(Basis, DctMatrixMatchesPaperEq5) {
+  // Spot-check Eq. 5 of the paper for a square array: the (pixel, coeff)
+  // entry is alpha_u beta_v cos(...) cos(...).
+  const std::size_t side = 4;
+  const la::Matrix psi = synthesis_matrix(BasisKind::kDct2D, side, side);
+  const double n_sqrt = static_cast<double>(side);
+  for (std::size_t a = 1; a <= side; ++a) {
+    for (std::size_t b = 1; b <= side; ++b) {
+      for (std::size_t u = 1; u <= side; ++u) {
+        for (std::size_t v = 1; v <= side; ++v) {
+          const double alpha =
+              u == 1 ? std::sqrt(1.0 / n_sqrt) : std::sqrt(2.0 / n_sqrt);
+          const double beta =
+              v == 1 ? std::sqrt(1.0 / n_sqrt) : std::sqrt(2.0 / n_sqrt);
+          const double expected =
+              alpha * beta *
+              std::cos(kTestPi * (2.0 * a - 1.0) * (u - 1.0) / (2.0 * n_sqrt)) *
+              std::cos(kTestPi * (2.0 * b - 1.0) * (v - 1.0) / (2.0 * n_sqrt));
+          const std::size_t pix = (a - 1) * side + (b - 1);
+          const std::size_t coef = (u - 1) * side + (v - 1);
+          EXPECT_NEAR(psi(pix, coef), expected, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(Basis, HaarRequiresEvenDims) {
+  EXPECT_THROW(synthesis_matrix(BasisKind::kHaar2D, 5, 5),
+               flexcs::CheckError);
+}
+
+TEST(Basis, ToStringNames) {
+  EXPECT_EQ(to_string(BasisKind::kDct2D), "dct2d");
+  EXPECT_EQ(to_string(BasisKind::kHaar2D), "haar2d");
+}
+
+}  // namespace
+}  // namespace flexcs::dsp

@@ -1,0 +1,158 @@
+// Pseudo-CMOS cell library: DC verification of logic levels (all cells are
+// built only from p-type TFTs, per the paper's Sec. 3.2).
+#include "fe/cells.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "fe/sim.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+constexpr double kVdd = 3.0;
+constexpr double kVss = -3.0;
+constexpr double kHiIn = 3.0;   // logic-1 drive level
+constexpr double kLoIn = -1.0;  // logic-0 drive level (slightly negative)
+constexpr double kThreshold = 1.5;
+
+// Builds a cell with DC-driven inputs and returns the output voltage.
+double dc_output(
+    const std::function<void(CellLibrary&, Circuit&)>& emit_cell) {
+  Circuit ckt;
+  ckt.add_vsource("vdd", "0", Waveform::make_dc(kVdd));
+  ckt.add_vsource("vss", "0", Waveform::make_dc(kVss));
+  CellLibrary lib;
+  emit_cell(lib, ckt);
+  Simulator sim(ckt);
+  const DcResult dc = sim.dc_operating_point();
+  EXPECT_TRUE(dc.converged);
+  return dc.v(ckt.find_node("out"));
+}
+
+double inverter_out(double vin) {
+  return dc_output([&](CellLibrary& lib, Circuit& ckt) {
+    ckt.add_vsource("in", "0", Waveform::make_dc(vin));
+    lib.add_inverter(ckt, "in", "out", "u0");
+  });
+}
+
+double nand_out(bool a, bool b) {
+  return dc_output([&](CellLibrary& lib, Circuit& ckt) {
+    ckt.add_vsource("a", "0", Waveform::make_dc(a ? kHiIn : kLoIn));
+    ckt.add_vsource("b", "0", Waveform::make_dc(b ? kHiIn : kLoIn));
+    lib.add_nand2(ckt, "a", "b", "out", "u0");
+  });
+}
+
+double xor_out(bool a, bool b) {
+  return dc_output([&](CellLibrary& lib, Circuit& ckt) {
+    ckt.add_vsource("a", "0", Waveform::make_dc(a ? kHiIn : kLoIn));
+    ckt.add_vsource("b", "0", Waveform::make_dc(b ? kHiIn : kLoIn));
+    lib.add_xor2(ckt, "a", "b", "out", "u0");
+  });
+}
+
+TEST(Cells, InverterLogicLevels) {
+  EXPECT_GT(inverter_out(kLoIn), 2.5);   // in=0 -> out=1 (near VDD)
+  EXPECT_LT(inverter_out(kHiIn), 0.0);   // in=1 -> out=0 (below ground)
+}
+
+TEST(Cells, InverterTransferIsMonotoneDecreasing) {
+  double prev = 1e9;
+  for (double vin = -1.0; vin <= 3.01; vin += 0.5) {
+    const double out = inverter_out(vin);
+    EXPECT_LT(out, prev + 1e-6) << "vin=" << vin;
+    prev = out;
+  }
+}
+
+TEST(Cells, InverterHasGainAtMidpoint) {
+  // Finite-difference gain magnitude around the switching region must
+  // exceed 1 for restoring logic.
+  const double g = (inverter_out(1.3) - inverter_out(1.2)) / 0.1;
+  EXPECT_LT(g, -1.5);
+}
+
+TEST(Cells, BufferIsNonInverting) {
+  const double out_hi = dc_output([&](CellLibrary& lib, Circuit& ckt) {
+    ckt.add_vsource("in", "0", Waveform::make_dc(kHiIn));
+    lib.add_buffer(ckt, "in", "out", "u0");
+  });
+  const double out_lo = dc_output([&](CellLibrary& lib, Circuit& ckt) {
+    ckt.add_vsource("in", "0", Waveform::make_dc(kLoIn));
+    lib.add_buffer(ckt, "in", "out", "u0");
+  });
+  EXPECT_GT(out_hi, 2.0);
+  EXPECT_LT(out_lo, 0.5);
+}
+
+TEST(Cells, NandTruthTable) {
+  EXPECT_GT(nand_out(false, false), kThreshold);
+  EXPECT_GT(nand_out(false, true), kThreshold);
+  EXPECT_GT(nand_out(true, false), kThreshold);
+  EXPECT_LT(nand_out(true, true), kThreshold);
+}
+
+TEST(Cells, XorTruthTable) {
+  EXPECT_LT(xor_out(false, false), kThreshold);
+  EXPECT_GT(xor_out(false, true), kThreshold);
+  EXPECT_GT(xor_out(true, false), kThreshold);
+  EXPECT_LT(xor_out(true, true), kThreshold);
+}
+
+TEST(Cells, TftCountsMatchTopology) {
+  Circuit ckt;
+  ckt.add_vsource("vdd", "0", Waveform::make_dc(kVdd));
+  ckt.add_vsource("vss", "0", Waveform::make_dc(kVss));
+  CellLibrary lib;
+  EXPECT_EQ(lib.add_inverter(ckt, "a", "x", "u0"), 4u);
+  EXPECT_EQ(lib.add_buffer(ckt, "a", "y", "u1"), 8u);
+  EXPECT_EQ(lib.add_nand2(ckt, "a", "b", "z", "u2"), 8u);
+  EXPECT_EQ(lib.add_xor2(ckt, "a", "b", "w", "u3"), 32u);
+  EXPECT_EQ(ckt.tfts().size(), 4u + 8u + 8u + 32u);
+}
+
+TEST(Cells, DLatchTransparentWhenEnableLow) {
+  // en low -> q follows d.
+  const double q = dc_output([&](CellLibrary& lib, Circuit& ckt) {
+    ckt.add_vsource("d", "0", Waveform::make_dc(kHiIn));
+    ckt.add_vsource("en", "0", Waveform::make_dc(kLoIn));
+    lib.add_dlatch(ckt, "d", "en", "out", "u0");
+  });
+  EXPECT_GT(q, 2.0);
+  const double q0 = dc_output([&](CellLibrary& lib, Circuit& ckt) {
+    ckt.add_vsource("d", "0", Waveform::make_dc(kLoIn));
+    ckt.add_vsource("en", "0", Waveform::make_dc(kLoIn));
+    lib.add_dlatch(ckt, "d", "en", "out", "u0");
+  });
+  EXPECT_LT(q0, 0.5);
+}
+
+TEST(Cells, DLatchHoldsWhenEnableHigh) {
+  // Drive d=1 while transparent, then raise en and flip d: q must hold.
+  Circuit ckt;
+  ckt.add_vsource("vdd", "0", Waveform::make_dc(kVdd));
+  ckt.add_vsource("vss", "0", Waveform::make_dc(kVss));
+  // en: low for 1 ms (transparent), then high.
+  ckt.add_vsource("en", "0",
+                  Waveform::make_pulse(kLoIn, kHiIn, 1e-3, 5e-3, 10e-3, 1e-6));
+  // d: high for 2 ms, then low (flips while the latch is opaque).
+  ckt.add_vsource("d", "0",
+                  Waveform::make_pulse(kHiIn, kLoIn, 2e-3, 5e-3, 10e-3, 1e-6));
+  CellLibrary lib;
+  lib.add_dlatch(ckt, "d", "en", "q", "u0");
+  Simulator sim(ckt);
+  const TransientResult tr = sim.transient(4e-3, 5e-6);
+  ASSERT_TRUE(tr.converged);
+  const la::Vector q = tr.trace(ckt.find_node("q"));
+  const auto at = [&](double t) {
+    return q[static_cast<std::size_t>(t / 5e-6)];
+  };
+  EXPECT_GT(at(0.9e-3), 2.0);  // transparent, q = d = 1
+  EXPECT_GT(at(3.5e-3), 2.0);  // d flipped at 2 ms but en is high: q holds
+}
+
+}  // namespace
+}  // namespace flexcs::fe

@@ -1,0 +1,169 @@
+// Property-level tests of the CS machinery:
+//   * empirical validation of the Eq. 2 error bound;
+//   * recovery phase transition: success probability grows with M;
+//   * rectangular (non-square) array support end-to-end;
+//   * determinism of the full pipeline given a seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cs/decoder.hpp"
+#include "cs/encoder.hpp"
+#include "cs/metrics.hpp"
+#include "cs/theory.hpp"
+#include "data/thermal.hpp"
+#include "data/ultrasound.hpp"
+#include "dsp/sparsity.hpp"
+#include "solvers/solver.hpp"
+
+namespace flexcs::cs {
+namespace {
+
+TEST(CsProperties, Eq2BoundHoldsEmpirically) {
+  // Reconstruct noisy measurements of a compressible frame and check the
+  // error sits below the Eq. 2 bound computed from the frame's own
+  // DCT-domain tail and the injected noise level.
+  Rng rng(1);
+  data::ThermalHandGenerator gen;
+  const la::Matrix truth = gen.sample(rng).values;
+  const la::Matrix coeffs = dsp::analyze(dsp::BasisKind::kDct2D, truth);
+
+  const std::size_t n = 1024;
+  const std::size_t k = 256;
+  const la::Matrix tail = coeffs - dsp::best_k_approximation(coeffs, k);
+  double tail_l1 = 0.0;
+  for (std::size_t i = 0; i < tail.size(); ++i)
+    tail_l1 += std::fabs(tail.data()[i]);
+
+  const double eps_per_measure = 0.02;
+  EncoderOptions eopts;
+  eopts.measurement_noise = eps_per_measure;
+  const Encoder encoder(eopts);
+  const Decoder decoder(32, 32);
+
+  for (double frac : {0.5, 0.7}) {
+    const SamplingPattern p = random_pattern(32, 32, frac, rng);
+    const la::Vector y = encoder.encode(truth, p, rng);
+    const la::Matrix rec = decoder.decode(p, y).frame;
+    const double err_l2 =
+        rmse(rec, truth) * std::sqrt(static_cast<double>(n));
+    // ||e||_2 for M measurements with per-measurement sigma eps is
+    // ~ eps * sqrt(M); Eq. 2 then uses sqrt(N/M) * ||e||.
+    const double eps_total =
+        eps_per_measure * std::sqrt(static_cast<double>(p.m()));
+    const double bound =
+        reconstruction_error_bound(n, p.m(), eps_total, tail_l1, k);
+    // Eq. 2 holds up to an O(1) constant (the paper writes "<~"); require
+    // the measured error to match the bound's scale from both sides.
+    EXPECT_LT(err_l2, 2.0 * bound) << "fraction " << frac;
+    EXPECT_GT(err_l2, 0.05 * bound) << "fraction " << frac;
+  }
+}
+
+TEST(CsProperties, RecoveryProbabilityGrowsWithMeasurements) {
+  // Classic phase-transition property: for fixed sparsity the success rate
+  // is near 0 well below the threshold and near 1 well above it.
+  const std::size_t n = 12 * 12;
+  auto success_rate = [&](double frac) {
+    int ok = 0;
+    const int trials = 6;
+    const Decoder decoder(12, 12);
+    const Encoder encoder;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(900 + t);
+      // Exactly sparse synthetic frame: 10 random DCT atoms.
+      la::Matrix coeffs(12, 12, 0.0);
+      for (std::size_t idx : rng.sample_without_replacement(n, 10))
+        coeffs.data()[idx] = rng.normal() + (rng.bernoulli(0.5) ? 1.5 : -1.5);
+      const la::Matrix frame =
+          dsp::synthesize(dsp::BasisKind::kDct2D, coeffs);
+      const SamplingPattern p = random_pattern(12, 12, frac, rng);
+      const la::Vector y = encoder.encode(frame, p, rng);
+      DecoderOptions opts;
+      opts.clamp01 = false;  // frame is not normalised here
+      const Decoder dec(12, 12, opts);
+      const la::Matrix rec = dec.decode(p, y).frame;
+      if (rmse(rec, frame) < 0.02 * frame.norm_max()) ++ok;
+    }
+    return static_cast<double>(ok) / trials;
+  };
+  EXPECT_LE(success_rate(0.10), 0.5);  // M = 14 << K log(N/K)
+  EXPECT_EQ(success_rate(0.55), 1.0);  // comfortably above threshold
+}
+
+TEST(CsProperties, RectangularArrayRoundTrip) {
+  // Ultrasound-shaped (tall, non-square) arrays must work end to end.
+  Rng rng(3);
+  data::UltrasoundOptions uopts;
+  uopts.depth_samples = 40;
+  uopts.scan_lines = 12;
+  data::UltrasoundGenerator gen(uopts);
+  const la::Matrix frame = gen.sample(rng).values;
+
+  const SamplingPattern p = random_pattern(40, 12, 0.6, rng);
+  const ScanSchedule sched = make_scan_schedule(p);
+  EXPECT_EQ(sched.cycles.size(), 12u);  // one cycle per column
+
+  const la::Vector y = Encoder().encode(frame, p, rng);
+  const Decoder decoder(40, 12);
+  const la::Matrix rec = decoder.decode(p, y).frame;
+  EXPECT_LT(rmse(rec, frame), 0.08);
+}
+
+TEST(CsProperties, PipelineIsDeterministicGivenSeed) {
+  data::ThermalHandGenerator gen;
+  auto run = [&gen]() {
+    Rng rng(77);
+    const la::Matrix truth = gen.sample(rng).values;
+    const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+    const la::Vector y = Encoder().encode(truth, p, rng);
+    return Decoder(32, 32).decode(p, y).frame;
+  };
+  const la::Matrix a = run();
+  const la::Matrix b = run();
+  EXPECT_EQ(la::max_abs_diff(a, b), 0.0);
+}
+
+TEST(CsProperties, DecoderCoefficientsMatchFrame) {
+  // The reported coefficient vector must synthesise to the reported frame
+  // (modulo clamping).
+  Rng rng(5);
+  data::ThermalHandGenerator gen;
+  const la::Matrix truth = gen.sample(rng).values;
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+  const la::Vector y = Encoder().encode(truth, p, rng);
+  DecoderOptions opts;
+  opts.clamp01 = false;
+  const Decoder decoder(32, 32, opts);
+  const DecodeResult r = decoder.decode(p, y);
+  const la::Matrix synth = dsp::synthesize(
+      dsp::BasisKind::kDct2D,
+      la::Matrix::from_flat(r.coefficients, 32, 32));
+  EXPECT_LT(la::max_abs_diff(synth, r.frame), 1e-12);
+}
+
+class SamplingFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplingFractionSweep, ReconstructionErrorWithinBudget) {
+  const double frac = GetParam();
+  Rng rng(static_cast<std::uint64_t>(frac * 1000));
+  data::ThermalHandGenerator gen;
+  const la::Matrix truth = gen.sample(rng).values;
+  const SamplingPattern p = random_pattern(32, 32, frac, rng);
+  const la::Vector y = Encoder().encode(truth, p, rng);
+  const Decoder decoder(32, 32);
+  // Error budget loosens as the sampling rate drops.
+  const double budget = frac >= 0.5 ? 0.02 : 0.08;
+  EXPECT_LT(rmse(decoder.decode(p, y).frame, truth), budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SamplingFractionSweep,
+                         ::testing::Values(0.35, 0.45, 0.5, 0.6, 0.75),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "frac" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace flexcs::cs

@@ -1,0 +1,259 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+#include "data/shapes.hpp"
+#include "data/tactile.hpp"
+#include "data/thermal.hpp"
+#include "data/ultrasound.hpp"
+#include "dsp/basis.hpp"
+#include "dsp/sparsity.hpp"
+
+namespace flexcs::data {
+namespace {
+
+double frame_rmse(const la::Matrix& a, const la::Matrix& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+void expect_in_unit_range(const la::Matrix& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], 0.0);
+    EXPECT_LE(m.data()[i], 1.0);
+  }
+}
+
+TEST(Shapes, SoftEdgeMonotone) {
+  EXPECT_GT(soft_edge(-5.0, 1.0), 0.95);
+  EXPECT_LT(soft_edge(5.0, 1.0), 0.05);
+  EXPECT_NEAR(soft_edge(0.0, 1.0), 0.5, 1e-12);
+  EXPECT_GT(soft_edge(-1.0, 1.0), soft_edge(1.0, 1.0));
+}
+
+TEST(Shapes, EllipseCoversCenter) {
+  la::Matrix img(16, 16, 0.0);
+  add_soft_ellipse(img, 8.0, 8.0, 4.0, 4.0, 0.0, 1.0, 1.0);
+  EXPECT_GT(img(8, 8), 0.9);
+  EXPECT_LT(img(0, 0), 0.05);
+}
+
+TEST(Shapes, CapsuleCoversSegment) {
+  la::Matrix img(16, 16, 0.0);
+  add_soft_capsule(img, 8.0, 2.0, 8.0, 13.0, 2.0, 1.0, 1.0);
+  EXPECT_GT(img(8, 7), 0.9);   // middle of segment
+  EXPECT_GT(img(8, 2), 0.45);  // endpoint cap
+  EXPECT_LT(img(0, 8), 0.05);  // far away
+}
+
+TEST(Shapes, RingHollowCenter) {
+  la::Matrix img(24, 24, 0.0);
+  add_soft_ring(img, 12.0, 12.0, 7.0, 1.5, 1.0, 1.0);
+  EXPECT_LT(img(12, 12), 0.1);   // hole
+  EXPECT_GT(img(12, 19), 0.85);  // on the rim
+}
+
+TEST(Shapes, GaussianBlurPreservesMeanAndSmooths) {
+  la::Matrix img(16, 16, 0.0);
+  img(8, 8) = 1.0;
+  const la::Matrix blurred = gaussian_blur(img, 1.5);
+  EXPECT_NEAR(blurred.sum(), img.sum(), 1e-6);
+  EXPECT_LT(blurred(8, 8), 1.0);
+  EXPECT_GT(blurred(8, 9), 0.0);
+}
+
+TEST(Shapes, NormalizeSpans01) {
+  la::Matrix img{{2.0, 4.0}, {6.0, 10.0}};
+  normalize01(img);
+  EXPECT_DOUBLE_EQ(img(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(img(1, 1), 1.0);
+}
+
+TEST(Thermal, FramesAreInRangeAndVaried) {
+  ThermalHandGenerator gen;
+  Rng rng(1);
+  const Frame a = gen.sample(rng);
+  const Frame b = gen.sample(rng);
+  EXPECT_EQ(a.values.rows(), 32u);
+  EXPECT_EQ(a.values.cols(), 32u);
+  expect_in_unit_range(a.values);
+  EXPECT_GT(la::max_abs_diff(a.values, b.values), 0.01);  // jitter works
+}
+
+TEST(Thermal, HandIsWarmerThanBackground) {
+  ThermalHandGenerator gen;
+  Rng rng(2);
+  const Frame f = gen.sample(rng);
+  // Center-of-mass region (palm) should exceed corners.
+  const double corner =
+      (f.values(0, 0) + f.values(0, 31) + f.values(31, 0) + f.values(31, 31)) /
+      4.0;
+  double center = 0.0;
+  for (int dr = -2; dr <= 2; ++dr)
+    for (int dc = -2; dc <= 2; ++dc)
+      center += f.values(20 + dr, 16 + dc);
+  center /= 25.0;
+  EXPECT_GT(center, corner + 0.2);
+}
+
+TEST(Thermal, DctSparsityIsInPaperBand) {
+  // Fig. 2 of the paper: ~50 % of DCT coefficients significant at 1e-4.
+  ThermalHandGenerator gen;
+  Rng rng(3);
+  double frac = 0.0;
+  const int samples = 20;
+  for (int i = 0; i < samples; ++i) {
+    const Frame f = gen.sample(rng);
+    const la::Matrix c = dsp::analyze(dsp::BasisKind::kDct2D, f.values);
+    frac += dsp::significant_fraction(c, 1e-4);
+  }
+  frac /= samples;
+  EXPECT_GT(frac, 0.25);
+  EXPECT_LT(frac, 0.75);
+}
+
+TEST(Thermal, DeterministicGivenSeed) {
+  ThermalHandGenerator gen;
+  Rng r1(42), r2(42);
+  EXPECT_EQ(la::max_abs_diff(gen.sample(r1).values, gen.sample(r2).values),
+            0.0);
+}
+
+TEST(Tactile, LabelsInRange) {
+  TactileGenerator gen;
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const Frame f = gen.sample(rng);
+    EXPECT_GE(f.label, 0);
+    EXPECT_LT(f.label, TactileGenerator::kNumClasses);
+    expect_in_unit_range(f.values);
+  }
+}
+
+TEST(Tactile, SampleClassHonoursLabel) {
+  TactileGenerator gen;
+  Rng rng(5);
+  for (int c = 0; c < TactileGenerator::kNumClasses; ++c)
+    EXPECT_EQ(gen.sample_class(c, rng).label, c);
+  EXPECT_THROW(gen.sample_class(-1, rng), CheckError);
+  EXPECT_THROW(gen.sample_class(26, rng), CheckError);
+}
+
+TEST(Tactile, ClassesAreSeparated) {
+  // Class means should differ pairwise more than within-class variation —
+  // a weak but meaningful separability check for the classifier study.
+  TactileGenerator gen;
+  Rng rng(6);
+  const int per_class = 6;
+  std::vector<la::Matrix> means;
+  double within = 0.0;
+  for (int c = 0; c < 8; ++c) {  // subset for test speed
+    la::Matrix mean(32, 32, 0.0);
+    std::vector<la::Matrix> frames;
+    for (int i = 0; i < per_class; ++i) {
+      frames.push_back(gen.sample_class(c, rng).values);
+      mean += frames.back();
+    }
+    mean *= 1.0 / per_class;
+    for (const auto& f : frames) within += frame_rmse(mean, f);
+    means.push_back(mean);
+  }
+  within /= 8.0 * per_class;
+
+  double min_between = 1e9;
+  for (std::size_t i = 0; i < means.size(); ++i)
+    for (std::size_t j = i + 1; j < means.size(); ++j)
+      min_between = std::min(min_between, frame_rmse(means[i], means[j]));
+  EXPECT_GT(min_between, within * 0.8);
+}
+
+TEST(Tactile, DctSparsityIsInPaperBand) {
+  TactileGenerator gen;
+  Rng rng(7);
+  double frac = 0.0;
+  const int samples = 20;
+  for (int i = 0; i < samples; ++i) {
+    const la::Matrix c =
+        dsp::analyze(dsp::BasisKind::kDct2D, gen.sample(rng).values);
+    frac += dsp::significant_fraction(c, 1e-4);
+  }
+  frac /= samples;
+  EXPECT_GT(frac, 0.25);
+  EXPECT_LT(frac, 0.8);
+}
+
+TEST(Ultrasound, FrameShapeMatchesPaper) {
+  UltrasoundGenerator gen;
+  Rng rng(8);
+  const Frame f = gen.sample(rng);
+  EXPECT_EQ(f.values.rows(), 100u);
+  EXPECT_EQ(f.values.cols(), 33u);
+  expect_in_unit_range(f.values);
+}
+
+TEST(Ultrasound, RfIsZeroCenteredAroundHalf) {
+  UltrasoundGenerator gen;
+  Rng rng(9);
+  const Frame f = gen.sample(rng);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < f.values.size(); ++i) mean += f.values.data()[i];
+  mean /= static_cast<double>(f.values.size());
+  EXPECT_NEAR(mean, 0.5, 0.1);
+}
+
+TEST(Ultrasound, CoefficientsDecayRapidly) {
+  // Fig. 2a: sorted DCT coefficients decay by orders of magnitude.
+  UltrasoundGenerator gen;
+  Rng rng(10);
+  const la::Matrix c =
+      dsp::analyze(dsp::BasisKind::kDct2D, gen.sample(rng).values);
+  const la::Vector sorted = dsp::sorted_abs_coefficients(c);
+  EXPECT_LT(sorted[sorted.size() / 2], 0.1 * sorted[0]);
+}
+
+TEST(Dataset, MakeDatasetShapeAndCount) {
+  ThermalHandGenerator gen;
+  Rng rng(11);
+  const Dataset ds = make_dataset(gen, 12, rng);
+  EXPECT_EQ(ds.size(), 12u);
+  EXPECT_EQ(ds.rows, 32u);
+  EXPECT_EQ(ds.num_classes, 0);
+}
+
+TEST(Dataset, SplitIsStratifiedAndComplete) {
+  TactileGenerator gen;
+  Rng rng(12);
+  Dataset ds;
+  ds.rows = ds.cols = 32;
+  ds.num_classes = TactileGenerator::kNumClasses;
+  for (int c = 0; c < 10; ++c)
+    for (int i = 0; i < 10; ++i)
+      ds.frames.push_back(gen.sample_class(c, rng));
+
+  const Split split = train_test_split(ds, 0.3, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), ds.size());
+  std::map<int, int> test_counts;
+  for (const auto& f : split.test.frames) ++test_counts[f.label];
+  for (const auto& [label, count] : test_counts) {
+    (void)label;
+    EXPECT_EQ(count, 3);  // 30 % of 10 per class
+  }
+}
+
+TEST(Dataset, SplitRejectsBadFraction) {
+  Dataset ds;
+  Rng rng(13);
+  EXPECT_THROW(train_test_split(ds, 0.0, rng), CheckError);
+  EXPECT_THROW(train_test_split(ds, 1.0, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace flexcs::data

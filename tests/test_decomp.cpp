@@ -1,0 +1,187 @@
+#include "la/decomp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace flexcs::la {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  const Matrix a = random_matrix(n + 3, n, rng);
+  Matrix g = gram(a);
+  for (std::size_t i = 0; i < n; ++i) g(i, i) += 0.5;
+  return g;
+}
+
+TEST(Cholesky, ReconstructsSpdMatrix) {
+  Rng rng(1);
+  const Matrix a = random_spd(8, rng);
+  const Matrix l = cholesky(a);
+  EXPECT_LT(max_abs_diff(matmul_a_bt(l, l), a), 1e-10);
+}
+
+TEST(Cholesky, FactorIsLowerTriangular) {
+  Rng rng(2);
+  const Matrix l = cholesky(random_spd(6, rng));
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = r + 1; c < 6; ++c) EXPECT_DOUBLE_EQ(l(r, c), 0.0);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix m{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(m), CheckError);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(cholesky(Matrix(2, 3)), CheckError);
+}
+
+TEST(Cholesky, SolveMatchesDirectSolve) {
+  Rng rng(3);
+  const Matrix a = random_spd(10, rng);
+  Vector b(10);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = cholesky_solve(cholesky(a), b);
+  EXPECT_LT((matvec(a, x) - b).norm2(), 1e-9);
+}
+
+TEST(Lu, SolvesRandomSystems) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix a = random_matrix(12, 12, rng);
+    Vector b(12);
+    for (auto& v : b) v = rng.normal();
+    const Vector x = solve(a, b);
+    EXPECT_LT((matvec(a, x) - b).norm2(), 1e-8);
+  }
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(lu_decompose(a), CheckError);
+}
+
+TEST(Lu, DeterminantMatchesKnown) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(determinant(a), 6.0, 1e-12);
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};  // permutation: det = -1
+  EXPECT_NEAR(determinant(b), -1.0, 1e-12);
+  Matrix s{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(determinant(s), 0.0);
+}
+
+TEST(Lu, DeterminantMultiplicative) {
+  Rng rng(7);
+  const Matrix a = random_matrix(5, 5, rng);
+  const Matrix b = random_matrix(5, 5, rng);
+  EXPECT_NEAR(determinant(matmul(a, b)), determinant(a) * determinant(b),
+              1e-8 * std::fabs(determinant(a) * determinant(b)) + 1e-10);
+}
+
+TEST(Inverse, ProducesIdentity) {
+  Rng rng(9);
+  const Matrix a = random_matrix(7, 7, rng);
+  const Matrix ainv = inverse(a);
+  EXPECT_LT(max_abs_diff(matmul(a, ainv), Matrix::identity(7)), 1e-9);
+  EXPECT_LT(max_abs_diff(matmul(ainv, a), Matrix::identity(7)), 1e-9);
+}
+
+TEST(Qr, ReconstructsInput) {
+  Rng rng(11);
+  const Matrix a = random_matrix(9, 5, rng);
+  const QrFactors f = qr_decompose(a);
+  EXPECT_LT(max_abs_diff(matmul(f.q, f.r), a), 1e-10);
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  Rng rng(13);
+  const Matrix a = random_matrix(10, 6, rng);
+  const QrFactors f = qr_decompose(a);
+  EXPECT_LT(max_abs_diff(gram(f.q), Matrix::identity(6)), 1e-10);
+}
+
+TEST(Qr, RIsUpperTriangular) {
+  Rng rng(15);
+  const QrFactors f = qr_decompose(random_matrix(8, 4, rng));
+  for (std::size_t r = 1; r < 4; ++r)
+    for (std::size_t c = 0; c < r; ++c) EXPECT_DOUBLE_EQ(f.r(r, c), 0.0);
+}
+
+TEST(Qr, RejectsWideMatrix) {
+  EXPECT_THROW(qr_decompose(Matrix(2, 5)), CheckError);
+}
+
+TEST(TriangularSolve, UpperAndLower) {
+  Matrix u{{2.0, 1.0}, {0.0, 4.0}};
+  const Vector xu = solve_upper(u, Vector{4.0, 8.0});
+  EXPECT_NEAR(xu[1], 2.0, 1e-14);
+  EXPECT_NEAR(xu[0], 1.0, 1e-14);
+
+  Matrix l{{3.0, 0.0}, {1.0, 2.0}};
+  const Vector xl = solve_lower(l, Vector{6.0, 6.0});
+  EXPECT_NEAR(xl[0], 2.0, 1e-14);
+  EXPECT_NEAR(xl[1], 2.0, 1e-14);
+
+  const Vector xlu = solve_lower(l, Vector{6.0, 6.0}, /*unit_diagonal=*/true);
+  EXPECT_NEAR(xlu[0], 6.0, 1e-14);
+  EXPECT_NEAR(xlu[1], 0.0, 1e-14);
+}
+
+TEST(Lstsq, RecoversExactSolution) {
+  Rng rng(17);
+  const Matrix a = random_matrix(20, 6, rng);
+  Vector x_true(6);
+  for (auto& v : x_true) v = rng.normal();
+  const Vector b = matvec(a, x_true);
+  const Vector x = lstsq(a, b);
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-9);
+}
+
+TEST(Lstsq, ResidualOrthogonalToColumns) {
+  Rng rng(19);
+  const Matrix a = random_matrix(15, 4, rng);
+  Vector b(15);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = lstsq(a, b);
+  const Vector r = b - matvec(a, x);
+  const Vector atr = matvec_t(a, r);
+  EXPECT_LT(atr.norm_inf(), 1e-9);
+}
+
+// Parameterized property sweep: LU and QR across sizes.
+class DecompSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DecompSizes, LuSolveResidualSmall) {
+  const std::size_t n = GetParam();
+  Rng rng(100 + n);
+  const Matrix a = random_matrix(n, n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = solve(a, b);
+  EXPECT_LT((matvec(a, x) - b).norm2() / b.norm2(), 1e-8);
+}
+
+TEST_P(DecompSizes, QrOrthogonalityAcrossSizes) {
+  const std::size_t n = GetParam();
+  Rng rng(200 + n);
+  const Matrix a = random_matrix(n + 4, n, rng);
+  const QrFactors f = qr_decompose(a);
+  EXPECT_LT(max_abs_diff(gram(f.q), Matrix::identity(n)), 1e-9);
+  EXPECT_LT(max_abs_diff(matmul(f.q, f.r), a), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DecompSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace flexcs::la

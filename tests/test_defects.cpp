@@ -1,0 +1,126 @@
+#include "cs/defects.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace flexcs::cs {
+namespace {
+
+la::Matrix mid_frame(std::size_t r, std::size_t c) {
+  return la::Matrix(r, c, 0.5);
+}
+
+TEST(Defects, MaskCountMatchesRate) {
+  Rng rng(1);
+  const auto mask = random_defect_mask(10, 10, 0.13, rng);
+  std::size_t count = 0;
+  for (bool b : mask)
+    if (b) ++count;
+  EXPECT_EQ(count, 13u);
+}
+
+TEST(Defects, ZeroRateLeavesFrameIntact) {
+  Rng rng(2);
+  const la::Matrix frame = mid_frame(8, 8);
+  DefectOptions opts;
+  opts.rate = 0.0;
+  const CorruptedFrame cf = inject_defects(frame, opts, rng);
+  EXPECT_EQ(cf.defect_count, 0u);
+  EXPECT_EQ(la::max_abs_diff(cf.values, frame), 0.0);
+}
+
+TEST(Defects, DefectivePixelsAreExtreme) {
+  Rng rng(3);
+  DefectOptions opts;
+  opts.rate = 0.2;
+  const CorruptedFrame cf = inject_defects(mid_frame(16, 16), opts, rng);
+  EXPECT_EQ(cf.defect_count, 51u);  // round(0.2 * 256)
+  std::size_t zeros = 0, ones = 0;
+  for (std::size_t i = 0; i < cf.mask.size(); ++i) {
+    if (!cf.mask[i]) {
+      EXPECT_DOUBLE_EQ(cf.values.data()[i], 0.5);
+      continue;
+    }
+    // Paper: defects read "very high or almost zero".
+    EXPECT_TRUE(cf.values.data()[i] == 0.0 || cf.values.data()[i] == 1.0);
+    if (cf.values.data()[i] == 0.0) ++zeros;
+    else ++ones;
+  }
+  EXPECT_GT(zeros, 0u);
+  EXPECT_GT(ones, 0u);
+}
+
+TEST(Defects, PolarityStuckLow) {
+  Rng rng(4);
+  DefectOptions opts;
+  opts.rate = 0.5;
+  opts.polarity = DefectPolarity::kStuckLow;
+  const CorruptedFrame cf = inject_defects(mid_frame(8, 8), opts, rng);
+  for (std::size_t i = 0; i < cf.mask.size(); ++i)
+    if (cf.mask[i]) {
+      EXPECT_DOUBLE_EQ(cf.values.data()[i], 0.0);
+    }
+}
+
+TEST(Defects, PolarityStuckHigh) {
+  Rng rng(5);
+  DefectOptions opts;
+  opts.rate = 0.5;
+  opts.polarity = DefectPolarity::kStuckHigh;
+  const CorruptedFrame cf = inject_defects(mid_frame(8, 8), opts, rng);
+  for (std::size_t i = 0; i < cf.mask.size(); ++i)
+    if (cf.mask[i]) {
+      EXPECT_DOUBLE_EQ(cf.values.data()[i], 1.0);
+    }
+}
+
+TEST(Defects, ApplyMaskOnlyTouchesMaskedPixels) {
+  Rng rng(6);
+  la::Matrix frame(4, 4);
+  for (std::size_t i = 0; i < frame.size(); ++i)
+    frame.data()[i] = 0.1 * static_cast<double>(i % 7) + 0.1;
+  std::vector<bool> mask(16, false);
+  mask[3] = mask[9] = true;
+  const la::Matrix out =
+      apply_defect_mask(frame, mask, DefectPolarity::kStuckHigh, rng);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (mask[i])
+      EXPECT_DOUBLE_EQ(out.data()[i], 1.0);
+    else
+      EXPECT_DOUBLE_EQ(out.data()[i], frame.data()[i]);
+  }
+}
+
+TEST(Defects, MaskSizeMismatchThrows) {
+  Rng rng(7);
+  EXPECT_THROW(apply_defect_mask(la::Matrix(3, 3), std::vector<bool>(8),
+                                 DefectPolarity::kRandom, rng),
+               CheckError);
+}
+
+TEST(Defects, RateValidation) {
+  Rng rng(8);
+  EXPECT_THROW(random_defect_mask(4, 4, -0.1, rng), CheckError);
+  EXPECT_THROW(random_defect_mask(4, 4, 1.1, rng), CheckError);
+}
+
+TEST(Defects, PersistentMaskIsReusable) {
+  Rng rng(9);
+  const auto mask = random_defect_mask(8, 8, 0.1, rng);
+  const la::Matrix f1 = mid_frame(8, 8);
+  la::Matrix f2 = mid_frame(8, 8);
+  f2(0, 0) = 0.7;
+  const la::Matrix o1 =
+      apply_defect_mask(f1, mask, DefectPolarity::kStuckLow, rng);
+  const la::Matrix o2 =
+      apply_defect_mask(f2, mask, DefectPolarity::kStuckLow, rng);
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    if (mask[i]) {
+      EXPECT_DOUBLE_EQ(o1.data()[i], 0.0);
+      EXPECT_DOUBLE_EQ(o2.data()[i], 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace flexcs::cs

@@ -1,0 +1,128 @@
+#include "fe/digital.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+TEST(Digital, InverterPropagatesWithDelay) {
+  LogicNetwork net;
+  net.add_gate(GateKind::kInv, {"a"}, "y", 1e-6);
+  net.schedule_input("a", 1e-3, true);
+  const auto log = net.run(2e-3);
+  const std::size_t y = net.find_signal("y");
+  // y starts false... inverter of initial false should output true — but
+  // signals initialise to false and only transitions propagate; drive the
+  // input once to settle. After a -> 1 at 1 ms, y stays 0 (no change needed
+  // since NOT(1) = 0 = initial value).
+  EXPECT_FALSE(LogicNetwork::value_at(log, y, 2e-3));
+  // Now check a rising output: a -> 1 -> 0.
+  LogicNetwork net2;
+  net2.add_gate(GateKind::kInv, {"a"}, "y", 1e-6);
+  net2.schedule_input("a", 1e-3, true);
+  net2.schedule_input("a", 1.5e-3, false);
+  const auto log2 = net2.run(2e-3);
+  const std::size_t y2 = net2.find_signal("y");
+  EXPECT_FALSE(LogicNetwork::value_at(log2, y2, 1.5e-3));
+  EXPECT_TRUE(LogicNetwork::value_at(log2, y2, 1.5e-3 + 2e-6));
+}
+
+TEST(Digital, GateDelayIsHonoured) {
+  LogicNetwork net;
+  net.add_gate(GateKind::kBuf, {"a"}, "y", 5e-6);
+  net.schedule_input("a", 1e-4, true);
+  const auto log = net.run(1e-3);
+  const std::size_t y = net.find_signal("y");
+  EXPECT_FALSE(LogicNetwork::value_at(log, y, 1e-4 + 4e-6));
+  EXPECT_TRUE(LogicNetwork::value_at(log, y, 1e-4 + 6e-6));
+}
+
+TEST(Digital, TwoInputGates) {
+  struct Case {
+    GateKind kind;
+    bool expect_00, expect_01, expect_10, expect_11;
+  };
+  const Case cases[] = {
+      {GateKind::kNand2, true, true, true, false},
+      {GateKind::kAnd2, false, false, false, true},
+      {GateKind::kOr2, false, true, true, true},
+      {GateKind::kXor2, false, true, true, false},
+  };
+  for (const auto& c : cases) {
+    for (int a = 0; a <= 1; ++a) {
+      for (int b = 0; b <= 1; ++b) {
+        LogicNetwork net;
+        net.add_gate(c.kind, {"a", "b"}, "y", 1e-6);
+        // Toggle inputs so transitions propagate regardless of initial 0.
+        net.schedule_input("a", 1e-5, true);
+        net.schedule_input("b", 1e-5, true);
+        net.schedule_input("a", 2e-5, a != 0);
+        net.schedule_input("b", 2e-5, b != 0);
+        const auto log = net.run(1e-4);
+        const bool got =
+            LogicNetwork::value_at(log, net.find_signal("y"), 9e-5);
+        const bool want = a == 0 ? (b == 0 ? c.expect_00 : c.expect_01)
+                                 : (b == 0 ? c.expect_10 : c.expect_11);
+        EXPECT_EQ(got, want) << "kind=" << static_cast<int>(c.kind)
+                             << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Digital, DffCapturesOnRisingEdge) {
+  LogicNetwork net;
+  net.add_gate(GateKind::kDff, {"d", "clk"}, "q", 1e-6);
+  net.schedule_input("d", 0.5e-3, true);
+  net.schedule_input("clk", 1e-3, true);   // capture 1
+  net.schedule_input("clk", 1.5e-3, false);
+  net.schedule_input("d", 1.6e-3, false);  // change d while clk low
+  const auto log = net.run(3e-3);
+  const std::size_t q = net.find_signal("q");
+  EXPECT_FALSE(LogicNetwork::value_at(log, q, 0.9e-3));  // before edge
+  EXPECT_TRUE(LogicNetwork::value_at(log, q, 1.2e-3));   // captured
+  EXPECT_TRUE(LogicNetwork::value_at(log, q, 2.9e-3));   // holds despite d=0
+}
+
+TEST(Digital, DffIgnoresFallingEdge) {
+  LogicNetwork net;
+  net.add_gate(GateKind::kDff, {"d", "clk"}, "q", 1e-6);
+  net.schedule_input("clk", 0.5e-3, true);
+  net.schedule_input("d", 1e-3, true);
+  net.schedule_input("clk", 1.5e-3, false);  // falling edge: no capture
+  const auto log = net.run(2e-3);
+  EXPECT_FALSE(LogicNetwork::value_at(log, net.find_signal("q"), 1.9e-3));
+}
+
+TEST(Digital, ChainedGatesAccumulateDelay) {
+  LogicNetwork net;
+  net.add_gate(GateKind::kBuf, {"a"}, "m", 1e-6);
+  net.add_gate(GateKind::kBuf, {"m"}, "y", 1e-6);
+  net.schedule_input("a", 1e-4, true);
+  const auto log = net.run(1e-3);
+  const std::size_t y = net.find_signal("y");
+  EXPECT_FALSE(LogicNetwork::value_at(log, y, 1e-4 + 1.5e-6));
+  EXPECT_TRUE(LogicNetwork::value_at(log, y, 1e-4 + 2.5e-6));
+}
+
+TEST(Digital, NoTransitionNoEvent) {
+  LogicNetwork net;
+  net.add_gate(GateKind::kBuf, {"a"}, "y", 1e-6);
+  net.schedule_input("a", 1e-4, false);  // already false
+  const auto log = net.run(1e-3);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(Digital, Validation) {
+  LogicNetwork net;
+  EXPECT_THROW(net.add_gate(GateKind::kInv, {"a", "b"}, "y", 1e-6),
+               CheckError);
+  EXPECT_THROW(net.add_gate(GateKind::kNand2, {"a"}, "y", 1e-6), CheckError);
+  EXPECT_THROW(net.find_signal("missing"), CheckError);
+  EXPECT_THROW(net.run(0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace flexcs::fe

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fe/cells.hpp"
+#include "fe/drc.hpp"
+#include "fe/lvs.hpp"
+#include "fe/shift_register.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+TEST(Drc, RectGeometry) {
+  Rect a{"m", 0, 0, 10, 10};
+  Rect b{"m", 5, 5, 15, 15};
+  Rect c{"m", 20, 20, 30, 30};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.encloses(Rect{"x", 2, 2, 8, 8}, 1.0));
+  EXPECT_FALSE(a.encloses(Rect{"x", 2, 2, 9.5, 8}, 1.0));
+}
+
+TEST(Drc, DegenerateRectThrows) {
+  Layout lay;
+  EXPECT_THROW(lay.add("m", 0, 0, 0, 5), CheckError);
+}
+
+TEST(Drc, WidthViolationDetected) {
+  Layout lay;
+  lay.add("metal", 0, 0, 3, 100);  // 3 um wide < 5 um rule
+  const auto v = run_drc(lay, cnt_process_rules());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "width:metal");
+  EXPECT_NEAR(v[0].measured, 3.0, 1e-12);
+}
+
+TEST(Drc, SpacingViolationDetected) {
+  Layout lay;
+  lay.add("metal", 0, 0, 10, 10);
+  lay.add("metal", 12, 0, 22, 10);  // 2 um gap < 5 um rule
+  const auto v = run_drc(lay, cnt_process_rules());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "spacing:metal");
+  EXPECT_NEAR(v[0].measured, 2.0, 1e-12);
+}
+
+TEST(Drc, DiagonalSpacingUsesEuclideanGap) {
+  Layout lay;
+  lay.add("metal", 0, 0, 10, 10);
+  lay.add("metal", 13, 13, 23, 23);  // diagonal gap = 3*sqrt(2) ≈ 4.24 < 5
+  const auto v = run_drc(lay, cnt_process_rules());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NEAR(v[0].measured, 3.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(Drc, OverlappingShapesSkipSpacing) {
+  Layout lay;
+  lay.add("metal", 0, 0, 10, 10);
+  lay.add("metal", 5, 0, 20, 10);  // same net, overlapping
+  EXPECT_TRUE(run_drc(lay, cnt_process_rules()).empty());
+}
+
+TEST(Drc, EnclosureViolationDetected) {
+  Layout lay;
+  lay.add("via", 0, 0, 5, 5);  // no metal around it at all
+  const auto v = run_drc(lay, cnt_process_rules());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "enclosure:metal/via");
+}
+
+TEST(Drc, EnclosureSatisfiedPasses) {
+  Layout lay;
+  lay.add("metal", 0, 0, 10, 10);
+  lay.add("via", 2, 2, 8, 8);  // 2 um margin > 1 um rule
+  EXPECT_TRUE(run_drc(lay, cnt_process_rules()).empty());
+}
+
+TEST(Drc, GeneratedInverterLayoutIsClean) {
+  const Layout lay = pseudo_cmos_inverter_layout();
+  const auto v = run_drc(lay, cnt_process_rules());
+  EXPECT_TRUE(v.empty()) << (v.empty() ? "" : v[0].message);
+}
+
+TEST(Drc, ShrunkInverterLayoutViolates) {
+  // Shrinking the channel below the gate width rule must trip DRC.
+  const Layout lay = pseudo_cmos_inverter_layout(4.0);
+  const auto v = run_drc(lay, cnt_process_rules());
+  EXPECT_FALSE(v.empty());
+}
+
+// ---------------------------------------------------------------------------
+
+Circuit make_inverter_circuit(const std::string& node_prefix) {
+  Circuit c;
+  CellLibrary lib;
+  c.add_vsource("vdd", "0", Waveform::make_dc(3.0));
+  c.add_vsource("vss", "0", Waveform::make_dc(-3.0));
+  c.add_vsource(node_prefix + "in", "0", Waveform::make_dc(0.0));
+  lib.add_inverter(c, node_prefix + "in", node_prefix + "out",
+                   node_prefix + "u");
+  return c;
+}
+
+TEST(Lvs, IdenticalNetlistsMatch) {
+  const Circuit a = make_inverter_circuit("x_");
+  const Circuit b = make_inverter_circuit("x_");
+  const LvsResult r = compare_netlists(a, b);
+  EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Lvs, RenamedNodesStillMatch) {
+  // Same topology, different node names: must be equivalent.
+  const Circuit a = make_inverter_circuit("alpha_");
+  const Circuit b = make_inverter_circuit("beta_");
+  EXPECT_TRUE(compare_netlists(a, b).equivalent);
+}
+
+TEST(Lvs, MissingDeviceDetected) {
+  const Circuit a = make_inverter_circuit("x_");
+  Circuit b = make_inverter_circuit("x_");
+  b.add_resistor("x_out", "0", 1e6);  // extra device
+  const LvsResult r = compare_netlists(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_FALSE(r.device_counts_match);
+}
+
+TEST(Lvs, RewiredNetlistDetected) {
+  Circuit a;
+  CellLibrary lib;
+  a.add_vsource("vdd", "0", Waveform::make_dc(3.0));
+  a.add_vsource("vss", "0", Waveform::make_dc(-3.0));
+  a.add_vsource("in", "0", Waveform::make_dc(0.0));
+  lib.add_inverter(a, "in", "out", "u");
+  // b2: same device census, but the output-stage pull-up gate is miswired
+  // to the internal node instead of the primary input.
+  Circuit b2;
+  b2.add_vsource("vdd", "0", Waveform::make_dc(3.0));
+  b2.add_vsource("vss", "0", Waveform::make_dc(-3.0));
+  b2.add_vsource("in", "0", Waveform::make_dc(0.0));
+  const CellParams cp;
+  TftParams drive = cp.base;
+  drive.w = cp.w_drive;
+  drive.l = cp.l;
+  TftParams input = cp.base;
+  input.w = cp.w_input;
+  input.l = cp.l;
+  TftParams load = cp.base;
+  load.w = cp.w_load;
+  load.l = cp.l;
+  b2.add_tft("in", "vdd", "u.b", input);
+  b2.add_tft("vss", "u.b", "vss", load);
+  b2.add_tft("u.b", "vdd", "out", drive);  // gate miswired: u.b not in
+  b2.add_tft("u.b", "out", "vss", drive);
+  const LvsResult r = compare_netlists(a, b2);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_TRUE(r.device_counts_match);
+}
+
+TEST(Lvs, ParameterChangeDetected) {
+  Circuit a = make_inverter_circuit("x_");
+  // Same topology but the drive TFTs are 10x wider.
+  Circuit c;
+  CellParams cp;
+  cp.w_drive = cp.w_drive * 10.0;
+  CellLibrary fat(cp);
+  c.add_vsource("vdd", "0", Waveform::make_dc(3.0));
+  c.add_vsource("vss", "0", Waveform::make_dc(-3.0));
+  c.add_vsource("x_in", "0", Waveform::make_dc(0.0));
+  fat.add_inverter(c, "x_in", "x_out", "x_u");
+  const LvsResult r = compare_netlists(a, c);
+  EXPECT_FALSE(r.equivalent);
+}
+
+TEST(Lvs, ToleratesSmallParameterDrift) {
+  Circuit a = make_inverter_circuit("x_");
+  Circuit c;
+  CellParams cp;
+  cp.w_drive *= 1.002;  // 0.2 % drift, inside the 1 % bucket tolerance
+  CellLibrary lib(cp);
+  c.add_vsource("vdd", "0", Waveform::make_dc(3.0));
+  c.add_vsource("vss", "0", Waveform::make_dc(-3.0));
+  c.add_vsource("x_in", "0", Waveform::make_dc(0.0));
+  lib.add_inverter(c, "x_in", "x_out", "x_u");
+  EXPECT_TRUE(compare_netlists(a, c).equivalent);
+}
+
+TEST(Lvs, ShiftRegisterMatchesItself) {
+  CellLibrary lib;
+  ShiftRegisterSpec spec;
+  spec.data = {true};
+  Circuit a, b;
+  build_shift_register(a, lib, spec);
+  build_shift_register(b, lib, spec);
+  EXPECT_TRUE(compare_netlists(a, b).equivalent);
+}
+
+}  // namespace
+}  // namespace flexcs::fe

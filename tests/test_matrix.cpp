@@ -1,0 +1,199 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace flexcs::la {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+TEST(Vector, ArithmeticOps) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  const Vector s = a + b;
+  EXPECT_DOUBLE_EQ(s[0], 5.0);
+  EXPECT_DOUBLE_EQ(s[2], 9.0);
+  const Vector d = b - a;
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  const Vector sc = a * 2.0;
+  EXPECT_DOUBLE_EQ(sc[2], 6.0);
+  const Vector dv = b / 2.0;
+  EXPECT_DOUBLE_EQ(dv[0], 2.0);
+}
+
+TEST(Vector, SizeMismatchThrows) {
+  Vector a{1.0};
+  Vector b{1.0, 2.0};
+  EXPECT_THROW(a += b, CheckError);
+  EXPECT_THROW(dot(a, b), CheckError);
+}
+
+TEST(Vector, Norms) {
+  Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm1(), 7.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+}
+
+TEST(Vector, Norm2AvoidsOverflow) {
+  Vector v{1e200, 1e200};
+  EXPECT_TRUE(std::isfinite(v.norm2()));
+  EXPECT_NEAR(v.norm2() / 1e200, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Vector, SumAndMean) {
+  Vector v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(v.mean(), 2.5);
+  Vector empty;
+  EXPECT_THROW(empty.mean(), CheckError);
+}
+
+TEST(Vector, BoundsCheckedAccess) {
+  Vector v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(v.at(1), 2.0);
+  EXPECT_THROW(v.at(2), CheckError);
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(m.at(2, 0), CheckError);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), CheckError);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  const Matrix d = Matrix::diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(3);
+  const Matrix a = random_matrix(4, 7, rng);
+  EXPECT_EQ(max_abs_diff(a.transposed().transposed(), a), 0.0);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), CheckError);
+}
+
+TEST(Matrix, TransposedProductsMatchExplicit) {
+  Rng rng(5);
+  const Matrix a = random_matrix(6, 4, rng);
+  const Matrix b = random_matrix(6, 5, rng);
+  EXPECT_LT(max_abs_diff(matmul_at_b(a, b), matmul(a.transposed(), b)), 1e-12);
+  const Matrix c = random_matrix(5, 4, rng);
+  EXPECT_LT(max_abs_diff(matmul_a_bt(a, c), matmul(a, c.transposed())),
+            1e-12);
+}
+
+TEST(Matrix, MatvecMatchesMatmul) {
+  Rng rng(7);
+  const Matrix a = random_matrix(5, 3, rng);
+  Vector x{1.0, -2.0, 0.5};
+  const Vector y = matvec(a, x);
+  Matrix xm(3, 1);
+  xm.set_col(0, x);
+  const Matrix ym = matmul(a, xm);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(y[i], ym(i, 0), 1e-14);
+}
+
+TEST(Matrix, MatvecTransposedMatchesExplicit) {
+  Rng rng(9);
+  const Matrix a = random_matrix(5, 3, rng);
+  Vector x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Vector y1 = matvec_t(a, x);
+  const Vector y2 = matvec(a.transposed(), x);
+  EXPECT_LT(max_abs_diff(y1, y2), 1e-13);
+}
+
+TEST(Matrix, GramIsSymmetricPsd) {
+  Rng rng(11);
+  const Matrix a = random_matrix(8, 5, rng);
+  const Matrix g = gram(a);
+  EXPECT_EQ(g.rows(), 5u);
+  EXPECT_LT(max_abs_diff(g, g.transposed()), 1e-12);
+  // Diagonal entries are column squared norms: non-negative.
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_GE(g(i, i), 0.0);
+}
+
+TEST(Matrix, SelectRowsPicksExpected) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Matrix s = a.select_rows({2, 0});
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 2.0);
+  EXPECT_THROW(a.select_rows({3}), CheckError);
+}
+
+TEST(Matrix, FlattenRoundTrip) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Vector v = a.flatten();
+  EXPECT_DOUBLE_EQ(v[4], 5.0);
+  const Matrix back = Matrix::from_flat(v, 2, 3);
+  EXPECT_EQ(max_abs_diff(a, back), 0.0);
+  EXPECT_THROW(Matrix::from_flat(v, 2, 2), CheckError);
+}
+
+TEST(Matrix, SpectralNormOfDiagonal) {
+  const Matrix d = Matrix::diagonal(Vector{1.0, -7.0, 3.0});
+  EXPECT_NEAR(spectral_norm(d), 7.0, 1e-8);
+}
+
+TEST(Matrix, SpectralNormBoundsFrobenius) {
+  Rng rng(13);
+  const Matrix a = random_matrix(10, 6, rng);
+  const double s = spectral_norm(a);
+  EXPECT_LE(s, a.norm_fro() + 1e-9);
+  EXPECT_GE(s, a.norm_fro() / std::sqrt(6.0) - 1e-9);
+}
+
+TEST(Matrix, RowColRoundTrip) {
+  Rng rng(15);
+  Matrix a = random_matrix(4, 3, rng);
+  const Vector r1 = a.row(1);
+  a.set_row(2, r1);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(a(2, c), a(1, c));
+  const Vector c0 = a.col(0);
+  a.set_col(1, c0);
+  for (std::size_t r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(a(r, 1), a(r, 0));
+}
+
+TEST(Matrix, NormsAndSum) {
+  Matrix m{{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(m.norm_fro(), 5.0);
+  EXPECT_DOUBLE_EQ(m.norm_max(), 4.0);
+  EXPECT_DOUBLE_EQ(m.sum(), -1.0);
+}
+
+}  // namespace
+}  // namespace flexcs::la

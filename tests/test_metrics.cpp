@@ -1,0 +1,80 @@
+#include "cs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::cs {
+namespace {
+
+TEST(Metrics, RmseOfIdenticalIsZero) {
+  la::Matrix a(4, 4, 0.3);
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Metrics, RmseKnownValue) {
+  la::Matrix a(2, 2, 0.0);
+  la::Matrix b(2, 2, 0.5);
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.5);
+}
+
+TEST(Metrics, RmseSinglePixelError) {
+  la::Matrix a(2, 2, 0.0);
+  la::Matrix b = a;
+  b(0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.5);  // sqrt(1/4)
+}
+
+TEST(Metrics, RmseVectorOverload) {
+  la::Vector a{0.0, 0.0};
+  la::Vector b{3.0, 4.0};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Metrics, RmseShapeMismatchThrows) {
+  EXPECT_THROW(rmse(la::Matrix(2, 2), la::Matrix(2, 3)), CheckError);
+  EXPECT_THROW(rmse(la::Vector{1.0}, la::Vector{1.0, 2.0}), CheckError);
+}
+
+TEST(Metrics, PsnrKnownValue) {
+  la::Matrix a(4, 4, 0.0);
+  la::Matrix b(4, 4, 0.1);
+  EXPECT_NEAR(psnr(a, b), 20.0, 1e-9);  // 20 log10(1/0.1)
+}
+
+TEST(Metrics, PsnrInfiniteForIdentical) {
+  la::Matrix a(3, 3, 0.4);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Metrics, PsnrDecreasesWithError) {
+  la::Matrix ref(4, 4, 0.5);
+  la::Matrix close(4, 4, 0.52);
+  la::Matrix far(4, 4, 0.7);
+  EXPECT_GT(psnr(ref, close), psnr(ref, far));
+}
+
+TEST(Metrics, MaxErrorPicksWorstPixel) {
+  la::Matrix a(2, 2, 0.0);
+  la::Matrix b = a;
+  b(0, 1) = -0.3;
+  b(1, 1) = 0.8;
+  EXPECT_DOUBLE_EQ(max_error(a, b), 0.8);
+}
+
+TEST(Metrics, MaeAveragesAbsolute) {
+  la::Matrix a(1, 4, 0.0);
+  la::Matrix b{{0.1, -0.1, 0.3, -0.3}};
+  EXPECT_NEAR(mae(a, b), 0.2, 1e-12);
+}
+
+TEST(Metrics, MaeLessOrEqualRmse) {
+  la::Matrix a(2, 3, 0.0);
+  la::Matrix b{{0.1, 0.5, 0.0}, {0.2, 0.0, 0.9}};
+  EXPECT_LE(mae(a, b), rmse(a, b) + 1e-15);
+}
+
+}  // namespace
+}  // namespace flexcs::cs

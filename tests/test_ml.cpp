@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "data/tactile.hpp"
+#include "ml/network.hpp"
+#include "ml/optimizer.hpp"
+#include "ml/trainer.hpp"
+
+namespace flexcs::ml {
+namespace {
+
+Tensor random_tensor(std::size_t n, std::size_t c, std::size_t h,
+                     std::size_t w, Rng& rng) {
+  Tensor t(n, c, h, w);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t.data()[i] = static_cast<float>(rng.normal());
+  return t;
+}
+
+// Numerical gradient check: perturb each input/parameter entry and compare
+// d(sum of outputs * probe)/d(entry) with the backward pass.
+double input_grad_error(Layer& layer, const Tensor& x, Rng& rng) {
+  Tensor y = layer.forward(x, /*training=*/false);
+  Tensor probe(y.n(), y.c(), y.h(), y.w());
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    probe.data()[i] = static_cast<float>(rng.normal());
+
+  const Tensor grad_in = layer.backward(probe);
+
+  // Loss L = sum(y .* probe); numerical dL/dx via central differences on a
+  // sample of entries.
+  double max_err = 0.0;
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(1, x.size() / 37)) {
+    Tensor xp = x, xm = x;
+    xp.data()[i] += h;
+    xm.data()[i] -= h;
+    const Tensor yp = layer.forward(xp, false);
+    const Tensor ym = layer.forward(xm, false);
+    double lp = 0.0, lm = 0.0;
+    for (std::size_t j = 0; j < yp.size(); ++j) {
+      lp += static_cast<double>(yp.data()[j]) * probe.data()[j];
+      lm += static_cast<double>(ym.data()[j]) * probe.data()[j];
+    }
+    const double numeric = (lp - lm) / (2.0 * h);
+    max_err = std::max(max_err,
+                       std::fabs(numeric - grad_in.data()[i]) /
+                           std::max(1.0, std::fabs(numeric)));
+  }
+  return max_err;
+}
+
+TEST(Tensor, ShapeAndAccess) {
+  Tensor t(2, 3, 4, 5);
+  EXPECT_EQ(t.size(), 120u);
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 7.0f);
+  t.reshape(1, 6, 4, 5);
+  EXPECT_EQ(t.c(), 6u);
+  EXPECT_THROW(t.reshape(2, 2, 2, 2), CheckError);
+  EXPECT_THROW(Tensor(0, 1, 1, 1), CheckError);
+}
+
+TEST(Layers, ConvOutputShape) {
+  Rng rng(1);
+  Conv2D conv(1, 4, 3, 1, rng);
+  const Tensor y = conv.forward(random_tensor(2, 1, 8, 8, rng), false);
+  EXPECT_EQ(y.n(), 2u);
+  EXPECT_EQ(y.c(), 4u);
+  EXPECT_EQ(y.h(), 8u);  // same padding
+  EXPECT_EQ(y.w(), 8u);
+}
+
+TEST(Layers, ConvIdentityKernelPassesThrough) {
+  Rng rng(2);
+  Conv2D conv(1, 1, 3, 1, rng);
+  // Set the kernel to a centred delta with zero bias.
+  for (auto& p : conv.params())
+    std::fill(p->values.begin(), p->values.end(), 0.0f);
+  conv.params()[0]->values[4] = 1.0f;  // centre of 3x3
+  const Tensor x = random_tensor(1, 1, 6, 6, rng);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_LT(Tensor::max_abs_diff(x, y), 1e-6f);
+}
+
+TEST(Layers, ConvGradientMatchesNumeric) {
+  Rng rng(3);
+  Conv2D conv(2, 3, 3, 1, rng);
+  EXPECT_LT(input_grad_error(conv, random_tensor(1, 2, 5, 5, rng), rng),
+            5e-2);
+}
+
+TEST(Layers, ReluForwardBackward) {
+  Rng rng(4);
+  ReLU relu;
+  Tensor x(1, 1, 2, 2);
+  x.data()[0] = -1.0f;
+  x.data()[1] = 2.0f;
+  x.data()[2] = 0.0f;
+  x.data()[3] = -3.0f;
+  const Tensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y.data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(y.data()[1], 2.0f);
+  Tensor g(1, 1, 2, 2, 1.0f);
+  const Tensor gi = relu.backward(g);
+  EXPECT_FLOAT_EQ(gi.data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi.data()[1], 1.0f);
+  EXPECT_FLOAT_EQ(gi.data()[3], 0.0f);
+}
+
+TEST(Layers, MaxPoolPicksMaxAndRoutesGradient) {
+  Rng rng(5);
+  MaxPool2 pool;
+  Tensor x(1, 1, 2, 2);
+  x.data()[0] = 1.0f;
+  x.data()[1] = 5.0f;
+  x.data()[2] = 2.0f;
+  x.data()[3] = 3.0f;
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y.data()[0], 5.0f);
+  Tensor g(1, 1, 1, 1, 2.0f);
+  const Tensor gi = pool.backward(g);
+  EXPECT_FLOAT_EQ(gi.data()[1], 2.0f);
+  EXPECT_FLOAT_EQ(gi.data()[0], 0.0f);
+}
+
+TEST(Layers, MaxPoolRequiresEvenDims) {
+  Rng rng(6);
+  MaxPool2 pool;
+  EXPECT_THROW(pool.forward(random_tensor(1, 1, 3, 4, rng), false),
+               CheckError);
+}
+
+TEST(Layers, GapAveragesAndBackpropagates) {
+  Rng rng(7);
+  GlobalAvgPool gap;
+  Tensor x(1, 2, 2, 2, 1.0f);
+  for (std::size_t i = 0; i < 4; ++i) x.data()[i] = static_cast<float>(i);
+  const Tensor y = gap.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.5f);  // mean of 0..3
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 1.0f);
+  Tensor g(1, 2, 1, 1, 4.0f);
+  const Tensor gi = gap.backward(g);
+  EXPECT_FLOAT_EQ(gi.data()[0], 1.0f);  // 4 / (2*2)
+}
+
+TEST(Layers, DenseGradientMatchesNumeric) {
+  Rng rng(8);
+  Dense dense(12, 5, rng);
+  EXPECT_LT(input_grad_error(dense, random_tensor(2, 3, 2, 2, rng), rng),
+            5e-2);
+}
+
+TEST(Layers, DropoutInferenceIsIdentity) {
+  Rng rng(9);
+  Dropout drop(0.5, rng);
+  const Tensor x = random_tensor(1, 1, 4, 4, rng);
+  EXPECT_LT(Tensor::max_abs_diff(drop.forward(x, false), x), 1e-9f);
+}
+
+TEST(Layers, DropoutTrainingZerosAndScales) {
+  Rng rng(10);
+  Dropout drop(0.5, rng);
+  Tensor x(1, 1, 32, 32, 1.0f);
+  const Tensor y = drop.forward(x, true);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0f) ++zeros;
+    else EXPECT_FLOAT_EQ(y.data()[i], 2.0f);  // inverted scaling 1/(1-0.5)
+  }
+  EXPECT_GT(zeros, 400u);
+  EXPECT_LT(zeros, 620u);
+}
+
+TEST(Layers, SoftmaxCrossEntropyKnownValues) {
+  Tensor logits(1, 3, 1, 1);
+  logits.data()[0] = 0.0f;
+  logits.data()[1] = 0.0f;
+  logits.data()[2] = 0.0f;
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_NEAR(r.loss, std::log(3.0), 1e-6);
+  // Gradient: p - onehot = (1/3, 1/3-1, 1/3).
+  EXPECT_NEAR(r.grad_logits.data()[0], 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(r.grad_logits.data()[1], 1.0 / 3.0 - 1.0, 1e-6);
+}
+
+TEST(Layers, SoftmaxGradSumsToZero) {
+  Rng rng(11);
+  Tensor logits = random_tensor(4, 7, 1, 1, rng);
+  const LossResult r = softmax_cross_entropy(logits, {0, 3, 6, 2});
+  for (std::size_t n = 0; n < 4; ++n) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 7; ++c) s += r.grad_logits.at(n, c, 0, 0);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(Layers, SoftmaxLabelValidation) {
+  Tensor logits(1, 3, 1, 1);
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), CheckError);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), CheckError);
+}
+
+TEST(Network, ResidualBlockGradientMatchesNumeric) {
+  Rng rng(12);
+  ResidualBlock block(2, 2, rng);
+  // Looser tolerance: the post-add ReLU kink makes the numeric probe noisy.
+  EXPECT_LT(input_grad_error(block, random_tensor(1, 2, 4, 4, rng), rng),
+            1e-1);
+}
+
+TEST(Network, ResidualBlockWithProjectionChangesChannels) {
+  Rng rng(13);
+  ResidualBlock block(2, 6, rng);
+  const Tensor y = block.forward(random_tensor(1, 2, 4, 4, rng), false);
+  EXPECT_EQ(y.c(), 6u);
+  EXPECT_LT(input_grad_error(block, random_tensor(1, 2, 4, 4, rng), rng),
+            1e-1);
+}
+
+TEST(Network, MiniResnetShapesAndParams) {
+  Rng rng(14);
+  Network net = make_mini_resnet(32, 26, rng);
+  const Tensor y = net.forward(random_tensor(2, 1, 32, 32, rng), false);
+  EXPECT_EQ(y.n(), 2u);
+  EXPECT_EQ(y.c(), 26u);
+  EXPECT_GT(net.num_parameters(), 1000u);
+}
+
+TEST(Network, SaveLoadWeightsRoundTrip) {
+  Rng rng(15);
+  Network net = make_mini_resnet(32, 4, rng);
+  const Tensor x = random_tensor(1, 1, 32, 32, rng);
+  const Tensor y1 = net.forward(x, false);
+  const auto snapshot = net.save_weights();
+  // Perturb weights, then restore.
+  for (Param* p : net.params())
+    for (auto& v : p->values) v += 0.1f;
+  const Tensor y2 = net.forward(x, false);
+  EXPECT_GT(Tensor::max_abs_diff(y1, y2), 1e-3f);
+  net.load_weights(snapshot);
+  const Tensor y3 = net.forward(x, false);
+  EXPECT_LT(Tensor::max_abs_diff(y1, y3), 1e-6f);
+}
+
+TEST(Optimizer, AdamReducesQuadraticLoss) {
+  // Minimise f(w) = 0.5 ||w - target||^2 directly through Param plumbing.
+  Param p;
+  p.values = {5.0f, -3.0f, 2.0f};
+  p.grads.resize(3, 0.0f);
+  AdamOptions opts;
+  opts.lr = 0.1;
+  Adam adam({&p}, opts);
+  const std::vector<float> target{1.0f, 1.0f, 1.0f};
+  for (int it = 0; it < 300; ++it) {
+    for (std::size_t i = 0; i < 3; ++i) p.grads[i] = p.values[i] - target[i];
+    adam.step();
+    for (auto& g : p.grads) g = 0.0f;
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(p.values[i], 1.0f, 0.05f);
+}
+
+TEST(Optimizer, LearningRateScale) {
+  Param p;
+  p.values = {1.0f};
+  p.grads = {0.0f};
+  Adam adam({&p});
+  const double lr0 = adam.learning_rate();
+  adam.scale_learning_rate(0.1);
+  EXPECT_NEAR(adam.learning_rate(), 0.1 * lr0, 1e-12);
+  EXPECT_THROW(adam.scale_learning_rate(0.0), CheckError);
+}
+
+TEST(Trainer, LearnsSmallTactileSubset) {
+  // End-to-end sanity: 4 visually distinct classes, tiny net, few epochs —
+  // the network must beat chance (25 %) comfortably on held-out data.
+  Rng rng(16);
+  data::TactileGenerator gen;
+  data::Dataset train, val;
+  train.rows = val.rows = 32;
+  train.cols = val.cols = 32;
+  train.num_classes = val.num_classes = 4;
+  const int classes[4] = {1, 4, 8, 25};  // ball, rod, ring, palm
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 12; ++i)
+      train.frames.push_back(
+          {gen.sample_class(classes[c], rng).values, c});
+    for (int i = 0; i < 6; ++i)
+      val.frames.push_back({gen.sample_class(classes[c], rng).values, c});
+  }
+
+  Network net = make_mini_resnet(32, 4, rng, /*base_channels=*/4);
+  TrainOptions opts;
+  opts.epochs = 25;
+  opts.batch_size = 8;
+  opts.adam.lr = 2e-3;
+  const TrainResult r = train_classifier(net, train, val, opts, rng);
+  EXPECT_EQ(r.history.size(), 25u);
+  EXPECT_GT(r.best_val_accuracy, 0.6);
+  // The restored checkpoint must reproduce the best validation accuracy.
+  const EvalResult ev = evaluate(net, val);
+  EXPECT_NEAR(ev.accuracy, r.best_val_accuracy, 1e-9);
+}
+
+TEST(Trainer, EvaluateFramesMatchesEvaluate) {
+  Rng rng(17);
+  data::TactileGenerator gen;
+  data::Dataset ds;
+  ds.rows = ds.cols = 32;
+  ds.num_classes = 3;
+  std::vector<la::Matrix> frames;
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c)
+    for (int i = 0; i < 4; ++i) {
+      ds.frames.push_back({gen.sample_class(c, rng).values, c});
+      frames.push_back(ds.frames.back().values);
+      labels.push_back(c);
+    }
+  Network net = make_mini_resnet(32, 3, rng, 2);
+  const EvalResult a = evaluate(net, ds);
+  const EvalResult b = evaluate_frames(net, frames, labels);
+  EXPECT_NEAR(a.loss, b.loss, 1e-9);
+  EXPECT_NEAR(a.accuracy, b.accuracy, 1e-9);
+}
+
+TEST(Trainer, Validation) {
+  Rng rng(18);
+  Network net = make_mini_resnet(32, 3, rng, 2);
+  data::Dataset empty;
+  EXPECT_THROW(train_classifier(net, empty, empty, TrainOptions{}, rng),
+               CheckError);
+}
+
+
+TEST(Network, WeightFileRoundTrip) {
+  Rng rng(20);
+  Network net = make_mini_resnet(32, 5, rng, 2);
+  const Tensor x = random_tensor(1, 1, 32, 32, rng);
+  const Tensor y1 = net.forward(x, false);
+  const std::string path = "/tmp/flexcs_weights_test.bin";
+  net.save_weights_file(path);
+  for (Param* p : net.params())
+    for (auto& v : p->values) v = 0.0f;
+  net.load_weights_file(path);
+  const Tensor y2 = net.forward(x, false);
+  EXPECT_LT(Tensor::max_abs_diff(y1, y2), 1e-7f);
+  std::remove(path.c_str());
+}
+
+TEST(Network, WeightFileRejectsMismatchedArchitecture) {
+  Rng rng(21);
+  Network small = make_mini_resnet(32, 3, rng, 2);
+  Network large = make_mini_resnet(32, 3, rng, 4);
+  const std::string path = "/tmp/flexcs_weights_mismatch.bin";
+  small.save_weights_file(path);
+  EXPECT_THROW(large.load_weights_file(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Network, WeightFileRejectsGarbage) {
+  Rng rng(22);
+  Network net = make_mini_resnet(32, 3, rng, 2);
+  const std::string path = "/tmp/flexcs_weights_garbage.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "not a weight file at all";
+  }
+  EXPECT_THROW(net.load_weights_file(path), CheckError);
+  EXPECT_THROW(net.load_weights_file("/tmp/flexcs_missing_weights.bin"),
+               CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flexcs::ml

@@ -1,0 +1,70 @@
+#include "common/pgm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace flexcs {
+namespace {
+
+TEST(Pgm, RoundTripPreservesPixels) {
+  GrayImage img;
+  img.rows = 4;
+  img.cols = 3;
+  img.pixels = {0.0, 0.5, 1.0, 0.1, 0.2, 0.3,
+                0.4, 0.6, 0.7, 0.8, 0.9, 0.25};
+  const std::string path = "/tmp/flexcs_pgm_test.pgm";
+  write_pgm(path, img);
+  const GrayImage back = read_pgm(path);
+  ASSERT_EQ(back.rows, 4u);
+  ASSERT_EQ(back.cols, 3u);
+  for (std::size_t i = 0; i < img.pixels.size(); ++i)
+    EXPECT_NEAR(back.pixels[i], img.pixels[i], 1.0 / 255.0);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, ClampsOutOfRangeValues) {
+  GrayImage img;
+  img.rows = 1;
+  img.cols = 2;
+  img.pixels = {-0.5, 1.5};
+  const std::string path = "/tmp/flexcs_pgm_clamp.pgm";
+  write_pgm(path, img);
+  const GrayImage back = read_pgm(path);
+  EXPECT_DOUBLE_EQ(back.pixels[0], 0.0);
+  EXPECT_DOUBLE_EQ(back.pixels[1], 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, RejectsInconsistentImage) {
+  GrayImage img;
+  img.rows = 2;
+  img.cols = 2;
+  img.pixels = {0.0};  // wrong count
+  EXPECT_THROW(write_pgm("/tmp/flexcs_bad.pgm", img), CheckError);
+}
+
+TEST(Pgm, ReadMissingFileThrows) {
+  EXPECT_THROW(read_pgm("/tmp/flexcs_does_not_exist.pgm"), CheckError);
+}
+
+TEST(Pgm, ReadsAsciiVariant) {
+  const std::string path = "/tmp/flexcs_ascii.pgm";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("P2\n# comment line\n2 2\n255\n0 128\n255 64\n", f);
+    fclose(f);
+  }
+  const GrayImage img = read_pgm(path);
+  ASSERT_EQ(img.rows, 2u);
+  ASSERT_EQ(img.cols, 2u);
+  EXPECT_NEAR(img.at(0, 1), 128.0 / 255.0, 1e-12);
+  EXPECT_NEAR(img.at(1, 0), 1.0, 1e-12);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flexcs

@@ -1,0 +1,224 @@
+// Robust-sensing pipelines (Sec. 4 of the paper): oracle exclusion,
+// resampling, and RPCA outlier filtering under injected sparse errors.
+#include "cs/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "cs/metrics.hpp"
+#include "data/thermal.hpp"
+
+namespace flexcs::cs {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : decoder_(32, 32) {}
+
+  la::Matrix make_frame(Rng& rng) {
+    data::ThermalHandGenerator gen;
+    return gen.sample(rng).values;
+  }
+
+  Encoder encoder_;
+  Decoder decoder_;
+};
+
+TEST_F(PipelineTest, OracleExclusionBeatsNoCs) {
+  Rng rng(1);
+  const la::Matrix frame = make_frame(rng);
+  DefectOptions dopts;
+  dopts.rate = 0.10;
+  const CorruptedFrame cf = inject_defects(frame, dopts, rng);
+
+  const double rmse_no_cs = rmse(cf.values, frame);
+  const la::Matrix rec =
+      reconstruct_oracle(cf, 0.5, encoder_, decoder_, rng);
+  const double rmse_cs = rmse(rec, frame);
+
+  // Headline result of the paper: 0.20 -> 0.05 at 10 % sparse errors.
+  EXPECT_GT(rmse_no_cs, 0.12);
+  EXPECT_LT(rmse_cs, 0.07);
+  EXPECT_LT(rmse_cs, 0.5 * rmse_no_cs);
+}
+
+TEST_F(PipelineTest, OracleToleratesTwentyPercentErrors) {
+  Rng rng(2);
+  const la::Matrix frame = make_frame(rng);
+  DefectOptions dopts;
+  dopts.rate = 0.20;
+  const CorruptedFrame cf = inject_defects(frame, dopts, rng);
+  const la::Matrix rec =
+      reconstruct_oracle(cf, 0.5, encoder_, decoder_, rng);
+  EXPECT_LT(rmse(rec, frame), 0.09);
+}
+
+TEST_F(PipelineTest, ResampleMedianSuppressesUnknownDefects) {
+  Rng rng(3);
+  const la::Matrix frame = make_frame(rng);
+  DefectOptions dopts;
+  dopts.rate = 0.05;
+  const CorruptedFrame cf = inject_defects(frame, dopts, rng);
+
+  ResampleOptions ropts;
+  ropts.rounds = 10;
+  ropts.aggregate = Aggregate::kMedian;
+  const la::Matrix rec = reconstruct_resample(cf.values, 0.5, ropts,
+                                              encoder_, decoder_, rng);
+  // Must improve on using the corrupted frame directly.
+  EXPECT_LT(rmse(rec, frame), rmse(cf.values, frame));
+}
+
+TEST_F(PipelineTest, MedianBeatsMeanUnderOutliers) {
+  Rng rng(4);
+  const la::Matrix frame = make_frame(rng);
+  DefectOptions dopts;
+  dopts.rate = 0.08;
+  const CorruptedFrame cf = inject_defects(frame, dopts, rng);
+
+  ResampleOptions median_opts;
+  median_opts.rounds = 8;
+  median_opts.aggregate = Aggregate::kMedian;
+  ResampleOptions mean_opts = median_opts;
+  mean_opts.aggregate = Aggregate::kMean;
+
+  Rng r1(99), r2(99);
+  const la::Matrix rec_med = reconstruct_resample(cf.values, 0.5, median_opts,
+                                                  encoder_, decoder_, r1);
+  const la::Matrix rec_mean = reconstruct_resample(cf.values, 0.5, mean_opts,
+                                                   encoder_, decoder_, r2);
+  // The paper picks the median as "more robust to outliers"; allow a small
+  // slack since both are stochastic.
+  EXPECT_LT(rmse(rec_med, frame), rmse(rec_mean, frame) + 0.01);
+}
+
+TEST_F(PipelineTest, ResampleValidatesRounds) {
+  Rng rng(5);
+  const la::Matrix frame = make_frame(rng);
+  ResampleOptions ropts;
+  ropts.rounds = 0;
+  EXPECT_THROW(reconstruct_resample(frame, 0.5, ropts, encoder_, decoder_,
+                                    rng),
+               CheckError);
+}
+
+TEST_F(PipelineTest, RpcaBatchDetectsAndReconstructs) {
+  Rng rng(6);
+  data::ThermalHandGenerator gen;
+  // A batch of frames with persistent array defects (same pixels each frame).
+  const std::size_t batch = 12;
+  const auto mask = random_defect_mask(32, 32, 0.06, rng);
+  std::vector<la::Matrix> clean, corrupted;
+  for (std::size_t i = 0; i < batch; ++i) {
+    clean.push_back(gen.sample(rng).values);
+    corrupted.push_back(
+        apply_defect_mask(clean.back(), mask, DefectPolarity::kRandom, rng));
+  }
+
+  RpcaFilterOptions opts;
+  const auto recs = reconstruct_rpca_batch(corrupted, 0.5, opts, encoder_,
+                                           decoder_, rng);
+  ASSERT_EQ(recs.size(), batch);
+  double rmse_cs = 0.0, rmse_no = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    rmse_cs += rmse(recs[i], clean[i]);
+    rmse_no += rmse(corrupted[i], clean[i]);
+  }
+  EXPECT_LT(rmse_cs, rmse_no);
+  EXPECT_LT(rmse_cs / static_cast<double>(batch), 0.09);
+}
+
+TEST_F(PipelineTest, RpcaMaskShapeMatchesBatch) {
+  Rng rng(7);
+  data::ThermalHandGenerator gen;
+  std::vector<la::Matrix> frames;
+  for (int i = 0; i < 5; ++i) frames.push_back(gen.sample(rng).values);
+  const auto masks = rpca_outlier_masks(frames, RpcaFilterOptions{});
+  ASSERT_EQ(masks.size(), 5u);
+  for (const auto& m : masks) EXPECT_EQ(m.size(), 1024u);
+}
+
+TEST_F(PipelineTest, RpcaRejectsEmptyBatch) {
+  EXPECT_THROW(rpca_outlier_masks({}, RpcaFilterOptions{}), CheckError);
+}
+
+
+TEST_F(PipelineTest, DecodeTrimmedRemovesContamination) {
+  // Blind sampling at 8 % defects: the trimmed decode must beat the plain
+  // decode substantially.
+  Rng rng(8);
+  const la::Matrix frame = make_frame(rng);
+  DefectOptions dopts;
+  dopts.rate = 0.08;
+  const CorruptedFrame cf = inject_defects(frame, dopts, rng);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+  const la::Vector y = encoder_.encode(cf.values, p, rng);
+  const double plain = rmse(decoder_.decode(p, y).frame, frame);
+  const double trimmed = rmse(decode_trimmed(decoder_, p, y), frame);
+  EXPECT_LT(trimmed, 0.5 * plain);
+  EXPECT_LT(trimmed, 0.05);
+}
+
+TEST_F(PipelineTest, DecodeTrimmedIsHarmlessOnCleanData) {
+  Rng rng(9);
+  const la::Matrix frame = make_frame(rng);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+  const la::Vector y = encoder_.encode(frame, p, rng);
+  const double plain = rmse(decoder_.decode(p, y).frame, frame);
+  const double trimmed = rmse(decode_trimmed(decoder_, p, y), frame);
+  EXPECT_LT(trimmed, plain + 0.01);
+}
+
+TEST_F(PipelineTest, DecodeTrimmedValidatesParameters) {
+  Rng rng(10);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+  const la::Vector y(p.m(), 0.5);
+  EXPECT_THROW(decode_trimmed(decoder_, p, y, 0.0), CheckError);
+  EXPECT_THROW(decode_trimmed(decoder_, p, y, 3.0, -0.1), CheckError);
+}
+
+TEST_F(PipelineTest, DecodeWithAlternativeSolverMatchesDecoder) {
+  Rng rng(11);
+  const la::Matrix frame = make_frame(rng);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+  const la::Vector y = encoder_.encode(frame, p, rng);
+  // decode() must be exactly decode_with(default solver, default options).
+  const la::Matrix a = decoder_.decode(p, y).frame;
+  const la::Matrix b =
+      decoder_.decode_with(p, y, decoder_.solver(), decoder_.options()).frame;
+  EXPECT_EQ(la::max_abs_diff(a, b), 0.0);
+}
+
+TEST_F(PipelineTest, DecodeWithRejectsBasisChange) {
+  Rng rng(12);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+  const la::Vector y(p.m(), 0.5);
+  DecoderOptions wrong = decoder_.options();
+  wrong.basis = dsp::BasisKind::kHaar2D;
+  EXPECT_THROW(decoder_.decode_with(p, y, decoder_.solver(), wrong),
+               CheckError);
+}
+
+TEST_F(PipelineTest, ResampleTrimOptionImprovesResult) {
+  Rng rng(13);
+  const la::Matrix frame = make_frame(rng);
+  DefectOptions dopts;
+  dopts.rate = 0.08;
+  const CorruptedFrame cf = inject_defects(frame, dopts, rng);
+  ResampleOptions with_trim;
+  with_trim.rounds = 6;
+  with_trim.trim = true;
+  ResampleOptions no_trim = with_trim;
+  no_trim.trim = false;
+  Rng r1(5), r2(5);
+  const double e_trim = rmse(
+      reconstruct_resample(cf.values, 0.5, with_trim, encoder_, decoder_, r1),
+      frame);
+  const double e_plain = rmse(
+      reconstruct_resample(cf.values, 0.5, no_trim, encoder_, decoder_, r2),
+      frame);
+  EXPECT_LT(e_trim, e_plain);
+}
+
+}  // namespace
+}  // namespace flexcs::cs

@@ -1,0 +1,126 @@
+#include "rpca/rpca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "la/svd.hpp"
+
+namespace flexcs::rpca {
+namespace {
+
+la::Matrix low_rank(std::size_t m, std::size_t n, std::size_t rank, Rng& rng) {
+  la::Matrix u(m, rank), v(rank, n);
+  for (std::size_t i = 0; i < u.size(); ++i) u.data()[i] = rng.normal();
+  for (std::size_t i = 0; i < v.size(); ++i) v.data()[i] = rng.normal();
+  return matmul(u, v);
+}
+
+// Adds `count` large-magnitude spikes at random positions; returns the mask.
+std::vector<bool> add_spikes(la::Matrix& m, std::size_t count, double mag,
+                             Rng& rng) {
+  std::vector<bool> mask(m.size(), false);
+  for (std::size_t idx : rng.sample_without_replacement(m.size(), count)) {
+    m.data()[idx] += (rng.bernoulli(0.5) ? mag : -mag);
+    mask[idx] = true;
+  }
+  return mask;
+}
+
+TEST(Rpca, SeparatesLowRankAndSparse) {
+  Rng rng(1);
+  const la::Matrix l0 = low_rank(40, 30, 3, rng);
+  la::Matrix d = l0;
+  add_spikes(d, 60, 10.0, rng);  // 5 % corrupted
+
+  const RpcaResult r = decompose(d);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(la::max_abs_diff(r.low_rank, l0) / l0.norm_max(), 0.05);
+}
+
+TEST(Rpca, DecompositionSumsToInput) {
+  Rng rng(2);
+  la::Matrix d = low_rank(20, 20, 2, rng);
+  add_spikes(d, 20, 8.0, rng);
+  const RpcaResult r = decompose(d);
+  la::Matrix sum = r.low_rank;
+  sum += r.sparse;
+  EXPECT_LT(la::max_abs_diff(sum, d) / std::max(1.0, d.norm_max()), 1e-5);
+}
+
+TEST(Rpca, RecoveredRankMatches) {
+  Rng rng(3);
+  const la::Matrix l0 = low_rank(30, 30, 2, rng);
+  la::Matrix d = l0;
+  add_spikes(d, 30, 10.0, rng);
+  const RpcaResult r = decompose(d);
+  EXPECT_LE(la::effective_rank(r.low_rank, 1e-6), 4u);
+  EXPECT_GE(la::effective_rank(r.low_rank, 1e-6), 2u);
+}
+
+TEST(Rpca, CleanLowRankGivesEmptySparse) {
+  Rng rng(4);
+  const la::Matrix l0 = low_rank(20, 15, 2, rng);
+  const RpcaResult r = decompose(l0);
+  EXPECT_LT(r.sparse.norm_max() / l0.norm_max(), 0.02);
+}
+
+TEST(Rpca, OutlierMaskFindsInjectedSpikes) {
+  Rng rng(5);
+  const la::Matrix l0 = low_rank(32, 24, 2, rng);
+  la::Matrix d = l0;
+  const std::vector<bool> truth = add_spikes(d, 40, 12.0, rng);
+  const std::vector<bool> detected = detect_outliers(d);
+
+  std::size_t true_pos = 0, truth_count = 0, false_pos = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i]) {
+      ++truth_count;
+      if (detected[i]) ++true_pos;
+    } else if (detected[i]) {
+      ++false_pos;
+    }
+  }
+  // Should find the vast majority of spikes with few false alarms.
+  EXPECT_GE(static_cast<double>(true_pos) / truth_count, 0.9);
+  EXPECT_LE(static_cast<double>(false_pos) / truth.size(), 0.05);
+}
+
+TEST(Rpca, OutlierMaskZeroSparseIsEmpty) {
+  const auto mask = outlier_mask(la::Matrix(5, 5, 0.0));
+  for (bool b : mask) EXPECT_FALSE(b);
+}
+
+TEST(Rpca, OutlierMaskThresholdValidation) {
+  la::Matrix s(2, 2, 1.0);
+  EXPECT_THROW(outlier_mask(s, 0.0), flexcs::CheckError);
+  EXPECT_THROW(outlier_mask(s, 1.0), flexcs::CheckError);
+}
+
+TEST(Rpca, EmptyInputThrows) {
+  EXPECT_THROW(decompose(la::Matrix{}), flexcs::CheckError);
+}
+
+TEST(Rpca, HigherLambdaGivesSparser) {
+  Rng rng(6);
+  la::Matrix d = low_rank(20, 20, 2, rng);
+  add_spikes(d, 40, 6.0, rng);
+  RpcaOptions loose;
+  loose.lambda = 0.05;
+  RpcaOptions tight;
+  tight.lambda = 0.5;
+  const RpcaResult rl = decompose(d, loose);
+  const RpcaResult rt = decompose(d, tight);
+  auto nnz = [](const la::Matrix& m) {
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < m.size(); ++i)
+      if (std::fabs(m.data()[i]) > 1e-9) ++c;
+    return c;
+  };
+  EXPECT_GE(nnz(rl.sparse), nnz(rt.sparse));
+}
+
+}  // namespace
+}  // namespace flexcs::rpca

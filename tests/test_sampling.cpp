@@ -1,0 +1,139 @@
+#include "cs/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace flexcs::cs {
+namespace {
+
+TEST(Sampling, RandomPatternSizeAndOrdering) {
+  Rng rng(1);
+  const SamplingPattern p = random_pattern(8, 8, 0.5, rng);
+  EXPECT_EQ(p.m(), 32u);
+  EXPECT_EQ(p.n(), 64u);
+  EXPECT_NEAR(p.fraction(), 0.5, 1e-12);
+  EXPECT_TRUE(std::is_sorted(p.indices.begin(), p.indices.end()));
+  for (std::size_t idx : p.indices) EXPECT_LT(idx, 64u);
+}
+
+TEST(Sampling, RandomPatternDistinctIndices) {
+  Rng rng(2);
+  const SamplingPattern p = random_pattern(16, 16, 0.9, rng);
+  for (std::size_t i = 1; i < p.indices.size(); ++i)
+    EXPECT_NE(p.indices[i - 1], p.indices[i]);
+}
+
+TEST(Sampling, FractionValidation) {
+  Rng rng(3);
+  EXPECT_THROW(random_pattern(4, 4, 0.0, rng), CheckError);
+  EXPECT_THROW(random_pattern(4, 4, 1.5, rng), CheckError);
+  EXPECT_THROW(random_pattern(0, 4, 0.5, rng), CheckError);
+}
+
+TEST(Sampling, ExcludingAvoidsMaskedPixels) {
+  Rng rng(4);
+  std::vector<bool> exclude(64, false);
+  for (std::size_t i = 0; i < 64; i += 3) exclude[i] = true;
+  const SamplingPattern p =
+      random_pattern_excluding(8, 8, 0.5, exclude, rng);
+  for (std::size_t idx : p.indices) EXPECT_FALSE(exclude[idx]);
+}
+
+TEST(Sampling, ExcludingCapsAtAvailable) {
+  Rng rng(5);
+  std::vector<bool> exclude(64, true);
+  for (std::size_t i = 0; i < 10; ++i) exclude[i] = false;
+  const SamplingPattern p =
+      random_pattern_excluding(8, 8, 0.9, exclude, rng);
+  EXPECT_EQ(p.m(), 10u);  // wanted 57 but only 10 good pixels
+}
+
+TEST(Sampling, ExcludingAllThrows) {
+  Rng rng(6);
+  std::vector<bool> exclude(16, true);
+  EXPECT_THROW(random_pattern_excluding(4, 4, 0.5, exclude, rng), CheckError);
+}
+
+TEST(Sampling, ApplyPatternSelectsValues) {
+  SamplingPattern p;
+  p.rows = 2;
+  p.cols = 3;
+  p.indices = {0, 2, 5};
+  la::Vector y{10.0, 11.0, 12.0, 13.0, 14.0, 15.0};
+  const la::Vector out = apply_pattern(p, y);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 10.0);
+  EXPECT_DOUBLE_EQ(out[1], 12.0);
+  EXPECT_DOUBLE_EQ(out[2], 15.0);
+  EXPECT_THROW(apply_pattern(p, la::Vector(5)), CheckError);
+}
+
+TEST(Sampling, PatternMatrixIsSelectionMatrix) {
+  Rng rng(7);
+  const SamplingPattern p = random_pattern(4, 4, 0.5, rng);
+  const la::Matrix phi = pattern_matrix(p);
+  EXPECT_EQ(phi.rows(), p.m());
+  EXPECT_EQ(phi.cols(), 16u);
+  // Each row has exactly one 1 (a row of the identity, per the paper).
+  for (std::size_t r = 0; r < phi.rows(); ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < phi.cols(); ++c) {
+      EXPECT_TRUE(phi(r, c) == 0.0 || phi(r, c) == 1.0);
+      row_sum += phi(r, c);
+    }
+    EXPECT_DOUBLE_EQ(row_sum, 1.0);
+  }
+  // Each column has at most one 1 (paper Sec. 3.1).
+  for (std::size_t c = 0; c < phi.cols(); ++c) {
+    double col_sum = 0.0;
+    for (std::size_t r = 0; r < phi.rows(); ++r) col_sum += phi(r, c);
+    EXPECT_LE(col_sum, 1.0);
+  }
+}
+
+TEST(Sampling, PatternMatrixAgreesWithApply) {
+  Rng rng(8);
+  const SamplingPattern p = random_pattern(5, 7, 0.4, rng);
+  la::Vector y(35);
+  for (std::size_t i = 0; i < 35; ++i) y[i] = static_cast<double>(i) * 0.1;
+  EXPECT_LT(la::max_abs_diff(matvec(pattern_matrix(p), y),
+                             apply_pattern(p, y)),
+            1e-15);
+}
+
+TEST(Sampling, ScheduleHasOneCyclePerColumn) {
+  Rng rng(9);
+  const SamplingPattern p = random_pattern(6, 9, 0.5, rng);
+  const ScanSchedule s = make_scan_schedule(p);
+  EXPECT_EQ(s.cycles.size(), 9u);  // sqrt(N)-style column scan (Fig. 4)
+  for (std::size_t c = 0; c < s.cycles.size(); ++c)
+    EXPECT_EQ(s.cycles[c].column, c);
+  EXPECT_TRUE(s.active_low);  // p-type TFT array is low-enabled
+}
+
+TEST(Sampling, ScheduleTotalReadsEqualsM) {
+  Rng rng(10);
+  const SamplingPattern p = random_pattern(8, 8, 0.55, rng);
+  EXPECT_EQ(make_scan_schedule(p).total_reads(), p.m());
+}
+
+TEST(Sampling, ScheduleRoundTripsPattern) {
+  Rng rng(11);
+  const SamplingPattern p = random_pattern(7, 5, 0.6, rng);
+  const SamplingPattern q =
+      pattern_from_schedule(make_scan_schedule(p), 7, 5);
+  EXPECT_EQ(p.indices, q.indices);
+}
+
+TEST(Sampling, FullSamplingSelectsEverything) {
+  Rng rng(12);
+  const SamplingPattern p = random_pattern(4, 4, 1.0, rng);
+  EXPECT_EQ(p.m(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(p.indices[i], i);
+}
+
+}  // namespace
+}  // namespace flexcs::cs

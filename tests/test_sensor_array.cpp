@@ -1,0 +1,124 @@
+#include "fe/sensor_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "cs/encoder.hpp"
+#include "cs/metrics.hpp"
+#include "data/thermal.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+TEST(PtSensor, ResistanceIsLinearInTemperature) {
+  PtSensor s;
+  EXPECT_DOUBLE_EQ(s.resistance(25.0), 10e3);
+  const double r35 = s.resistance(35.0);
+  EXPECT_NEAR(r35, 10e3 * (1.0 + 3.85e-3 * 10.0), 1e-6);
+  // Linearity: equal temperature steps, equal resistance steps.
+  const double d1 = s.resistance(30.0) - s.resistance(25.0);
+  const double d2 = s.resistance(35.0) - s.resistance(30.0);
+  EXPECT_NEAR(d1, d2, 1e-9);
+}
+
+TEST(SensorArray, CurrentDecreasesWithTemperature) {
+  SensorArraySim sim;
+  // Pt resistance grows with T, so hotter pixels draw less current.
+  EXPECT_GT(sim.pixel_current(0.0), sim.pixel_current(0.5));
+  EXPECT_GT(sim.pixel_current(0.5), sim.pixel_current(1.0));
+}
+
+TEST(SensorArray, CalibrationRoundTrips) {
+  SensorArraySim sim;
+  for (double u : {0.0, 0.1, 0.33, 0.5, 0.77, 1.0}) {
+    const double i = sim.pixel_current(u);
+    EXPECT_NEAR(sim.current_to_value(i), u, 0.01) << "u=" << u;
+  }
+}
+
+TEST(SensorArray, CurrentToValueClamps) {
+  SensorArraySim sim;
+  EXPECT_DOUBLE_EQ(sim.current_to_value(1.0), 0.0);   // absurdly large
+  EXPECT_DOUBLE_EQ(sim.current_to_value(0.0), 1.0);   // no current
+}
+
+TEST(SensorArray, ElectricalReadMatchesIdealEncoder) {
+  // The electrical scan should reproduce the behavioural cs::Encoder within
+  // calibration error.
+  Rng rng(1);
+  data::ThermalHandGenerator gen;
+  const la::Matrix frame = gen.sample(rng).values;
+  const cs::SamplingPattern p = cs::random_pattern(32, 32, 0.5, rng);
+  const cs::ScanSchedule schedule = cs::make_scan_schedule(p);
+
+  SensorArraySim array;
+  Rng r1(7), r2(7);
+  const la::Vector electrical = array.read_frame(frame, schedule, r1);
+  const la::Vector ideal = cs::Encoder().encode(frame, p, r2);
+  ASSERT_EQ(electrical.size(), ideal.size());
+  EXPECT_LT(cs::rmse(electrical, ideal), 0.01);
+}
+
+TEST(SensorArray, FaultsProduceExtremeReadings) {
+  SensorArraySim array;
+  std::vector<PixelFault> faults(32 * 32, PixelFault::kNone);
+  faults[0] = PixelFault::kTftStuckOff;
+  faults[1] = PixelFault::kSensorShort;
+  array.set_faults(faults);
+
+  la::Matrix frame(32, 32, 0.5);
+  Rng rng(2);
+  const la::Matrix read = array.read_full_frame(frame, rng);
+  // Stuck-off TFT: no current -> hottest possible reading (value 1).
+  EXPECT_GT(read(0, 0), 0.95);
+  // Shorted sensor: maximum current -> coldest reading (value 0).
+  EXPECT_LT(read(0, 1), 0.05);
+  // Healthy pixel reads near the true value.
+  EXPECT_NEAR(read(5, 5), 0.5, 0.02);
+}
+
+TEST(SensorArray, FaultMapValidation) {
+  SensorArraySim array;
+  EXPECT_THROW(array.set_faults(std::vector<PixelFault>(10)), CheckError);
+  array.set_faults({});  // empty = no faults: allowed
+}
+
+TEST(SensorArray, FaultsFromDefectMask) {
+  Rng rng(3);
+  std::vector<bool> mask(100, false);
+  mask[3] = mask[50] = mask[99] = true;
+  const auto faults = faults_from_defect_mask(mask, rng);
+  ASSERT_EQ(faults.size(), 100u);
+  std::size_t faulty = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (mask[i]) {
+      EXPECT_NE(faults[i], PixelFault::kNone);
+      ++faulty;
+    } else {
+      EXPECT_EQ(faults[i], PixelFault::kNone);
+    }
+  }
+  EXPECT_EQ(faulty, 3u);
+}
+
+TEST(SensorArray, ReadNoiseAddsSpread) {
+  SensorArrayOptions opts;
+  opts.read_noise = 0.02;
+  SensorArraySim noisy(opts);
+  SensorArraySim clean;
+
+  la::Matrix frame(32, 32, 0.5);
+  Rng rng(4);
+  const la::Matrix a = noisy.read_full_frame(frame, rng);
+  const la::Matrix b = clean.read_full_frame(frame, rng);
+  EXPECT_GT(cs::rmse(a, frame), cs::rmse(b, frame));
+}
+
+TEST(SensorArray, TemperatureRangeValidation) {
+  SensorArrayOptions opts;
+  opts.temp_max = opts.temp_min;
+  EXPECT_THROW(SensorArraySim{opts}, CheckError);
+}
+
+}  // namespace
+}  // namespace flexcs::fe

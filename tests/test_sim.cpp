@@ -1,0 +1,181 @@
+#include "fe/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+  const Waveform w = Waveform::make_dc(2.5);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(w.value(1.0), 2.5);
+}
+
+TEST(Waveform, PulseLevelsAndTiming) {
+  const Waveform w = Waveform::make_pulse(0.0, 3.0, 1e-3, 2e-3, 4e-3, 1e-5);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);            // before delay
+  EXPECT_DOUBLE_EQ(w.value(1e-3 + 1e-3), 3.0);    // mid high phase
+  EXPECT_DOUBLE_EQ(w.value(1e-3 + 3e-3), 0.0);    // low phase
+  EXPECT_DOUBLE_EQ(w.value(1e-3 + 4e-3 + 1e-3), 3.0);  // next period
+}
+
+TEST(Waveform, PulseEdgesAreLinear) {
+  const Waveform w = Waveform::make_pulse(0.0, 2.0, 0.0, 1e-3, 2e-3, 1e-4);
+  EXPECT_NEAR(w.value(5e-5), 1.0, 1e-9);  // half-way up the rising edge
+}
+
+TEST(Waveform, SineShape) {
+  const Waveform w = Waveform::make_sine(1.0, 0.5, 1e3);
+  EXPECT_NEAR(w.value(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(w.value(0.25e-3), 1.5, 1e-9);
+  EXPECT_NEAR(w.value(0.75e-3), 0.5, 1e-9);
+}
+
+TEST(Waveform, Validation) {
+  EXPECT_THROW(Waveform::make_pulse(0, 1, 0, 2e-3, 1e-3), CheckError);
+  EXPECT_THROW(Waveform::make_sine(0, 1, 0.0), CheckError);
+}
+
+TEST(Circuit, NodeManagement) {
+  Circuit c;
+  EXPECT_EQ(c.node("0"), kGround);
+  EXPECT_EQ(c.node("gnd"), kGround);
+  const NodeId a = c.node("a");
+  EXPECT_EQ(c.node("a"), a);
+  EXPECT_NE(c.node("b"), a);
+  EXPECT_EQ(c.find_node("a"), a);
+  EXPECT_THROW(c.find_node("missing"), CheckError);
+  EXPECT_TRUE(c.has_node("a"));
+  EXPECT_FALSE(c.has_node("zzz"));
+}
+
+TEST(Circuit, DeviceValidation) {
+  Circuit c;
+  EXPECT_THROW(c.add_resistor("a", "b", -5.0), CheckError);
+  EXPECT_THROW(c.add_capacitor("a", "b", 0.0), CheckError);
+}
+
+TEST(Sim, VoltageDivider) {
+  Circuit c;
+  c.add_vsource("in", "0", Waveform::make_dc(10.0));
+  c.add_resistor("in", "mid", 1e3);
+  c.add_resistor("mid", "0", 3e3);
+  Simulator sim(c);
+  const DcResult dc = sim.dc_operating_point();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.v(c.find_node("mid")), 7.5, 1e-5);
+}
+
+TEST(Sim, SourceCurrentIsReported) {
+  Circuit c;
+  c.add_vsource("in", "0", Waveform::make_dc(5.0));
+  c.add_resistor("in", "0", 1e3);
+  Simulator sim(c);
+  const DcResult dc = sim.dc_operating_point();
+  ASSERT_TRUE(dc.converged);
+  // 5 mA flows out of the + terminal through the resistor back to ground;
+  // the branch current is the current into the + terminal: -5 mA.
+  EXPECT_NEAR(std::fabs(dc.source_currents[0]), 5e-3, 1e-7);
+}
+
+TEST(Sim, TwoSourcesSuperpose) {
+  Circuit c;
+  c.add_vsource("a", "0", Waveform::make_dc(4.0));
+  c.add_vsource("b", "0", Waveform::make_dc(-2.0));
+  c.add_resistor("a", "mid", 1e3);
+  c.add_resistor("b", "mid", 1e3);
+  c.add_resistor("mid", "0", 1e6);  // light load
+  Simulator sim(c);
+  const DcResult dc = sim.dc_operating_point();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.v(c.find_node("mid")), 1.0, 1e-2);
+}
+
+TEST(Sim, TftCommonSourceDcPoint) {
+  // P-type TFT with resistive load: gate low -> output pulled to VDD side.
+  Circuit c;
+  c.add_vsource("vdd", "0", Waveform::make_dc(3.0));
+  c.add_vsource("vg", "0", Waveform::make_dc(0.0));
+  c.add_tft("vg", "vdd", "out", TftParams{});
+  c.add_resistor("out", "0", 1e5);
+  Simulator sim(c);
+  const DcResult dc = sim.dc_operating_point();
+  ASSERT_TRUE(dc.converged);
+  const double vout = dc.v(c.find_node("out"));
+  EXPECT_GT(vout, 2.0);  // device on, strong pull-up through the channel
+  // KCL cross-check: resistor current equals channel current.
+  const Tft dev;
+  EXPECT_NEAR(vout / 1e5, dev.channel_current(0.0, 3.0, vout), 1e-6);
+}
+
+TEST(Sim, RcTransientMatchesAnalytic) {
+  // Series RC charged by a DC source: v_c(t) = V (1 - exp(-t/RC)).
+  Circuit c;
+  c.add_vsource("in", "0", Waveform::make_dc(1.0));
+  c.add_resistor("in", "out", 1e3);
+  c.add_capacitor("out", "0", 1e-6);  // tau = 1 ms
+  Simulator sim(c);
+  const TransientResult tr = sim.transient(5e-3, 1e-5);
+  ASSERT_TRUE(tr.converged);
+  const la::Vector v = tr.trace(c.find_node("out"));
+  // DC operating point at t=0 charges the cap instantly in steady state;
+  // to test the transient we need the source to step. Re-run with a pulse.
+  Circuit c2;
+  c2.add_vsource("in", "0",
+                 Waveform::make_pulse(0.0, 1.0, 1e-4, 8e-3, 16e-3, 1e-7));
+  c2.add_resistor("in", "out", 1e3);
+  c2.add_capacitor("out", "0", 1e-6);
+  Simulator sim2(c2);
+  const TransientResult tr2 = sim2.transient(4e-3, 2e-6);
+  ASSERT_TRUE(tr2.converged);
+  const la::Vector v2 = tr2.trace(c2.find_node("out"));
+  // Compare at t = delay + tau: expect 1 - e^-1.
+  const double t_probe = 1e-4 + 1e-3;
+  const auto idx = static_cast<std::size_t>(t_probe / 2e-6);
+  EXPECT_NEAR(v2[idx], 1.0 - std::exp(-1.0), 0.01);
+  (void)v;
+}
+
+TEST(Sim, TransientConservesChargeOnDivider) {
+  // Capacitive divider driven by a step: v_mid = V * C1/(C1+C2) (plus gmin
+  // leakage, negligible over this window).
+  Circuit c;
+  c.add_vsource("in", "0",
+                Waveform::make_pulse(0.0, 2.0, 1e-5, 1e-2, 2e-2, 1e-7));
+  c.add_capacitor("in", "mid", 2e-9);
+  c.add_capacitor("mid", "0", 2e-9);
+  Simulator sim(c);
+  const TransientResult tr = sim.transient(2e-4, 1e-6);
+  ASSERT_TRUE(tr.converged);
+  const la::Vector v = tr.trace(c.find_node("mid"));
+  EXPECT_NEAR(v[v.size() - 1], 1.0, 0.05);
+}
+
+TEST(Sim, TransientValidation) {
+  Circuit c;
+  c.add_vsource("in", "0", Waveform::make_dc(1.0));
+  c.add_resistor("in", "0", 1.0);
+  Simulator sim(c);
+  EXPECT_THROW(sim.transient(0.0, 1e-6), CheckError);
+  EXPECT_THROW(sim.transient(1e-3, 2e-3), CheckError);
+}
+
+TEST(Sim, MeasureSineExtractsAmplitude) {
+  std::vector<double> time;
+  la::Vector trace(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>(i) * 1e-5;
+    time.push_back(t);
+    trace[i] = 1.5 + 0.7 * std::sin(2 * 3.14159265358979 * 500.0 * t);
+  }
+  const SineFit fit = measure_sine(trace, time, 500.0);
+  EXPECT_NEAR(fit.amplitude, 0.7, 0.01);
+  EXPECT_NEAR(fit.mean, 1.5, 0.05);
+}
+
+}  // namespace
+}  // namespace flexcs::fe

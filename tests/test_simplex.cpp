@@ -1,0 +1,113 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace flexcs::lp {
+namespace {
+
+TEST(Simplex, SolvesTextbookProblem) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (slacks s1..s3)
+  // => min -3x -5y; optimum x=2, y=6, objective -36.
+  la::Matrix a{{1, 0, 1, 0, 0},
+               {0, 2, 0, 1, 0},
+               {3, 2, 0, 0, 1}};
+  la::Vector b{4, 12, 18};
+  la::Vector c{-3, -5, 0, 0, 0};
+  const LpResult r = solve_standard_form(a, b, c);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-9);
+  EXPECT_NEAR(r.objective, -36.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x1 + x2 = -1 with x >= 0 is infeasible... but rows are sign-flipped
+  // internally, so use genuinely conflicting constraints:
+  // x1 = 1 and x1 = 2.
+  la::Matrix a{{1.0}, {1.0}};
+  la::Vector b{1.0, 2.0};
+  la::Vector c{1.0};
+  EXPECT_EQ(solve_standard_form(a, b, c).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x1 s.t. x1 - x2 = 0: x1 = x2 -> both can grow without bound.
+  la::Matrix a{{1.0, -1.0}};
+  la::Vector b{0.0};
+  la::Vector c{-1.0, 0.0};
+  EXPECT_EQ(solve_standard_form(a, b, c).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, HandlesNegativeRhs) {
+  // -x1 = -3  =>  x1 = 3.
+  la::Matrix a{{-1.0, 0.0}, {0.0, 1.0}};
+  la::Vector b{-3.0, 2.0};
+  la::Vector c{1.0, 1.0};
+  const LpResult r = solve_standard_form(a, b, c);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, HandlesRedundantConstraints) {
+  // Duplicate row; solution x1 = 1.
+  la::Matrix a{{1.0, 1.0}, {2.0, 2.0}};
+  la::Vector b{1.0, 2.0};
+  la::Vector c{1.0, 2.0};
+  const LpResult r = solve_standard_form(a, b, c);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);  // min x1+2x2 with x1+x2=1 -> x1=1
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Klee-Minty-flavoured degenerate corner; mostly checks anti-cycling.
+  la::Matrix a{{1.0, 0.0, 1.0, 0.0, 0.0},
+               {0.0, 1.0, 0.0, 1.0, 0.0},
+               {1.0, 1.0, 0.0, 0.0, 1.0}};
+  la::Vector b{1.0, 1.0, 1.0};
+  la::Vector c{-1.0, -1.0, 0.0, 0.0, 0.0};
+  const LpResult r = solve_standard_form(a, b, c);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+}
+
+TEST(Simplex, SolutionIsFeasible) {
+  Rng rng(3);
+  // Random feasible LP: A x0 = b with x0 >= 0 guarantees feasibility.
+  const std::size_t m = 6, n = 14;
+  la::Matrix a(m, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.normal();
+  la::Vector x0(n);
+  for (auto& v : x0) v = rng.uniform();
+  const la::Vector b = matvec(a, x0);
+  la::Vector c(n);
+  for (auto& v : c) v = rng.uniform(0.0, 2.0);
+
+  const LpResult r = solve_standard_form(a, b, c);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_LT((matvec(a, r.x) - b).norm_inf(), 1e-7);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_GE(r.x[i], -1e-9);
+  // Optimal objective cannot exceed the feasible point's objective.
+  EXPECT_LE(r.objective, dot(c, x0) + 1e-7);
+}
+
+TEST(Simplex, ShapeChecks) {
+  la::Matrix a(2, 3);
+  EXPECT_THROW(solve_standard_form(a, la::Vector(1), la::Vector(3)),
+               flexcs::CheckError);
+  EXPECT_THROW(solve_standard_form(a, la::Vector(2), la::Vector(2)),
+               flexcs::CheckError);
+}
+
+TEST(Simplex, StatusToString) {
+  EXPECT_EQ(to_string(LpStatus::kOptimal), "optimal");
+  EXPECT_EQ(to_string(LpStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(LpStatus::kUnbounded), "unbounded");
+  EXPECT_EQ(to_string(LpStatus::kIterLimit), "iteration-limit");
+}
+
+}  // namespace
+}  // namespace flexcs::lp

@@ -1,0 +1,235 @@
+#include "solvers/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "solvers/admm.hpp"
+#include "solvers/bp_lp.hpp"
+#include "solvers/cosamp.hpp"
+#include "solvers/fista.hpp"
+#include "solvers/irls.hpp"
+#include "solvers/omp.hpp"
+
+namespace flexcs::solvers {
+namespace {
+
+// Gaussian sensing matrix with unit-norm columns: a standard RIP-friendly
+// test operator.
+la::Matrix gaussian_sensing(std::size_t m, std::size_t n, Rng& rng) {
+  la::Matrix a(m, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.normal();
+  for (std::size_t c = 0; c < n; ++c) {
+    double nn = 0.0;
+    for (std::size_t r = 0; r < m; ++r) nn += a(r, c) * a(r, c);
+    nn = std::sqrt(nn);
+    for (std::size_t r = 0; r < m; ++r) a(r, c) /= nn;
+  }
+  return a;
+}
+
+la::Vector sparse_signal(std::size_t n, std::size_t k, Rng& rng) {
+  la::Vector x(n, 0.0);
+  for (std::size_t idx : rng.sample_without_replacement(n, k)) {
+    double v;
+    do {
+      v = rng.normal();
+    } while (std::fabs(v) < 0.3);  // keep entries well above solver tolerances
+    x[idx] = v;
+  }
+  return x;
+}
+
+double relative_error(const la::Vector& est, const la::Vector& truth) {
+  return (est - truth).norm2() / truth.norm2();
+}
+
+struct Case {
+  std::string solver;
+  std::size_t m, n, k;
+  double tol;  // acceptable relative recovery error
+};
+
+class ExactRecovery : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ExactRecovery, RecoversSparseSignalFromNoiselessMeasurements) {
+  const Case c = GetParam();
+  Rng rng(0xC0FFEE ^ (c.m * 131 + c.n * 17 + c.k));
+  const la::Matrix a = gaussian_sensing(c.m, c.n, rng);
+  const la::Vector x0 = sparse_signal(c.n, c.k, rng);
+  const la::Vector b = matvec(a, x0);
+
+  auto solver = make_solver(c.solver);
+  SolveResult r = solver->solve(a, b);
+  // L1-style solvers benefit from the standard de-biasing step.
+  r.x = debias_on_support(a, b, r.x, 1e-3);
+  EXPECT_LT(relative_error(r.x, x0), c.tol)
+      << c.solver << " m=" << c.m << " n=" << c.n << " k=" << c.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactRecovery,
+    ::testing::Values(
+        Case{"omp", 40, 100, 6, 1e-6}, Case{"omp", 64, 128, 10, 1e-6},
+        Case{"cosamp", 40, 100, 6, 1e-5}, Case{"cosamp", 64, 128, 10, 1e-5},
+        Case{"fista", 40, 100, 6, 1e-2}, Case{"fista", 64, 128, 10, 1e-2},
+        Case{"ista", 40, 100, 6, 5e-2},
+        Case{"admm", 40, 100, 6, 1e-2}, Case{"admm", 64, 128, 10, 1e-2},
+        Case{"irls", 40, 100, 6, 1e-3}, Case{"irls", 64, 128, 10, 1e-3},
+        Case{"bp-lp", 24, 48, 4, 1e-6}, Case{"bp-lp", 32, 64, 5, 1e-6}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = info.param.solver + "_m" +
+                         std::to_string(info.param.m) + "_k" +
+                         std::to_string(info.param.k);
+      for (auto& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+TEST(Solvers, FactoryKnowsAllNames) {
+  for (const auto& name : solver_names()) {
+    auto s = make_solver(name);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), name);
+  }
+  EXPECT_THROW(make_solver("nope"), flexcs::CheckError);
+}
+
+TEST(Solvers, ZeroMeasurementsGiveZeroSolution) {
+  Rng rng(1);
+  const la::Matrix a = gaussian_sensing(10, 20, rng);
+  const la::Vector b(10, 0.0);
+  for (const auto& name : solver_names()) {
+    const SolveResult r = make_solver(name)->solve(a, b);
+    EXPECT_LT(r.x.norm_inf(), 1e-6) << name;
+  }
+}
+
+TEST(Solvers, ShapeMismatchThrows) {
+  Rng rng(2);
+  const la::Matrix a = gaussian_sensing(10, 20, rng);
+  const la::Vector b(7, 1.0);
+  for (const auto& name : solver_names()) {
+    EXPECT_THROW(make_solver(name)->solve(a, b), flexcs::CheckError) << name;
+  }
+}
+
+TEST(Solvers, SoftThresholdBehaviour) {
+  EXPECT_DOUBLE_EQ(soft_threshold(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-3.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-0.5, 1.0), 0.0);
+  const la::Vector v = soft_threshold(la::Vector{2.0, -0.1, -4.0}, 0.5);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], -3.5);
+}
+
+TEST(Solvers, OmpFindsExactSupport) {
+  Rng rng(3);
+  const la::Matrix a = gaussian_sensing(30, 60, rng);
+  la::Vector x0(60, 0.0);
+  x0[7] = 2.0;
+  x0[21] = -1.5;
+  x0[55] = 1.0;
+  const la::Vector b = matvec(a, x0);
+  const SolveResult r = OmpSolver().solve(a, b);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 60; ++i) {
+    if (i == 7 || i == 21 || i == 55)
+      EXPECT_GT(std::fabs(r.x[i]), 0.5);
+    else
+      EXPECT_LT(std::fabs(r.x[i]), 1e-8);
+  }
+}
+
+TEST(Solvers, OmpRespectsSparsityCap) {
+  Rng rng(4);
+  const la::Matrix a = gaussian_sensing(20, 40, rng);
+  la::Vector b(20);
+  for (auto& v : b) v = rng.normal();
+  OmpOptions opts;
+  opts.max_sparsity = 5;
+  const SolveResult r = OmpSolver(opts).solve(a, b);
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < r.x.size(); ++i)
+    if (r.x[i] != 0.0) ++nnz;
+  EXPECT_LE(nnz, 5u);
+}
+
+TEST(Solvers, FistaConvergesFasterThanIsta) {
+  Rng rng(5);
+  const la::Matrix a = gaussian_sensing(50, 120, rng);
+  const la::Vector x0 = sparse_signal(120, 8, rng);
+  const la::Vector b = matvec(a, x0);
+
+  FistaOptions fo;
+  fo.max_iterations = 150;
+  fo.tol = 0.0;  // run the full budget
+  const SolveResult fast = FistaSolver(fo).solve(a, b);
+  fo.accelerate = false;
+  const SolveResult slow = FistaSolver(fo).solve(a, b);
+  EXPECT_LT(relative_error(fast.x, x0), relative_error(slow.x, x0) + 1e-9);
+}
+
+TEST(Solvers, AdmmResidualDecreasesWithNoise) {
+  Rng rng(6);
+  const la::Matrix a = gaussian_sensing(40, 80, rng);
+  const la::Vector x0 = sparse_signal(80, 6, rng);
+  la::Vector b = matvec(a, x0);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] += rng.normal(0.0, 0.01);
+  const SolveResult r = AdmmLassoSolver().solve(a, b);
+  // Residual should be on the order of the injected noise, not the signal.
+  EXPECT_LT(r.residual_norm, 0.3 * b.norm2());
+}
+
+TEST(Solvers, BpLpSolutionHasMinimalL1) {
+  // Cross-validate: the LP solution's l1 norm must not exceed another exact
+  // solver's l1 norm on the same data (both satisfy Ax=b).
+  Rng rng(7);
+  const la::Matrix a = gaussian_sensing(20, 40, rng);
+  const la::Vector x0 = sparse_signal(40, 3, rng);
+  const la::Vector b = matvec(a, x0);
+  const SolveResult lp = BpLpSolver().solve(a, b);
+  ASSERT_TRUE(lp.converged);
+  EXPECT_LT(lp.residual_norm, 1e-7);
+  EXPECT_LE(lp.x.norm1(), x0.norm1() + 1e-7);
+}
+
+TEST(Solvers, DebiasRemovesShrinkage) {
+  Rng rng(8);
+  const la::Matrix a = gaussian_sensing(40, 80, rng);
+  const la::Vector x0 = sparse_signal(80, 5, rng);
+  const la::Vector b = matvec(a, x0);
+  FistaOptions fo;
+  fo.lambda = 0.05;  // heavy shrinkage on purpose
+  const SolveResult r = FistaSolver(fo).solve(a, b);
+  const la::Vector debiased = debias_on_support(a, b, r.x, 1e-3);
+  EXPECT_LT(relative_error(debiased, x0), relative_error(r.x, x0));
+}
+
+TEST(Solvers, DebiasEmptySupportGivesZero) {
+  Rng rng(9);
+  const la::Matrix a = gaussian_sensing(10, 20, rng);
+  const la::Vector b(10, 1.0);
+  const la::Vector z = debias_on_support(a, b, la::Vector(20, 0.0));
+  EXPECT_EQ(z.norm_inf(), 0.0);
+}
+
+TEST(Solvers, DebiasCapsSupportAtMeasurementCount) {
+  Rng rng(10);
+  const la::Matrix a = gaussian_sensing(10, 30, rng);
+  la::Vector b(10);
+  for (auto& v : b) v = rng.normal();
+  la::Vector dense(30, 1.0);  // support larger than M
+  const la::Vector out = debias_on_support(a, b, dense);
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i] != 0.0) ++nnz;
+  EXPECT_LE(nnz, 10u);
+}
+
+}  // namespace
+}  // namespace flexcs::solvers

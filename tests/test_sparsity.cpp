@@ -1,0 +1,84 @@
+#include "dsp/sparsity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace flexcs::dsp {
+namespace {
+
+TEST(Sparsity, SortedAbsIsDescending) {
+  la::Matrix m{{-3.0, 1.0}, {2.0, -0.5}};
+  const la::Vector s = sorted_abs_coefficients(m);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 1.0);
+  EXPECT_DOUBLE_EQ(s[3], 0.5);
+}
+
+TEST(Sparsity, SignificantCountThreshold) {
+  la::Matrix m{{10.0, 0.5}, {0.0001, 0.002}};
+  // threshold 1e-4 * 10 = 1e-3: 10, 0.5, 0.002 qualify.
+  EXPECT_EQ(significant_count(m, 1e-4), 3u);
+  // threshold 0.01 * 10 = 0.1: only 10 and 0.5.
+  EXPECT_EQ(significant_count(m, 1e-2), 2u);
+}
+
+TEST(Sparsity, SignificantCountZeroMatrix) {
+  EXPECT_EQ(significant_count(la::Matrix(3, 3, 0.0)), 0u);
+}
+
+TEST(Sparsity, SignificantFraction) {
+  la::Matrix m{{1.0, 0.0}, {0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(significant_fraction(m), 0.25);
+}
+
+TEST(Sparsity, BestKKeepsLargest) {
+  la::Matrix m{{5.0, -1.0}, {3.0, 0.1}};
+  const la::Matrix k2 = best_k_approximation(m, 2);
+  EXPECT_DOUBLE_EQ(k2(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(k2(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(k2(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(k2(1, 1), 0.0);
+}
+
+TEST(Sparsity, BestKFullSizeIsIdentity) {
+  la::Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(la::max_abs_diff(best_k_approximation(m, 4), m), 0.0);
+  EXPECT_EQ(la::max_abs_diff(best_k_approximation(m, 99), m), 0.0);
+}
+
+TEST(Sparsity, BestKErrorDecreasesWithK) {
+  Rng rng(1);
+  la::Matrix m(8, 8);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  double prev = 2.0;
+  for (std::size_t k : {4u, 16u, 32u, 64u}) {
+    const double err = best_k_relative_error(m, k);
+    EXPECT_LE(err, prev + 1e-12);
+    prev = err;
+  }
+  EXPECT_NEAR(best_k_relative_error(m, 64), 0.0, 1e-12);
+}
+
+TEST(Sparsity, KForEnergyBounds) {
+  la::Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  // Total energy 25; the single largest (4) captures 16/25 = 64 %.
+  EXPECT_EQ(k_for_energy(m, 0.6), 1u);
+  EXPECT_EQ(k_for_energy(m, 0.99), 2u);
+  EXPECT_EQ(k_for_energy(m, 1.0), 2u);
+}
+
+TEST(Sparsity, KForEnergyZeroMatrix) {
+  EXPECT_EQ(k_for_energy(la::Matrix(2, 2, 0.0), 0.9), 0u);
+}
+
+TEST(Sparsity, KForEnergyRejectsBadFraction) {
+  la::Matrix m(2, 2, 1.0);
+  EXPECT_THROW(k_for_energy(m, 0.0), flexcs::CheckError);
+  EXPECT_THROW(k_for_energy(m, 1.5), flexcs::CheckError);
+}
+
+}  // namespace
+}  // namespace flexcs::dsp

@@ -1,0 +1,48 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexcs {
+namespace {
+
+TEST(Strings, FormatBasic) {
+  EXPECT_EQ(strformat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+}
+
+TEST(Strings, FormatEmpty) { EXPECT_EQ(strformat("%s", ""), ""); }
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foobar", "bar"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD-42"), "mixed-42");
+}
+
+}  // namespace
+}  // namespace flexcs

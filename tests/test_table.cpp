@@ -1,0 +1,79 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace flexcs {
+namespace {
+
+TEST(Table, RequiresNonEmptyHeader) {
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+TEST(Table, RejectsWrongArityRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);
+}
+
+TEST(Table, TextRenderingAligns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"longer-name", "2"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a"});
+  t.add_row({"hello, \"world\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"a", "b"});
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,y\n");
+}
+
+TEST(Table, NumericRowFormatsPrecision) {
+  Table t({"v1", "v2"});
+  t.add_row_numeric({1.23456, 2.0}, 3);
+  EXPECT_EQ(t.to_csv(), "v1,v2\n1.235,2.000\n");
+}
+
+TEST(Table, WriteCsvRoundTrips) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string path = "/tmp/flexcs_table_test.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/x.csv"), CheckError);
+}
+
+}  // namespace
+}  // namespace flexcs

@@ -1,0 +1,142 @@
+#include "fe/tft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+TEST(Tft, OffWhenGateHigh) {
+  Tft dev;
+  // Gate at the source potential: vsg = 0, well below |vth|.
+  EXPECT_LT(std::fabs(dev.channel_current(3.0, 3.0, 0.0)), 1e-9);
+}
+
+TEST(Tft, OnWhenGateLow) {
+  Tft dev;
+  const double i_on = dev.channel_current(0.0, 3.0, 0.0);
+  EXPECT_GT(i_on, 1e-5);  // strongly on
+}
+
+TEST(Tft, OnOffRatioIsLarge) {
+  Tft dev;
+  const double on = dev.channel_current(0.0, 3.0, 0.0);
+  const double off = std::fabs(dev.channel_current(3.0, 3.0, 0.0));
+  EXPECT_GT(on / std::max(off, 1e-30), 1e4);
+}
+
+TEST(Tft, ZeroVsdGivesZeroCurrent) {
+  Tft dev;
+  EXPECT_DOUBLE_EQ(dev.channel_current(0.0, 2.0, 2.0), 0.0);
+}
+
+TEST(Tft, SourceDrainSymmetry) {
+  Tft dev;
+  const double fwd = dev.channel_current(0.0, 3.0, 1.0);
+  const double rev = dev.channel_current(0.0, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(fwd, -rev);
+}
+
+TEST(Tft, CurrentMonotoneInDrive) {
+  Tft dev;
+  double prev = 0.0;
+  for (double vg = 2.5; vg >= -1.0; vg -= 0.5) {
+    const double i = dev.channel_current(vg, 3.0, 0.0);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Tft, CurrentMonotoneInVsd) {
+  Tft dev;
+  double prev = 0.0;
+  for (double vd = 2.9; vd >= 0.0; vd -= 0.1) {
+    const double i = dev.channel_current(0.0, 3.0, vd);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Tft, SaturationFlatterThanTriode) {
+  Tft dev;
+  // Conductance near vsd=0 should far exceed conductance deep in saturation.
+  const double g_lin = dev.gds(0.0, 3.0, 2.95);   // vsd = 0.05 (triode)
+  const double g_sat = dev.gds(0.0, 3.0, 0.3);    // vsd = 2.7 (saturation)
+  EXPECT_GT(std::fabs(g_lin), 3.0 * std::fabs(g_sat));
+}
+
+TEST(Tft, WidthScalesCurrent) {
+  TftParams p;
+  p.w = 100e-6;
+  Tft narrow(p);
+  p.w = 200e-6;
+  Tft wide(p);
+  const double i1 = narrow.channel_current(0.0, 3.0, 0.0);
+  const double i2 = wide.channel_current(0.0, 3.0, 0.0);
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
+}
+
+TEST(Tft, GmPositiveForPtypeConvention) {
+  // Raising the gate turns a p-type device off: dI/dVg < 0 in the on state.
+  Tft dev;
+  EXPECT_LT(dev.gm(1.0, 3.0, 0.0), 0.0);
+}
+
+TEST(Tft, ParameterValidation) {
+  TftParams p;
+  p.vth = 0.5;  // n-type not supported
+  EXPECT_THROW(Tft{p}, CheckError);
+  p = TftParams{};
+  p.w = -1.0;
+  EXPECT_THROW(Tft{p}, CheckError);
+  p = TftParams{};
+  p.kp = 0.0;
+  EXPECT_THROW(Tft{p}, CheckError);
+}
+
+TEST(TftFit, RecoversGoldenParametersFromCleanData) {
+  TftParams golden;
+  golden.kp = 6.2e-5;
+  golden.vth = -1.1;
+  Rng rng(1);
+  const auto data = synthesize_iv_sweep(golden, 0.0, rng);
+
+  TftParams init;  // defaults: kp 4e-5, vth -0.8
+  const TftParams fit = fit_tft_params(data, init);
+  EXPECT_NEAR(fit.kp, golden.kp, 0.05 * golden.kp);
+  EXPECT_NEAR(fit.vth, golden.vth, 0.05);
+}
+
+TEST(TftFit, ToleratesMeasurementNoise) {
+  TftParams golden;
+  golden.kp = 3.0e-5;
+  golden.vth = -0.7;
+  Rng rng(2);
+  const auto data = synthesize_iv_sweep(golden, 0.03, rng);
+  const TftParams fit = fit_tft_params(data, TftParams{});
+  EXPECT_NEAR(fit.kp, golden.kp, 0.15 * golden.kp);
+  EXPECT_NEAR(fit.vth, golden.vth, 0.15);
+}
+
+TEST(TftFit, FitErrorImproves) {
+  TftParams golden;
+  golden.kp = 8e-5;
+  golden.vth = -1.4;
+  Rng rng(3);
+  const auto data = synthesize_iv_sweep(golden, 0.01, rng);
+  const TftParams init;
+  const TftParams fit = fit_tft_params(data, init);
+  EXPECT_LT(iv_fit_error(fit, data), iv_fit_error(init, data));
+  EXPECT_LT(iv_fit_error(fit, data), 0.03);
+}
+
+TEST(TftFit, EmptyDataThrows) {
+  EXPECT_THROW(fit_tft_params({}, TftParams{}), CheckError);
+  EXPECT_THROW(iv_fit_error(TftParams{}, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace flexcs::fe

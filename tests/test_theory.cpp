@@ -1,0 +1,90 @@
+#include "cs/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::cs {
+namespace {
+
+TEST(Theory, Eq1HalfSparseNeedsHalfMeasurements) {
+  // The paper's rule of thumb: K = N/2 -> M = K log2(N/K) = N/2.
+  EXPECT_NEAR(required_measurements(512, 1024), 512.0, 1e-9);
+  EXPECT_NEAR(required_measurements(128, 256), 128.0, 1e-9);
+}
+
+TEST(Theory, Eq1GrowsWithSparsityUpToHalf) {
+  const std::size_t n = 1024;
+  double prev = 0.0;
+  for (std::size_t k : {16u, 64u, 128u, 256u}) {
+    const double m = required_measurements(k, n);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+  // K log2(N/K) plateaus at N/2 for K = N/4 vs K = N/2 (both give N/2).
+  EXPECT_GE(required_measurements(512, n), prev - 1e-9);
+}
+
+TEST(Theory, Eq1DenseSignalNeedsAllMeasurements) {
+  EXPECT_NEAR(required_measurements(1024, 1024), 1024.0, 1e-9);
+}
+
+TEST(Theory, Eq1BaseChangesScale) {
+  const double m2 = required_measurements(64, 1024, 2.0);
+  const double me = required_measurements(64, 1024, std::exp(1.0));
+  EXPECT_GT(m2, me);  // log2 > ln for the same argument
+  EXPECT_NEAR(m2 / me, 1.0 / std::log(2.0), 1e-9);
+}
+
+TEST(Theory, Eq1Validation) {
+  EXPECT_THROW(required_measurements(0, 10), CheckError);
+  EXPECT_THROW(required_measurements(11, 10), CheckError);
+  EXPECT_THROW(required_measurements(5, 0), CheckError);
+  EXPECT_THROW(required_measurements(5, 10, 1.0), CheckError);
+}
+
+TEST(Theory, Eq2NoiselessExactlySparseIsZero) {
+  EXPECT_DOUBLE_EQ(reconstruction_error_bound(1024, 512, 0.0, 0.0, 100), 0.0);
+}
+
+TEST(Theory, Eq2MeasurementTermScalesAsSqrtNoverM) {
+  const double b1 = reconstruction_error_bound(1000, 250, 0.1, 0.0, 10);
+  const double b2 = reconstruction_error_bound(1000, 1000, 0.1, 0.0, 10);
+  EXPECT_NEAR(b1 / b2, 2.0, 1e-9);  // sqrt(4) = 2
+}
+
+TEST(Theory, Eq2ApproximationTermScalesAsInvSqrtK) {
+  const double b1 = reconstruction_error_bound(100, 100, 0.0, 1.0, 4);
+  const double b2 = reconstruction_error_bound(100, 100, 0.0, 1.0, 16);
+  EXPECT_NEAR(b1 / b2, 2.0, 1e-9);
+}
+
+TEST(Theory, Eq2TermsAdd) {
+  const double both = reconstruction_error_bound(400, 100, 0.2, 3.0, 9);
+  EXPECT_NEAR(both, 2.0 * 0.2 + 3.0 / 3.0, 1e-9);
+}
+
+TEST(Theory, Eq2Validation) {
+  EXPECT_THROW(reconstruction_error_bound(10, 0, 0.0, 0.0, 1), CheckError);
+  EXPECT_THROW(reconstruction_error_bound(10, 11, 0.0, 0.0, 1), CheckError);
+  EXPECT_THROW(reconstruction_error_bound(10, 5, -1.0, 0.0, 1), CheckError);
+  EXPECT_THROW(reconstruction_error_bound(10, 5, 0.0, 0.0, 0), CheckError);
+}
+
+TEST(Theory, CommunicationCostRatio) {
+  EXPECT_DOUBLE_EQ(communication_cost_ratio(512, 1024), 0.5);
+  EXPECT_DOUBLE_EQ(communication_cost_ratio(0, 10), 0.0);
+  EXPECT_THROW(communication_cost_ratio(1, 0), CheckError);
+}
+
+TEST(Theory, ScanCyclesIsColumnCount) {
+  // Fig. 4: the active matrix is scanned in sqrt(N) cycles for square
+  // arrays — i.e. one cycle per column.
+  EXPECT_EQ(scan_cycles(32, 32), 32u);
+  EXPECT_EQ(scan_cycles(100, 33), 33u);
+}
+
+}  // namespace
+}  // namespace flexcs::cs

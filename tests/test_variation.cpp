@@ -1,0 +1,133 @@
+#include "fe/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+TEST(Variation, PerturbZeroSigmaIsIdentity) {
+  Rng rng(1);
+  const TftParams nominal;
+  VariationModel none;
+  none.vth_sigma = none.kp_rel_sigma = none.w_rel_sigma = 0.0;
+  const TftParams p = perturb(nominal, none, rng);
+  EXPECT_DOUBLE_EQ(p.vth, nominal.vth);
+  EXPECT_DOUBLE_EQ(p.kp, nominal.kp);
+  EXPECT_DOUBLE_EQ(p.w, nominal.w);
+}
+
+TEST(Variation, PerturbSpreadMatchesSigma) {
+  Rng rng(2);
+  const TftParams nominal;
+  VariationModel model;
+  model.vth_sigma = 0.1;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const double v = perturb(nominal, model, rng).vth;
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum2 / n - mean * mean);
+  EXPECT_NEAR(mean, nominal.vth, 0.01);
+  EXPECT_NEAR(sd, 0.1, 0.02);
+}
+
+TEST(Variation, PerturbKeepsParametersPhysical) {
+  Rng rng(3);
+  VariationModel wild;
+  wild.vth_sigma = 2.0;
+  wild.kp_rel_sigma = 2.0;
+  wild.w_rel_sigma = 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const TftParams p = perturb(TftParams{}, wild, rng);
+    EXPECT_LT(p.vth, 0.0);  // stays p-type
+    EXPECT_GT(p.kp, 0.0);
+    EXPECT_GT(p.w, 0.0);
+    Tft dev(p);  // must not throw
+    (void)dev;
+  }
+}
+
+TEST(Variation, NominalVtcIsHealthy) {
+  Rng rng(4);
+  VariationModel none;
+  none.vth_sigma = none.kp_rel_sigma = none.w_rel_sigma = 0.0;
+  const InverterVtc vtc = inverter_vtc(CellParams{}, none, rng);
+  ASSERT_TRUE(vtc.valid);
+  EXPECT_GT(vtc.output_high, 2.5);
+  EXPECT_LT(vtc.output_low, 0.0);
+  EXPECT_GT(vtc.gain_at_threshold, 1.5);
+  EXPECT_GT(vtc.switching_threshold, 0.0);
+  EXPECT_LT(vtc.switching_threshold, 3.0);
+}
+
+TEST(Variation, VtcIsDeterministicPerDraw) {
+  Rng r1(5), r2(5);
+  VariationModel model;
+  const InverterVtc a = inverter_vtc(CellParams{}, model, r1);
+  const InverterVtc b = inverter_vtc(CellParams{}, model, r2);
+  ASSERT_EQ(a.vout.size(), b.vout.size());
+  for (std::size_t i = 0; i < a.vout.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.vout[i], b.vout[i]);
+}
+
+TEST(Variation, McThresholdSpreadGrowsWithSigma) {
+  Rng r1(6), r2(6);
+  VariationModel tight;
+  tight.vth_sigma = 0.02;
+  VariationModel loose;
+  loose.vth_sigma = 0.25;
+  const VariationStats a = inverter_variation_mc(CellParams{}, tight, 12, r1);
+  const VariationStats b = inverter_variation_mc(CellParams{}, loose, 12, r2);
+  EXPECT_LT(a.vth_sigma, b.vth_sigma);
+  EXPECT_EQ(a.trials, 12);
+}
+
+TEST(Variation, ModerateVariationKeepsCellsFunctional) {
+  // The pseudo-CMOS style is the paper's answer to variation: cells should
+  // survive realistic spreads.
+  Rng rng(7);
+  const VariationStats s =
+      inverter_variation_mc(CellParams{}, VariationModel{}, 20, rng);
+  EXPECT_GE(static_cast<double>(s.functional) / s.trials, 0.9);
+}
+
+TEST(Variation, ValidationErrors) {
+  Rng rng(8);
+  VariationModel bad;
+  bad.vth_sigma = -0.1;
+  EXPECT_THROW(perturb(TftParams{}, bad, rng), CheckError);
+  EXPECT_THROW(inverter_variation_mc(CellParams{}, VariationModel{}, 0, rng),
+               CheckError);
+}
+
+TEST(Characterize, InverterDelayIsPositiveAndLoadDependent) {
+  const CellDelay light = characterize_inverter_delay(CellParams{}, 5e-12);
+  const CellDelay heavy = characterize_inverter_delay(CellParams{}, 100e-12);
+  ASSERT_TRUE(light.valid);
+  ASSERT_TRUE(heavy.valid);
+  EXPECT_GT(light.tplh, 0.0);
+  EXPECT_GT(light.tphl, 0.0);
+  EXPECT_GT(heavy.worst(), light.worst());
+}
+
+TEST(Characterize, DelaySupportsTenKilohertzOperation) {
+  // The measured cell delay must comfortably fit the paper's 10 kHz clock
+  // (100 us period) — the basis for using ~10 us as the gate-level delay.
+  const CellDelay d = characterize_inverter_delay(CellParams{});
+  ASSERT_TRUE(d.valid);
+  EXPECT_LT(d.worst(), 25e-6);
+}
+
+TEST(Characterize, RejectsBadLoad) {
+  EXPECT_THROW(characterize_inverter_delay(CellParams{}, 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace flexcs::fe

@@ -1,0 +1,95 @@
+#include "fe/yield.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace flexcs::fe {
+namespace {
+
+TEST(Yield, PaperPurityGivesPaperYield) {
+  // Sec. 3.2: s-CNT purity > 99.997 % gives TFT yield > 99.9 %.
+  CntProcess p;  // defaults = paper purity
+  EXPECT_GT(tft_yield(p), 0.999);
+}
+
+TEST(Yield, LowPurityKillsYield) {
+  CntProcess p;
+  p.purity = 0.99;  // pre-sorting purity
+  EXPECT_LT(tft_yield(p), 0.8);
+}
+
+TEST(Yield, YieldAndFailureSumToOne) {
+  CntProcess p;
+  EXPECT_NEAR(tft_yield(p) + tft_failure_probability(p), 1.0, 1e-12);
+}
+
+TEST(Yield, YieldMonotoneInPurity) {
+  CntProcess p;
+  double prev = 0.0;
+  for (double purity : {0.99, 0.999, 0.9999, 0.99997}) {
+    p.purity = purity;
+    const double y = tft_yield(p);
+    EXPECT_GT(y, prev);
+    prev = y;
+  }
+}
+
+TEST(Yield, CircuitYieldIsPerDeviceProduct) {
+  CntProcess p;
+  const double single = tft_yield(p);
+  EXPECT_NEAR(circuit_yield(p, 304), std::pow(single, 304), 1e-9);
+}
+
+TEST(Yield, ShiftRegisterYieldIsPlausible) {
+  // The 304-TFT shift register should still have usable yield at the
+  // paper's purity.
+  CntProcess p;
+  EXPECT_GT(circuit_yield(p, 304), 0.7);
+}
+
+TEST(Yield, PixelErrorRateCombinesDefectsAndTransients) {
+  CntProcess p;
+  const double base = tft_failure_probability(p);
+  EXPECT_NEAR(expected_pixel_error_rate(p, 0.0), base, 1e-12);
+  const double with_transients = expected_pixel_error_rate(p, 0.1);
+  EXPECT_GT(with_transients, 0.1);
+  EXPECT_LT(with_transients, 0.1 + base + 1e-6);
+}
+
+TEST(Yield, MonteCarloMatchesAnalytic) {
+  CntProcess p;
+  p.purity = 0.999;  // higher failure rate so MC has signal
+  Rng rng(1);
+  const double analytic = circuit_yield(p, 50);
+  const double mc = mc_circuit_yield(p, 50, 4000, rng);
+  EXPECT_NEAR(mc, analytic, 0.03);
+}
+
+TEST(Yield, SampleFailingTftsScalesWithN) {
+  CntProcess p;
+  p.purity = 0.99;
+  Rng rng(2);
+  std::size_t total_small = 0, total_large = 0;
+  for (int i = 0; i < 50; ++i) {
+    total_small += sample_failing_tfts(p, 100, rng);
+    total_large += sample_failing_tfts(p, 1000, rng);
+  }
+  EXPECT_GT(total_large, total_small * 5);
+}
+
+TEST(Yield, Validation) {
+  CntProcess p;
+  p.purity = 1.5;
+  EXPECT_THROW(tft_yield(p), CheckError);
+  p = CntProcess{};
+  p.tubes_per_channel = 0.0;
+  EXPECT_THROW(tft_yield(p), CheckError);
+  p = CntProcess{};
+  EXPECT_THROW(expected_pixel_error_rate(p, -0.1), CheckError);
+}
+
+}  // namespace
+}  // namespace flexcs::fe

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_circuits.dir/bench_fig5_circuits.cpp.o"
+  "CMakeFiles/bench_fig5_circuits.dir/bench_fig5_circuits.cpp.o.d"
+  "bench_fig5_circuits"
+  "bench_fig5_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_temperature.dir/bench_fig6a_temperature.cpp.o"
+  "CMakeFiles/bench_fig6a_temperature.dir/bench_fig6a_temperature.cpp.o.d"
+  "bench_fig6a_temperature"
+  "bench_fig6a_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

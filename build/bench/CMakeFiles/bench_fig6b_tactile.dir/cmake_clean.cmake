@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_tactile.dir/bench_fig6b_tactile.cpp.o"
+  "CMakeFiles/bench_fig6b_tactile.dir/bench_fig6b_tactile.cpp.o.d"
+  "bench_fig6b_tactile"
+  "bench_fig6b_tactile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_tactile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_strategies.dir/bench_fig6c_strategies.cpp.o"
+  "CMakeFiles/bench_fig6c_strategies.dir/bench_fig6c_strategies.cpp.o.d"
+  "bench_fig6c_strategies"
+  "bench_fig6c_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_yield.cpp" "bench/CMakeFiles/bench_yield.dir/bench_yield.cpp.o" "gcc" "bench/CMakeFiles/bench_yield.dir/bench_yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cs/CMakeFiles/flexcs_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fe/CMakeFiles/flexcs_fe.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/flexcs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/flexcs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/flexcs_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpca/CMakeFiles/flexcs_rpca.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/flexcs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/flexcs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/flexcs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fe_encoder_sim.dir/fe_encoder_sim.cpp.o"
+  "CMakeFiles/fe_encoder_sim.dir/fe_encoder_sim.cpp.o.d"
+  "fe_encoder_sim"
+  "fe_encoder_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fe_encoder_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_strategies.dir/sampling_strategies.cpp.o"
+  "CMakeFiles/sampling_strategies.dir/sampling_strategies.cpp.o.d"
+  "sampling_strategies"
+  "sampling_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

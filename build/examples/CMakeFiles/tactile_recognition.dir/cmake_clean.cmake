@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactile_recognition.dir/tactile_recognition.cpp.o"
+  "CMakeFiles/tactile_recognition.dir/tactile_recognition.cpp.o.d"
+  "tactile_recognition"
+  "tactile_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactile_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_imaging.dir/temperature_imaging.cpp.o"
+  "CMakeFiles/temperature_imaging.dir/temperature_imaging.cpp.o.d"
+  "temperature_imaging"
+  "temperature_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

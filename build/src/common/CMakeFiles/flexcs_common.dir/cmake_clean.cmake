@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcs_common.dir/pgm.cpp.o"
+  "CMakeFiles/flexcs_common.dir/pgm.cpp.o.d"
+  "CMakeFiles/flexcs_common.dir/rng.cpp.o"
+  "CMakeFiles/flexcs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/flexcs_common.dir/strings.cpp.o"
+  "CMakeFiles/flexcs_common.dir/strings.cpp.o.d"
+  "CMakeFiles/flexcs_common.dir/table.cpp.o"
+  "CMakeFiles/flexcs_common.dir/table.cpp.o.d"
+  "libflexcs_common.a"
+  "libflexcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

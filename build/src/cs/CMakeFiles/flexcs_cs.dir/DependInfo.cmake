@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cs/decoder.cpp" "src/cs/CMakeFiles/flexcs_cs.dir/decoder.cpp.o" "gcc" "src/cs/CMakeFiles/flexcs_cs.dir/decoder.cpp.o.d"
+  "/root/repo/src/cs/defects.cpp" "src/cs/CMakeFiles/flexcs_cs.dir/defects.cpp.o" "gcc" "src/cs/CMakeFiles/flexcs_cs.dir/defects.cpp.o.d"
+  "/root/repo/src/cs/encoder.cpp" "src/cs/CMakeFiles/flexcs_cs.dir/encoder.cpp.o" "gcc" "src/cs/CMakeFiles/flexcs_cs.dir/encoder.cpp.o.d"
+  "/root/repo/src/cs/metrics.cpp" "src/cs/CMakeFiles/flexcs_cs.dir/metrics.cpp.o" "gcc" "src/cs/CMakeFiles/flexcs_cs.dir/metrics.cpp.o.d"
+  "/root/repo/src/cs/pipeline.cpp" "src/cs/CMakeFiles/flexcs_cs.dir/pipeline.cpp.o" "gcc" "src/cs/CMakeFiles/flexcs_cs.dir/pipeline.cpp.o.d"
+  "/root/repo/src/cs/sampling.cpp" "src/cs/CMakeFiles/flexcs_cs.dir/sampling.cpp.o" "gcc" "src/cs/CMakeFiles/flexcs_cs.dir/sampling.cpp.o.d"
+  "/root/repo/src/cs/theory.cpp" "src/cs/CMakeFiles/flexcs_cs.dir/theory.cpp.o" "gcc" "src/cs/CMakeFiles/flexcs_cs.dir/theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/flexcs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/flexcs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/flexcs_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpca/CMakeFiles/flexcs_rpca.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/flexcs_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

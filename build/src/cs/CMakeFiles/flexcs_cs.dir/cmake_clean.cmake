@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcs_cs.dir/decoder.cpp.o"
+  "CMakeFiles/flexcs_cs.dir/decoder.cpp.o.d"
+  "CMakeFiles/flexcs_cs.dir/defects.cpp.o"
+  "CMakeFiles/flexcs_cs.dir/defects.cpp.o.d"
+  "CMakeFiles/flexcs_cs.dir/encoder.cpp.o"
+  "CMakeFiles/flexcs_cs.dir/encoder.cpp.o.d"
+  "CMakeFiles/flexcs_cs.dir/metrics.cpp.o"
+  "CMakeFiles/flexcs_cs.dir/metrics.cpp.o.d"
+  "CMakeFiles/flexcs_cs.dir/pipeline.cpp.o"
+  "CMakeFiles/flexcs_cs.dir/pipeline.cpp.o.d"
+  "CMakeFiles/flexcs_cs.dir/sampling.cpp.o"
+  "CMakeFiles/flexcs_cs.dir/sampling.cpp.o.d"
+  "CMakeFiles/flexcs_cs.dir/theory.cpp.o"
+  "CMakeFiles/flexcs_cs.dir/theory.cpp.o.d"
+  "libflexcs_cs.a"
+  "libflexcs_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcs_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

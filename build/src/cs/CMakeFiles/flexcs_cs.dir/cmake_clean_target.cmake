@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexcs_cs.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/flexcs_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/flexcs_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/shapes.cpp" "src/data/CMakeFiles/flexcs_data.dir/shapes.cpp.o" "gcc" "src/data/CMakeFiles/flexcs_data.dir/shapes.cpp.o.d"
+  "/root/repo/src/data/tactile.cpp" "src/data/CMakeFiles/flexcs_data.dir/tactile.cpp.o" "gcc" "src/data/CMakeFiles/flexcs_data.dir/tactile.cpp.o.d"
+  "/root/repo/src/data/thermal.cpp" "src/data/CMakeFiles/flexcs_data.dir/thermal.cpp.o" "gcc" "src/data/CMakeFiles/flexcs_data.dir/thermal.cpp.o.d"
+  "/root/repo/src/data/ultrasound.cpp" "src/data/CMakeFiles/flexcs_data.dir/ultrasound.cpp.o" "gcc" "src/data/CMakeFiles/flexcs_data.dir/ultrasound.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/flexcs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

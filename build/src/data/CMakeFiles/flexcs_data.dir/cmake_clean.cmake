@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcs_data.dir/dataset.cpp.o"
+  "CMakeFiles/flexcs_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/flexcs_data.dir/shapes.cpp.o"
+  "CMakeFiles/flexcs_data.dir/shapes.cpp.o.d"
+  "CMakeFiles/flexcs_data.dir/tactile.cpp.o"
+  "CMakeFiles/flexcs_data.dir/tactile.cpp.o.d"
+  "CMakeFiles/flexcs_data.dir/thermal.cpp.o"
+  "CMakeFiles/flexcs_data.dir/thermal.cpp.o.d"
+  "CMakeFiles/flexcs_data.dir/ultrasound.cpp.o"
+  "CMakeFiles/flexcs_data.dir/ultrasound.cpp.o.d"
+  "libflexcs_data.a"
+  "libflexcs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

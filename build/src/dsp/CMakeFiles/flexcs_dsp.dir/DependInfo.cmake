@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/basis.cpp" "src/dsp/CMakeFiles/flexcs_dsp.dir/basis.cpp.o" "gcc" "src/dsp/CMakeFiles/flexcs_dsp.dir/basis.cpp.o.d"
+  "/root/repo/src/dsp/dct.cpp" "src/dsp/CMakeFiles/flexcs_dsp.dir/dct.cpp.o" "gcc" "src/dsp/CMakeFiles/flexcs_dsp.dir/dct.cpp.o.d"
+  "/root/repo/src/dsp/sparsity.cpp" "src/dsp/CMakeFiles/flexcs_dsp.dir/sparsity.cpp.o" "gcc" "src/dsp/CMakeFiles/flexcs_dsp.dir/sparsity.cpp.o.d"
+  "/root/repo/src/dsp/wavelet.cpp" "src/dsp/CMakeFiles/flexcs_dsp.dir/wavelet.cpp.o" "gcc" "src/dsp/CMakeFiles/flexcs_dsp.dir/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/flexcs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcs_dsp.dir/basis.cpp.o"
+  "CMakeFiles/flexcs_dsp.dir/basis.cpp.o.d"
+  "CMakeFiles/flexcs_dsp.dir/dct.cpp.o"
+  "CMakeFiles/flexcs_dsp.dir/dct.cpp.o.d"
+  "CMakeFiles/flexcs_dsp.dir/sparsity.cpp.o"
+  "CMakeFiles/flexcs_dsp.dir/sparsity.cpp.o.d"
+  "CMakeFiles/flexcs_dsp.dir/wavelet.cpp.o"
+  "CMakeFiles/flexcs_dsp.dir/wavelet.cpp.o.d"
+  "libflexcs_dsp.a"
+  "libflexcs_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcs_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

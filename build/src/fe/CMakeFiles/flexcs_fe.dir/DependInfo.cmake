@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fe/amplifier.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/amplifier.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/amplifier.cpp.o.d"
+  "/root/repo/src/fe/cells.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/cells.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/cells.cpp.o.d"
+  "/root/repo/src/fe/digital.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/digital.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/digital.cpp.o.d"
+  "/root/repo/src/fe/drc.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/drc.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/drc.cpp.o.d"
+  "/root/repo/src/fe/lvs.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/lvs.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/lvs.cpp.o.d"
+  "/root/repo/src/fe/netlist.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/netlist.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/netlist.cpp.o.d"
+  "/root/repo/src/fe/sensor_array.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/sensor_array.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/sensor_array.cpp.o.d"
+  "/root/repo/src/fe/shift_register.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/shift_register.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/shift_register.cpp.o.d"
+  "/root/repo/src/fe/sim.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/sim.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/sim.cpp.o.d"
+  "/root/repo/src/fe/tft.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/tft.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/tft.cpp.o.d"
+  "/root/repo/src/fe/variation.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/variation.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/variation.cpp.o.d"
+  "/root/repo/src/fe/yield.cpp" "src/fe/CMakeFiles/flexcs_fe.dir/yield.cpp.o" "gcc" "src/fe/CMakeFiles/flexcs_fe.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/flexcs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/flexcs_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/flexcs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpca/CMakeFiles/flexcs_rpca.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/flexcs_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/flexcs_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

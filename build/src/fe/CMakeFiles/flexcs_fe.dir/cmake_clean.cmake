@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcs_fe.dir/amplifier.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/amplifier.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/cells.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/cells.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/digital.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/digital.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/drc.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/drc.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/lvs.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/lvs.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/netlist.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/netlist.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/sensor_array.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/sensor_array.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/shift_register.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/shift_register.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/sim.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/sim.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/tft.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/tft.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/variation.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/variation.cpp.o.d"
+  "CMakeFiles/flexcs_fe.dir/yield.cpp.o"
+  "CMakeFiles/flexcs_fe.dir/yield.cpp.o.d"
+  "libflexcs_fe.a"
+  "libflexcs_fe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcs_fe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcs_la.dir/decomp.cpp.o"
+  "CMakeFiles/flexcs_la.dir/decomp.cpp.o.d"
+  "CMakeFiles/flexcs_la.dir/matrix.cpp.o"
+  "CMakeFiles/flexcs_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/flexcs_la.dir/svd.cpp.o"
+  "CMakeFiles/flexcs_la.dir/svd.cpp.o.d"
+  "libflexcs_la.a"
+  "libflexcs_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcs_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcs_lp.dir/simplex.cpp.o"
+  "CMakeFiles/flexcs_lp.dir/simplex.cpp.o.d"
+  "libflexcs_lp.a"
+  "libflexcs_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcs_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcs_ml.dir/layers.cpp.o"
+  "CMakeFiles/flexcs_ml.dir/layers.cpp.o.d"
+  "CMakeFiles/flexcs_ml.dir/network.cpp.o"
+  "CMakeFiles/flexcs_ml.dir/network.cpp.o.d"
+  "CMakeFiles/flexcs_ml.dir/optimizer.cpp.o"
+  "CMakeFiles/flexcs_ml.dir/optimizer.cpp.o.d"
+  "CMakeFiles/flexcs_ml.dir/tensor.cpp.o"
+  "CMakeFiles/flexcs_ml.dir/tensor.cpp.o.d"
+  "CMakeFiles/flexcs_ml.dir/trainer.cpp.o"
+  "CMakeFiles/flexcs_ml.dir/trainer.cpp.o.d"
+  "libflexcs_ml.a"
+  "libflexcs_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcs_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcs_rpca.dir/rpca.cpp.o"
+  "CMakeFiles/flexcs_rpca.dir/rpca.cpp.o.d"
+  "libflexcs_rpca.a"
+  "libflexcs_rpca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcs_rpca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

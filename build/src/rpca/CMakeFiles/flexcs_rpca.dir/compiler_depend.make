@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flexcs_rpca.
+# This may be replaced when dependencies are built.

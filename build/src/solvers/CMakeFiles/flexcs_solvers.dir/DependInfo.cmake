@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/admm.cpp" "src/solvers/CMakeFiles/flexcs_solvers.dir/admm.cpp.o" "gcc" "src/solvers/CMakeFiles/flexcs_solvers.dir/admm.cpp.o.d"
+  "/root/repo/src/solvers/bp_lp.cpp" "src/solvers/CMakeFiles/flexcs_solvers.dir/bp_lp.cpp.o" "gcc" "src/solvers/CMakeFiles/flexcs_solvers.dir/bp_lp.cpp.o.d"
+  "/root/repo/src/solvers/cosamp.cpp" "src/solvers/CMakeFiles/flexcs_solvers.dir/cosamp.cpp.o" "gcc" "src/solvers/CMakeFiles/flexcs_solvers.dir/cosamp.cpp.o.d"
+  "/root/repo/src/solvers/fista.cpp" "src/solvers/CMakeFiles/flexcs_solvers.dir/fista.cpp.o" "gcc" "src/solvers/CMakeFiles/flexcs_solvers.dir/fista.cpp.o.d"
+  "/root/repo/src/solvers/irls.cpp" "src/solvers/CMakeFiles/flexcs_solvers.dir/irls.cpp.o" "gcc" "src/solvers/CMakeFiles/flexcs_solvers.dir/irls.cpp.o.d"
+  "/root/repo/src/solvers/omp.cpp" "src/solvers/CMakeFiles/flexcs_solvers.dir/omp.cpp.o" "gcc" "src/solvers/CMakeFiles/flexcs_solvers.dir/omp.cpp.o.d"
+  "/root/repo/src/solvers/solver.cpp" "src/solvers/CMakeFiles/flexcs_solvers.dir/solver.cpp.o" "gcc" "src/solvers/CMakeFiles/flexcs_solvers.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/flexcs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/flexcs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

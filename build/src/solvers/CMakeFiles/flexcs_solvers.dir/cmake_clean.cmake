@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcs_solvers.dir/admm.cpp.o"
+  "CMakeFiles/flexcs_solvers.dir/admm.cpp.o.d"
+  "CMakeFiles/flexcs_solvers.dir/bp_lp.cpp.o"
+  "CMakeFiles/flexcs_solvers.dir/bp_lp.cpp.o.d"
+  "CMakeFiles/flexcs_solvers.dir/cosamp.cpp.o"
+  "CMakeFiles/flexcs_solvers.dir/cosamp.cpp.o.d"
+  "CMakeFiles/flexcs_solvers.dir/fista.cpp.o"
+  "CMakeFiles/flexcs_solvers.dir/fista.cpp.o.d"
+  "CMakeFiles/flexcs_solvers.dir/irls.cpp.o"
+  "CMakeFiles/flexcs_solvers.dir/irls.cpp.o.d"
+  "CMakeFiles/flexcs_solvers.dir/omp.cpp.o"
+  "CMakeFiles/flexcs_solvers.dir/omp.cpp.o.d"
+  "CMakeFiles/flexcs_solvers.dir/solver.cpp.o"
+  "CMakeFiles/flexcs_solvers.dir/solver.cpp.o.d"
+  "libflexcs_solvers.a"
+  "libflexcs_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcs_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/test_pgm.cpp.o"
+  "CMakeFiles/test_common.dir/test_pgm.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_strings.cpp.o"
+  "CMakeFiles/test_common.dir/test_strings.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_table.cpp.o"
+  "CMakeFiles/test_common.dir/test_table.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cs.dir/test_codec.cpp.o"
+  "CMakeFiles/test_cs.dir/test_codec.cpp.o.d"
+  "CMakeFiles/test_cs.dir/test_cs_properties.cpp.o"
+  "CMakeFiles/test_cs.dir/test_cs_properties.cpp.o.d"
+  "CMakeFiles/test_cs.dir/test_defects.cpp.o"
+  "CMakeFiles/test_cs.dir/test_defects.cpp.o.d"
+  "CMakeFiles/test_cs.dir/test_metrics.cpp.o"
+  "CMakeFiles/test_cs.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/test_cs.dir/test_pipeline.cpp.o"
+  "CMakeFiles/test_cs.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_cs.dir/test_sampling.cpp.o"
+  "CMakeFiles/test_cs.dir/test_sampling.cpp.o.d"
+  "CMakeFiles/test_cs.dir/test_theory.cpp.o"
+  "CMakeFiles/test_cs.dir/test_theory.cpp.o.d"
+  "test_cs"
+  "test_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/test_basis.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_basis.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_dct.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_dct.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_sparsity.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_sparsity.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_wavelet.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_wavelet.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

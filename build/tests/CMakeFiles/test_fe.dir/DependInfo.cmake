@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cells.cpp" "tests/CMakeFiles/test_fe.dir/test_cells.cpp.o" "gcc" "tests/CMakeFiles/test_fe.dir/test_cells.cpp.o.d"
+  "/root/repo/tests/test_digital.cpp" "tests/CMakeFiles/test_fe.dir/test_digital.cpp.o" "gcc" "tests/CMakeFiles/test_fe.dir/test_digital.cpp.o.d"
+  "/root/repo/tests/test_drc_lvs.cpp" "tests/CMakeFiles/test_fe.dir/test_drc_lvs.cpp.o" "gcc" "tests/CMakeFiles/test_fe.dir/test_drc_lvs.cpp.o.d"
+  "/root/repo/tests/test_sensor_array.cpp" "tests/CMakeFiles/test_fe.dir/test_sensor_array.cpp.o" "gcc" "tests/CMakeFiles/test_fe.dir/test_sensor_array.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/test_fe.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/test_fe.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sr_amp.cpp" "tests/CMakeFiles/test_fe.dir/test_sr_amp.cpp.o" "gcc" "tests/CMakeFiles/test_fe.dir/test_sr_amp.cpp.o.d"
+  "/root/repo/tests/test_tft.cpp" "tests/CMakeFiles/test_fe.dir/test_tft.cpp.o" "gcc" "tests/CMakeFiles/test_fe.dir/test_tft.cpp.o.d"
+  "/root/repo/tests/test_variation.cpp" "tests/CMakeFiles/test_fe.dir/test_variation.cpp.o" "gcc" "tests/CMakeFiles/test_fe.dir/test_variation.cpp.o.d"
+  "/root/repo/tests/test_yield.cpp" "tests/CMakeFiles/test_fe.dir/test_yield.cpp.o" "gcc" "tests/CMakeFiles/test_fe.dir/test_yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cs/CMakeFiles/flexcs_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/flexcs_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpca/CMakeFiles/flexcs_rpca.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/flexcs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/flexcs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/flexcs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/flexcs_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fe/CMakeFiles/flexcs_fe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

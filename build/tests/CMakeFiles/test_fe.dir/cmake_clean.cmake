@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fe.dir/test_cells.cpp.o"
+  "CMakeFiles/test_fe.dir/test_cells.cpp.o.d"
+  "CMakeFiles/test_fe.dir/test_digital.cpp.o"
+  "CMakeFiles/test_fe.dir/test_digital.cpp.o.d"
+  "CMakeFiles/test_fe.dir/test_drc_lvs.cpp.o"
+  "CMakeFiles/test_fe.dir/test_drc_lvs.cpp.o.d"
+  "CMakeFiles/test_fe.dir/test_sensor_array.cpp.o"
+  "CMakeFiles/test_fe.dir/test_sensor_array.cpp.o.d"
+  "CMakeFiles/test_fe.dir/test_sim.cpp.o"
+  "CMakeFiles/test_fe.dir/test_sim.cpp.o.d"
+  "CMakeFiles/test_fe.dir/test_sr_amp.cpp.o"
+  "CMakeFiles/test_fe.dir/test_sr_amp.cpp.o.d"
+  "CMakeFiles/test_fe.dir/test_tft.cpp.o"
+  "CMakeFiles/test_fe.dir/test_tft.cpp.o.d"
+  "CMakeFiles/test_fe.dir/test_variation.cpp.o"
+  "CMakeFiles/test_fe.dir/test_variation.cpp.o.d"
+  "CMakeFiles/test_fe.dir/test_yield.cpp.o"
+  "CMakeFiles/test_fe.dir/test_yield.cpp.o.d"
+  "test_fe"
+  "test_fe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la.dir/test_decomp.cpp.o"
+  "CMakeFiles/test_la.dir/test_decomp.cpp.o.d"
+  "CMakeFiles/test_la.dir/test_matrix.cpp.o"
+  "CMakeFiles/test_la.dir/test_matrix.cpp.o.d"
+  "CMakeFiles/test_la.dir/test_svd.cpp.o"
+  "CMakeFiles/test_la.dir/test_svd.cpp.o.d"
+  "test_la"
+  "test_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;flexcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_la "/root/repo/build/tests/test_la")
+set_tests_properties(test_la PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;flexcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dsp "/root/repo/build/tests/test_dsp")
+set_tests_properties(test_dsp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;flexcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_lp "/root/repo/build/tests/test_lp")
+set_tests_properties(test_lp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;flexcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_solvers "/root/repo/build/tests/test_solvers")
+set_tests_properties(test_solvers PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;flexcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_rpca "/root/repo/build/tests/test_rpca")
+set_tests_properties(test_rpca PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;flexcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_data "/root/repo/build/tests/test_data")
+set_tests_properties(test_data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;flexcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cs "/root/repo/build/tests/test_cs")
+set_tests_properties(test_cs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;flexcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fe "/root/repo/build/tests/test_fe")
+set_tests_properties(test_fe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;flexcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ml "/root/repo/build/tests/test_ml")
+set_tests_properties(test_ml PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;flexcs_add_test;/root/repo/tests/CMakeLists.txt;0;")

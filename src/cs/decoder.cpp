@@ -35,6 +35,10 @@ DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
                                   const DecoderOptions& opts) const {
   FLEXCS_CHECK(measurements.size() == pattern.m(),
                "decoder: measurement count mismatch");
+  FLEXCS_CHECK(measurements.size() > 0, "decoder: no measurements");
+  FLEXCS_CHECK(la::all_finite(measurements),
+               "decoder: non-finite measurement (reject defective reads "
+               "before decoding)");
   FLEXCS_CHECK(opts.basis == opts_.basis,
                "decode_with cannot change the basis (Ψ is cached)");
   const la::Matrix a = measurement_matrix(pattern);

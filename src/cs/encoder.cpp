@@ -10,6 +10,8 @@ la::Vector Encoder::encode(const la::Matrix& frame,
                            const SamplingPattern& pattern, Rng& rng) const {
   FLEXCS_CHECK(frame.rows() == pattern.rows && frame.cols() == pattern.cols,
                "encoder: frame/pattern shape mismatch");
+  FLEXCS_CHECK(!frame.empty(), "encoder: empty frame");
+  FLEXCS_CHECK(la::all_finite(frame), "encoder: non-finite pixel in frame");
   la::Vector y = apply_pattern(pattern, frame.flatten());
   if (opts_.measurement_noise > 0.0) {
     for (std::size_t i = 0; i < y.size(); ++i)
@@ -23,6 +25,8 @@ la::Vector Encoder::encode_scanned(const la::Matrix& frame,
                                    Rng& rng) const {
   FLEXCS_CHECK(schedule.cycles.size() == frame.cols(),
                "encoder: schedule/frame shape mismatch");
+  FLEXCS_CHECK(!frame.empty(), "encoder: empty frame");
+  FLEXCS_CHECK(la::all_finite(frame), "encoder: non-finite pixel in frame");
   // Column-scan readout. Measurements are emitted in (column, row) scan
   // order, then reordered to the canonical row-major pattern order so both
   // encode paths agree bit-for-bit.

@@ -55,7 +55,10 @@ SamplingPattern random_pattern_excluding(std::size_t rows, std::size_t cols,
 la::Vector apply_pattern(const SamplingPattern& p, const la::Vector& y) {
   FLEXCS_CHECK(y.size() == p.n(), "apply_pattern: frame size mismatch");
   la::Vector out(p.m());
-  for (std::size_t i = 0; i < p.m(); ++i) out[i] = y[p.indices[i]];
+  for (std::size_t i = 0; i < p.m(); ++i) {
+    FLEXCS_CHECK(p.indices[i] < p.n(), "apply_pattern: pixel index out of range");
+    out[i] = y[p.indices[i]];
+  }
   return out;
 }
 

@@ -66,7 +66,8 @@ SrCheckResult check_shift_register_logic(const ShiftRegisterSpec& spec,
     net.schedule_input("clk", (static_cast<double>(k) + 1.0) * period, false);
   }
   const double t_stop =
-      (static_cast<double>(nbits) + spec.stages + 1.0) * period;
+      (static_cast<double>(nbits) + static_cast<double>(spec.stages) + 1.0) *
+      period;
   // Keep clocking while the last bits drain through the chain.
   for (std::size_t k = nbits; k < nbits + spec.stages + 1; ++k) {
     net.schedule_input("clk", (static_cast<double>(k) + 0.5) * period, true);

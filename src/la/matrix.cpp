@@ -337,4 +337,17 @@ double max_abs_diff(const Vector& a, const Vector& b) {
   return m;
 }
 
+bool all_finite(const Vector& v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+bool all_finite(const Matrix& a) {
+  const double* p = a.data();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!std::isfinite(p[i])) return false;
+  return true;
+}
+
 }  // namespace flexcs::la

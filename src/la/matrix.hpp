@@ -160,4 +160,10 @@ double spectral_norm(const Matrix& a, int iters = 60);
 double max_abs_diff(const Matrix& a, const Matrix& b);
 double max_abs_diff(const Vector& a, const Vector& b);
 
+/// True when every entry is finite (no NaN or ±Inf). Used by the solver and
+/// codec entry points to reject poisoned inputs up front: a single NaN
+/// measurement silently corrupts an entire L1 recovery otherwise.
+bool all_finite(const Vector& v);
+bool all_finite(const Matrix& a);
+
 }  // namespace flexcs::la

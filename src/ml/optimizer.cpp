@@ -31,10 +31,11 @@ void Adam::step() {
     auto& v = v_[pi];
     for (std::size_t i = 0; i < p.values.size(); ++i) {
       const double g = p.grads[i];
-      m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * g);
-      v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * g * g);
-      const double mhat = m[i] / bias1;
-      const double vhat = v[i] / bias2;
+      m[i] = static_cast<float>(b1 * static_cast<double>(m[i]) + (1.0 - b1) * g);
+      v[i] = static_cast<float>(b2 * static_cast<double>(v[i]) +
+                                (1.0 - b2) * g * g);
+      const double mhat = static_cast<double>(m[i]) / bias1;
+      const double vhat = static_cast<double>(v[i]) / bias2;
       p.values[i] -= static_cast<float>(opts_.lr * mhat /
                                         (std::sqrt(vhat) + opts_.eps));
     }

@@ -10,8 +10,8 @@ namespace flexcs::solvers {
 
 SolveResult AdmmLassoSolver::solve(const la::Matrix& a,
                                    const la::Vector& b) const {
+  validate_solve_inputs(a, b, "ADMM");
   const std::size_t m = a.rows(), n = a.cols();
-  FLEXCS_CHECK(b.size() == m, "ADMM: shape mismatch");
 
   SolveResult result;
   result.x = la::Vector(n, 0.0);

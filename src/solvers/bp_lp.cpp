@@ -7,8 +7,8 @@ namespace flexcs::solvers {
 
 SolveResult BpLpSolver::solve(const la::Matrix& a,
                               const la::Vector& b) const {
+  validate_solve_inputs(a, b, "BP-LP");
   const std::size_t m = a.rows(), n = a.cols();
-  FLEXCS_CHECK(b.size() == m, "BP-LP: shape mismatch");
 
   // Stack [A, -A] for the positive/negative parts.
   la::Matrix big(m, 2 * n);

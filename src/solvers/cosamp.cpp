@@ -38,8 +38,8 @@ la::Vector lstsq_on_support(const la::Matrix& a, const la::Vector& b,
 
 SolveResult CosampSolver::solve(const la::Matrix& a,
                                 const la::Vector& b) const {
+  validate_solve_inputs(a, b, "CoSaMP");
   const std::size_t m = a.rows(), n = a.cols();
-  FLEXCS_CHECK(b.size() == m, "CoSaMP: shape mismatch");
   const std::size_t k =
       opts_.sparsity > 0 ? std::min(opts_.sparsity, m / 3) : m / 4;
 

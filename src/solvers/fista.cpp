@@ -20,8 +20,8 @@ la::Vector soft_threshold(const la::Vector& v, double t) {
 
 SolveResult FistaSolver::solve(const la::Matrix& a,
                                const la::Vector& b) const {
+  validate_solve_inputs(a, b, "FISTA");
   const std::size_t n = a.cols();
-  FLEXCS_CHECK(b.size() == a.rows(), "FISTA: shape mismatch");
 
   SolveResult result;
   result.x = la::Vector(n, 0.0);

@@ -9,8 +9,8 @@ namespace flexcs::solvers {
 
 SolveResult IrlsSolver::solve(const la::Matrix& a,
                               const la::Vector& b) const {
+  validate_solve_inputs(a, b, "IRLS");
   const std::size_t m = a.rows(), n = a.cols();
-  FLEXCS_CHECK(b.size() == m, "IRLS: shape mismatch");
 
   SolveResult result;
   result.x = la::Vector(n, 0.0);

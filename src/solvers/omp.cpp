@@ -9,8 +9,8 @@
 namespace flexcs::solvers {
 
 SolveResult OmpSolver::solve(const la::Matrix& a, const la::Vector& b) const {
+  validate_solve_inputs(a, b, "OMP");
   const std::size_t m = a.rows(), n = a.cols();
-  FLEXCS_CHECK(b.size() == m, "OMP: shape mismatch");
   const std::size_t kmax =
       opts_.max_sparsity > 0 ? std::min(opts_.max_sparsity, m) : m / 2;
 

@@ -15,6 +15,18 @@
 
 namespace flexcs::solvers {
 
+void validate_solve_inputs(const la::Matrix& a, const la::Vector& b,
+                           const char* who) {
+  const std::string name(who);
+  FLEXCS_CHECK(!a.empty(), name + ": empty measurement matrix");
+  FLEXCS_CHECK(a.rows() == b.size(),
+               name + ": A is " + std::to_string(a.rows()) + "x" +
+                   std::to_string(a.cols()) + " but b has " +
+                   std::to_string(b.size()) + " entries");
+  FLEXCS_CHECK(la::all_finite(b), name + ": non-finite measurement in b");
+  FLEXCS_CHECK(la::all_finite(a), name + ": non-finite entry in A");
+}
+
 la::Vector debias_on_support(const la::Matrix& a, const la::Vector& b,
                              const la::Vector& x, double threshold) {
   FLEXCS_CHECK(a.cols() == x.size() && a.rows() == b.size(),

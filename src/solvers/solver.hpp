@@ -31,9 +31,19 @@ class SparseSolver {
   /// Short identifier, e.g. "fista" or "omp".
   virtual std::string name() const = 0;
 
-  /// Solves for sparse x from b ≈ A x. Requires a.rows() == b.size().
+  /// Solves for sparse x from b ≈ A x. Requires a.rows() == b.size(), a
+  /// non-empty A, and finite entries in both A and b; violations throw
+  /// CheckError (every implementation calls validate_solve_inputs first).
   virtual SolveResult solve(const la::Matrix& a, const la::Vector& b) const = 0;
 };
+
+/// Shared entry-point contract for SparseSolver::solve implementations:
+/// throws CheckError (via FLEXCS_CHECK) unless A is non-empty, b matches
+/// A's row count, and both are free of NaN/Inf. `who` names the solver in
+/// the failure message. Every solve() must call this before touching data —
+/// enforced by tools/flexcs_lint.py (rule entry-check).
+void validate_solve_inputs(const la::Matrix& a, const la::Vector& b,
+                           const char* who);
 
 /// Least-squares re-fit restricted to the support {i : |x[i]| > threshold}.
 /// Standard de-biasing step after L1 solvers (removes the shrinkage bias).

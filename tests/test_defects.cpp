@@ -43,7 +43,7 @@ TEST(Defects, DefectivePixelsAreExtreme) {
       continue;
     }
     // Paper: defects read "very high or almost zero".
-    EXPECT_TRUE(cf.values.data()[i] == 0.0 || cf.values.data()[i] == 1.0);
+    EXPECT_TRUE(cf.values.data()[i] == 0.0 || cf.values.data()[i] == 1.0);  // flexcs-lint: allow(float-equality)
     if (cf.values.data()[i] == 0.0) ++zeros;
     else ++ones;
   }

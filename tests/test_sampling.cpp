@@ -81,7 +81,7 @@ TEST(Sampling, PatternMatrixIsSelectionMatrix) {
   for (std::size_t r = 0; r < phi.rows(); ++r) {
     double row_sum = 0.0;
     for (std::size_t c = 0; c < phi.cols(); ++c) {
-      EXPECT_TRUE(phi(r, c) == 0.0 || phi(r, c) == 1.0);
+      EXPECT_TRUE(phi(r, c) == 0.0 || phi(r, c) == 1.0);  // flexcs-lint: allow(float-equality)
       row_sum += phi(r, c);
     }
     EXPECT_DOUBLE_EQ(row_sum, 1.0);

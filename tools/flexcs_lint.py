@@ -1,0 +1,414 @@
+#!/usr/bin/env python3
+"""flexcs-lint: static contract checker for the flexcs source tree.
+
+Enforces project invariants the compiler cannot express:
+
+  pragma-once       every header uses `#pragma once`
+  using-namespace   no `using namespace` at any scope inside a header
+  raw-new-delete    no raw `new` / `delete` expressions outside src/la
+                    (`= delete;` member suppression is fine anywhere)
+  rng-discipline    no std::rand / srand / std::random_device / std::mt19937
+                    etc. outside src/common/rng.* — all randomness flows
+                    through flexcs::Rng so a single seed reproduces a run
+  float-equality    no == / != against a non-zero floating literal; exact
+                    comparison against 0.0 is allowed (the skip-zero sparsity
+                    idiom is IEEE-exact), anything else wants a tolerance
+  entry-check       every public solver/encoder/decoder entry point validates
+                    its inputs (FLEXCS_CHECK / validate_solve_inputs or a
+                    delegation to a validating overload) before touching data
+
+A line may opt out of one rule with a trailing marker comment:
+
+    dangerous_thing();  // flexcs-lint: allow(rule-id)
+
+Stdlib-only; runs standalone (`python3 tools/flexcs_lint.py --root .`) and as
+the ctest `lint.flexcs`. Exit status 0 = clean, 1 = findings, 2 = usage error.
+Known textual limitations: raw-string literals and float==float comparisons
+between two identifiers are not detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+SOURCE_EXTS = (".hpp", ".cpp")
+
+# Directory prefix whose files may use raw new/delete (owning containers).
+RAW_NEW_ALLOWED_PREFIX = "src/la/"
+
+# Files allowed to touch <random> / rand machinery directly.
+RNG_ALLOWED = ("src/common/rng.hpp", "src/common/rng.cpp")
+
+# Public entry points that must validate inputs before touching data.
+# (file, function regex, accepted validation tokens). A missing file or an
+# unmatched function is itself a finding: it means the contract surface moved
+# without the lint being updated.
+ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
+    ("src/solvers/fista.cpp", r"FistaSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/omp.cpp", r"OmpSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/cosamp.cpp", r"CosampSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/irls.cpp", r"IrlsSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/admm.cpp", r"AdmmLassoSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/bp_lp.cpp", r"BpLpSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/solver.cpp", r"\bdebias_on_support", ("FLEXCS_CHECK",)),
+    ("src/cs/encoder.cpp", r"Encoder::encode\b", ("FLEXCS_CHECK",)),
+    ("src/cs/encoder.cpp", r"Encoder::encode_scanned\b", ("FLEXCS_CHECK",)),
+    ("src/cs/decoder.cpp", r"Decoder::decode\b", ("FLEXCS_CHECK", "decode_with")),
+    ("src/cs/decoder.cpp", r"Decoder::decode_with\b", ("FLEXCS_CHECK",)),
+    ("src/cs/decoder.cpp", r"Decoder::measurement_matrix\b", ("FLEXCS_CHECK",)),
+    ("src/cs/sampling.cpp", r"\bapply_pattern\b", ("FLEXCS_CHECK",)),
+)
+
+# How deep into a function body (in non-blank lines) validation must appear.
+ENTRY_CHECK_WINDOW = 15
+
+ALLOW_RE = re.compile(r"flexcs-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+class Finding(NamedTuple):
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving newlines so
+    line numbers in the stripped text match the original."""
+    out: List[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def suppressed_rules(original_line: str) -> List[str]:
+    return ALLOW_RE.findall(original_line)
+
+
+class SourceFile(NamedTuple):
+    relpath: str
+    text: str
+    stripped: str
+
+    @property
+    def lines(self) -> List[str]:
+        return self.text.splitlines()
+
+    @property
+    def stripped_lines(self) -> List[str]:
+        return self.stripped.splitlines()
+
+    def is_header(self) -> bool:
+        return self.relpath.endswith(".hpp")
+
+    def finding_unless_allowed(self, line_no: int, rule: str,
+                               message: str) -> Optional[Finding]:
+        lines = self.lines
+        original = lines[line_no - 1] if 0 < line_no <= len(lines) else ""
+        if rule in suppressed_rules(original):
+            return None
+        return Finding(self.relpath, line_no, rule, message)
+
+
+# ---------------------------------------------------------------------------
+# Per-file rules
+
+
+def check_pragma_once(f: SourceFile) -> List[Finding]:
+    if not f.is_header():
+        return []
+    for line in f.stripped_lines:
+        if line.strip().startswith("#pragma once"):
+            return []
+    return [Finding(f.relpath, 1, "pragma-once", "header lacks '#pragma once'")]
+
+
+def check_using_namespace(f: SourceFile) -> List[Finding]:
+    if not f.is_header():
+        return []
+    findings: List[Finding] = []
+    pat = re.compile(r"\busing\s+namespace\b")
+    for idx, line in enumerate(f.stripped_lines, start=1):
+        if pat.search(line):
+            fd = f.finding_unless_allowed(
+                idx, "using-namespace",
+                "'using namespace' in a header leaks into every includer")
+            if fd:
+                findings.append(fd)
+    return findings
+
+
+_NEW_RE = re.compile(r"\bnew\b")
+_DELETE_RE = re.compile(r"\bdelete\b")
+
+
+def check_raw_new_delete(f: SourceFile) -> List[Finding]:
+    if f.relpath.startswith(RAW_NEW_ALLOWED_PREFIX):
+        return []
+    findings: List[Finding] = []
+    for idx, line in enumerate(f.stripped_lines, start=1):
+        for m in _NEW_RE.finditer(line):
+            prefix = line[:m.start()].rstrip()
+            if prefix.endswith("operator"):
+                continue
+            fd = f.finding_unless_allowed(
+                idx, "raw-new-delete",
+                "raw 'new' outside src/la — use std::vector / smart pointers")
+            if fd:
+                findings.append(fd)
+        for m in _DELETE_RE.finditer(line):
+            prefix = line[:m.start()].rstrip()
+            if prefix.endswith("=") or prefix.endswith("operator"):
+                continue  # deleted member fn / operator delete declaration
+            fd = f.finding_unless_allowed(
+                idx, "raw-new-delete",
+                "raw 'delete' outside src/la — use RAII ownership")
+            if fd:
+                findings.append(fd)
+    return findings
+
+
+_RNG_RE = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|\bstd::random_device\b|\bstd::mt19937(?:_64)?\b"
+    r"|\bstd::default_random_engine\b|\bstd::minstd_rand0?\b")
+
+
+def check_rng_discipline(f: SourceFile) -> List[Finding]:
+    if f.relpath in RNG_ALLOWED:
+        return []
+    findings: List[Finding] = []
+    for idx, line in enumerate(f.stripped_lines, start=1):
+        if _RNG_RE.search(line):
+            fd = f.finding_unless_allowed(
+                idx, "rng-discipline",
+                "ad-hoc RNG breaks run reproducibility — draw from "
+                "flexcs::Rng (common/rng.hpp) instead")
+            if fd:
+                findings.append(fd)
+    return findings
+
+
+_FLOAT_LIT = r"(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][+-]?\d+)[fFlL]?"
+_FLOAT_EQ_RE = re.compile(
+    r"[=!]=\s*[+-]?(" + _FLOAT_LIT + r")|(" + _FLOAT_LIT + r")\s*[=!]=")
+
+
+def _literal_value(lit: str) -> float:
+    return float(lit.rstrip("fFlL"))
+
+
+def check_float_equality(f: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    for idx, line in enumerate(f.stripped_lines, start=1):
+        for m in _FLOAT_EQ_RE.finditer(line):
+            lit = m.group(1) or m.group(2)
+            if _literal_value(lit) == 0.0:
+                continue  # exact-zero round-trips are IEEE-exact by design
+            fd = f.finding_unless_allowed(
+                idx, "float-equality",
+                f"equality against floating literal {lit} — "
+                "compare with a tolerance (or suppress in a test helper)")
+            if fd:
+                findings.append(fd)
+    return findings
+
+
+FILE_RULES: Sequence[Callable[[SourceFile], List[Finding]]] = (
+    check_pragma_once,
+    check_using_namespace,
+    check_raw_new_delete,
+    check_rng_discipline,
+    check_float_equality,
+)
+
+
+# ---------------------------------------------------------------------------
+# Tree-level rule: entry-point input validation
+
+
+def _function_body(stripped: str, name_re: str) -> Optional[Tuple[int, str]]:
+    """Returns (first body line number, body text) of the first definition of
+    a function whose name matches `name_re`, or None."""
+    for m in re.finditer(name_re, stripped):
+        # Walk forward to the opening brace of the definition; give up at ';'
+        # (that was a declaration, keep looking).
+        i = m.end()
+        depth_paren = 0
+        while i < len(stripped):
+            c = stripped[i]
+            if c == "(":
+                depth_paren += 1
+            elif c == ")":
+                depth_paren -= 1
+            elif c == ";" and depth_paren == 0:
+                break  # declaration only
+            elif c == "{" and depth_paren == 0:
+                start = i + 1
+                depth = 1
+                j = start
+                while j < len(stripped) and depth:
+                    if stripped[j] == "{":
+                        depth += 1
+                    elif stripped[j] == "}":
+                        depth -= 1
+                    j += 1
+                body = stripped[start:j - 1] if depth == 0 else stripped[start:]
+                line_no = stripped.count("\n", 0, start) + 1
+                return line_no, body
+            i += 1
+    return None
+
+
+def check_entry_points(root: Path, files: dict,
+                       partial: bool = False) -> List[Finding]:
+    """`partial` = linting an explicit file subset: specs for files outside
+    the subset are skipped rather than reported as missing."""
+    findings: List[Finding] = []
+    for relpath, func_re, tokens in ENTRY_POINTS:
+        f = files.get(relpath)
+        if f is None:
+            if not partial and (root / relpath.split("/")[0]).is_dir():
+                findings.append(Finding(
+                    relpath, 1, "entry-check",
+                    f"entry-point file missing (lint config expects {func_re})"))
+            continue
+        found = _function_body(f.stripped, func_re)
+        if found is None:
+            findings.append(Finding(
+                f.relpath, 1, "entry-check",
+                f"entry point /{func_re}/ not found — update tools/flexcs_lint.py "
+                "if it moved"))
+            continue
+        line_no, body = found
+        window = [ln for ln in body.splitlines() if ln.strip()][:ENTRY_CHECK_WINDOW]
+        head = "\n".join(window)
+        if not any(tok in head for tok in tokens):
+            findings.append(Finding(
+                f.relpath, line_no, "entry-check",
+                f"/{func_re}/ must validate inputs via one of {list(tokens)} "
+                f"within its first {ENTRY_CHECK_WINDOW} lines"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def collect_files(root: Path, only: Optional[Sequence[str]] = None
+                  ) -> List[SourceFile]:
+    paths: List[Path] = []
+    if only:
+        paths = [root / p for p in only]
+    else:
+        for d in SOURCE_DIRS:
+            base = root / d
+            if not base.is_dir():
+                continue
+            for ext in SOURCE_EXTS:
+                paths.extend(sorted(base.rglob(f"*{ext}")))
+    files: List[SourceFile] = []
+    for p in paths:
+        if any(part.startswith("build") for part in p.parts):
+            continue
+        try:
+            text = p.read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            print(f"flexcs-lint: cannot read {p}: {e}", file=sys.stderr)
+            continue
+        rel = p.relative_to(root).as_posix()
+        files.append(SourceFile(rel, text, strip_comments_and_strings(text)))
+    return files
+
+
+def lint_tree(root: Path, only: Optional[Sequence[str]] = None
+              ) -> List[Finding]:
+    files = collect_files(root, only)
+    findings: List[Finding] = []
+    for f in files:
+        for rule in FILE_RULES:
+            findings.extend(rule(f))
+    findings.extend(check_entry_points(root, {f.relpath: f for f in files},
+                                       partial=only is not None))
+    return sorted(findings)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".", help="repository root to lint")
+    ap.add_argument("files", nargs="*",
+                    help="optional root-relative files (default: whole tree)")
+    args = ap.parse_args(argv)
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"flexcs-lint: no such directory: {root}", file=sys.stderr)
+        return 2
+    findings = lint_tree(root, args.files or None)
+    for fd in findings:
+        print(fd)
+    if findings:
+        print(f"flexcs-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("flexcs-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Runs clang-tidy over the flexcs library sources using the repo .clang-tidy
+# profile. Degrades gracefully: exits 0 with a notice when clang-tidy is not
+# installed, so CI lanes and dev boxes without LLVM stay green.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [file...]
+#   build-dir  directory containing compile_commands.json
+#              (default: first of build-relwithdebinfo, build-werror, build)
+#   file...    restrict to specific sources (default: all of src/)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not found on PATH; skipping (not an error)."
+    echo "run_clang_tidy: install LLVM/clang-tools to enable this check."
+    exit 0
+fi
+
+build_dir="${1:-}"
+if [ -n "$build_dir" ]; then
+    shift
+else
+    for d in build-relwithdebinfo build-werror build-asan build; do
+        if [ -f "$d/compile_commands.json" ]; then
+            build_dir=$d
+            break
+        fi
+    done
+fi
+
+if [ -z "$build_dir" ] || [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_clang_tidy: no compile_commands.json found." >&2
+    echo "run_clang_tidy: configure first, e.g.: cmake --preset relwithdebinfo" >&2
+    exit 2
+fi
+
+if [ "$#" -gt 0 ]; then
+    files="$*"
+else
+    files=$(find src -name '*.cpp' | sort)
+fi
+
+echo "run_clang_tidy: $(clang-tidy --version | head -n 1 | sed 's/^ *//')"
+echo "run_clang_tidy: using $build_dir/compile_commands.json"
+
+status=0
+for f in $files; do
+    echo "== $f"
+    clang-tidy -p "$build_dir" --quiet "$f" || status=1
+done
+
+exit $status

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Selftest for flexcs_lint: proves every rule fires on a known-bad fixture
+and stays quiet on the equivalent clean code. Runs as the ctest
+`lint.selftest` and standalone (`python3 tools/test_flexcs_lint.py`)."""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import flexcs_lint  # noqa: E402
+
+
+def lint_fixture(tree: dict) -> list:
+    """Writes {relpath: content} into a temp dir and lints it."""
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td)
+        for rel, content in tree.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(content)
+        return flexcs_lint.lint_tree(root)
+
+
+def rules_fired(findings: list) -> set:
+    return {f.rule for f in findings}
+
+
+class StripTest(unittest.TestCase):
+    def test_comments_and_strings_blanked(self):
+        src = 'int x; // new delete\n/* std::rand */ const char* s = "new";\n'
+        out = flexcs_lint.strip_comments_and_strings(src)
+        self.assertNotIn("new", out)
+        self.assertNotIn("std::rand", out)
+        self.assertEqual(src.count("\n"), out.count("\n"))
+
+    def test_code_preserved_in_place(self):
+        src = "a == 1.5; // tail\n"
+        out = flexcs_lint.strip_comments_and_strings(src)
+        self.assertTrue(out.startswith("a == 1.5; "))
+
+
+class PragmaOnceTest(unittest.TestCase):
+    def test_missing_pragma_fires(self):
+        f = lint_fixture({"src/cs/bad.hpp": "int f();\n"})
+        self.assertIn("pragma-once", rules_fired(f))
+
+    def test_present_pragma_clean(self):
+        f = lint_fixture({"src/cs/good.hpp": "// doc\n#pragma once\nint f();\n"})
+        self.assertNotIn("pragma-once", rules_fired(f))
+
+    def test_cpp_files_exempt(self):
+        f = lint_fixture({"src/cs/impl.cpp": "int f() { return 1; }\n"})
+        self.assertNotIn("pragma-once", rules_fired(f))
+
+
+class UsingNamespaceTest(unittest.TestCase):
+    def test_using_namespace_in_header_fires(self):
+        f = lint_fixture(
+            {"src/cs/bad.hpp": "#pragma once\nusing namespace std;\n"})
+        self.assertIn("using-namespace", rules_fired(f))
+
+    def test_using_namespace_in_cpp_allowed(self):
+        f = lint_fixture({"tests/t.cpp": "using namespace flexcs;\n"})
+        self.assertNotIn("using-namespace", rules_fired(f))
+
+    def test_commented_mention_clean(self):
+        f = lint_fixture(
+            {"src/cs/ok.hpp": "#pragma once\n// never using namespace here\n"})
+        self.assertNotIn("using-namespace", rules_fired(f))
+
+
+class RawNewDeleteTest(unittest.TestCase):
+    def test_raw_new_fires_outside_la(self):
+        f = lint_fixture({"src/cs/bad.cpp": "int* p = new int(3);\n"})
+        self.assertIn("raw-new-delete", rules_fired(f))
+
+    def test_raw_delete_fires_outside_la(self):
+        f = lint_fixture({"src/cs/bad.cpp": "void g(int* p) { delete p; }\n"})
+        self.assertIn("raw-new-delete", rules_fired(f))
+
+    def test_la_module_exempt(self):
+        f = lint_fixture({"src/la/pool.cpp": "int* p = new int(3);\n"})
+        self.assertNotIn("raw-new-delete", rules_fired(f))
+
+    def test_deleted_member_function_clean(self):
+        src = "#pragma once\nstruct S { S(const S&) = delete;\n  void* operator new(unsigned long) = delete; };\n"
+        f = lint_fixture({"src/cs/s.hpp": src})
+        self.assertNotIn("raw-new-delete", rules_fired(f))
+
+    def test_suppression_marker(self):
+        src = "int* p = new int(3);  // flexcs-lint: allow(raw-new-delete)\n"
+        f = lint_fixture({"src/cs/ok.cpp": src})
+        self.assertNotIn("raw-new-delete", rules_fired(f))
+
+
+class RngDisciplineTest(unittest.TestCase):
+    def test_std_rand_fires(self):
+        f = lint_fixture({"src/cs/bad.cpp": "int r = std::rand();\n"})
+        self.assertIn("rng-discipline", rules_fired(f))
+
+    def test_mt19937_fires(self):
+        # Unseeded or seeded alike: all randomness must flow through
+        # flexcs::Rng, so any direct std::mt19937 is out of contract.
+        f = lint_fixture({"src/dsp/bad.cpp": "std::mt19937 gen;\n"})
+        self.assertIn("rng-discipline", rules_fired(f))
+
+    def test_random_device_fires(self):
+        f = lint_fixture({"tests/bad.cpp": "std::random_device rd;\n"})
+        self.assertIn("rng-discipline", rules_fired(f))
+
+    def test_rng_module_exempt(self):
+        f = lint_fixture({"src/common/rng.cpp": "// std::mt19937 notes\nint x;\n"})
+        self.assertNotIn("rng-discipline", rules_fired(f))
+
+
+class FloatEqualityTest(unittest.TestCase):
+    def test_nonzero_literal_fires(self):
+        f = lint_fixture({"src/cs/bad.cpp": "if (x == 1.5) {}\n"})
+        self.assertIn("float-equality", rules_fired(f))
+
+    def test_reversed_operands_fire(self):
+        f = lint_fixture({"src/cs/bad.cpp": "if (0.5f != x) {}\n"})
+        self.assertIn("float-equality", rules_fired(f))
+
+    def test_exponent_literal_fires(self):
+        f = lint_fixture({"src/cs/bad.cpp": "bool b = y != 1e-6;\n"})
+        self.assertIn("float-equality", rules_fired(f))
+
+    def test_exact_zero_allowed(self):
+        f = lint_fixture({"src/cs/ok.cpp": "if (x == 0.0) {}\nif (0.0f != y) {}\n"})
+        self.assertNotIn("float-equality", rules_fired(f))
+
+    def test_relational_not_confused(self):
+        f = lint_fixture({"src/cs/ok.cpp": "if (x <= 1.5 || x >= 2.5) {}\n"})
+        self.assertNotIn("float-equality", rules_fired(f))
+
+    def test_suppression_marker(self):
+        src = "if (x == 1.5) {}  // flexcs-lint: allow(float-equality)\n"
+        f = lint_fixture({"src/cs/ok.cpp": src})
+        self.assertNotIn("float-equality", rules_fired(f))
+
+
+class EntryCheckTest(unittest.TestCase):
+    UNCHECKED = (
+        "#include \"solvers/omp.hpp\"\n"
+        "namespace flexcs::solvers {\n"
+        "SolveResult OmpSolver::solve(const la::Matrix& a,\n"
+        "                             const la::Vector& b) const {\n"
+        "  SolveResult r;\n"
+        "  r.x = la::Vector(a.cols(), 0.0);\n"
+        "  return r;\n"
+        "}\n"
+        "}\n")
+
+    def test_unvalidated_entry_point_fires(self):
+        f = lint_fixture({"src/solvers/omp.cpp": self.UNCHECKED})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/solvers/omp.cpp"
+                 and "validate" in x.message]
+        self.assertTrue(fired)
+
+    def test_validated_entry_point_clean(self):
+        src = self.UNCHECKED.replace(
+            "  SolveResult r;\n",
+            "  validate_solve_inputs(a, b, \"OMP\");\n  SolveResult r;\n")
+        f = lint_fixture({"src/solvers/omp.cpp": src})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/solvers/omp.cpp"]
+        self.assertFalse(fired)
+
+    def test_renamed_entry_point_reported(self):
+        src = self.UNCHECKED.replace("OmpSolver::solve", "OmpSolver::run")
+        f = lint_fixture({"src/solvers/omp.cpp": src})
+        fired = [x for x in f if x.rule == "entry-check" and "not found" in x.message]
+        self.assertTrue(fired)
+
+    def test_declaration_skipped_definition_found(self):
+        # A declaration before the definition must not satisfy (or confuse)
+        # the body search.
+        src = ("SolveResult solve_decl(int);\n" + self.UNCHECKED)
+        f = lint_fixture({"src/solvers/omp.cpp": src})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/solvers/omp.cpp"
+                 and "validate" in x.message]
+        self.assertTrue(fired)
+
+
+class PartialLintTest(unittest.TestCase):
+    def test_single_file_mode_skips_other_entry_points(self):
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            (root / "src/cs").mkdir(parents=True)
+            (root / "src/solvers").mkdir(parents=True)
+            (root / "src/cs/defects.cpp").write_text("int x;\n")
+            findings = flexcs_lint.lint_tree(root, only=["src/cs/defects.cpp"])
+            self.assertEqual([], findings,
+                             "\n".join(str(x) for x in findings))
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repository_is_clean(self):
+        root = Path(__file__).resolve().parent.parent
+        if not (root / "src").is_dir():
+            self.skipTest("not running inside the repo")
+        findings = flexcs_lint.lint_tree(root)
+        self.assertEqual([], findings,
+                         "\n".join(str(x) for x in findings))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

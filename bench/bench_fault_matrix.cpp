@@ -1,0 +1,254 @@
+// Fault-matrix sweep: fault kind x severity x recovery strategy, driven
+// through the runtime::RobustPipeline escalation ladder. Each matrix cell
+// caps the ladder at one strategy (opts.max_rung) and streams a few faulted
+// thermal frames through it, so the table shows what every rung buys — and
+// costs — against every fault kind of cs/faults.hpp.
+//
+// Usage:
+//   bench_fault_matrix [--smoke] [--json]
+//
+//   --smoke   tiny configuration (16x16, one frame, one severity, rungs 0-1)
+//             used by the ctest smoke registration; finishes in seconds.
+//   --json    machine-readable output instead of the text table.
+//
+// JSON schema (--json): stdout carries exactly one JSON array; one object
+// per (kind, severity, strategy) cell, all keys always present:
+//   {
+//     "kind":             string  — cs::fault_kind_name, e.g. "stuck-pixel"
+//     "severity":         number  — the severity knob for that kind (below)
+//     "strategy":         string  — runtime::strategy_name of the ladder
+//                                   ceiling for this cell
+//     "frames":           integer — frames averaged
+//     "rmse":             number  — mean RMSE vs ground truth
+//     "accept_rate":      number  — fraction of frames whose ground-truth-
+//                                   free sanity check passed
+//     "decode_calls":     number  — mean sparse-solver calls per frame
+//     "escalation_depth": number  — mean rungs climbed beyond plain decode
+//   }
+//
+// Severity mapping per kind (the "rate" axis of the sweep):
+//   stuck-pixel           fraction of pixels stuck
+//   line                  severity ignored; one stuck-high row
+//   flicker               per-frame flicker probability
+//   readout-noise         Gaussian sigma
+//   gain-drift            gain drift per frame
+//   adc-saturation        rails at [severity, 1 - severity]
+//   dropped-measurements  fraction of measurement slots lost
+//
+// FISTA is the decode solver throughout: its convergence flag discriminates
+// clean from corrupted frames, which the ladder's acceptance check relies on.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "cs/faults.hpp"
+#include "cs/metrics.hpp"
+#include "data/thermal.hpp"
+#include "runtime/pipeline.hpp"
+#include "solvers/fista.hpp"
+
+namespace {
+
+using namespace flexcs;
+
+struct SweepConfig {
+  std::size_t dim = 32;
+  int frames = 2;
+  std::vector<double> severities = {0.02, 0.05, 0.10};
+  std::vector<runtime::Strategy> strategies = {
+      runtime::Strategy::kPlainDecode, runtime::Strategy::kTrimmedDecode,
+      runtime::Strategy::kFreshPatternRetry, runtime::Strategy::kResample,
+      runtime::Strategy::kRpcaWindow};
+  int resample_rounds = 4;
+};
+
+SweepConfig smoke_config() {
+  SweepConfig cfg;
+  cfg.dim = 16;
+  cfg.frames = 1;
+  cfg.severities = {0.05};
+  cfg.strategies = {runtime::Strategy::kPlainDecode,
+                    runtime::Strategy::kTrimmedDecode};
+  cfg.resample_rounds = 2;
+  return cfg;
+}
+
+constexpr cs::FaultKind kKinds[] = {
+    cs::FaultKind::kStuckPixel,    cs::FaultKind::kLine,
+    cs::FaultKind::kFlicker,       cs::FaultKind::kReadoutNoise,
+    cs::FaultKind::kGainDrift,     cs::FaultKind::kAdcSaturation,
+    cs::FaultKind::kDroppedMeasurements,
+};
+
+// Frame-level scenario for the kind (empty for measurement-level kinds).
+cs::FaultScenario frame_scenario(cs::FaultKind kind, double severity,
+                                 std::size_t dim) {
+  switch (kind) {
+    case cs::FaultKind::kStuckPixel:
+      return cs::FaultScenario(
+          {cs::StuckPixelFault{severity, cs::DefectPolarity::kRandom, 99}});
+    case cs::FaultKind::kLine: {
+      cs::LineFault lf;
+      lf.orientation = cs::LineOrientation::kRow;
+      lf.line = dim / 3;
+      lf.mode = cs::LineFailureMode::kStuckHigh;
+      return cs::FaultScenario({lf});
+    }
+    case cs::FaultKind::kFlicker:
+      return cs::FaultScenario(
+          {cs::FlickerFault{severity, cs::DefectPolarity::kRandom, 99}});
+    case cs::FaultKind::kReadoutNoise:
+      return cs::FaultScenario({cs::ReadoutNoiseFault{severity, 99}});
+    case cs::FaultKind::kGainDrift: {
+      cs::GainDriftFault gd;
+      gd.drift_per_frame = severity;
+      gd.seed = 99;
+      return cs::FaultScenario({gd});
+    }
+    case cs::FaultKind::kAdcSaturation:
+    case cs::FaultKind::kDroppedMeasurements:
+      return {};
+  }
+  return {};
+}
+
+// Measurement-level scenario for the kind (empty for frame-level kinds).
+cs::FaultScenario measurement_scenario(cs::FaultKind kind, double severity) {
+  switch (kind) {
+    case cs::FaultKind::kAdcSaturation: {
+      cs::AdcSaturationFault sat;
+      sat.lo = severity;
+      sat.hi = 1.0 - severity;
+      return cs::FaultScenario({sat});
+    }
+    case cs::FaultKind::kDroppedMeasurements:
+      return cs::FaultScenario({cs::DroppedMeasurementFault{severity, 99}});
+    default:
+      return {};
+  }
+}
+
+struct Cell {
+  cs::FaultKind kind;
+  double severity = 0.0;
+  runtime::Strategy strategy;
+  int frames = 0;
+  double rmse = 0.0;
+  double accept_rate = 0.0;
+  double decode_calls = 0.0;
+  double escalation_depth = 0.0;
+};
+
+Cell run_cell(const SweepConfig& cfg, cs::FaultKind kind, double severity,
+              runtime::Strategy ceiling) {
+  Cell cell;
+  cell.kind = kind;
+  cell.severity = severity;
+  cell.strategy = ceiling;
+  cell.frames = cfg.frames;
+
+  runtime::RobustPipelineOptions opts;
+  opts.max_rung = ceiling;
+  opts.budget.resample_rounds = cfg.resample_rounds;
+  opts.measurement_faults = measurement_scenario(kind, severity);
+  runtime::RobustPipeline pipe(
+      cfg.dim, cfg.dim, opts, std::make_shared<solvers::FistaSolver>());
+
+  const cs::FaultScenario faults = frame_scenario(kind, severity, cfg.dim);
+  data::ThermalOptions topts;
+  topts.rows = topts.cols = cfg.dim;
+  const data::ThermalHandGenerator gen(topts);
+
+  Rng frame_rng(7);
+  Rng pipe_rng(11);
+  for (int f = 0; f < cfg.frames; ++f) {
+    const la::Matrix truth = gen.sample(frame_rng).values;
+    const la::Matrix corrupted =
+        faults.has_frame_faults()
+            ? faults.corrupt_frame(truth, static_cast<std::size_t>(f)).values
+            : truth;
+    const auto res = pipe.process(corrupted, pipe_rng);
+    cell.rmse += cs::rmse(res.frame, truth);
+    cell.accept_rate += res.report.accepted ? 1.0 : 0.0;
+    cell.decode_calls += res.report.decode_calls;
+    cell.escalation_depth += res.report.escalation_depth;
+  }
+  const double n = static_cast<double>(cfg.frames);
+  cell.rmse /= n;
+  cell.accept_rate /= n;
+  cell.decode_calls /= n;
+  cell.escalation_depth /= n;
+  return cell;
+}
+
+void print_json(const std::vector<Cell>& cells) {
+  std::printf("[\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::printf(
+        "  {\"kind\": \"%s\", \"severity\": %.4f, \"strategy\": \"%s\", "
+        "\"frames\": %d, \"rmse\": %.6f, \"accept_rate\": %.4f, "
+        "\"decode_calls\": %.2f, \"escalation_depth\": %.2f}%s\n",
+        cs::fault_kind_name(c.kind), c.severity,
+        runtime::strategy_name(c.strategy), c.frames, c.rmse, c.accept_rate,
+        c.decode_calls, c.escalation_depth,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+void print_table(const std::vector<Cell>& cells, const SweepConfig& cfg) {
+  std::printf(
+      "Fault matrix — RobustPipeline ladder capped per strategy "
+      "(%zux%zu, %d frame(s) per cell, FISTA)\n",
+      cfg.dim, cfg.dim, cfg.frames);
+  Table t({"fault kind", "severity", "strategy", "rmse", "accept",
+           "calls", "depth"});
+  for (const Cell& c : cells) {
+    t.add_row({cs::fault_kind_name(c.kind), strformat("%.2f", c.severity),
+               runtime::strategy_name(c.strategy), strformat("%.4f", c.rmse),
+               strformat("%.0f%%", 100.0 * c.accept_rate),
+               strformat("%.1f", c.decode_calls),
+               strformat("%.1f", c.escalation_depth)});
+  }
+  std::printf("%s", t.to_text().c_str());
+  std::printf(
+      "shape: higher rungs trade decode calls for lower RMSE on sparse "
+      "faults; dense noise is absorbed, not escalated\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json]\n", argv[0]);
+      return 2;
+    }
+  }
+  const SweepConfig cfg = smoke ? smoke_config() : SweepConfig{};
+
+  std::vector<Cell> cells;
+  for (const cs::FaultKind kind : kKinds) {
+    // Line faults have no severity axis; sweep them once.
+    const bool has_severity = kind != cs::FaultKind::kLine;
+    const std::vector<double> severities =
+        has_severity ? cfg.severities
+                     : std::vector<double>{cfg.severities.front()};
+    for (const double severity : severities)
+      for (const runtime::Strategy strategy : cfg.strategies)
+        cells.push_back(run_cell(cfg, kind, severity, strategy));
+  }
+
+  if (json) print_json(cells);
+  else print_table(cells, cfg);
+  return 0;
+}

@@ -10,6 +10,7 @@
 // Build & run:  ./build/examples/quickstart [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "common/pgm.hpp"
 #include "cs/decoder.hpp"
@@ -59,9 +60,11 @@ int main(int argc, char** argv) {
                   std::vector<double>(result.frame.data(),
                                       result.frame.data() +
                                           result.frame.size())};
-  write_pgm("quickstart_original.pgm", original);
-  write_pgm("quickstart_reconstructed.pgm", recon);
+  // Artifacts go under out/ (gitignored), never into the working tree root.
+  std::filesystem::create_directories("out");
+  write_pgm("out/quickstart_original.pgm", original);
+  write_pgm("out/quickstart_reconstructed.pgm", recon);
   std::printf(
-      "wrote quickstart_original.pgm / quickstart_reconstructed.pgm\n");
+      "wrote out/quickstart_original.pgm / out/quickstart_reconstructed.pgm\n");
   return 0;
 }

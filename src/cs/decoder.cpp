@@ -53,6 +53,7 @@ DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
   out.coefficients = sr.x;
   out.solver_iterations = sr.iterations;
   out.converged = sr.converged;
+  out.residual_norm = sr.residual_norm;
 
   // Synthesise the frame from the recovered coefficients (y = Ψ x, done via
   // the fast transform rather than the dense matrix).

@@ -24,6 +24,11 @@ struct DecodeResult {
   la::Vector coefficients;  // recovered sparse coefficient vector (size N)
   int solver_iterations = 0;
   bool converged = false;
+  // ||A x - y||_2 at the solver's solution, before de-biasing. Plumbed from
+  // solvers::SolveResult so runtime sanity checks can judge decode quality
+  // without ground truth (a de-biased least-squares re-fit can interpolate
+  // corrupted measurements, so the pre-debias residual is the honest one).
+  double residual_norm = 0.0;
 };
 
 /// Decoder for a fixed array geometry. Builds Ψ once (N x N) and derives the

@@ -1,0 +1,226 @@
+// Composable fault taxonomy for the readout chain, generalising the paper's
+// stuck-pixel model (Sec. 4.2) to the failure modes a real active-matrix
+// acquisition pipeline exhibits:
+//
+//   frame-level (corrupt pixels before sampling)
+//     * stuck pixels            — persistent extreme reads (existing defect
+//                                 model of cs/defects.hpp, kept compatible);
+//     * stuck / open gate lines — a whole row or column corrupted, the
+//                                 failure mode of a fe/shift_register driver
+//                                 stage or a broken gate trace (Fig. 4);
+//     * transient flicker       — per-frame random extreme reads that do not
+//                                 persist (soft errors, Sec. 3.2 transients);
+//     * additive readout noise  — dense Gaussian noise on every pixel;
+//     * multiplicative drift    — per-pixel gain drifting over frames (bias
+//                                 stress / temperature drift of the TFTs);
+//
+//   measurement-level (corrupt the encoded vector y after sampling)
+//     * ADC saturation          — measurements clamped to the converter's
+//                                 full-scale range;
+//     * dropped measurements    — random measurement slots lost in transfer.
+//
+// Each fault is a tagged struct with a seeded `apply`: all randomness is
+// derived from the fault's own seed (and the frame index for transient
+// kinds), so a FaultScenario replays bit-identically regardless of caller
+// RNG state. A FaultScenario composes several faults and retains
+// ground-truth masks for evaluation.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cs/defects.hpp"
+#include "cs/sampling.hpp"
+#include "la/matrix.hpp"
+
+namespace flexcs::cs {
+
+enum class FaultKind {
+  kStuckPixel,
+  kLine,
+  kFlicker,
+  kReadoutNoise,
+  kGainDrift,
+  kAdcSaturation,
+  kDroppedMeasurements,
+};
+
+/// Short stable identifier, e.g. "stuck-pixel" (used in bench JSON output).
+const char* fault_kind_name(FaultKind kind);
+
+enum class LineOrientation { kRow, kColumn };
+
+enum class LineFailureMode {
+  kStuckLow,   // driver stage stuck deasserted: line reads 0
+  kStuckHigh,  // driver stage stuck asserted: line reads full scale
+  kOpen,       // broken gate trace: line floats, reads noise per frame
+};
+
+// ---------------------------------------------------------------------------
+// Frame-level faults. `apply` corrupts `frame` in place and sets the bits of
+// the affected pixels in `mask` (row-major, same size as the frame). Dense
+// faults that perturb every pixel a little (readout noise) do NOT set mask
+// bits: the mask tracks sparse/extreme corruption that recovery should
+// locate and exclude, not the noise floor.
+
+/// Persistent stuck pixels — the paper's defect model. The defect locations
+/// and stuck values depend only on `seed`, so they are identical for every
+/// frame index (a fabrication defect does not move between frames).
+struct StuckPixelFault {
+  static constexpr FaultKind kind = FaultKind::kStuckPixel;
+  double rate = 0.1;  // fraction of pixels stuck (paper sweeps 0 - 0.20)
+  DefectPolarity polarity = DefectPolarity::kRandom;
+  std::uint64_t seed = 1;
+
+  void apply(la::Matrix& frame, std::size_t frame_index,
+             std::vector<bool>& mask) const;
+};
+
+/// Persistent gate-line fault: one whole row (or column) corrupted, matching
+/// a failed fe/shift_register driver stage (stage k gates line k). Stuck
+/// modes read an extreme on every pixel of the line; an open line floats and
+/// reads fresh uniform noise each frame.
+struct LineFault {
+  static constexpr FaultKind kind = FaultKind::kLine;
+  LineOrientation orientation = LineOrientation::kRow;
+  std::size_t line = 0;  // row index (kRow) or column index (kColumn)
+  LineFailureMode mode = LineFailureMode::kStuckLow;
+  std::uint64_t seed = 1;  // only consumed by kOpen floating reads
+
+  void apply(la::Matrix& frame, std::size_t frame_index,
+             std::vector<bool>& mask) const;
+};
+
+/// Transient flicker: each frame an independent random subset of pixels
+/// reads an extreme value (soft errors / marginal TFTs). Locations are
+/// re-drawn per frame from `seed` and the frame index.
+struct FlickerFault {
+  static constexpr FaultKind kind = FaultKind::kFlicker;
+  double rate = 0.01;  // probability a pixel flickers in a given frame
+  DefectPolarity polarity = DefectPolarity::kRandom;
+  std::uint64_t seed = 1;
+
+  void apply(la::Matrix& frame, std::size_t frame_index,
+             std::vector<bool>& mask) const;
+};
+
+/// Dense additive Gaussian readout noise (amplifier/ADC noise beyond the
+/// encoder's own eps model). Leaves the mask untouched by design.
+struct ReadoutNoiseFault {
+  static constexpr FaultKind kind = FaultKind::kReadoutNoise;
+  double sigma = 0.01;
+  std::uint64_t seed = 1;
+
+  void apply(la::Matrix& frame, std::size_t frame_index,
+             std::vector<bool>& mask) const;
+};
+
+/// Multiplicative gain drift: pixel i reads gain_i(t) * value with
+/// gain_i(t) = 1 + drift_per_frame * t * (1 + pixel_spread * z_i), z_i a
+/// fixed standard-normal per-pixel factor drawn from `seed`. Models TFT
+/// bias-stress drift accumulating over the acquisition run. Pixels whose
+/// gain deviates from 1 by more than `mask_threshold` are flagged in the
+/// mask (they have drifted enough to act like defects).
+struct GainDriftFault {
+  static constexpr FaultKind kind = FaultKind::kGainDrift;
+  double drift_per_frame = 0.005;
+  double pixel_spread = 0.5;
+  double mask_threshold = 0.05;
+  std::uint64_t seed = 1;
+
+  void apply(la::Matrix& frame, std::size_t frame_index,
+             std::vector<bool>& mask) const;
+};
+
+// ---------------------------------------------------------------------------
+// Measurement-level faults. These act on the encoded vector y (after
+// sampling) and are applied by FaultScenario::corrupt_measurements.
+
+/// ADC full-scale clamp: measurements outside [lo, hi] saturate to the rail.
+struct AdcSaturationFault {
+  static constexpr FaultKind kind = FaultKind::kAdcSaturation;
+  double lo = 0.05;
+  double hi = 0.95;
+
+  /// Clamps y in place; sets `saturated[i]` for every clamped slot.
+  void apply(la::Vector& y, std::size_t frame_index,
+             std::vector<bool>& saturated) const;
+};
+
+/// Randomly dropped measurement slots (transfer loss between the flexible
+/// array and the silicon decoder). Dropped slots are re-drawn per frame.
+struct DroppedMeasurementFault {
+  static constexpr FaultKind kind = FaultKind::kDroppedMeasurements;
+  double rate = 0.05;  // fraction of measurement slots lost per frame
+  std::uint64_t seed = 1;
+
+  /// Sets `dropped[i]` for every lost slot (y itself is not modified; the
+  /// scenario removes flagged slots from y and the pattern).
+  void apply(const la::Vector& y, std::size_t frame_index,
+             std::vector<bool>& dropped) const;
+};
+
+// ---------------------------------------------------------------------------
+// Composition.
+
+using Fault =
+    std::variant<StuckPixelFault, LineFault, FlickerFault, ReadoutNoiseFault,
+                 GainDriftFault, AdcSaturationFault, DroppedMeasurementFault>;
+
+/// Tag of a type-erased fault.
+FaultKind fault_kind(const Fault& fault);
+
+/// True for kinds whose corruption is fixed across frames (stuck pixels,
+/// line faults, gain drift); false for per-frame transients.
+bool fault_is_persistent(FaultKind kind);
+
+/// True for kinds applied to the measurement vector rather than the frame.
+bool fault_is_measurement_level(FaultKind kind);
+
+/// A corrupted frame with ground truth retained for evaluation.
+struct FaultedFrame {
+  la::Matrix values;             // frame after all frame-level faults
+  std::vector<bool> mask;        // pixels corrupted this frame (sparse kinds)
+  std::vector<bool> persistent;  // subset stemming from persistent kinds
+  std::size_t corrupted_count = 0;  // set bits in `mask`
+};
+
+/// Corrupted measurements with ground truth retained for evaluation.
+struct FaultedMeasurements {
+  la::Vector values;        // surviving measurements, pattern order
+  SamplingPattern pattern;  // pattern with dropped slots removed
+  std::vector<std::size_t> dropped;  // original slot indices that were lost
+  std::size_t saturated_count = 0;   // slots clamped by ADC saturation
+};
+
+/// An ordered set of faults applied together. Frame-level faults are applied
+/// in insertion order (so e.g. noise-after-stuck differs from stuck-after-
+/// noise, as it does physically); measurement-level faults likewise.
+class FaultScenario {
+ public:
+  FaultScenario() = default;
+  explicit FaultScenario(std::vector<Fault> faults);
+
+  void add(Fault fault);
+  const std::vector<Fault>& faults() const { return faults_; }
+  bool has_frame_faults() const;
+  bool has_measurement_faults() const;
+
+  /// Applies all frame-level faults to a copy of `frame`.
+  FaultedFrame corrupt_frame(const la::Matrix& frame,
+                             std::size_t frame_index) const;
+
+  /// Applies all measurement-level faults to measurements `y` taken with
+  /// `pattern`. Dropped slots are removed from both the returned vector and
+  /// the returned pattern, so the result feeds straight into a decoder.
+  FaultedMeasurements corrupt_measurements(const la::Vector& y,
+                                           const SamplingPattern& pattern,
+                                           std::size_t frame_index) const;
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+}  // namespace flexcs::cs

@@ -85,9 +85,10 @@ std::vector<std::vector<bool>> rpca_outlier_masks(
   return masks;
 }
 
-la::Matrix decode_trimmed(const Decoder& decoder, const SamplingPattern& p,
-                          const la::Vector& y, double mad_multiplier,
-                          double abs_floor) {
+TrimmedDecodeResult decode_trimmed_ex(const Decoder& decoder,
+                                      const SamplingPattern& p,
+                                      const la::Vector& y,
+                                      double mad_multiplier, double abs_floor) {
   FLEXCS_CHECK(mad_multiplier > 0.0 && abs_floor >= 0.0,
                "invalid trim parameters");
 
@@ -117,15 +118,35 @@ la::Matrix decode_trimmed(const Decoder& decoder, const SamplingPattern& p,
   trimmed.rows = p.rows;
   trimmed.cols = p.cols;
   std::vector<double> kept_vals;
+  std::vector<std::size_t> trimmed_pixels;
   for (std::size_t i = 0; i < p.m(); ++i) {
-    if (absres[i] > cutoff) continue;
+    if (absres[i] > cutoff) {
+      trimmed_pixels.push_back(p.indices[i]);
+      continue;
+    }
     trimmed.indices.push_back(p.indices[i]);
     kept_vals.push_back(y[i]);
   }
+
+  TrimmedDecodeResult out;
   // Keep the production decode of the full data if trimming would remove
   // more than half of the measurements (screening gone wrong).
-  if (kept_vals.size() < p.m() / 2) return decoder.decode(p, y).frame;
-  return decoder.decode(trimmed, la::Vector(kept_vals)).frame;
+  if (kept_vals.size() < p.m() / 2) {
+    out.result = decoder.decode(p, y);
+    return out;
+  }
+  out.result = decoder.decode(trimmed, la::Vector(kept_vals));
+  out.trimmed_count = trimmed_pixels.size();
+  out.trimmed_pixels = std::move(trimmed_pixels);
+  out.trim_applied = true;
+  return out;
+}
+
+la::Matrix decode_trimmed(const Decoder& decoder, const SamplingPattern& p,
+                          const la::Vector& y, double mad_multiplier,
+                          double abs_floor) {
+  return decode_trimmed_ex(decoder, p, y, mad_multiplier, abs_floor)
+      .result.frame;
 }
 
 std::vector<la::Matrix> reconstruct_rpca_batch(

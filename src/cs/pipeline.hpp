@@ -68,11 +68,28 @@ std::vector<la::Matrix> reconstruct_rpca_batch(
 std::vector<std::vector<bool>> rpca_outlier_masks(
     const std::vector<la::Matrix>& frames, const RpcaFilterOptions& opts);
 
+/// Everything decode_trimmed learned: the final decode (with residual and
+/// convergence plumbed through), how many measurements the screen trimmed,
+/// and which pixels they were (suspected defects, for runtime bookkeeping).
+struct TrimmedDecodeResult {
+  DecodeResult result;        // decode over the surviving measurements
+  std::size_t trimmed_count = 0;
+  std::vector<std::size_t> trimmed_pixels;  // pixel indices trimmed away
+  bool trim_applied = false;  // false = screen trimmed too much, kept all
+};
+
 /// Residual-trimmed decode: decodes once, flags measurements whose residual
 /// against the reconstruction is an outlier (beyond `mad_multiplier` times
 /// the median absolute residual, with an absolute floor), removes them and
 /// decodes again. Robustifies the L1 decode against the few corrupted
 /// measurements that upstream outlier detection missed.
+TrimmedDecodeResult decode_trimmed_ex(const Decoder& decoder,
+                                      const SamplingPattern& p,
+                                      const la::Vector& y,
+                                      double mad_multiplier = 4.0,
+                                      double abs_floor = 0.2);
+
+/// Frame-only convenience wrapper over decode_trimmed_ex.
 la::Matrix decode_trimmed(const Decoder& decoder, const SamplingPattern& p,
                           const la::Vector& y, double mad_multiplier = 4.0,
                           double abs_floor = 0.2);

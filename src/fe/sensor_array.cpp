@@ -148,4 +148,23 @@ std::vector<PixelFault> faults_from_defect_mask(const std::vector<bool>& mask,
   return faults;
 }
 
+std::vector<PixelFault> faults_from_line_fault(const cs::LineFault& fault,
+                                               std::size_t rows,
+                                               std::size_t cols) {
+  const bool row = fault.orientation == cs::LineOrientation::kRow;
+  FLEXCS_CHECK(fault.line < (row ? rows : cols),
+               "line fault index out of range for the array");
+  const PixelFault electrical = fault.mode == cs::LineFailureMode::kStuckHigh
+                                    ? PixelFault::kSensorShort
+                                    : PixelFault::kTftStuckOff;
+  std::vector<PixelFault> faults(rows * cols, PixelFault::kNone);
+  const std::size_t count = row ? cols : rows;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t r = row ? fault.line : k;
+    const std::size_t c = row ? k : fault.line;
+    faults[r * cols + c] = electrical;
+  }
+  return faults;
+}
+
 }  // namespace flexcs::fe

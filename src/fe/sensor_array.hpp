@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "cs/faults.hpp"
 #include "cs/sampling.hpp"
 #include "fe/tft.hpp"
 #include "la/matrix.hpp"
@@ -86,5 +87,16 @@ class SensorArraySim {
 /// become open TFTs, stuck-high pixels become shorted sensors).
 std::vector<PixelFault> faults_from_defect_mask(const std::vector<bool>& mask,
                                                 Rng& rng);
+
+/// Electrical realisation of a cs::LineFault (gate-line / driver failure):
+/// every pixel on the failed line gets the matching electrical fault. A
+/// stuck-deasserted or open driver stage leaves the line's access TFTs off
+/// (kTftStuckOff, reads ~zero current); a stuck-asserted stage keeps them on
+/// so the pixel reads at full scale (modelled as kSensorShort). `line` and
+/// `orientation` mirror cs::LineFault; stage k of the fe/shift_register row
+/// driver gates row k.
+std::vector<PixelFault> faults_from_line_fault(const cs::LineFault& fault,
+                                               std::size_t rows,
+                                               std::size_t cols);
 
 }  // namespace flexcs::fe

@@ -1,0 +1,259 @@
+#include "runtime/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace flexcs::runtime {
+namespace {
+
+// Median of |y_i - frame[pattern_i]| — the aggregate-rung acceptance
+// statistic. The median ignores up to half the measurements, so defective
+// reads cannot veto a reconstruction that fits the clean majority.
+double median_abs_residual(const cs::SamplingPattern& p, const la::Vector& y,
+                           const la::Matrix& frame) {
+  std::vector<double> absres(p.m());
+  for (std::size_t i = 0; i < p.m(); ++i)
+    absres[i] = std::fabs(y[i] - frame.data()[p.indices[i]]);
+  std::nth_element(absres.begin(),
+                   absres.begin() + static_cast<std::ptrdiff_t>(absres.size() / 2),
+                   absres.end());
+  return absres[absres.size() / 2];
+}
+
+}  // namespace
+
+const char* strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kPlainDecode: return "plain";
+    case Strategy::kTrimmedDecode: return "trimmed";
+    case Strategy::kFreshPatternRetry: return "fresh-pattern";
+    case Strategy::kResample: return "resample";
+    case Strategy::kRpcaWindow: return "rpca-window";
+  }
+  return "unknown";
+}
+
+RobustPipeline::RobustPipeline(
+    std::size_t rows, std::size_t cols, RobustPipelineOptions opts,
+    std::shared_ptr<const solvers::SparseSolver> solver)
+    : rows_(rows),
+      cols_(cols),
+      opts_(std::move(opts)),
+      encoder_(),
+      decoder_(rows, cols, opts_.decoder, std::move(solver)) {
+  FLEXCS_CHECK(rows_ > 0 && cols_ > 0, "runtime over an empty array");
+  FLEXCS_CHECK(opts_.sampling_fraction > 0.0 && opts_.sampling_fraction <= 1.0,
+               "sampling fraction must be in (0,1]");
+  FLEXCS_CHECK(opts_.budget.max_decode_calls >= 1,
+               "ladder budget needs at least one decode call");
+  FLEXCS_CHECK(opts_.budget.resample_rounds >= 1,
+               "resample rung needs at least one round");
+  FLEXCS_CHECK(opts_.budget.rpca_window >= 1,
+               "RPCA rung needs a window of at least one frame");
+  FLEXCS_CHECK(opts_.ewma_alpha > 0.0 && opts_.ewma_alpha <= 1.0,
+               "EWMA alpha must be in (0,1]");
+}
+
+void RobustPipeline::reset() {
+  window_.clear();
+  health_ = HealthCounters{};
+  next_frame_index_ = 0;
+}
+
+RobustPipeline::Candidate RobustPipeline::evaluate_decode(
+    const cs::DecodeResult& result, const la::Vector& y) const {
+  Candidate c;
+  c.frame = result.frame;
+  c.converged = result.converged;
+  // Relative pre-debias solver residual. For trimmed decodes the residual
+  // norm covers only the kept measurements while ||y|| covers all of them —
+  // a mild (few percent) optimistic bias that the thresholds absorb.
+  const double denom = std::max(y.norm2(), 1e-12);
+  c.score = result.residual_norm / denom;
+  c.accepted = c.score <= opts_.accept.max_rel_residual &&
+               (c.converged || !opts_.accept.require_convergence);
+  return c;
+}
+
+RobustPipeline::Candidate RobustPipeline::evaluate_aggregate(
+    la::Matrix frame, const cs::SamplingPattern& p, const la::Vector& y) const {
+  Candidate c;
+  c.score = median_abs_residual(p, y, frame);
+  c.frame = std::move(frame);
+  c.converged = true;  // aggregate strategies have no single solver state
+  c.accepted = c.score <= opts_.accept.max_median_abs_residual;
+  return c;
+}
+
+void RobustPipeline::finish_frame(const cs::SamplingPattern& p,
+                                  const la::Vector& y, const Candidate& chosen,
+                                  RecoveryReport& report) {
+  // Suspected defects: measurements far from the accepted reconstruction,
+  // using the same MAD + absolute-floor rule as the trimmed decode's screen.
+  std::vector<double> absres(p.m());
+  for (std::size_t i = 0; i < p.m(); ++i)
+    absres[i] = std::fabs(y[i] - chosen.frame.data()[p.indices[i]]);
+  std::vector<double> sorted = absres;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2),
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  const double cutoff =
+      std::max(opts_.suspect_abs_floor, opts_.suspect_mad_multiplier * median);
+
+  report.suspected_defects.assign(rows_ * cols_, false);
+  for (std::size_t i = 0; i < p.m(); ++i) {
+    if (absres[i] <= cutoff) continue;
+    report.suspected_defects[p.indices[i]] = true;
+    ++report.suspected_defect_count;
+  }
+  report.estimated_defect_rate =
+      p.m() == 0 ? 0.0
+                 : static_cast<double>(report.suspected_defect_count) /
+                       static_cast<double>(p.m());
+
+  report.accepted = chosen.accepted;
+  report.converged = chosen.converged;
+  report.rel_residual = chosen.score;
+
+  // Health bookkeeping.
+  ++health_.frames_processed;
+  if (report.accepted) {
+    ++health_.frames_accepted;
+    ++health_.recovered_per_rung[static_cast<std::size_t>(report.strategy)];
+  }
+  if (report.budget_exhausted) ++health_.budget_exhaustions;
+  if (health_.frames_processed == 1) {
+    health_.defect_rate_ewma = report.estimated_defect_rate;
+  } else {
+    health_.defect_rate_ewma =
+        (1.0 - opts_.ewma_alpha) * health_.defect_rate_ewma +
+        opts_.ewma_alpha * report.estimated_defect_rate;
+  }
+  const bool was_drifting = health_.drift_detected;
+  health_.drift_detected = health_.defect_rate_ewma > opts_.drift_threshold;
+  if (!was_drifting && health_.drift_detected) ++health_.drift_events;
+}
+
+RobustPipeline::FrameResult RobustPipeline::process(
+    const la::Matrix& corrupted_frame, Rng& rng) {
+  FLEXCS_CHECK(corrupted_frame.rows() == rows_ &&
+                   corrupted_frame.cols() == cols_,
+               "runtime: frame shape mismatch");
+  FLEXCS_CHECK(la::all_finite(corrupted_frame),
+               "runtime: non-finite pixel in frame");
+
+  window_.push_back(corrupted_frame);
+  while (window_.size() > opts_.budget.rpca_window) window_.pop_front();
+
+  RecoveryReport report;
+  report.frame_index = next_frame_index_++;
+  int budget = opts_.budget.max_decode_calls;
+
+  // One acquisition: fresh Φ, encode, then the measurement-fault channel.
+  const auto acquire = [&](cs::SamplingPattern& p, la::Vector& y,
+                           const std::vector<bool>* exclude) {
+    p = exclude == nullptr
+            ? cs::random_pattern(rows_, cols_, opts_.sampling_fraction, rng)
+            : cs::random_pattern_excluding(rows_, cols_,
+                                           opts_.sampling_fraction, *exclude,
+                                           rng);
+    y = encoder_.encode(corrupted_frame, p, rng);
+    if (opts_.measurement_faults.has_measurement_faults()) {
+      cs::FaultedMeasurements fm = opts_.measurement_faults.corrupt_measurements(
+          y, p, report.frame_index);
+      report.dropped_measurements += fm.dropped.size();
+      report.saturated_measurements += fm.saturated_count;
+      p = std::move(fm.pattern);
+      y = std::move(fm.values);
+    }
+  };
+
+  // Rung 0: plain decode. This is byte-identical to Decoder::decode on the
+  // same acquisition — no screening, no trimming — so a healthy array pays
+  // exactly one solver call per frame.
+  cs::SamplingPattern pattern;
+  la::Vector y;
+  acquire(pattern, y, nullptr);
+  const cs::DecodeResult plain = decoder_.decode(pattern, y);
+  budget -= 1;
+  report.decode_calls += 1;
+  Candidate chosen = evaluate_decode(plain, y);
+  report.first_rel_residual = chosen.score;
+  report.strategy = Strategy::kPlainDecode;
+
+  cs::SamplingPattern eval_pattern = pattern;
+  la::Vector eval_y = y;
+
+  const auto climb = [&](Strategy rung, int cost, auto&& run) {
+    if (chosen.accepted) return;
+    if (static_cast<int>(rung) > static_cast<int>(opts_.max_rung)) return;
+    if (budget < cost) {
+      report.budget_exhausted = true;
+      return;
+    }
+    budget -= cost;
+    report.decode_calls += cost;
+    report.strategy = rung;
+    ++report.escalation_depth;
+    run();
+  };
+
+  climb(Strategy::kTrimmedDecode, 2, [&] {
+    const cs::TrimmedDecodeResult trimmed =
+        cs::decode_trimmed_ex(decoder_, pattern, y);
+    report.trimmed_measurements = trimmed.trimmed_count;
+    chosen = evaluate_decode(trimmed.result, y);
+  });
+
+  for (int retry = 0; retry < opts_.budget.fresh_pattern_retries; ++retry) {
+    climb(Strategy::kFreshPatternRetry, 2, [&] {
+      cs::SamplingPattern fresh_p;
+      la::Vector fresh_y;
+      acquire(fresh_p, fresh_y, nullptr);
+      const cs::TrimmedDecodeResult trimmed =
+          cs::decode_trimmed_ex(decoder_, fresh_p, fresh_y);
+      report.trimmed_measurements = trimmed.trimmed_count;
+      chosen = evaluate_decode(trimmed.result, fresh_y);
+      eval_pattern = std::move(fresh_p);
+      eval_y = std::move(fresh_y);
+    });
+  }
+
+  climb(Strategy::kResample, 2 * opts_.budget.resample_rounds, [&] {
+    cs::ResampleOptions ropts;
+    ropts.rounds = opts_.budget.resample_rounds;
+    chosen = evaluate_aggregate(
+        cs::reconstruct_resample(corrupted_frame, opts_.sampling_fraction,
+                                 ropts, encoder_, decoder_, rng),
+        eval_pattern, eval_y);
+  });
+
+  climb(Strategy::kRpcaWindow, 2, [&] {
+    // Robust-PCA outlier detection over the sliding window, then a trimmed
+    // decode of the current frame sampled away from the flagged pixels.
+    const std::vector<la::Matrix> frames(window_.begin(), window_.end());
+    const std::vector<std::vector<bool>> masks =
+        cs::rpca_outlier_masks(frames, cs::RpcaFilterOptions{});
+    cs::SamplingPattern ex_p;
+    la::Vector ex_y;
+    acquire(ex_p, ex_y, &masks.back());
+    const cs::TrimmedDecodeResult trimmed =
+        cs::decode_trimmed_ex(decoder_, ex_p, ex_y);
+    chosen = evaluate_decode(trimmed.result, ex_y);
+    eval_pattern = std::move(ex_p);
+    eval_y = std::move(ex_y);
+  });
+
+  finish_frame(eval_pattern, eval_y, chosen, report);
+
+  FrameResult out;
+  out.frame = std::move(chosen.frame);
+  out.report = std::move(report);
+  return out;
+}
+
+}  // namespace flexcs::runtime

@@ -1,0 +1,181 @@
+// Adaptive recovery runtime: a streaming acquisition pipeline that decodes
+// each incoming (possibly corrupted) frame, sanity-checks the result without
+// ground truth, and escalates through a ladder of progressively more robust
+// — and more expensive — recovery strategies until the check passes or the
+// budget runs out:
+//
+//   rung 0  plain decode            1 solver call, trusts the array
+//   rung 1  residual-trimmed decode cs::decode_trimmed_ex on the same y
+//   rung 2  fresh-pattern retry     re-randomised Φ + trimmed decode (beats
+//                                   unlucky pattern/defect alignment)
+//   rung 3  resampling              cs::reconstruct_resample, R rounds
+//   rung 4  RPCA window filter      robust-PCA outlier exclusion over a
+//                                   sliding window of recent frames
+//
+// The sanity check uses the solver residual plumbed through
+// cs::DecodeResult::residual_norm (pre-debias, so interpolated outliers
+// cannot hide) for decode rungs, and a median absolute measurement residual
+// for the aggregate strategies whose output intentionally stops fitting the
+// corrupted measurements. Every frame yields a RecoveryReport; the pipeline
+// keeps aggregate health counters with an EWMA estimate of the defect rate
+// for drift detection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cs/decoder.hpp"
+#include "cs/encoder.hpp"
+#include "cs/faults.hpp"
+#include "cs/pipeline.hpp"
+#include "la/matrix.hpp"
+
+namespace flexcs::runtime {
+
+/// Ladder rungs in escalation order. Values are contiguous so they double as
+/// indices into HealthCounters::recovered_per_rung.
+enum class Strategy {
+  kPlainDecode = 0,
+  kTrimmedDecode = 1,
+  kFreshPatternRetry = 2,
+  kResample = 3,
+  kRpcaWindow = 4,
+};
+
+inline constexpr std::size_t kStrategyCount = 5;
+
+/// Short stable identifier, e.g. "plain" or "rpca-window".
+const char* strategy_name(Strategy strategy);
+
+/// Per-frame escalation budgets. A "decode call" is one sparse-solver run
+/// (a trimmed decode costs 2: screen + final). Escalation stops — marking
+/// the frame budget-exhausted — once the next rung would not fit.
+struct LadderBudget {
+  int max_decode_calls = 32;      // per frame, across all rungs
+  int fresh_pattern_retries = 1;  // rung-2 attempts
+  int resample_rounds = 6;        // rung-3 rounds (paper uses 10)
+  std::size_t rpca_window = 4;    // rung-4 sliding-window length (frames)
+};
+
+/// Ground-truth-free acceptance thresholds for a candidate reconstruction.
+struct AcceptanceThresholds {
+  // Decode rungs (0-2): relative solver residual ||Ax - y|| / ||y|| must not
+  // exceed this, and the solver must have converged (if required). Tuned on
+  // the thermal generator: clean frames decode to ~0.04, 10 % stuck pixels
+  // push the plain decode beyond 0.2.
+  double max_rel_residual = 0.12;
+  bool require_convergence = true;
+  // Aggregate rungs (3-4): median |y_i - x̂_i| over the measurements must not
+  // exceed this (the median ignores up to half the measurements, so the
+  // defective ones cannot veto an otherwise good reconstruction).
+  double max_median_abs_residual = 0.05;
+};
+
+struct RobustPipelineOptions {
+  double sampling_fraction = 0.5;  // the paper's 45-60 % band
+  Strategy max_rung = Strategy::kRpcaWindow;  // highest rung to climb to
+  AcceptanceThresholds accept;
+  LadderBudget budget;
+  cs::DecoderOptions decoder;
+  // Measurement-level fault channel applied between encode and decode
+  // (frame-level faults live in the caller's ground-truth domain). Only the
+  // measurement-level members of the scenario are consulted.
+  cs::FaultScenario measurement_faults;
+  // Suspected-defect detection on the accepted reconstruction: measurements
+  // with |residual| > max(suspect_abs_floor, suspect_mad_multiplier * median)
+  // are flagged, mirroring cs::decode_trimmed_ex's screen.
+  double suspect_mad_multiplier = 4.0;
+  double suspect_abs_floor = 0.2;
+  // Health telemetry: EWMA smoothing of the per-frame estimated defect rate,
+  // and the level above which the pipeline reports defect-rate drift.
+  double ewma_alpha = 0.3;
+  double drift_threshold = 0.05;
+};
+
+/// What happened while recovering one frame.
+struct RecoveryReport {
+  std::size_t frame_index = 0;
+  Strategy strategy = Strategy::kPlainDecode;  // rung that produced the output
+  int escalation_depth = 0;   // rungs climbed beyond plain decode
+  int decode_calls = 0;       // solver runs spent on this frame
+  bool accepted = false;      // sanity check passed at `strategy`
+  bool budget_exhausted = false;  // ladder stopped early for lack of budget
+  bool converged = false;     // solver convergence of the final decode rung
+  double rel_residual = 0.0;        // acceptance statistic of the output
+  double first_rel_residual = 0.0;  // rung-0 statistic (escalation trigger)
+  std::size_t trimmed_measurements = 0;  // rung 1/2 trim count
+  std::size_t dropped_measurements = 0;  // lost to the measurement channel
+  std::size_t saturated_measurements = 0;
+  std::vector<bool> suspected_defects;  // row-major pixel mask
+  std::size_t suspected_defect_count = 0;
+  double estimated_defect_rate = 0.0;  // suspects / measurements this frame
+};
+
+/// Aggregate counters across all processed frames.
+struct HealthCounters {
+  std::size_t frames_processed = 0;
+  std::size_t frames_accepted = 0;
+  std::size_t budget_exhaustions = 0;
+  // recovered_per_rung[r]: frames whose accepted output came from rung r.
+  std::vector<std::size_t> recovered_per_rung =
+      std::vector<std::size_t>(kStrategyCount, 0);
+  double defect_rate_ewma = 0.0;
+  bool drift_detected = false;   // EWMA currently above the drift threshold
+  std::size_t drift_events = 0;  // below→above threshold transitions
+};
+
+/// Streaming robust-recovery pipeline for a fixed array geometry. Owns the
+/// encoder/decoder pair and a sliding window of recent frames for the RPCA
+/// rung. Not thread-safe; one instance per stream.
+class RobustPipeline {
+ public:
+  /// `solver` may be null, which selects the library default (ADMM-BPDN).
+  RobustPipeline(std::size_t rows, std::size_t cols,
+                 RobustPipelineOptions opts = {},
+                 std::shared_ptr<const solvers::SparseSolver> solver = nullptr);
+
+  struct FrameResult {
+    la::Matrix frame;  // best reconstruction the ladder produced
+    RecoveryReport report;
+  };
+
+  /// Processes one frame of the stream: samples it (re-drawing Φ from
+  /// `rng`), decodes, and escalates on sanity-check failure. The frame is
+  /// the *corrupted* readout; the pipeline never sees ground truth.
+  FrameResult process(const la::Matrix& corrupted_frame, Rng& rng);
+
+  const HealthCounters& health() const { return health_; }
+  const RobustPipelineOptions& options() const { return opts_; }
+  const cs::Decoder& decoder() const { return decoder_; }
+
+  /// Clears the sliding window, health counters and frame numbering.
+  void reset();
+
+ private:
+  struct Candidate {
+    la::Matrix frame;
+    double score = 0.0;  // acceptance statistic (lower is better)
+    bool accepted = false;
+    bool converged = false;
+  };
+
+  Candidate evaluate_decode(const cs::DecodeResult& result,
+                            const la::Vector& y) const;
+  Candidate evaluate_aggregate(la::Matrix frame, const cs::SamplingPattern& p,
+                               const la::Vector& y) const;
+  void finish_frame(const cs::SamplingPattern& p, const la::Vector& y,
+                    const Candidate& chosen, RecoveryReport& report);
+
+  std::size_t rows_;
+  std::size_t cols_;
+  RobustPipelineOptions opts_;
+  cs::Encoder encoder_;
+  cs::Decoder decoder_;
+  std::deque<la::Matrix> window_;  // recent corrupted frames for rung 4
+  HealthCounters health_;
+  std::size_t next_frame_index_ = 0;
+};
+
+}  // namespace flexcs::runtime

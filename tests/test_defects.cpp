@@ -105,6 +105,43 @@ TEST(Defects, RateValidation) {
   EXPECT_THROW(random_defect_mask(4, 4, 1.1, rng), CheckError);
 }
 
+TEST(Defects, ApplyMaskIsDeterministicUnderFixedSeed) {
+  la::Matrix frame(8, 8);
+  for (std::size_t i = 0; i < frame.size(); ++i)
+    frame.data()[i] = 0.01 * static_cast<double>(i);
+  Rng mask_rng(42);
+  const auto mask = random_defect_mask(8, 8, 0.2, mask_rng);
+  // Same seed, same mask, same polarity: bit-identical corruption, including
+  // the kRandom per-pixel polarity draws.
+  Rng r1(7), r2(7);
+  const la::Matrix a = apply_defect_mask(frame, mask, DefectPolarity::kRandom, r1);
+  const la::Matrix b = apply_defect_mask(frame, mask, DefectPolarity::kRandom, r2);
+  EXPECT_EQ(la::max_abs_diff(a, b), 0.0);
+  // A different seed moves at least one stuck polarity (64 pixels, 12 stuck:
+  // the chance of identical draws is 2^-12).
+  Rng r3(8);
+  const la::Matrix c = apply_defect_mask(frame, mask, DefectPolarity::kRandom, r3);
+  EXPECT_GT(la::max_abs_diff(a, c), 0.0);
+}
+
+TEST(Defects, MaskRateEndpointsAreExact) {
+  // rate 0 and the paper's top sweep point 0.20 must hit their pixel counts
+  // exactly — round(rate * n), not a Bernoulli approximation.
+  Rng rng(10);
+  const auto none = random_defect_mask(16, 16, 0.0, rng);
+  std::size_t count = 0;
+  for (bool b : none)
+    if (b) ++count;
+  EXPECT_EQ(count, 0u);
+
+  const auto top = random_defect_mask(16, 16, 0.20, rng);
+  count = 0;
+  for (bool b : top)
+    if (b) ++count;
+  EXPECT_EQ(count, 51u);  // round(0.20 * 256)
+  EXPECT_EQ(top.size(), 256u);
+}
+
 TEST(Defects, PersistentMaskIsReusable) {
   Rng rng(9);
   const auto mask = random_defect_mask(8, 8, 0.1, rng);

@@ -1,0 +1,295 @@
+#include "cs/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace flexcs::cs {
+namespace {
+
+la::Matrix mid_frame(std::size_t r, std::size_t c) {
+  return la::Matrix(r, c, 0.5);
+}
+
+std::size_t popcount(const std::vector<bool>& mask) {
+  std::size_t n = 0;
+  for (bool b : mask)
+    if (b) ++n;
+  return n;
+}
+
+// Pixels whose value moved, for mask round-trip checks. The input frame is
+// mid-grey, so every extreme write is a visible change.
+std::vector<bool> changed_pixels(const la::Matrix& before,
+                                 const la::Matrix& after) {
+  std::vector<bool> changed(before.size(), false);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    changed[i] = std::fabs(before.data()[i] - after.data()[i]) > 1e-12;
+  return changed;
+}
+
+TEST(Faults, KindNamesAreUniqueAndStable) {
+  const FaultKind kinds[] = {
+      FaultKind::kStuckPixel,    FaultKind::kLine,
+      FaultKind::kFlicker,       FaultKind::kReadoutNoise,
+      FaultKind::kGainDrift,     FaultKind::kAdcSaturation,
+      FaultKind::kDroppedMeasurements};
+  std::set<std::string> names;
+  for (FaultKind k : kinds) names.insert(fault_kind_name(k));
+  EXPECT_EQ(names.size(), 7u);
+  EXPECT_STREQ(fault_kind_name(FaultKind::kStuckPixel), "stuck-pixel");
+}
+
+TEST(Faults, PersistenceAndLevelClassification) {
+  EXPECT_TRUE(fault_is_persistent(FaultKind::kStuckPixel));
+  EXPECT_TRUE(fault_is_persistent(FaultKind::kLine));
+  EXPECT_TRUE(fault_is_persistent(FaultKind::kGainDrift));
+  EXPECT_FALSE(fault_is_persistent(FaultKind::kFlicker));
+  EXPECT_FALSE(fault_is_persistent(FaultKind::kReadoutNoise));
+  EXPECT_TRUE(fault_is_measurement_level(FaultKind::kAdcSaturation));
+  EXPECT_TRUE(fault_is_measurement_level(FaultKind::kDroppedMeasurements));
+  EXPECT_FALSE(fault_is_measurement_level(FaultKind::kStuckPixel));
+  EXPECT_EQ(fault_kind(Fault{LineFault{}}), FaultKind::kLine);
+}
+
+TEST(Faults, StuckPixelIsPersistentAcrossFrames) {
+  FaultScenario scen({StuckPixelFault{0.15, DefectPolarity::kRandom, 42}});
+  const la::Matrix frame = mid_frame(12, 12);
+  const FaultedFrame f0 = scen.corrupt_frame(frame, 0);
+  const FaultedFrame f7 = scen.corrupt_frame(frame, 7);
+  EXPECT_EQ(f0.mask, f7.mask);
+  EXPECT_EQ(la::max_abs_diff(f0.values, f7.values), 0.0);
+  // round(0.15 * 144) pixels stuck, all flagged persistent.
+  EXPECT_EQ(f0.corrupted_count, 22u);
+  EXPECT_EQ(f0.mask, f0.persistent);
+}
+
+TEST(Faults, StuckPixelMaskRoundTrip) {
+  FaultScenario scen({StuckPixelFault{0.2, DefectPolarity::kRandom, 9}});
+  const la::Matrix frame = mid_frame(10, 10);
+  const FaultedFrame ff = scen.corrupt_frame(frame, 0);
+  EXPECT_EQ(changed_pixels(frame, ff.values), ff.mask);
+  EXPECT_EQ(popcount(ff.mask), ff.corrupted_count);
+}
+
+TEST(Faults, LineFaultRowStuckLow) {
+  LineFault lf;
+  lf.orientation = LineOrientation::kRow;
+  lf.line = 3;
+  lf.mode = LineFailureMode::kStuckLow;
+  FaultScenario scen({lf});
+  const la::Matrix frame = mid_frame(8, 6);
+  const FaultedFrame ff = scen.corrupt_frame(frame, 0);
+  EXPECT_EQ(ff.corrupted_count, 6u);
+  for (std::size_t c = 0; c < 6; ++c) {
+    EXPECT_DOUBLE_EQ(ff.values(3, c), 0.0);
+    EXPECT_TRUE(ff.mask[3 * 6 + c]);
+  }
+  EXPECT_EQ(changed_pixels(frame, ff.values), ff.mask);
+  EXPECT_EQ(ff.mask, ff.persistent);
+}
+
+TEST(Faults, LineFaultColumnStuckHigh) {
+  LineFault lf;
+  lf.orientation = LineOrientation::kColumn;
+  lf.line = 2;
+  lf.mode = LineFailureMode::kStuckHigh;
+  FaultScenario scen({lf});
+  const la::Matrix frame = mid_frame(5, 7);
+  const FaultedFrame ff = scen.corrupt_frame(frame, 0);
+  EXPECT_EQ(ff.corrupted_count, 5u);
+  for (std::size_t r = 0; r < 5; ++r) EXPECT_DOUBLE_EQ(ff.values(r, 2), 1.0);
+  EXPECT_EQ(changed_pixels(frame, ff.values), ff.mask);
+}
+
+TEST(Faults, OpenLineFloatsPerFrameButMaskIsFixed) {
+  LineFault lf;
+  lf.mode = LineFailureMode::kOpen;
+  lf.line = 1;
+  lf.seed = 5;
+  FaultScenario scen({lf});
+  const la::Matrix frame = mid_frame(6, 6);
+  const FaultedFrame f0 = scen.corrupt_frame(frame, 0);
+  const FaultedFrame f1 = scen.corrupt_frame(frame, 1);
+  EXPECT_EQ(f0.mask, f1.mask);  // same line is broken every frame
+  EXPECT_GT(la::max_abs_diff(f0.values, f1.values), 0.0);  // but floats anew
+  // Re-applying the same frame index reproduces the same noise.
+  const FaultedFrame f0again = scen.corrupt_frame(frame, 0);
+  EXPECT_EQ(la::max_abs_diff(f0.values, f0again.values), 0.0);
+}
+
+TEST(Faults, LineFaultOutOfRangeThrows) {
+  LineFault lf;
+  lf.line = 9;
+  FaultScenario scen({lf});
+  EXPECT_THROW(scen.corrupt_frame(mid_frame(4, 4), 0), CheckError);
+}
+
+TEST(Faults, FlickerIsTransientAndSeeded) {
+  FaultScenario scen({FlickerFault{0.2, DefectPolarity::kRandom, 11}});
+  const la::Matrix frame = mid_frame(16, 16);
+  const FaultedFrame f0 = scen.corrupt_frame(frame, 0);
+  const FaultedFrame f1 = scen.corrupt_frame(frame, 1);
+  EXPECT_GT(f0.corrupted_count, 0u);
+  EXPECT_NE(f0.mask, f1.mask);  // re-drawn per frame
+  EXPECT_EQ(popcount(f0.persistent), 0u);  // transient kind
+  EXPECT_EQ(changed_pixels(frame, f0.values), f0.mask);
+  const FaultedFrame f0again = scen.corrupt_frame(frame, 0);
+  EXPECT_EQ(f0.mask, f0again.mask);
+}
+
+TEST(Faults, ReadoutNoisePerturbsWithoutMaskingPixels) {
+  FaultScenario scen({ReadoutNoiseFault{0.05, 21}});
+  const la::Matrix frame = mid_frame(8, 8);
+  const FaultedFrame ff = scen.corrupt_frame(frame, 0);
+  EXPECT_EQ(ff.corrupted_count, 0u);  // dense noise is not a sparse defect
+  EXPECT_GT(la::max_abs_diff(ff.values, frame), 0.0);
+  const FaultedFrame again = scen.corrupt_frame(frame, 0);
+  EXPECT_EQ(la::max_abs_diff(ff.values, again.values), 0.0);
+}
+
+TEST(Faults, GainDriftGrowsWithFrameIndexAndFlagsDriftedPixels) {
+  GainDriftFault gd;
+  gd.drift_per_frame = 0.01;
+  gd.pixel_spread = 0.5;
+  gd.mask_threshold = 0.05;
+  gd.seed = 33;
+  FaultScenario scen({gd});
+  const la::Matrix frame = mid_frame(8, 8);
+  // Frame 0: gain is exactly 1 everywhere — identity, empty mask.
+  const FaultedFrame f0 = scen.corrupt_frame(frame, 0);
+  EXPECT_EQ(la::max_abs_diff(f0.values, frame), 0.0);
+  EXPECT_EQ(f0.corrupted_count, 0u);
+  // Far into the run the drift exceeds the mask threshold on most pixels.
+  const FaultedFrame f20 = scen.corrupt_frame(frame, 20);
+  EXPECT_GT(f20.corrupted_count, 0u);
+  EXPECT_GT(la::max_abs_diff(f20.values, frame), 0.0);
+  // Every masked pixel really moved by more than threshold * value.
+  for (std::size_t i = 0; i < f20.mask.size(); ++i) {
+    if (!f20.mask[i]) continue;
+    EXPECT_GT(std::fabs(f20.values.data()[i] - frame.data()[i]),
+              gd.mask_threshold * 0.5 * 0.999);
+  }
+  EXPECT_EQ(f20.mask, f20.persistent);
+}
+
+TEST(Faults, AdcSaturationClampsAndCounts) {
+  AdcSaturationFault sat;
+  sat.lo = 0.2;
+  sat.hi = 0.8;
+  FaultScenario scen({sat});
+  SamplingPattern p;
+  p.rows = 1;
+  p.cols = 5;
+  p.indices = {0, 1, 2, 3, 4};
+  const la::Vector y({0.0, 0.5, 1.0, 0.25, 0.9});
+  const FaultedMeasurements fm = scen.corrupt_measurements(y, p, 0);
+  EXPECT_EQ(fm.saturated_count, 3u);
+  EXPECT_EQ(fm.dropped.size(), 0u);
+  EXPECT_DOUBLE_EQ(fm.values[0], 0.2);
+  EXPECT_DOUBLE_EQ(fm.values[1], 0.5);
+  EXPECT_DOUBLE_EQ(fm.values[2], 0.8);
+  EXPECT_DOUBLE_EQ(fm.values[4], 0.8);
+}
+
+TEST(Faults, DroppedMeasurementsShrinkPatternConsistently) {
+  DroppedMeasurementFault drop;
+  drop.rate = 0.25;
+  drop.seed = 17;
+  FaultScenario scen({drop});
+  SamplingPattern p;
+  p.rows = 4;
+  p.cols = 4;
+  p.indices = {1, 2, 5, 7, 8, 11, 13, 15};
+  la::Vector y(8);
+  for (std::size_t i = 0; i < 8; ++i) y[i] = 0.1 * static_cast<double>(i);
+  const FaultedMeasurements fm = scen.corrupt_measurements(y, p, 0);
+  EXPECT_EQ(fm.dropped.size(), 2u);  // round(0.25 * 8)
+  EXPECT_EQ(fm.values.size(), 6u);
+  EXPECT_EQ(fm.pattern.m(), 6u);
+  // Survivors keep their (pixel, value) pairing and ordering.
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (j < fm.dropped.size() && fm.dropped[j] == i) {
+      ++j;
+      continue;
+    }
+    const std::size_t k = i - j;
+    EXPECT_EQ(fm.pattern.indices[k], p.indices[i]);
+    EXPECT_DOUBLE_EQ(fm.values[k], y[i]);
+  }
+  // Per-frame transience: a different frame drops a different subset.
+  const FaultedMeasurements fm1 = scen.corrupt_measurements(y, p, 1);
+  EXPECT_EQ(fm1.dropped.size(), 2u);
+  const FaultedMeasurements fm0 = scen.corrupt_measurements(y, p, 0);
+  EXPECT_EQ(fm0.dropped, fm.dropped);
+}
+
+TEST(Faults, ScenarioComposesInOrderWithUnionMasks) {
+  FaultScenario scen;
+  scen.add(StuckPixelFault{0.1, DefectPolarity::kRandom, 1});
+  LineFault lf;
+  lf.line = 0;
+  scen.add(lf);
+  scen.add(FlickerFault{0.05, DefectPolarity::kRandom, 2});
+  scen.add(ReadoutNoiseFault{0.001, 3});
+  EXPECT_TRUE(scen.has_frame_faults());
+  EXPECT_FALSE(scen.has_measurement_faults());
+  scen.add(AdcSaturationFault{});
+  scen.add(DroppedMeasurementFault{0.1, 4});
+  EXPECT_TRUE(scen.has_measurement_faults());
+
+  const la::Matrix frame = mid_frame(10, 10);
+  const FaultedFrame ff = scen.corrupt_frame(frame, 2);
+  EXPECT_EQ(popcount(ff.mask), ff.corrupted_count);
+  // Persistent mask is a subset of the full mask.
+  for (std::size_t i = 0; i < ff.mask.size(); ++i) {
+    if (ff.persistent[i]) {
+      EXPECT_TRUE(ff.mask[i]);
+    }
+  }
+  // The whole stuck row is in both masks.
+  for (std::size_t c = 0; c < 10; ++c) {
+    EXPECT_TRUE(ff.mask[c]);
+    EXPECT_TRUE(ff.persistent[c]);
+  }
+  // Replay is bit-identical: seeded faults ignore external RNG state.
+  const FaultedFrame replay = scen.corrupt_frame(frame, 2);
+  EXPECT_EQ(la::max_abs_diff(ff.values, replay.values), 0.0);
+  EXPECT_EQ(ff.mask, replay.mask);
+}
+
+TEST(Faults, CorruptMeasurementsValidatesShapes) {
+  FaultScenario scen({AdcSaturationFault{}});
+  SamplingPattern p;
+  p.rows = 2;
+  p.cols = 2;
+  p.indices = {0, 1};
+  EXPECT_THROW(scen.corrupt_measurements(la::Vector(3), p, 0), CheckError);
+}
+
+TEST(Faults, InvalidParametersThrow) {
+  const la::Matrix frame = mid_frame(4, 4);
+  EXPECT_THROW(
+      FaultScenario({StuckPixelFault{1.5, DefectPolarity::kRandom, 1}})
+          .corrupt_frame(frame, 0),
+      CheckError);
+  EXPECT_THROW(FaultScenario({FlickerFault{-0.1, DefectPolarity::kRandom, 1}})
+                   .corrupt_frame(frame, 0),
+               CheckError);
+  AdcSaturationFault sat;
+  sat.lo = 0.9;
+  sat.hi = 0.1;
+  SamplingPattern p;
+  p.rows = 4;
+  p.cols = 4;
+  p.indices = {0, 1, 2};
+  EXPECT_THROW(FaultScenario({sat}).corrupt_measurements(la::Vector(3), p, 0),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace flexcs::cs

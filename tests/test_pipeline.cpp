@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.hpp"
 #include "cs/metrics.hpp"
 #include "data/thermal.hpp"
@@ -167,6 +170,50 @@ TEST_F(PipelineTest, DecodeTrimmedIsHarmlessOnCleanData) {
   const double plain = rmse(decoder_.decode(p, y).frame, frame);
   const double trimmed = rmse(decode_trimmed(decoder_, p, y), frame);
   EXPECT_LT(trimmed, plain + 0.01);
+}
+
+TEST_F(PipelineTest, DecodeTrimmedExReportsTrimBookkeeping) {
+  Rng rng(14);
+  const la::Matrix frame = make_frame(rng);
+  DefectOptions dopts;
+  dopts.rate = 0.08;
+  const CorruptedFrame cf = inject_defects(frame, dopts, rng);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+  const la::Vector y = encoder_.encode(cf.values, p, rng);
+
+  const TrimmedDecodeResult tr = decode_trimmed_ex(decoder_, p, y);
+  EXPECT_TRUE(tr.trim_applied);
+  EXPECT_GT(tr.trimmed_count, 0u);
+  EXPECT_LT(tr.trimmed_count, p.m() / 2);  // the guard that keeps the decode
+  EXPECT_EQ(tr.trimmed_pixels.size(), tr.trimmed_count);
+  // Every reported trimmed pixel really was sampled by the pattern.
+  for (std::size_t px : tr.trimmed_pixels) {
+    EXPECT_NE(std::find(p.indices.begin(), p.indices.end(), px),
+              p.indices.end());
+  }
+  // The wrapper is exactly the frame of the extended result.
+  EXPECT_EQ(la::max_abs_diff(tr.result.frame, decode_trimmed(decoder_, p, y)),
+            0.0);
+}
+
+TEST_F(PipelineTest, DecodeResultCarriesSolverResidual) {
+  Rng rng(15);
+  const la::Matrix frame = make_frame(rng);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+  const la::Vector y = encoder_.encode(frame, p, rng);
+  const DecodeResult res = decoder_.decode(p, y);
+  // residual_norm is the solver's ||Ax - y||: positive, finite, and small
+  // relative to ||y|| on a clean frame.
+  EXPECT_GT(res.residual_norm, 0.0);
+  EXPECT_TRUE(std::isfinite(res.residual_norm));
+  EXPECT_LT(res.residual_norm, 0.2 * y.norm2());
+
+  // Corrupting measurements must push the reported residual up — this is the
+  // signal the runtime ladder escalates on.
+  la::Vector bad = y;
+  for (std::size_t i = 0; i < bad.size(); i += 7) bad[i] = 1.0;
+  const DecodeResult worse = decoder_.decode(p, bad);
+  EXPECT_GT(worse.residual_norm, res.residual_norm);
 }
 
 TEST_F(PipelineTest, DecodeTrimmedValidatesParameters) {

@@ -14,17 +14,24 @@
 // JSON schema (--json): stdout carries exactly one JSON array; one object
 // per (kind, severity, strategy) cell, all keys always present:
 //   {
-//     "kind":             string  — cs::fault_kind_name, e.g. "stuck-pixel"
-//     "severity":         number  — the severity knob for that kind (below)
-//     "strategy":         string  — runtime::strategy_name of the ladder
-//                                   ceiling for this cell
-//     "frames":           integer — frames averaged
-//     "rmse":             number  — mean RMSE vs ground truth
-//     "accept_rate":      number  — fraction of frames whose ground-truth-
-//                                   free sanity check passed
-//     "decode_calls":     number  — mean sparse-solver calls per frame
-//     "escalation_depth": number  — mean rungs climbed beyond plain decode
+//     "kind":              string  — cs::fault_kind_name, e.g. "stuck-pixel"
+//     "severity":          number  — the severity knob for that kind (below)
+//     "strategy":          string  — runtime::strategy_name of the ladder
+//                                    ceiling for this cell
+//     "frames":            integer — frames averaged
+//     "rmse":              number  — mean RMSE vs ground truth
+//     "accept_rate":       number  — fraction of frames whose ground-truth-
+//                                    free sanity check passed
+//     "decode_calls":      number  — mean sparse-solver calls per frame
+//     "escalation_depth":  number  — mean rungs climbed beyond plain decode
+//     "solver_iterations": number  — mean inner-solver iterations of the
+//                                    chosen candidate per frame
+//     "decode_seconds":    number  — mean wall-clock seconds per frame
 //   }
+//
+// Full (non-smoke) --json runs additionally record the same array to
+// BENCH_fault_matrix.json at the repository root; smoke runs never touch
+// that file so the ctest registration cannot overwrite a recorded sweep.
 //
 // Severity mapping per kind (the "rate" axis of the sweep):
 //   stuck-pixel           fraction of pixels stuck
@@ -141,6 +148,8 @@ struct Cell {
   double accept_rate = 0.0;
   double decode_calls = 0.0;
   double escalation_depth = 0.0;
+  double solver_iterations = 0.0;
+  double decode_seconds = 0.0;
 };
 
 Cell run_cell(const SweepConfig& cfg, cs::FaultKind kind, double severity,
@@ -176,29 +185,48 @@ Cell run_cell(const SweepConfig& cfg, cs::FaultKind kind, double severity,
     cell.accept_rate += res.report.accepted ? 1.0 : 0.0;
     cell.decode_calls += res.report.decode_calls;
     cell.escalation_depth += res.report.escalation_depth;
+    cell.solver_iterations += res.report.solver_iterations;
+    cell.decode_seconds += res.report.decode_seconds;
   }
   const double n = static_cast<double>(cfg.frames);
   cell.rmse /= n;
   cell.accept_rate /= n;
   cell.decode_calls /= n;
   cell.escalation_depth /= n;
+  cell.solver_iterations /= n;
+  cell.decode_seconds /= n;
   return cell;
 }
 
-void print_json(const std::vector<Cell>& cells) {
-  std::printf("[\n");
+std::string to_json(const std::vector<Cell>& cells) {
+  std::string out = "[\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
-    std::printf(
+    out += strformat(
         "  {\"kind\": \"%s\", \"severity\": %.4f, \"strategy\": \"%s\", "
         "\"frames\": %d, \"rmse\": %.6f, \"accept_rate\": %.4f, "
-        "\"decode_calls\": %.2f, \"escalation_depth\": %.2f}%s\n",
+        "\"decode_calls\": %.2f, \"escalation_depth\": %.2f, "
+        "\"solver_iterations\": %.1f, \"decode_seconds\": %.6f}%s\n",
         cs::fault_kind_name(c.kind), c.severity,
         runtime::strategy_name(c.strategy), c.frames, c.rmse, c.accept_rate,
-        c.decode_calls, c.escalation_depth,
-        i + 1 < cells.size() ? "," : "");
+        c.decode_calls, c.escalation_depth, c.solver_iterations,
+        c.decode_seconds, i + 1 < cells.size() ? "," : "");
   }
-  std::printf("]\n");
+  out += "]\n";
+  return out;
+}
+
+// Records the JSON at the repo root so sweeps are versioned alongside the
+// code that produced them. Best-effort: a read-only checkout only warns.
+void record_json(const std::string& json, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "recorded %s\n", path);
 }
 
 void print_table(const std::vector<Cell>& cells, const SweepConfig& cfg) {
@@ -207,13 +235,15 @@ void print_table(const std::vector<Cell>& cells, const SweepConfig& cfg) {
       "(%zux%zu, %d frame(s) per cell, FISTA)\n",
       cfg.dim, cfg.dim, cfg.frames);
   Table t({"fault kind", "severity", "strategy", "rmse", "accept",
-           "calls", "depth"});
+           "calls", "depth", "iters", "sec"});
   for (const Cell& c : cells) {
     t.add_row({cs::fault_kind_name(c.kind), strformat("%.2f", c.severity),
                runtime::strategy_name(c.strategy), strformat("%.4f", c.rmse),
                strformat("%.0f%%", 100.0 * c.accept_rate),
                strformat("%.1f", c.decode_calls),
-               strformat("%.1f", c.escalation_depth)});
+               strformat("%.1f", c.escalation_depth),
+               strformat("%.0f", c.solver_iterations),
+               strformat("%.4f", c.decode_seconds)});
   }
   std::printf("%s", t.to_text().c_str());
   std::printf(
@@ -248,7 +278,12 @@ int main(int argc, char** argv) {
         cells.push_back(run_cell(cfg, kind, severity, strategy));
   }
 
-  if (json) print_json(cells);
-  else print_table(cells, cfg);
+  if (json) {
+    const std::string out = to_json(cells);
+    std::fputs(out.c_str(), stdout);
+    if (!smoke) record_json(out, FLEXCS_SOURCE_DIR "/BENCH_fault_matrix.json");
+  } else {
+    print_table(cells, cfg);
+  }
   return 0;
 }

@@ -1,0 +1,280 @@
+// Streaming overload sweep: offered load x backpressure policy through the
+// runtime::StreamServer. Each cell paces producer threads at a multiple of
+// the deadline-bound service capacity (workers / frame_deadline) and reports
+// tail latency plus the quality of the frames actually delivered, so the
+// table shows what each policy trades away under overload:
+//
+//   block        latency grows with queue depth (every frame waits);
+//   drop-oldest  latency stays flat but frames are lost;
+//   degrade      frames cheapen (smaller ladder budget, tighter solve
+//                deadline) so the queue drains and the tail stays bounded.
+//
+// The acceptance shape this bench exists to demonstrate: at 2x offered load,
+// Degrade holds p99 submit->complete latency within 2x the per-frame
+// deadline while plain Block does not, with delivered-frame RMSE reported
+// for both.
+//
+// Usage:
+//   bench_stream_load [--smoke] [--json]
+//
+//   --smoke   tiny configuration (16x16, one load factor, two policies)
+//             used by the ctest smoke registration; finishes in seconds.
+//   --json    machine-readable output instead of the text table.
+//
+// JSON schema (--json): stdout carries exactly one JSON array; one object
+// per (policy, load) cell, all keys always present:
+//   {
+//     "policy":                 string  — backpressure_policy_name
+//     "load":                   number  — offered / deadline-bound capacity
+//     "deadline_seconds":       number  — per-frame processing deadline
+//     "offered":                integer — frames submitted
+//     "completed":              integer — frames delivered
+//     "dropped":                integer — DropOldest evictions
+//     "degraded":               integer — frames processed at level >= 1
+//     "deadline_expired":       integer — frames whose solve was cut short
+//     "stalled":                integer — watchdog cancellations
+//     "queue_high_water":       integer — max queue depth observed
+//     "p50_latency_seconds":    number  — median submit->complete latency
+//     "p99_latency_seconds":    number  — tail submit->complete latency
+//     "p99_over_deadline":      number  — p99 / deadline (the criterion)
+//     "rmse_delivered":         number  — mean RMSE of delivered frames vs
+//                                         ground truth (dropped frames are
+//                                         excluded: they were never served)
+//     "mean_solver_iterations": number  — mean inner-solver iterations of
+//                                         the chosen candidate per frame
+//     "mean_decode_seconds":    number  — mean processing wall-clock
+//   }
+//
+// Full (non-smoke) --json runs additionally record the same array to
+// BENCH_stream_load.json at the repository root; smoke runs never touch
+// that file so the ctest registration cannot overwrite a recorded sweep.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "cs/faults.hpp"
+#include "cs/metrics.hpp"
+#include "data/thermal.hpp"
+#include "runtime/stream.hpp"
+#include "solvers/fista.hpp"
+
+namespace {
+
+using namespace flexcs;
+
+struct SweepConfig {
+  std::size_t dim = 24;
+  // One worker on purpose: the sweep isolates backpressure-policy behaviour
+  // from parallel speedup (and stays honest on single-core runners); the
+  // multi-worker paths are exercised by tests/test_stream.cpp.
+  std::size_t workers = 1;
+  std::size_t queue_capacity = 6;
+  std::size_t streams = 2;  // concurrent producer threads
+  std::size_t frames = 40;  // total frames offered per cell
+  double deadline_seconds = 0.05;
+  double stuck_rate = 0.10;
+  std::vector<double> loads = {0.5, 1.0, 2.0};
+  std::vector<runtime::BackpressurePolicy> policies = {
+      runtime::BackpressurePolicy::kBlock,
+      runtime::BackpressurePolicy::kDropOldest,
+      runtime::BackpressurePolicy::kDegrade};
+};
+
+SweepConfig smoke_config() {
+  SweepConfig cfg;
+  cfg.dim = 16;
+  cfg.frames = 8;
+  cfg.deadline_seconds = 0.02;
+  cfg.queue_capacity = 4;
+  cfg.loads = {2.0};
+  cfg.policies = {runtime::BackpressurePolicy::kBlock,
+                  runtime::BackpressurePolicy::kDegrade};
+  return cfg;
+}
+
+struct LoadCell {
+  runtime::BackpressurePolicy policy;
+  double load = 0.0;
+  double deadline_seconds = 0.0;
+  runtime::StreamHealth health;
+  double p99_over_deadline = 0.0;
+  double rmse_delivered = 0.0;
+  double mean_solver_iterations = 0.0;
+  double mean_decode_seconds = 0.0;
+};
+
+LoadCell run_cell(const SweepConfig& cfg, runtime::BackpressurePolicy policy,
+                  double load) {
+  LoadCell cell;
+  cell.policy = policy;
+  cell.load = load;
+  cell.deadline_seconds = cfg.deadline_seconds;
+
+  // One fixed (truth, corrupted) pair per stream: latency behaviour is the
+  // subject here, and identical frames per stream keep the RMSE mapping
+  // valid even when DropOldest evicts arbitrary queue entries.
+  data::ThermalOptions topts;
+  topts.rows = topts.cols = cfg.dim;
+  const data::ThermalHandGenerator gen(topts);
+  std::vector<la::Matrix> truths;
+  std::vector<la::Matrix> corrupted;
+  for (std::size_t s = 0; s < cfg.streams; ++s) {
+    Rng rng(100 + s);
+    truths.push_back(gen.sample(rng).values);
+    corrupted.push_back(
+        cs::FaultScenario({cs::StuckPixelFault{cfg.stuck_rate,
+                                               cs::DefectPolarity::kRandom,
+                                               200 + s}})
+            .corrupt_frame(truths.back(), 0)
+            .values);
+  }
+
+  runtime::StreamOptions opts;
+  opts.workers = cfg.workers;
+  opts.queue_capacity = cfg.queue_capacity;
+  opts.policy = policy;
+  opts.frame_deadline_seconds = cfg.deadline_seconds;
+  opts.solver = std::make_shared<solvers::FistaSolver>();
+  opts.seed = 0xbe7c;
+  runtime::StreamServer server(cfg.dim, cfg.dim, opts);
+
+  // Deadline-bound service capacity is workers / deadline frames per
+  // second; each producer paces its share of load x capacity.
+  const double offered_rate =
+      load * static_cast<double>(cfg.workers) / cfg.deadline_seconds;
+  const auto per_stream_interval = std::chrono::duration<double>(
+      static_cast<double>(cfg.streams) / offered_rate);
+  const std::size_t frames_per_stream = cfg.frames / cfg.streams;
+
+  std::vector<std::thread> producers;  // flexcs-lint: allow(threading)
+  for (std::size_t s = 0; s < cfg.streams; ++s) {
+    producers.emplace_back([&, s] {
+      // Stagger stream starts across one interval so arrivals interleave
+      // instead of colliding at t = 0.
+      std::this_thread::sleep_for(per_stream_interval * s /
+                                  static_cast<double>(cfg.streams));
+      for (std::size_t f = 0; f < frames_per_stream; ++f) {
+        server.submit(s, corrupted[s]);
+        std::this_thread::sleep_for(per_stream_interval);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.close();
+
+  cell.health = server.health();
+  const std::vector<runtime::StreamResult> results = server.drain_results();
+  for (const runtime::StreamResult& r : results) {
+    cell.rmse_delivered += cs::rmse(r.frame, truths[r.stream_id]);
+    cell.mean_solver_iterations += r.report.solver_iterations;
+    cell.mean_decode_seconds += r.report.decode_seconds;
+  }
+  if (!results.empty()) {
+    const double n = static_cast<double>(results.size());
+    cell.rmse_delivered /= n;
+    cell.mean_solver_iterations /= n;
+    cell.mean_decode_seconds /= n;
+  }
+  cell.p99_over_deadline =
+      cell.health.p99_latency_seconds / cfg.deadline_seconds;
+  return cell;
+}
+
+std::string to_json(const std::vector<LoadCell>& cells) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const LoadCell& c = cells[i];
+    const runtime::StreamHealth& h = c.health;
+    out += strformat(
+        "  {\"policy\": \"%s\", \"load\": %.2f, \"deadline_seconds\": %.4f, "
+        "\"offered\": %zu, \"completed\": %zu, \"dropped\": %zu, "
+        "\"degraded\": %zu, \"deadline_expired\": %zu, \"stalled\": %zu, "
+        "\"queue_high_water\": %zu, \"p50_latency_seconds\": %.6f, "
+        "\"p99_latency_seconds\": %.6f, \"p99_over_deadline\": %.3f, "
+        "\"rmse_delivered\": %.6f, \"mean_solver_iterations\": %.1f, "
+        "\"mean_decode_seconds\": %.6f}%s\n",
+        runtime::backpressure_policy_name(c.policy), c.load,
+        c.deadline_seconds, h.submitted, h.completed, h.dropped, h.degraded,
+        h.deadline_expired, h.stalled, h.queue_high_water,
+        h.p50_latency_seconds, h.p99_latency_seconds, c.p99_over_deadline,
+        c.rmse_delivered, c.mean_solver_iterations, c.mean_decode_seconds,
+        i + 1 < cells.size() ? "," : "");
+  }
+  out += "]\n";
+  return out;
+}
+
+// Records the JSON at the repo root so sweeps are versioned alongside the
+// code that produced them. Best-effort: a read-only checkout only warns.
+void record_json(const std::string& json, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "recorded %s\n", path);
+}
+
+void print_table(const std::vector<LoadCell>& cells, const SweepConfig& cfg) {
+  std::printf(
+      "Stream load sweep — StreamServer, %zux%zu frames, %zu workers, "
+      "queue %zu, deadline %.0f ms\n",
+      cfg.dim, cfg.dim, cfg.workers, cfg.queue_capacity,
+      1e3 * cfg.deadline_seconds);
+  Table t({"policy", "load", "done", "drop", "degr", "expir", "p50 ms",
+           "p99 ms", "p99/D", "rmse"});
+  for (const LoadCell& c : cells) {
+    const runtime::StreamHealth& h = c.health;
+    t.add_row({runtime::backpressure_policy_name(c.policy),
+               strformat("%.1fx", c.load), strformat("%zu", h.completed),
+               strformat("%zu", h.dropped), strformat("%zu", h.degraded),
+               strformat("%zu", h.deadline_expired),
+               strformat("%.1f", 1e3 * h.p50_latency_seconds),
+               strformat("%.1f", 1e3 * h.p99_latency_seconds),
+               strformat("%.2f", c.p99_over_deadline),
+               strformat("%.4f", c.rmse_delivered)});
+  }
+  std::printf("%s", t.to_text().c_str());
+  std::printf(
+      "shape: under overload Block's p99 grows with queue depth while "
+      "Degrade cheapens frames to keep p99 within ~2x the deadline\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json]\n", argv[0]);
+      return 2;
+    }
+  }
+  const SweepConfig cfg = smoke ? smoke_config() : SweepConfig{};
+
+  std::vector<LoadCell> cells;
+  for (const runtime::BackpressurePolicy policy : cfg.policies)
+    for (const double load : cfg.loads)
+      cells.push_back(run_cell(cfg, policy, load));
+
+  if (json) {
+    const std::string out = to_json(cells);
+    std::fputs(out.c_str(), stdout);
+    if (!smoke) record_json(out, FLEXCS_SOURCE_DIR "/BENCH_stream_load.json");
+  } else {
+    print_table(cells, cfg);
+  }
+  return 0;
+}

@@ -43,8 +43,10 @@ DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
                "decode_with cannot change the basis (Ψ is cached)");
   const la::Matrix a = measurement_matrix(pattern);
 
-  solvers::SolveResult sr = solver.solve(a, measurements);
-  if (opts.debias) {
+  solvers::SolveResult sr = solver.solve(a, measurements, opts.solve);
+  // Skip de-biasing on an interrupted solve: the caller's budget is spent,
+  // and a least-squares re-fit of a partial support isn't worth paying for.
+  if (opts.debias && !sr.deadline_expired) {
     sr.x = solvers::debias_on_support(a, measurements, sr.x,
                                       opts.support_threshold);
   }
@@ -53,7 +55,9 @@ DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
   out.coefficients = sr.x;
   out.solver_iterations = sr.iterations;
   out.converged = sr.converged;
+  out.deadline_expired = sr.deadline_expired;
   out.residual_norm = sr.residual_norm;
+  out.solve_seconds = sr.solve_seconds;
 
   // Synthesise the frame from the recovered coefficients (y = Ψ x, done via
   // the fast transform rather than the dense matrix).

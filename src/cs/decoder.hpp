@@ -17,6 +17,11 @@ struct DecoderOptions {
   bool debias = true;        // least-squares re-fit on the recovered support
   bool clamp01 = true;       // clamp the reconstruction into [0, 1]
   double support_threshold = 1e-6;  // |coef| above this counts as support
+  // Per-decode cooperative control (deadline / cancellation), forwarded to
+  // the sparse solver. Streaming callers thread a per-frame deadline here
+  // via decode_with; the default is inert. When the solve is interrupted,
+  // de-biasing is skipped so the decode returns as soon as possible.
+  solvers::SolveOptions solve;
 };
 
 struct DecodeResult {
@@ -24,11 +29,13 @@ struct DecodeResult {
   la::Vector coefficients;  // recovered sparse coefficient vector (size N)
   int solver_iterations = 0;
   bool converged = false;
+  bool deadline_expired = false;  // solver stopped by deadline/cancellation
   // ||A x - y||_2 at the solver's solution, before de-biasing. Plumbed from
   // solvers::SolveResult so runtime sanity checks can judge decode quality
   // without ground truth (a de-biased least-squares re-fit can interpolate
   // corrupted measurements, so the pre-debias residual is the honest one).
   double residual_norm = 0.0;
+  double solve_seconds = 0.0;  // wall time inside the sparse solver
 };
 
 /// Decoder for a fixed array geometry. Builds Ψ once (N x N) and derives the

@@ -28,13 +28,22 @@ la::Matrix reconstruct_resample(const la::Matrix& corrupted_frame,
       n, std::vector<double>());
   for (auto& v : per_pixel) v.reserve(static_cast<std::size_t>(opts.rounds));
 
+  DecoderOptions plain_opts = decoder.options();
+  plain_opts.solve = opts.solve;
   for (int round = 0; round < opts.rounds; ++round) {
+    // The shared deadline bounds the whole resample call: once it fires no
+    // further rounds start. The first round always runs so every pixel has
+    // at least one vote (its decode returns immediately, flagged, if the
+    // deadline was already spent on entry).
+    if (round > 0 && opts.solve.should_stop()) break;
     const SamplingPattern pattern = random_pattern(
         corrupted_frame.rows(), corrupted_frame.cols(), fraction, rng);
     const la::Vector y = encoder.encode(corrupted_frame, pattern, rng);
-    const la::Matrix rec = opts.trim
-                               ? decode_trimmed(decoder, pattern, y)
-                               : decoder.decode(pattern, y).frame;
+    const la::Matrix rec =
+        opts.trim
+            ? decode_trimmed(decoder, pattern, y, 4.0, 0.2, opts.solve)
+            : decoder.decode_with(pattern, y, decoder.solver(), plain_opts)
+                  .frame;
     for (std::size_t i = 0; i < n; ++i)
       per_pixel[i].push_back(rec.data()[i]);
   }
@@ -88,9 +97,13 @@ std::vector<std::vector<bool>> rpca_outlier_masks(
 TrimmedDecodeResult decode_trimmed_ex(const Decoder& decoder,
                                       const SamplingPattern& p,
                                       const la::Vector& y,
-                                      double mad_multiplier, double abs_floor) {
+                                      double mad_multiplier, double abs_floor,
+                                      const solvers::SolveOptions& solve) {
   FLEXCS_CHECK(mad_multiplier > 0.0 && abs_floor >= 0.0,
                "invalid trim parameters");
+
+  DecoderOptions final_opts = decoder.options();
+  final_opts.solve = solve;
 
   // Screening pass with strong shrinkage and no de-biasing: a heavily
   // regularised lasso cannot interpolate corrupted measurements, so their
@@ -102,8 +115,18 @@ TrimmedDecodeResult decode_trimmed_ex(const Decoder& decoder,
   DecoderOptions screen_opts = decoder.options();
   screen_opts.debias = false;
   screen_opts.clamp01 = false;
-  const la::Matrix screen =
-      decoder.decode_with(p, y, screen_solver, screen_opts).frame;
+  screen_opts.solve = solve;
+  const DecodeResult screen_dec =
+      decoder.decode_with(p, y, screen_solver, screen_opts);
+  if (screen_dec.deadline_expired) {
+    // Budget spent during screening: a MAD trim over a truncated screen
+    // would flag arbitrary measurements, so skip trimming entirely. The
+    // final decode's own entry check returns immediately, flagged.
+    TrimmedDecodeResult out;
+    out.result = decoder.decode_with(p, y, decoder.solver(), final_opts);
+    return out;
+  }
+  const la::Matrix& screen = screen_dec.frame;
 
   std::vector<double> absres(p.m());
   for (std::size_t i = 0; i < p.m(); ++i)
@@ -132,10 +155,11 @@ TrimmedDecodeResult decode_trimmed_ex(const Decoder& decoder,
   // Keep the production decode of the full data if trimming would remove
   // more than half of the measurements (screening gone wrong).
   if (kept_vals.size() < p.m() / 2) {
-    out.result = decoder.decode(p, y);
+    out.result = decoder.decode_with(p, y, decoder.solver(), final_opts);
     return out;
   }
-  out.result = decoder.decode(trimmed, la::Vector(kept_vals));
+  out.result = decoder.decode_with(trimmed, la::Vector(kept_vals),
+                                   decoder.solver(), final_opts);
   out.trimmed_count = trimmed_pixels.size();
   out.trimmed_pixels = std::move(trimmed_pixels);
   out.trim_applied = true;
@@ -144,8 +168,8 @@ TrimmedDecodeResult decode_trimmed_ex(const Decoder& decoder,
 
 la::Matrix decode_trimmed(const Decoder& decoder, const SamplingPattern& p,
                           const la::Vector& y, double mad_multiplier,
-                          double abs_floor) {
-  return decode_trimmed_ex(decoder, p, y, mad_multiplier, abs_floor)
+                          double abs_floor, const solvers::SolveOptions& solve) {
+  return decode_trimmed_ex(decoder, p, y, mad_multiplier, abs_floor, solve)
       .result.frame;
 }
 

@@ -36,6 +36,10 @@ struct ResampleOptions {
   // is what reaches the paper's reported ~50 % RMSE reduction band on the
   // synthetic data.
   bool trim = true;
+  // Per-call deadline/cancellation shared across all rounds. Once it fires,
+  // no further rounds start; pixels aggregate over the rounds that finished
+  // (at least the first round always runs).
+  solvers::SolveOptions solve;
 };
 
 /// Resampling reconstruction: defects unknown, sample uniformly (possibly
@@ -83,15 +87,20 @@ struct TrimmedDecodeResult {
 /// the median absolute residual, with an absolute floor), removes them and
 /// decodes again. Robustifies the L1 decode against the few corrupted
 /// measurements that upstream outlier detection missed.
+/// `solve` carries the per-frame deadline/cancellation shared by the screen
+/// and final decodes; when it fires the result comes back flagged
+/// deadline_expired with no trim applied.
 TrimmedDecodeResult decode_trimmed_ex(const Decoder& decoder,
                                       const SamplingPattern& p,
                                       const la::Vector& y,
                                       double mad_multiplier = 4.0,
-                                      double abs_floor = 0.2);
+                                      double abs_floor = 0.2,
+                                      const solvers::SolveOptions& solve = {});
 
 /// Frame-only convenience wrapper over decode_trimmed_ex.
 la::Matrix decode_trimmed(const Decoder& decoder, const SamplingPattern& p,
                           const la::Vector& y, double mad_multiplier = 4.0,
-                          double abs_floor = 0.2);
+                          double abs_floor = 0.2,
+                          const solvers::SolveOptions& solve = {});
 
 }  // namespace flexcs::cs

@@ -44,6 +44,8 @@ LpStatus iterate(Tableau& t, std::vector<std::size_t>& basis,
   const std::size_t m = t.m(), n = t.n();
   int degenerate_streak = 0;
   for (int it = 0; it < opts.max_iterations; ++it) {
+    if (opts.deadline.expired() || opts.cancel.cancelled())
+      return LpStatus::kDeadlineExpired;
     // Entering variable. Dantzig: most negative reduced cost. Bland: lowest
     // index with negative reduced cost (anti-cycling).
     const bool bland = use_bland_always || degenerate_streak > 32;
@@ -91,6 +93,7 @@ std::string to_string(LpStatus status) {
     case LpStatus::kInfeasible: return "infeasible";
     case LpStatus::kUnbounded: return "unbounded";
     case LpStatus::kIterLimit: return "iteration-limit";
+    case LpStatus::kDeadlineExpired: return "deadline-expired";
   }
   return "unknown";
 }
@@ -103,6 +106,10 @@ LpResult solve_standard_form(const la::Matrix& a, const la::Vector& b,
   FLEXCS_CHECK(m > 0 && n > 0, "LP: empty problem");
 
   LpResult result;
+  if (opts.deadline.expired() || opts.cancel.cancelled()) {
+    result.status = LpStatus::kDeadlineExpired;
+    return result;
+  }
 
   // Phase 1: minimise the sum of m artificial variables. Flip rows with
   // negative b so the artificial basis starts feasible.

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "la/matrix.hpp"
+#include "runtime/deadline.hpp"
 
 namespace flexcs::lp {
 
@@ -17,6 +18,7 @@ enum class LpStatus {
   kInfeasible,
   kUnbounded,
   kIterLimit,
+  kDeadlineExpired,  // stopped by LpOptions::deadline / cancel mid-pivot
 };
 
 std::string to_string(LpStatus status);
@@ -31,6 +33,11 @@ struct LpResult {
 struct LpOptions {
   int max_iterations = 20000;  // per phase
   double tol = 1e-9;           // feasibility / optimality tolerance
+  // Cooperative control, polled once per pivot: when either fires the solve
+  // returns kDeadlineExpired (a simplex tableau mid-pivot has no meaningful
+  // partial primal solution, so x is left empty).
+  runtime::Deadline deadline;
+  runtime::CancelToken cancel;
 };
 
 /// Solves  min c^T x  s.t.  A x = b,  x >= 0  (standard form).

@@ -12,6 +12,16 @@ namespace flexcs::rpca {
 RpcaResult decompose(const la::Matrix& d, const RpcaOptions& opts) {
   FLEXCS_CHECK(!d.empty(), "RPCA of empty matrix");
   const std::size_t m = d.rows(), n = d.cols();
+  const auto should_stop = [&opts] {
+    return opts.deadline.expired() || opts.cancel.cancelled();
+  };
+  if (should_stop()) {
+    RpcaResult early;
+    early.low_rank = la::Matrix(m, n, 0.0);
+    early.sparse = la::Matrix(m, n, 0.0);
+    early.deadline_expired = true;
+    return early;
+  }
 
   const double lambda =
       opts.lambda > 0.0
@@ -27,6 +37,10 @@ RpcaResult decompose(const la::Matrix& d, const RpcaOptions& opts) {
   la::Matrix y(m, n, 0.0);  // scaled dual variable
 
   for (int it = 0; it < opts.max_iterations; ++it) {
+    if (should_stop()) {
+      r.deadline_expired = true;
+      break;
+    }
     // L-update: singular value shrinkage of (D - S + Y/mu).
     la::Matrix work = d;
     work -= r.sparse;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "runtime/deadline.hpp"
 
 namespace flexcs::rpca {
 
@@ -19,6 +20,11 @@ struct RpcaOptions {
   int max_iterations = 200;
   double mu = 0.0;       // 0 => 1.25 / ||D||_2
   double rho = 1.5;      // mu growth factor per iteration
+  // Cooperative control, polled once per ALM iteration: when either fires,
+  // decompose() returns the current (L, S) split with deadline_expired set
+  // (both start at zero, so an immediate expiry yields L = S = 0).
+  runtime::Deadline deadline;
+  runtime::CancelToken cancel;
 };
 
 struct RpcaResult {
@@ -26,6 +32,7 @@ struct RpcaResult {
   la::Matrix sparse;     // S
   int iterations = 0;
   bool converged = false;
+  bool deadline_expired = false;  // stopped by deadline / cancellation
   std::size_t rank = 0;  // rank of L at the final iteration
 };
 

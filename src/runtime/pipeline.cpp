@@ -1,10 +1,12 @@
 #include "runtime/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "common/check.hpp"
+#include "runtime/deadline.hpp"
 
 namespace flexcs::runtime {
 namespace {
@@ -68,6 +70,8 @@ RobustPipeline::Candidate RobustPipeline::evaluate_decode(
   Candidate c;
   c.frame = result.frame;
   c.converged = result.converged;
+  c.deadline_expired = result.deadline_expired;
+  c.solver_iterations = result.solver_iterations;
   // Relative pre-debias solver residual. For trimmed decodes the residual
   // norm covers only the kept measurements while ||y|| covers all of them —
   // a mild (few percent) optimistic bias that the thresholds absorb.
@@ -139,19 +143,26 @@ void RobustPipeline::finish_frame(const cs::SamplingPattern& p,
 }
 
 RobustPipeline::FrameResult RobustPipeline::process(
-    const la::Matrix& corrupted_frame, Rng& rng) {
+    const la::Matrix& corrupted_frame, Rng& rng, const FrameControl& ctrl) {
   FLEXCS_CHECK(corrupted_frame.rows() == rows_ &&
                    corrupted_frame.cols() == cols_,
                "runtime: frame shape mismatch");
   FLEXCS_CHECK(la::all_finite(corrupted_frame),
                "runtime: non-finite pixel in frame");
 
+  const auto start = Deadline::Clock::now();
   window_.push_back(corrupted_frame);
   while (window_.size() > opts_.budget.rpca_window) window_.pop_front();
 
   RecoveryReport report;
   report.frame_index = next_frame_index_++;
   int budget = opts_.budget.max_decode_calls;
+  if (ctrl.max_decode_calls >= 0)
+    budget = std::min(budget, std::max(1, ctrl.max_decode_calls));
+  const Strategy max_rung =
+      static_cast<int>(ctrl.max_rung) < static_cast<int>(opts_.max_rung)
+          ? ctrl.max_rung
+          : opts_.max_rung;
 
   // One acquisition: fresh Φ, encode, then the measurement-fault channel.
   const auto acquire = [&](cs::SamplingPattern& p, la::Vector& y,
@@ -174,11 +185,15 @@ RobustPipeline::FrameResult RobustPipeline::process(
 
   // Rung 0: plain decode. This is byte-identical to Decoder::decode on the
   // same acquisition — no screening, no trimming — so a healthy array pays
-  // exactly one solver call per frame.
+  // exactly one solver call per frame. ctrl.solve rides along so even the
+  // plain decode honours the frame deadline.
+  cs::DecoderOptions plain_opts = decoder_.options();
+  plain_opts.solve = ctrl.solve;
   cs::SamplingPattern pattern;
   la::Vector y;
   acquire(pattern, y, nullptr);
-  const cs::DecodeResult plain = decoder_.decode(pattern, y);
+  const cs::DecodeResult plain =
+      decoder_.decode_with(pattern, y, decoder_.solver(), plain_opts);
   budget -= 1;
   report.decode_calls += 1;
   Candidate chosen = evaluate_decode(plain, y);
@@ -190,7 +205,10 @@ RobustPipeline::FrameResult RobustPipeline::process(
 
   const auto climb = [&](Strategy rung, int cost, auto&& run) {
     if (chosen.accepted) return;
-    if (static_cast<int>(rung) > static_cast<int>(opts_.max_rung)) return;
+    // A fired deadline ends escalation: every further rung would be cut
+    // short at its own entry check, so the best candidate so far stands.
+    if (chosen.deadline_expired || ctrl.solve.should_stop()) return;
+    if (static_cast<int>(rung) > static_cast<int>(max_rung)) return;
     if (budget < cost) {
       report.budget_exhausted = true;
       return;
@@ -204,7 +222,7 @@ RobustPipeline::FrameResult RobustPipeline::process(
 
   climb(Strategy::kTrimmedDecode, 2, [&] {
     const cs::TrimmedDecodeResult trimmed =
-        cs::decode_trimmed_ex(decoder_, pattern, y);
+        cs::decode_trimmed_ex(decoder_, pattern, y, 4.0, 0.2, ctrl.solve);
     report.trimmed_measurements = trimmed.trimmed_count;
     chosen = evaluate_decode(trimmed.result, y);
   });
@@ -214,8 +232,8 @@ RobustPipeline::FrameResult RobustPipeline::process(
       cs::SamplingPattern fresh_p;
       la::Vector fresh_y;
       acquire(fresh_p, fresh_y, nullptr);
-      const cs::TrimmedDecodeResult trimmed =
-          cs::decode_trimmed_ex(decoder_, fresh_p, fresh_y);
+      const cs::TrimmedDecodeResult trimmed = cs::decode_trimmed_ex(
+          decoder_, fresh_p, fresh_y, 4.0, 0.2, ctrl.solve);
       report.trimmed_measurements = trimmed.trimmed_count;
       chosen = evaluate_decode(trimmed.result, fresh_y);
       eval_pattern = std::move(fresh_p);
@@ -226,6 +244,7 @@ RobustPipeline::FrameResult RobustPipeline::process(
   climb(Strategy::kResample, 2 * opts_.budget.resample_rounds, [&] {
     cs::ResampleOptions ropts;
     ropts.rounds = opts_.budget.resample_rounds;
+    ropts.solve = ctrl.solve;
     chosen = evaluate_aggregate(
         cs::reconstruct_resample(corrupted_frame, opts_.sampling_fraction,
                                  ropts, encoder_, decoder_, rng),
@@ -236,24 +255,38 @@ RobustPipeline::FrameResult RobustPipeline::process(
     // Robust-PCA outlier detection over the sliding window, then a trimmed
     // decode of the current frame sampled away from the flagged pixels.
     const std::vector<la::Matrix> frames(window_.begin(), window_.end());
+    cs::RpcaFilterOptions filter_opts;
+    filter_opts.rpca.deadline = ctrl.solve.deadline;
+    filter_opts.rpca.cancel = ctrl.solve.cancel;
     const std::vector<std::vector<bool>> masks =
-        cs::rpca_outlier_masks(frames, cs::RpcaFilterOptions{});
+        cs::rpca_outlier_masks(frames, filter_opts);
     cs::SamplingPattern ex_p;
     la::Vector ex_y;
     acquire(ex_p, ex_y, &masks.back());
     const cs::TrimmedDecodeResult trimmed =
-        cs::decode_trimmed_ex(decoder_, ex_p, ex_y);
+        cs::decode_trimmed_ex(decoder_, ex_p, ex_y, 4.0, 0.2, ctrl.solve);
     chosen = evaluate_decode(trimmed.result, ex_y);
     eval_pattern = std::move(ex_p);
     eval_y = std::move(ex_y);
   });
 
   finish_frame(eval_pattern, eval_y, chosen, report);
+  report.solver_iterations = chosen.solver_iterations;
+  // Flag the frame if its control fired at any point — whether a solver was
+  // interrupted mid-iteration or the deadline lapsed between rungs.
+  report.deadline_expired = chosen.deadline_expired || ctrl.solve.should_stop();
+  report.decode_seconds =
+      std::chrono::duration<double>(Deadline::Clock::now() - start).count();
 
   FrameResult out;
   out.frame = std::move(chosen.frame);
   out.report = std::move(report);
   return out;
+}
+
+RobustPipeline::FrameResult RobustPipeline::process(
+    const la::Matrix& corrupted_frame, Rng& rng) {
+  return process(corrupted_frame, rng, FrameControl{});
 }
 
 }  // namespace flexcs::runtime

@@ -94,6 +94,17 @@ struct RobustPipelineOptions {
   double drift_threshold = 0.05;
 };
 
+/// Per-frame control for streaming callers: a deadline/cancellation token
+/// threaded into every solver call this frame makes, plus ladder overrides
+/// the Degrade backpressure policy uses to cheapen frames under load.
+struct FrameControl {
+  solvers::SolveOptions solve;
+  // When >= 0, overrides (never raises) LadderBudget::max_decode_calls.
+  int max_decode_calls = -1;
+  // Caps the ladder at min(this, options().max_rung) for this frame.
+  Strategy max_rung = Strategy::kRpcaWindow;
+};
+
 /// What happened while recovering one frame.
 struct RecoveryReport {
   std::size_t frame_index = 0;
@@ -103,6 +114,11 @@ struct RecoveryReport {
   bool accepted = false;      // sanity check passed at `strategy`
   bool budget_exhausted = false;  // ladder stopped early for lack of budget
   bool converged = false;     // solver convergence of the final decode rung
+  // Deadline/cancellation fired during this frame: the output is the best
+  // candidate produced before the cut (possibly a partial iterate).
+  bool deadline_expired = false;
+  int solver_iterations = 0;   // iterations of the decode that produced output
+  double decode_seconds = 0.0;  // wall time of process() for this frame
   double rel_residual = 0.0;        // acceptance statistic of the output
   double first_rel_residual = 0.0;  // rung-0 statistic (escalation trigger)
   std::size_t trimmed_measurements = 0;  // rung 1/2 trim count
@@ -146,6 +162,13 @@ class RobustPipeline {
   /// the *corrupted* readout; the pipeline never sees ground truth.
   FrameResult process(const la::Matrix& corrupted_frame, Rng& rng);
 
+  /// Same, under per-frame control: `ctrl.solve` is threaded into every
+  /// solver call, and once it fires the ladder stops escalating and the best
+  /// candidate so far is returned flagged deadline_expired. `ctrl` can also
+  /// shrink this frame's decode budget and rung ceiling (Degrade policy).
+  FrameResult process(const la::Matrix& corrupted_frame, Rng& rng,
+                      const FrameControl& ctrl);
+
   const HealthCounters& health() const { return health_; }
   const RobustPipelineOptions& options() const { return opts_; }
   const cs::Decoder& decoder() const { return decoder_; }
@@ -159,6 +182,8 @@ class RobustPipeline {
     double score = 0.0;  // acceptance statistic (lower is better)
     bool accepted = false;
     bool converged = false;
+    bool deadline_expired = false;
+    int solver_iterations = 0;
   };
 
   Candidate evaluate_decode(const cs::DecodeResult& result,

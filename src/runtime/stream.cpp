@@ -1,0 +1,279 @@
+#include "runtime/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace flexcs::runtime {
+namespace {
+
+double seconds_since(Deadline::Clock::time_point t0,
+                     Deadline::Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  const auto rank = static_cast<std::ptrdiff_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace
+
+const char* backpressure_policy_name(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kDropOldest: return "drop-oldest";
+    case BackpressurePolicy::kDegrade: return "degrade";
+  }
+  return "unknown";
+}
+
+int StreamServer::degrade_level_for(std::size_t depth, std::size_t capacity) {
+  if (capacity == 0) return 0;
+  if (4 * depth >= 3 * capacity) return 2;
+  if (2 * depth >= capacity) return 1;
+  return 0;
+}
+
+StreamServer::StreamServer(std::size_t rows, std::size_t cols,
+                           StreamOptions opts)
+    : rows_(rows), cols_(cols), opts_(std::move(opts)) {
+  FLEXCS_CHECK(rows_ > 0 && cols_ > 0, "stream server over an empty array");
+  FLEXCS_CHECK(opts_.workers >= 1, "stream server needs at least one worker");
+  FLEXCS_CHECK(opts_.queue_capacity >= 1,
+               "stream queue needs at least one slot");
+  FLEXCS_CHECK(opts_.watchdog_period_seconds > 0.0,
+               "watchdog period must be positive");
+
+  in_flight_.resize(opts_.workers);
+  pipelines_.reserve(opts_.workers);
+  rngs_.reserve(opts_.workers);
+  Rng base(opts_.seed);
+  for (std::size_t w = 0; w < opts_.workers; ++w) {
+    pipelines_.push_back(std::make_unique<RobustPipeline>(
+        rows_, cols_, opts_.pipeline, opts_.solver));
+    rngs_.push_back(base.fork());  // deterministic per-worker stream
+  }
+
+  workers_.reserve(opts_.workers);
+  for (std::size_t w = 0; w < opts_.workers; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  if (opts_.watchdog_enabled)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+StreamServer::~StreamServer() { close(); }
+
+bool StreamServer::submit(std::uint64_t stream_id, la::Matrix frame) {
+  FLEXCS_CHECK(frame.rows() == rows_ && frame.cols() == cols_,
+               "stream: frame shape mismatch");
+  const auto now = Deadline::Clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (opts_.policy == BackpressurePolicy::kDropOldest) {
+    if (closed_) return false;
+    if (queue_.size() >= opts_.queue_capacity) {
+      queue_.pop_front();  // evict the stalest frame, keep the freshest
+      ++dropped_;
+    }
+  } else {
+    // Block and Degrade both hold the producer on a full queue; Degrade
+    // relies on the workers cheapening frames so the wait stays short.
+    queue_not_full_.wait(lock, [this] {
+      return closed_ || queue_.size() < opts_.queue_capacity;
+    });
+    if (closed_) return false;
+  }
+
+  Pending item;
+  item.stream_id = stream_id;
+  item.submit_index = next_submit_index_++;
+  item.frame = std::move(frame);
+  item.submitted_at = now;
+  queue_.push_back(std::move(item));
+  ++submitted_;
+  queue_high_water_ = std::max(queue_high_water_, queue_.size());
+  lock.unlock();
+  queue_not_empty_.notify_one();
+  return true;
+}
+
+void StreamServer::worker_loop(std::size_t worker_index) {
+  for (;;) {
+    Pending item;
+    std::size_t depth_after = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(lock,
+                            [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and fully drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      depth_after = queue_.size();
+    }
+    queue_not_full_.notify_one();
+
+    const auto dequeued_at = Deadline::Clock::now();
+
+    // Degrade ladder: as the queue fills, spend less on each frame. Level 1
+    // halves the deadline and stops the ladder at the trimmed decode; level
+    // 2 quarters the deadline and allows only the plain decode. On top of
+    // the depth-based level, Degrade treats the frame deadline as an
+    // end-to-end budget: time already burned in the queue comes out of the
+    // processing deadline (floored so every frame gets some solve time) —
+    // this is what keeps tail latency bounded once a backlog exists.
+    const bool degrade = opts_.policy == BackpressurePolicy::kDegrade;
+    const int level =
+        degrade ? degrade_level_for(depth_after, opts_.queue_capacity) : 0;
+    double deadline_s = opts_.frame_deadline_seconds;
+    FrameControl ctrl;
+    if (level == 1) {
+      deadline_s *= 0.5;
+      ctrl.max_rung = Strategy::kTrimmedDecode;
+      ctrl.max_decode_calls = 3;
+    } else if (level >= 2) {
+      deadline_s *= 0.25;
+      ctrl.max_rung = Strategy::kPlainDecode;
+      ctrl.max_decode_calls = 1;
+    }
+    if (degrade && opts_.frame_deadline_seconds > 0.0) {
+      const double queued = seconds_since(item.submitted_at, dequeued_at);
+      const double remaining = opts_.frame_deadline_seconds - queued;
+      const double floor =
+          opts_.degrade_deadline_floor * opts_.frame_deadline_seconds;
+      deadline_s = std::min(deadline_s, std::max(floor, remaining));
+    }
+    // A frame counts as degraded when the ladder was capped (level >= 1) or
+    // the budget deduction cost it a meaningful slice of its deadline.
+    const bool cheapened =
+        level >= 1 || (opts_.frame_deadline_seconds > 0.0 &&
+                       deadline_s < 0.75 * opts_.frame_deadline_seconds);
+    if (deadline_s > 0.0) ctrl.solve.deadline = Deadline::after(deadline_s);
+
+    // Register with the watchdog before starting the solve.
+    CancelSource cancel;
+    ctrl.solve.cancel = cancel.token();
+    double stall_after = opts_.stall_floor_seconds;
+    if (deadline_s > 0.0)
+      stall_after = std::max(stall_after, opts_.stall_multiplier * deadline_s);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      InFlight& slot = in_flight_[worker_index];
+      slot.active = true;
+      slot.stall_fired = false;
+      slot.started_at = dequeued_at;
+      slot.stall_after_seconds = stall_after;
+      slot.cancel = cancel;
+    }
+
+    RobustPipeline::FrameResult fr = pipelines_[worker_index]->process(
+        item.frame, rngs_[worker_index], ctrl);
+
+    bool was_stalled = false;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      was_stalled = in_flight_[worker_index].stall_fired;
+      in_flight_[worker_index].active = false;
+    }
+
+    const auto finished_at = Deadline::Clock::now();
+    StreamResult result;
+    result.stream_id = item.stream_id;
+    result.submit_index = item.submit_index;
+    result.frame = std::move(fr.frame);
+    result.report = std::move(fr.report);
+    result.degrade_level = level;
+    result.queue_seconds = seconds_since(item.submitted_at, dequeued_at);
+    result.latency_seconds = seconds_since(item.submitted_at, finished_at);
+    // A watchdog cancellation surfaces on the report as well: the solver's
+    // cooperative check is the mechanism that actually stopped the frame.
+    if (was_stalled) result.report.deadline_expired = true;
+
+    {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      ++completed_;
+      if (cheapened) ++degraded_;
+      if (result.report.deadline_expired) ++deadline_expired_;
+      latencies_seconds_.push_back(result.latency_seconds);
+      results_.push_back(std::move(result));
+    }
+  }
+}
+
+void StreamServer::watchdog_loop() {
+  const auto period = std::chrono::duration_cast<Deadline::Clock::duration>(
+      std::chrono::duration<double>(opts_.watchdog_period_seconds));
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    if (watchdog_cv_.wait_for(lock, period,
+                              [this] { return watchdog_stop_; }))
+      return;
+    const auto now = Deadline::Clock::now();
+    std::lock_guard<std::mutex> guard(inflight_mu_);
+    for (InFlight& slot : in_flight_) {
+      if (!slot.active || slot.stall_fired) continue;
+      if (slot.stall_after_seconds <= 0.0) continue;
+      if (seconds_since(slot.started_at, now) < slot.stall_after_seconds)
+        continue;
+      slot.cancel.cancel();  // frame stops at its next iteration boundary
+      slot.stall_fired = true;
+      ++stalled_;
+    }
+  }
+}
+
+void StreamServer::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  // Joins below are idempotent (joinable() is false after the first close).
+  queue_not_full_.notify_all();
+  queue_not_empty_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::vector<StreamResult> StreamServer::drain_results() {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  std::vector<StreamResult> out;
+  out.swap(results_);
+  return out;
+}
+
+StreamHealth StreamServer::health() const {
+  StreamHealth h;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    h.submitted = submitted_;
+    h.dropped = dropped_;
+    h.queue_high_water = queue_high_water_;
+  }
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    h.completed = completed_;
+    h.degraded = degraded_;
+    h.deadline_expired = deadline_expired_;
+    latencies = latencies_seconds_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    h.stalled = stalled_;
+  }
+  h.p50_latency_seconds = percentile(latencies, 0.50);
+  h.p99_latency_seconds = percentile(std::move(latencies), 0.99);
+  return h;
+}
+
+}  // namespace flexcs::runtime

@@ -1,0 +1,194 @@
+// Deadline-aware concurrent streaming runtime: fans frames from N producer
+// streams across a pool of worker threads, each owning one RobustPipeline
+// (the pipeline is documented "not thread-safe; one instance per stream" —
+// here one instance per *worker*, fed through a bounded MPMC queue).
+//
+// Backpressure when the queue is full is selectable:
+//
+//   Block       submit() waits until a slot frees (producers throttle);
+//   DropOldest  the oldest queued frame is evicted and counted dropped;
+//   Degrade     submit() blocks like Block, but workers cheapen frames as
+//               queue depth rises — shrinking the per-frame ladder budget,
+//               capping the ladder at cheaper rungs, and tightening the
+//               solve deadline — so the queue drains instead of growing.
+//
+// Every frame is processed under a cooperative Deadline. Under Block and
+// DropOldest it is a processing deadline measured from dequeue (queueing
+// time is reported separately as part of the submit→complete latency), so a
+// backlog inflates the tail. Under Degrade the frame deadline is treated as
+// an end-to-end budget: time already spent queued is subtracted from the
+// processing deadline (floored at a fraction of it), which is what bounds
+// p99 latency under overload. A watchdog thread scans in-flight frames and
+// cancels any that run past a hard multiple of the deadline, surfacing them
+// as stalls in StreamHealth.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/deadline.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace flexcs::runtime {
+
+enum class BackpressurePolicy { kBlock, kDropOldest, kDegrade };
+
+/// Short stable identifier, e.g. "block" or "degrade".
+const char* backpressure_policy_name(BackpressurePolicy policy);
+
+struct StreamOptions {
+  std::size_t workers = 2;         // worker threads (>= 1)
+  std::size_t queue_capacity = 8;  // bounded MPMC queue slots (>= 1)
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  // Per-frame processing deadline in seconds, measured from dequeue.
+  // <= 0 disables the deadline (frames run to the ladder budget).
+  double frame_deadline_seconds = 0.0;
+  // Degrade only: the deadline becomes an end-to-end budget — queueing time
+  // is deducted from the processing deadline, floored at this fraction of
+  // frame_deadline_seconds so every frame still gets a sliver of solve time.
+  double degrade_deadline_floor = 0.125;
+  // Watchdog: a frame in flight longer than
+  //   max(stall_multiplier * effective deadline, stall_floor_seconds)
+  // is cancelled and counted as a stall. stall_floor_seconds = 0 means the
+  // watchdog only engages when a frame deadline is set.
+  double stall_multiplier = 4.0;
+  double stall_floor_seconds = 0.0;
+  double watchdog_period_seconds = 0.002;  // scan interval
+  bool watchdog_enabled = true;
+  // Per-worker recovery pipeline configuration (shared by all workers).
+  RobustPipelineOptions pipeline;
+  // Sparse solver shared by all workers (solvers are immutable once built,
+  // so concurrent solve() calls are safe). Null selects the library default.
+  std::shared_ptr<const solvers::SparseSolver> solver;
+  std::uint64_t seed = 0x5eed;  // base seed; worker RNGs are forked from it
+};
+
+/// Aggregate stream telemetry. Counters are cumulative since construction;
+/// percentiles are over all completed frames' submit→complete latencies.
+struct StreamHealth {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t dropped = 0;           // DropOldest evictions
+  std::size_t degraded = 0;  // frames cheapened under Degrade (capped ladder
+                             // or a meaningful budget-deducted deadline)
+  std::size_t deadline_expired = 0;  // frames whose solve was cut short
+  std::size_t stalled = 0;           // watchdog cancellations
+  std::size_t queue_high_water = 0;  // max queue depth observed
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+};
+
+/// One recovered frame as delivered by the server.
+struct StreamResult {
+  std::uint64_t stream_id = 0;
+  std::uint64_t submit_index = 0;  // global submission order
+  la::Matrix frame;
+  RecoveryReport report;
+  int degrade_level = 0;  // 0 = full ladder; higher = cheaper processing
+  double queue_seconds = 0.0;    // submit → dequeue
+  double latency_seconds = 0.0;  // submit → completion
+};
+
+/// Concurrent streaming front-end over RobustPipeline. All public methods
+/// are safe to call from any thread; producers call submit(), any thread may
+/// poll drain_results()/health(). close() (or destruction) stops intake,
+/// drains the queue and joins every thread — nothing is ever detached.
+class StreamServer {
+ public:
+  StreamServer(std::size_t rows, std::size_t cols, StreamOptions opts = {});
+  ~StreamServer();  // close() + join
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Enqueues one corrupted frame for recovery. Returns false only after
+  /// close(); under the Block/Degrade policies a full queue makes this call
+  /// wait. Thread-safe.
+  bool submit(std::uint64_t stream_id, la::Matrix frame);
+
+  /// Stops intake, lets the workers drain the queue, and joins all threads.
+  /// Idempotent; called by the destructor.
+  void close();
+
+  /// Moves out every completed result accumulated so far (in completion
+  /// order, which under concurrency is not submission order).
+  std::vector<StreamResult> drain_results();
+
+  /// Snapshot of the aggregate telemetry.
+  StreamHealth health() const;
+
+  const StreamOptions& options() const { return opts_; }
+
+  /// Degrade level for a queue depth observed at dequeue (exposed for
+  /// tests): 0 below half full, 1 at half, 2 from three-quarters up.
+  static int degrade_level_for(std::size_t depth, std::size_t capacity);
+
+ private:
+  struct Pending {
+    std::uint64_t stream_id = 0;
+    std::uint64_t submit_index = 0;
+    la::Matrix frame;
+    Deadline::Clock::time_point submitted_at{};
+  };
+
+  // Per-worker in-flight slot, scanned by the watchdog.
+  struct InFlight {
+    bool active = false;
+    bool stall_fired = false;
+    Deadline::Clock::time_point started_at{};
+    double stall_after_seconds = 0.0;  // <= 0 disables the watchdog for it
+    CancelSource cancel;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void watchdog_loop();
+
+  const std::size_t rows_;
+  const std::size_t cols_;
+  const StreamOptions opts_;
+
+  // mu_ guards queue_, closed_, submit counters and queue_high_water_;
+  // producers and workers rendezvous on the two condition variables.
+  mutable std::mutex mu_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::deque<Pending> queue_;
+  bool closed_ = false;
+  std::uint64_t next_submit_index_ = 0;
+  std::size_t queue_high_water_ = 0;
+  std::size_t submitted_ = 0;
+  std::size_t dropped_ = 0;
+
+  // results_mu_ guards results_, latencies_ and the completion counters.
+  mutable std::mutex results_mu_;
+  std::vector<StreamResult> results_;
+  std::vector<double> latencies_seconds_;
+  std::size_t completed_ = 0;
+  std::size_t degraded_ = 0;
+  std::size_t deadline_expired_ = 0;
+
+  // inflight_mu_ guards in_flight_ and stalled_ (worker <-> watchdog).
+  mutable std::mutex inflight_mu_;
+  std::vector<InFlight> in_flight_;
+  std::size_t stalled_ = 0;
+
+  // Worker-owned state: element w is touched only by worker thread w after
+  // construction, so no guard is needed.
+  std::vector<std::unique_ptr<RobustPipeline>> pipelines_;
+  std::vector<Rng> rngs_;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  // watchdog_mu_ guards watchdog_stop_ for the shutdown condition variable.
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+};
+
+}  // namespace flexcs::runtime

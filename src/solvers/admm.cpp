@@ -8,8 +8,9 @@
 
 namespace flexcs::solvers {
 
-SolveResult AdmmLassoSolver::solve(const la::Matrix& a,
-                                   const la::Vector& b) const {
+SolveResult AdmmLassoSolver::solve_impl(const la::Matrix& a,
+                                        const la::Vector& b,
+                                        const SolveOptions& ctrl) const {
   validate_solve_inputs(a, b, "ADMM");
   const std::size_t m = a.rows(), n = a.cols();
 
@@ -17,6 +18,11 @@ SolveResult AdmmLassoSolver::solve(const la::Matrix& a,
   result.x = la::Vector(n, 0.0);
   if (b.norm2() == 0.0) {
     result.converged = true;
+    return result;
+  }
+  if (ctrl.should_stop()) {  // expired before the Cholesky factorisation
+    result.deadline_expired = true;
+    result.residual_norm = b.norm2();
     return result;
   }
 
@@ -41,6 +47,10 @@ SolveResult AdmmLassoSolver::solve(const la::Matrix& a,
   la::Vector x(n, 0.0), z(n, 0.0), u(n, 0.0);
 
   for (int it = 0; it < opts_.max_iterations; ++it) {
+    if (ctrl.should_stop()) {
+      result.deadline_expired = true;
+      break;
+    }
     // x-update: argmin 0.5||Ax-b||^2 + rho/2 ||x - z + u||^2.
     la::Vector q = atb;
     for (std::size_t i = 0; i < n; ++i) q[i] += rho * (z[i] - u[i]);

@@ -23,7 +23,10 @@ class AdmmLassoSolver final : public SparseSolver {
  public:
   explicit AdmmLassoSolver(AdmmOptions opts = {}) : opts_(opts) {}
   std::string name() const override { return "admm"; }
-  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ protected:
+  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+                         const SolveOptions& ctrl) const override;
 
  private:
   AdmmOptions opts_;

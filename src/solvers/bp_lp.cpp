@@ -5,10 +5,18 @@
 
 namespace flexcs::solvers {
 
-SolveResult BpLpSolver::solve(const la::Matrix& a,
-                              const la::Vector& b) const {
+SolveResult BpLpSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
+                                   const SolveOptions& ctrl) const {
   validate_solve_inputs(a, b, "BP-LP");
   const std::size_t m = a.rows(), n = a.cols();
+
+  if (ctrl.should_stop()) {  // expired before building the 2N-column LP
+    SolveResult early;
+    early.x = la::Vector(n, 0.0);
+    early.deadline_expired = true;
+    early.residual_norm = b.norm2();
+    return early;
+  }
 
   // Stack [A, -A] for the positive/negative parts.
   la::Matrix big(m, 2 * n);
@@ -22,12 +30,17 @@ SolveResult BpLpSolver::solve(const la::Matrix& a,
 
   lp::LpOptions lp_opts;
   lp_opts.max_iterations = opts_.max_iterations;
+  lp_opts.deadline = ctrl.deadline;
+  lp_opts.cancel = ctrl.cancel;
   const lp::LpResult lp_res = lp::solve_standard_form(big, b, cost, lp_opts);
 
   SolveResult result;
   result.x = la::Vector(n, 0.0);
   result.iterations = lp_res.iterations;
   result.converged = lp_res.status == lp::LpStatus::kOptimal;
+  // An interrupted simplex has no usable partial primal; the zero vector is
+  // the honest "no worse than not solving" fallback.
+  result.deadline_expired = lp_res.status == lp::LpStatus::kDeadlineExpired;
   if (result.converged) {
     for (std::size_t c = 0; c < n; ++c)
       result.x[c] = lp_res.x[c] - lp_res.x[n + c];

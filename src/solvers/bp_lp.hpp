@@ -20,7 +20,10 @@ class BpLpSolver final : public SparseSolver {
  public:
   explicit BpLpSolver(BpLpOptions opts = {}) : opts_(opts) {}
   std::string name() const override { return "bp-lp"; }
-  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ protected:
+  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+                         const SolveOptions& ctrl) const override;
 
  private:
   BpLpOptions opts_;

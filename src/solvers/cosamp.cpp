@@ -36,8 +36,8 @@ la::Vector lstsq_on_support(const la::Matrix& a, const la::Vector& b,
 
 }  // namespace
 
-SolveResult CosampSolver::solve(const la::Matrix& a,
-                                const la::Vector& b) const {
+SolveResult CosampSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
+                                     const SolveOptions& ctrl) const {
   validate_solve_inputs(a, b, "CoSaMP");
   const std::size_t m = a.rows(), n = a.cols();
   const std::size_t k =
@@ -50,12 +50,21 @@ SolveResult CosampSolver::solve(const la::Matrix& a,
     result.converged = true;
     return result;
   }
+  if (ctrl.should_stop()) {
+    result.deadline_expired = true;
+    result.residual_norm = bnorm;
+    return result;
+  }
 
   la::Vector x(n, 0.0);
   la::Vector residual = b;
   double prev_res = bnorm;
 
   for (int it = 0; it < opts_.max_iterations; ++it) {
+    if (ctrl.should_stop()) {
+      result.deadline_expired = true;
+      break;
+    }
     // Identify: union of current support with the 2K strongest proxies.
     const la::Vector proxy = matvec_t(a, residual);
     std::vector<std::size_t> candidates = top_k(proxy, 2 * k);

@@ -16,7 +16,10 @@ class CosampSolver final : public SparseSolver {
  public:
   explicit CosampSolver(CosampOptions opts = {}) : opts_(opts) {}
   std::string name() const override { return "cosamp"; }
-  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ protected:
+  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+                         const SolveOptions& ctrl) const override;
 
  private:
   CosampOptions opts_;

@@ -5,6 +5,50 @@
 #include "common/check.hpp"
 
 namespace flexcs::solvers {
+namespace {
+
+// Lipschitz setup, sigma_max(A). The fixed-budget power iteration of
+// la::spectral_norm costs more than a tight frame deadline can afford, so a
+// bounded solve estimates sigma with an early-exit power iteration that
+// polls the deadline, falling back to the Frobenius norm — always an upper
+// bound on sigma_max, hence a smaller, still-convergent step — if it fires
+// mid-setup. Unbounded solves keep la::spectral_norm bit-for-bit.
+double lipschitz_sigma(const la::Matrix& a, const SolveOptions& ctrl) {
+  if (ctrl.deadline.unlimited() && !ctrl.cancel.cancelled())
+    return la::spectral_norm(a);
+
+  double frob = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    frob += a.data()[i] * a.data()[i];
+  frob = std::sqrt(frob);
+  if (frob == 0.0) return 0.0;
+
+  la::Vector v(a.cols());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 1.0 + 0.001 * static_cast<double>(i % 17);
+  v /= v.norm2();
+  double sigma = 0.0;
+  constexpr int kMaxIters = 60;
+  constexpr double kTol = 1e-3;
+  for (int it = 0; it < kMaxIters; ++it) {
+    if (ctrl.should_stop()) return frob;  // safe bound, main loop exits next
+    la::Vector w = la::matvec_t(a, la::matvec(a, v));
+    const double n = w.norm2();
+    if (n == 0.0) return frob;
+    v = w / n;
+    const double next = std::sqrt(n);
+    if (it > 0 && std::abs(next - sigma) <= kTol * next) {
+      sigma = next;
+      break;
+    }
+    sigma = next;
+  }
+  // Power iteration approaches sigma_max from below; pad the estimate so the
+  // step 1/sigma^2 stays on the convergent side.
+  return std::min(1.05 * sigma, frob);
+}
+
+}  // namespace
 
 double soft_threshold(double v, double t) {
   if (v > t) return v - t;
@@ -18,8 +62,8 @@ la::Vector soft_threshold(const la::Vector& v, double t) {
   return out;
 }
 
-SolveResult FistaSolver::solve(const la::Matrix& a,
-                               const la::Vector& b) const {
+SolveResult FistaSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
+                                    const SolveOptions& ctrl) const {
   validate_solve_inputs(a, b, "FISTA");
   const std::size_t n = a.cols();
 
@@ -30,13 +74,18 @@ SolveResult FistaSolver::solve(const la::Matrix& a,
     result.converged = true;
     return result;
   }
+  if (ctrl.should_stop()) {  // expired before the (heavy) operator setup
+    result.deadline_expired = true;
+    result.residual_norm = bnorm;
+    return result;
+  }
 
   const la::Vector atb = matvec_t(a, b);
   const double lambda =
       opts_.lambda > 0.0 ? opts_.lambda : 1e-3 * atb.norm_inf();
 
   // Lipschitz constant of the gradient is sigma_max(A)^2.
-  const double sigma = la::spectral_norm(a);
+  const double sigma = lipschitz_sigma(a, ctrl);
   FLEXCS_CHECK(sigma > 0.0, "FISTA: zero operator");
   const double step = 1.0 / (sigma * sigma);
 
@@ -45,6 +94,10 @@ SolveResult FistaSolver::solve(const la::Matrix& a,
   double t = 1.0;
 
   for (int it = 0; it < opts_.max_iterations; ++it) {
+    if (ctrl.should_stop()) {
+      result.deadline_expired = true;
+      break;
+    }
     // Gradient step at y: grad = A^T (A y - b).
     const la::Vector ay = matvec(a, y);
     la::Vector grad = matvec_t(a, ay);

@@ -17,7 +17,10 @@ class FistaSolver final : public SparseSolver {
  public:
   explicit FistaSolver(FistaOptions opts = {}) : opts_(opts) {}
   std::string name() const override { return opts_.accelerate ? "fista" : "ista"; }
-  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ protected:
+  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+                         const SolveOptions& ctrl) const override;
 
  private:
   FistaOptions opts_;

@@ -7,8 +7,8 @@
 
 namespace flexcs::solvers {
 
-SolveResult IrlsSolver::solve(const la::Matrix& a,
-                              const la::Vector& b) const {
+SolveResult IrlsSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
+                                   const SolveOptions& ctrl) const {
   validate_solve_inputs(a, b, "IRLS");
   const std::size_t m = a.rows(), n = a.cols();
 
@@ -18,12 +18,21 @@ SolveResult IrlsSolver::solve(const la::Matrix& a,
     result.converged = true;
     return result;
   }
+  if (ctrl.should_stop()) {
+    result.deadline_expired = true;
+    result.residual_norm = b.norm2();
+    return result;
+  }
 
   // Start from the minimum-l2-norm solution (W = I).
   la::Vector x(n, 0.0);
   double eps = opts_.eps_initial;
 
   for (int it = 0; it < opts_.max_iterations; ++it) {
+    if (ctrl.should_stop()) {
+      result.deadline_expired = true;
+      break;
+    }
     // Weighted Gram K = A W A^T with W = diag(|x| + eps).
     la::Matrix k(m, m, 0.0);
     for (std::size_t j = 0; j < n; ++j) {

@@ -19,7 +19,10 @@ class IrlsSolver final : public SparseSolver {
  public:
   explicit IrlsSolver(IrlsOptions opts = {}) : opts_(opts) {}
   std::string name() const override { return "irls"; }
-  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ protected:
+  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+                         const SolveOptions& ctrl) const override;
 
  private:
   IrlsOptions opts_;

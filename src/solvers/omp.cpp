@@ -8,7 +8,8 @@
 
 namespace flexcs::solvers {
 
-SolveResult OmpSolver::solve(const la::Matrix& a, const la::Vector& b) const {
+SolveResult OmpSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
+                                  const SolveOptions& ctrl) const {
   validate_solve_inputs(a, b, "OMP");
   const std::size_t m = a.rows(), n = a.cols();
   const std::size_t kmax =
@@ -19,6 +20,11 @@ SolveResult OmpSolver::solve(const la::Matrix& a, const la::Vector& b) const {
   const double bnorm = b.norm2();
   if (bnorm == 0.0 || kmax == 0) {
     result.converged = true;
+    return result;
+  }
+  if (ctrl.should_stop()) {
+    result.deadline_expired = true;
+    result.residual_norm = bnorm;
     return result;
   }
 
@@ -35,6 +41,12 @@ SolveResult OmpSolver::solve(const la::Matrix& a, const la::Vector& b) const {
   la::Vector residual = b;
 
   for (std::size_t k = 0; k < kmax; ++k) {
+    if (ctrl.should_stop()) {
+      // The partial support solution is already the least-squares best over
+      // the columns selected so far; stop growing the support.
+      result.deadline_expired = true;
+      break;
+    }
     // Select the column most correlated with the residual.
     la::Vector corr = matvec_t(a, residual);
     std::size_t best = n;

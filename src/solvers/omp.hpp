@@ -15,7 +15,10 @@ class OmpSolver final : public SparseSolver {
  public:
   explicit OmpSolver(OmpOptions opts = {}) : opts_(opts) {}
   std::string name() const override { return "omp"; }
-  SolveResult solve(const la::Matrix& a, const la::Vector& b) const override;
+
+ protected:
+  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+                         const SolveOptions& ctrl) const override;
 
  private:
   OmpOptions opts_;

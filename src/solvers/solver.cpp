@@ -1,6 +1,7 @@
 #include "solvers/solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
@@ -14,6 +15,33 @@
 #include "solvers/omp.hpp"
 
 namespace flexcs::solvers {
+
+SolveResult SparseSolver::solve(const la::Matrix& a,
+                                const la::Vector& b) const {
+  return solve(a, b, SolveOptions{});
+}
+
+SolveResult SparseSolver::solve(const la::Matrix& a, const la::Vector& b,
+                                const SolveOptions& ctrl) const {
+  const auto start = runtime::Deadline::Clock::now();
+  SolveResult result = solve_impl(a, b, ctrl);
+  result.solve_seconds =
+      std::chrono::duration<double>(runtime::Deadline::Clock::now() - start)
+          .count();
+  if (result.deadline_expired) {
+    result.converged = false;
+    // Partial-iterate guarantee: an interrupted solve must never hand back
+    // something worse than not solving at all. Non-monotone solvers (FISTA
+    // momentum, ADMM splitting) can be mid-overshoot when the deadline
+    // fires, so fall back to the zero vector if the iterate lost to it.
+    const double bnorm = b.norm2();
+    if (!la::all_finite(result.x) || !(result.residual_norm <= bnorm)) {
+      result.x = la::Vector(a.cols(), 0.0);
+      result.residual_norm = bnorm;
+    }
+  }
+  return result;
+}
 
 void validate_solve_inputs(const la::Matrix& a, const la::Vector& b,
                            const char* who) {

@@ -11,14 +11,30 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "runtime/deadline.hpp"
 
 namespace flexcs::solvers {
+
+/// Per-call cooperative control of a solve: a wall-clock deadline plus a
+/// cancellation token, polled at every iteration of every solver's main
+/// loop. Defaults are inert (no deadline, never cancelled), so existing
+/// call sites pay nothing. A solve stopped by either returns its best
+/// partial iterate with SolveResult::deadline_expired set — guaranteed
+/// finite and no worse than the zero vector in residual.
+struct SolveOptions {
+  runtime::Deadline deadline;
+  runtime::CancelToken cancel;
+
+  bool should_stop() const { return deadline.expired() || cancel.cancelled(); }
+};
 
 struct SolveResult {
   la::Vector x;             // recovered coefficient vector (size N)
   int iterations = 0;       // iterations actually used
   bool converged = false;   // tolerance met before the iteration cap
+  bool deadline_expired = false;  // stopped early by deadline/cancellation
   double residual_norm = 0; // ||A x - b||_2 at the solution
+  double solve_seconds = 0; // wall time of the solve() call
 };
 
 /// Abstract sparse solver. Implementations are stateless w.r.t. problem data
@@ -34,14 +50,31 @@ class SparseSolver {
   /// Solves for sparse x from b ≈ A x. Requires a.rows() == b.size(), a
   /// non-empty A, and finite entries in both A and b; violations throw
   /// CheckError (every implementation calls validate_solve_inputs first).
-  virtual SolveResult solve(const la::Matrix& a, const la::Vector& b) const = 0;
+  SolveResult solve(const la::Matrix& a, const la::Vector& b) const;
+
+  /// Same solve under cooperative control: the deadline / cancellation token
+  /// in `ctrl` is polled every iteration. If it fires (even before the first
+  /// iteration), the result carries deadline_expired = true, converged =
+  /// false, and the best partial iterate — finite, with residual_norm no
+  /// larger than ||b||_2 (the zero vector's residual). Wall time and the
+  /// iteration count are always recorded.
+  SolveResult solve(const la::Matrix& a, const la::Vector& b,
+                    const SolveOptions& ctrl) const;
+
+ protected:
+  /// Per-solver algorithm body. Must call validate_solve_inputs first
+  /// (enforced by tools/flexcs_lint.py, rule entry-check), honour `ctrl`
+  /// once per iteration, and set deadline_expired when stopping early.
+  /// Timing and the partial-iterate guarantee are applied by solve().
+  virtual SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+                                 const SolveOptions& ctrl) const = 0;
 };
 
-/// Shared entry-point contract for SparseSolver::solve implementations:
+/// Shared entry-point contract for SparseSolver::solve_impl implementations:
 /// throws CheckError (via FLEXCS_CHECK) unless A is non-empty, b matches
 /// A's row count, and both are free of NaN/Inf. `who` names the solver in
-/// the failure message. Every solve() must call this before touching data —
-/// enforced by tools/flexcs_lint.py (rule entry-check).
+/// the failure message. Every solve_impl() must call this before touching
+/// data — enforced by tools/flexcs_lint.py (rule entry-check).
 void validate_solve_inputs(const la::Matrix& a, const la::Vector& b,
                            const char* who);
 

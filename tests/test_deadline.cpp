@@ -1,0 +1,186 @@
+// Deadline/cancellation semantics across every iterative kernel: each of the
+// six sparse solvers, the simplex LP core, and RPCA must (a) return
+// immediately when handed an already-expired deadline, flagged and with
+// finite output, and (b) stop at an iteration boundary on mid-run expiry,
+// returning a partial iterate whose residual is no worse than the zero
+// vector's (||b||). All problems are built from fixed seeds; the
+// already-expired path is additionally bit-reproducible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+#include "lp/simplex.hpp"
+#include "rpca/rpca.hpp"
+#include "runtime/deadline.hpp"
+#include "solvers/admm.hpp"
+#include "solvers/bp_lp.hpp"
+#include "solvers/cosamp.hpp"
+#include "solvers/fista.hpp"
+#include "solvers/irls.hpp"
+#include "solvers/omp.hpp"
+
+namespace flexcs::solvers {
+namespace {
+
+struct Problem {
+  la::Matrix a;
+  la::Vector b;
+};
+
+// Random Gaussian A (m x n) and b = A x0 for a k-sparse x0; fixed seed.
+Problem make_problem(std::size_t m, std::size_t n, std::size_t k,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix a(m, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.normal();
+  la::Vector x0(n, 0.0);
+  for (std::size_t j = 0; j < k; ++j)
+    x0[rng.uniform_index(n)] = 1.0 + rng.uniform();
+  Problem p;
+  p.b = matvec(a, x0);
+  p.a = std::move(a);
+  return p;
+}
+
+// The full roster, configured so no tolerance can be met: mid-run stops can
+// only come from the deadline, never from convergence racing it.
+std::vector<std::shared_ptr<const SparseSolver>> unconvergeable_roster() {
+  FistaOptions fista;
+  fista.max_iterations = 2000000;
+  fista.tol = 0.0;
+  AdmmOptions admm;
+  admm.max_iterations = 2000000;
+  admm.abs_tol = 0.0;
+  admm.rel_tol = 0.0;
+  IrlsOptions irls;
+  irls.max_iterations = 2000000;
+  irls.tol = 0.0;
+  CosampOptions cosamp;
+  cosamp.max_iterations = 2000000;
+  cosamp.residual_tol = 0.0;
+  OmpOptions omp;
+  omp.residual_tol = 0.0;  // runs until max_sparsity columns are selected
+  BpLpOptions bplp;
+  return {
+      std::make_shared<FistaSolver>(fista),
+      std::make_shared<AdmmLassoSolver>(admm),
+      std::make_shared<IrlsSolver>(irls),
+      std::make_shared<CosampSolver>(cosamp),
+      std::make_shared<OmpSolver>(omp),
+      std::make_shared<BpLpSolver>(bplp),
+  };
+}
+
+void expect_flagged_and_bounded(const SolveResult& r, const Problem& p,
+                                const std::string& who) {
+  EXPECT_TRUE(r.deadline_expired) << who;
+  EXPECT_FALSE(r.converged) << who;
+  EXPECT_EQ(r.x.size(), p.a.cols()) << who;
+  EXPECT_TRUE(la::all_finite(r.x)) << who;
+  EXPECT_GE(r.solve_seconds, 0.0) << who;
+  // The partial iterate is never worse than not solving at all.
+  EXPECT_LE(r.residual_norm, p.b.norm2() * (1.0 + 1e-12)) << who;
+  // The reported residual is the iterate's actual residual.
+  EXPECT_NEAR((matvec(p.a, r.x) - p.b).norm2(), r.residual_norm,
+              1e-9 * (1.0 + p.b.norm2()))
+      << who;
+}
+
+TEST(DeadlineSemantics, AlreadyExpiredReturnsImmediatelyAllSolvers) {
+  const Problem p = make_problem(24, 48, 5, 1234);
+  SolveOptions ctrl;
+  ctrl.deadline = runtime::Deadline::after(0.0);
+  for (const auto& solver : unconvergeable_roster()) {
+    const SolveResult r = solver->solve(p.a, p.b, ctrl);
+    expect_flagged_and_bounded(r, p, solver->name());
+    EXPECT_EQ(r.iterations, 0) << solver->name();
+    // Deterministic: the expired path is pure, so a replay is bit-identical.
+    const SolveResult replay = solver->solve(p.a, p.b, ctrl);
+    ASSERT_EQ(replay.x.size(), r.x.size()) << solver->name();
+    for (std::size_t i = 0; i < r.x.size(); ++i)
+      EXPECT_EQ(replay.x[i], r.x[i]) << solver->name() << " coeff " << i;
+  }
+}
+
+TEST(DeadlineSemantics, PreCancelledTokenStopsAllSolvers) {
+  const Problem p = make_problem(24, 48, 5, 1234);
+  runtime::CancelSource source;
+  source.cancel();
+  SolveOptions ctrl;
+  ctrl.cancel = source.token();
+  for (const auto& solver : unconvergeable_roster()) {
+    const SolveResult r = solver->solve(p.a, p.b, ctrl);
+    expect_flagged_and_bounded(r, p, solver->name());
+    EXPECT_EQ(r.iterations, 0) << solver->name();
+  }
+}
+
+TEST(DeadlineSemantics, MidRunExpiryReturnsBoundedPartialIterate) {
+  // Big enough that no solver finishes its uncapped run inside the deadline
+  // (OMP must select 128 columns, the BP LP has 1024 columns, the greedy and
+  // splitting solvers have their tolerances zeroed); the assertions are
+  // timing-independent properties of the partial iterate.
+  const Problem p = make_problem(256, 512, 20, 77);
+  for (const auto& solver : unconvergeable_roster()) {
+    SolveOptions ctrl;
+    ctrl.deadline = runtime::Deadline::after(2e-3);
+    const SolveResult r = solver->solve(p.a, p.b, ctrl);
+    expect_flagged_and_bounded(r, p, solver->name());
+  }
+}
+
+TEST(DeadlineSemantics, UnlimitedDeadlineReportsIterationsAndWallTime) {
+  const Problem p = make_problem(24, 48, 5, 1234);
+  const FistaSolver solver;
+  const SolveResult r = solver.solve(p.a, p.b);
+  EXPECT_FALSE(r.deadline_expired);
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_GT(r.solve_seconds, 0.0);
+}
+
+TEST(DeadlineSemantics, SimplexReportsDeadlineExpiredStatus) {
+  const Problem p = make_problem(12, 24, 4, 9);
+  la::Vector cost(p.a.cols(), 1.0);
+  lp::LpOptions opts;
+  opts.deadline = runtime::Deadline::after(0.0);
+  const lp::LpResult r = lp::solve_standard_form(p.a, p.b, cost, opts);
+  EXPECT_EQ(r.status, lp::LpStatus::kDeadlineExpired);
+
+  runtime::CancelSource source;
+  source.cancel();
+  lp::LpOptions copts;
+  copts.cancel = source.token();
+  const lp::LpResult rc = lp::solve_standard_form(p.a, p.b, cost, copts);
+  EXPECT_EQ(rc.status, lp::LpStatus::kDeadlineExpired);
+}
+
+TEST(DeadlineSemantics, RpcaExpiryYieldsZeroSplitImmediatelyAndFlagsMidRun) {
+  Rng rng(5);
+  la::Matrix d(20, 20);
+  for (std::size_t i = 0; i < d.size(); ++i) d.data()[i] = rng.normal();
+
+  rpca::RpcaOptions expired;
+  expired.deadline = runtime::Deadline::after(0.0);
+  const rpca::RpcaResult r0 = rpca::decompose(d, expired);
+  EXPECT_TRUE(r0.deadline_expired);
+  EXPECT_EQ(r0.iterations, 0);
+  EXPECT_EQ(r0.low_rank.norm_fro(), 0.0);
+  EXPECT_EQ(r0.sparse.norm_fro(), 0.0);
+
+  rpca::RpcaOptions midrun;
+  midrun.max_iterations = 2000000;
+  midrun.tol = 0.0;
+  midrun.deadline = runtime::Deadline::after(5e-3);
+  const rpca::RpcaResult r1 = rpca::decompose(d, midrun);
+  EXPECT_TRUE(r1.deadline_expired);
+  EXPECT_FALSE(r1.converged);
+  EXPECT_TRUE(la::all_finite(r1.low_rank));
+  EXPECT_TRUE(la::all_finite(r1.sparse));
+}
+
+}  // namespace
+}  // namespace flexcs::solvers

@@ -16,6 +16,12 @@ Enforces project invariants the compiler cannot express:
   entry-check       every public solver/encoder/decoder entry point validates
                     its inputs (FLEXCS_CHECK / validate_solve_inputs or a
                     delegation to a validating overload) before touching data
+  threading         thread creation (std::thread / std::jthread) is confined
+                    to src/runtime/ — the streaming runtime owns all
+                    concurrency; `.detach()` is banned everywhere (threads
+                    must be joined so shutdown is deterministic); and every
+                    mutex member in a header carries a comment saying what it
+                    guards (within the two lines above the declaration)
 
 A line may opt out of one rule with a trailing marker comment:
 
@@ -49,12 +55,12 @@ RNG_ALLOWED = ("src/common/rng.hpp", "src/common/rng.cpp")
 # unmatched function is itself a finding: it means the contract surface moved
 # without the lint being updated.
 ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
-    ("src/solvers/fista.cpp", r"FistaSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
-    ("src/solvers/omp.cpp", r"OmpSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
-    ("src/solvers/cosamp.cpp", r"CosampSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
-    ("src/solvers/irls.cpp", r"IrlsSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
-    ("src/solvers/admm.cpp", r"AdmmLassoSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
-    ("src/solvers/bp_lp.cpp", r"BpLpSolver::solve", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/fista.cpp", r"FistaSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/omp.cpp", r"OmpSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/cosamp.cpp", r"CosampSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/irls.cpp", r"IrlsSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/admm.cpp", r"AdmmLassoSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/bp_lp.cpp", r"BpLpSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
     ("src/solvers/solver.cpp", r"\bdebias_on_support", ("FLEXCS_CHECK",)),
     ("src/cs/encoder.cpp", r"Encoder::encode\b", ("FLEXCS_CHECK",)),
     ("src/cs/encoder.cpp", r"Encoder::encode_scanned\b", ("FLEXCS_CHECK",)),
@@ -66,6 +72,8 @@ ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
     ("src/cs/faults.cpp", r"FaultScenario::corrupt_measurements\b", ("FLEXCS_CHECK",)),
     ("src/cs/pipeline.cpp", r"\bdecode_trimmed_ex\b", ("FLEXCS_CHECK",)),
     ("src/runtime/pipeline.cpp", r"RobustPipeline::process\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/stream.cpp", r"StreamServer::StreamServer\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/stream.cpp", r"StreamServer::submit\b", ("FLEXCS_CHECK",)),
 )
 
 # How deep into a function body (in non-blank lines) validation must appear.
@@ -275,12 +283,63 @@ def check_float_equality(f: SourceFile) -> List[Finding]:
     return findings
 
 
+# Directory prefix whose files may create threads (the streaming runtime owns
+# all concurrency; everything below it stays single-threaded and composable).
+THREAD_ALLOWED_PREFIX = "src/runtime/"
+
+_THREAD_SPAWN_RE = re.compile(r"\bstd::j?thread\b")
+_DETACH_RE = re.compile(r"\.\s*detach\s*\(")
+_MUTEX_MEMBER_RE = re.compile(
+    r"\bstd::(?:shared_|recursive_|timed_|recursive_timed_)?mutex\s+\w+\s*;")
+
+# A mutex member declaration must say what it guards within this many lines
+# above it (comments count; they are read from the unstripped source).
+MUTEX_DOC_WINDOW = 2
+
+
+def check_threading(f: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    for idx, line in enumerate(f.stripped_lines, start=1):
+        if _DETACH_RE.search(line):
+            fd = f.finding_unless_allowed(
+                idx, "threading",
+                "'.detach()' orphans a thread past shutdown — keep the "
+                "handle and join it")
+            if fd:
+                findings.append(fd)
+        if (_THREAD_SPAWN_RE.search(line)
+                and not f.relpath.startswith(THREAD_ALLOWED_PREFIX)):
+            fd = f.finding_unless_allowed(
+                idx, "threading",
+                "std::thread outside src/runtime/ — concurrency lives in the "
+                "streaming runtime; lower layers stay single-threaded")
+            if fd:
+                findings.append(fd)
+    if f.is_header():
+        originals = f.lines
+        for idx, line in enumerate(f.stripped_lines, start=1):
+            if not _MUTEX_MEMBER_RE.search(line):
+                continue
+            lo = max(0, idx - 1 - MUTEX_DOC_WINDOW)
+            context = originals[lo:idx]  # the window above plus the line itself
+            if any("guard" in ln.lower() for ln in context):
+                continue
+            fd = f.finding_unless_allowed(
+                idx, "threading",
+                "mutex member without a 'guards ...' comment — document "
+                f"what it protects within {MUTEX_DOC_WINDOW} lines above")
+            if fd:
+                findings.append(fd)
+    return findings
+
+
 FILE_RULES: Sequence[Callable[[SourceFile], List[Finding]]] = (
     check_pragma_once,
     check_using_namespace,
     check_raw_new_delete,
     check_rng_discipline,
     check_float_equality,
+    check_threading,
 )
 
 

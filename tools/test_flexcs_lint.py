@@ -145,12 +145,63 @@ class FloatEqualityTest(unittest.TestCase):
         self.assertNotIn("float-equality", rules_fired(f))
 
 
+class ThreadingTest(unittest.TestCase):
+    def test_thread_outside_runtime_fires(self):
+        f = lint_fixture({"src/cs/bad.cpp": "std::thread t([] {});\n"})
+        self.assertIn("threading", rules_fired(f))
+
+    def test_jthread_outside_runtime_fires(self):
+        f = lint_fixture({"bench/bad.cpp": "std::jthread t([] {});\n"})
+        self.assertIn("threading", rules_fired(f))
+
+    def test_thread_inside_runtime_clean(self):
+        f = lint_fixture({"src/runtime/ok.cpp": "std::thread t([] {});\n"})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_this_thread_not_confused(self):
+        f = lint_fixture(
+            {"src/cs/ok.cpp": "std::this_thread::yield();\n"})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_detach_fires_everywhere_even_in_runtime(self):
+        f = lint_fixture({"src/runtime/bad.cpp": "worker.detach();\n"})
+        self.assertIn("threading", rules_fired(f))
+
+    def test_undocumented_mutex_member_fires(self):
+        src = ("#pragma once\n"
+               "#include <mutex>\n"
+               "class S {\n"
+               "  std::mutex mu_;\n"
+               "};\n")
+        f = lint_fixture({"src/runtime/bad.hpp": src})
+        self.assertIn("threading", rules_fired(f))
+
+    def test_documented_mutex_member_clean(self):
+        src = ("#pragma once\n"
+               "#include <mutex>\n"
+               "class S {\n"
+               "  // mu_ guards the queue and counters below.\n"
+               "  mutable std::mutex mu_;\n"
+               "};\n")
+        f = lint_fixture({"src/runtime/ok.hpp": src})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_mutex_in_cpp_not_required_to_document(self):
+        f = lint_fixture({"src/runtime/ok.cpp": "static std::mutex mu;\n"})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_suppression_marker(self):
+        src = "std::thread t([] {});  // flexcs-lint: allow(threading)\n"
+        f = lint_fixture({"tests/ok.cpp": src})
+        self.assertNotIn("threading", rules_fired(f))
+
+
 class EntryCheckTest(unittest.TestCase):
     UNCHECKED = (
         "#include \"solvers/omp.hpp\"\n"
         "namespace flexcs::solvers {\n"
-        "SolveResult OmpSolver::solve(const la::Matrix& a,\n"
-        "                             const la::Vector& b) const {\n"
+        "SolveResult OmpSolver::solve_impl(const la::Matrix& a,\n"
+        "                                  const la::Vector& b) const {\n"
         "  SolveResult r;\n"
         "  r.x = la::Vector(a.cols(), 0.0);\n"
         "  return r;\n"

@@ -1,11 +1,21 @@
 #include "cs/decoder.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 #include "solvers/admm.hpp"
 
 namespace flexcs::cs {
+namespace {
+
+// Cached measurement operators per decoder. Two covers the common
+// plain-decode + trimmed-decode pair; four also keeps a fresh-pattern retry
+// and a batch window resident without letting trimmed one-off patterns
+// evict everything.
+constexpr std::size_t kOperatorCacheCapacity = 4;
+
+}  // namespace
 
 Decoder::Decoder(std::size_t rows, std::size_t cols, DecoderOptions opts,
                  std::shared_ptr<const solvers::SparseSolver> solver)
@@ -18,10 +28,71 @@ Decoder::Decoder(std::size_t rows, std::size_t cols, DecoderOptions opts,
   if (!solver_) solver_ = std::make_shared<solvers::AdmmLassoSolver>();
 }
 
-la::Matrix Decoder::measurement_matrix(const SamplingPattern& pattern) const {
+std::shared_ptr<const la::Matrix> Decoder::operator_for(
+    const SamplingPattern& pattern, double* cached_sigma) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (std::size_t i = 0; i < operator_cache_.size(); ++i) {
+      if (operator_cache_[i].indices != pattern.indices) continue;
+      // MRU: rotate the hit to the front so hot patterns stay resident.
+      std::rotate(operator_cache_.begin(), operator_cache_.begin() + i,
+                  operator_cache_.begin() + i + 1);
+      if (cached_sigma != nullptr) *cached_sigma = operator_cache_.front().sigma;
+      return operator_cache_.front().a;
+    }
+  }
+
+  // Build outside the lock: psi_ is immutable after construction, so a
+  // concurrent duplicate build is wasted work, never a race.
+  auto built =
+      std::make_shared<const la::Matrix>(psi_.select_rows(pattern.indices));
+
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (std::size_t i = 0; i < operator_cache_.size(); ++i) {
+    if (operator_cache_[i].indices != pattern.indices) continue;
+    std::rotate(operator_cache_.begin(), operator_cache_.begin() + i,
+                operator_cache_.begin() + i + 1);
+    if (cached_sigma != nullptr) *cached_sigma = operator_cache_.front().sigma;
+    return operator_cache_.front().a;  // raced build won; keep its sigma
+  }
+  CachedOperator entry;
+  entry.indices = pattern.indices;
+  entry.a = built;
+  operator_cache_.insert(operator_cache_.begin(), std::move(entry));
+  if (operator_cache_.size() > kOperatorCacheCapacity)
+    operator_cache_.pop_back();
+  if (cached_sigma != nullptr) *cached_sigma = -1.0;
+  return built;
+}
+
+std::shared_ptr<const la::Matrix> Decoder::measurement_operator(
+    const SamplingPattern& pattern) const {
   FLEXCS_CHECK(pattern.rows == rows_ && pattern.cols == cols_,
                "decoder: pattern shape mismatch");
-  return psi_.select_rows(pattern.indices);
+  return operator_for(pattern, nullptr);
+}
+
+la::Matrix Decoder::measurement_matrix(const SamplingPattern& pattern) const {
+  return *measurement_operator(pattern);
+}
+
+double Decoder::operator_norm(const SamplingPattern& pattern) const {
+  FLEXCS_CHECK(pattern.rows == rows_ && pattern.cols == cols_,
+               "decoder: pattern shape mismatch");
+  double sigma = -1.0;
+  const std::shared_ptr<const la::Matrix> a = operator_for(pattern, &sigma);
+  if (sigma >= 0.0) return sigma;
+  // Computed without the lock (spectral_norm is the expensive part); a
+  // concurrent duplicate lands on the identical deterministic value.
+  sigma = la::spectral_norm(*a);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (CachedOperator& entry : operator_cache_) {
+    if (entry.indices == pattern.indices) {
+      entry.sigma = sigma;
+      break;
+    }
+  }
+  return sigma;
 }
 
 DecodeResult Decoder::decode(const SamplingPattern& pattern,
@@ -41,14 +112,25 @@ DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
                "before decoding)");
   FLEXCS_CHECK(opts.basis == opts_.basis,
                "decode_with cannot change the basis (Ψ is cached)");
-  const la::Matrix a = measurement_matrix(pattern);
+  FLEXCS_CHECK(pattern.rows == rows_ && pattern.cols == cols_,
+               "decoder: pattern shape mismatch");
+  double cached_sigma = -1.0;
+  const std::shared_ptr<const la::Matrix> a =
+      operator_for(pattern, &cached_sigma);
 
-  solvers::SolveResult sr = solver.solve(a, measurements, opts.solve);
+  DecoderOptions effective = opts;
+  // Reuse a previously computed spectral norm of this exact operator: the
+  // value is what the solver's own setup would produce, minus the cost. A
+  // hint the caller already set wins (it knows something we don't).
+  if (effective.solve.operator_norm_hint <= 0.0 && cached_sigma > 0.0)
+    effective.solve.operator_norm_hint = cached_sigma;
+
+  solvers::SolveResult sr = solver.solve(*a, measurements, effective.solve);
   // Skip de-biasing on an interrupted solve: the caller's budget is spent,
   // and a least-squares re-fit of a partial support isn't worth paying for.
-  if (opts.debias && !sr.deadline_expired) {
-    sr.x = solvers::debias_on_support(a, measurements, sr.x,
-                                      opts.support_threshold);
+  if (effective.debias && !sr.deadline_expired) {
+    sr.x = solvers::debias_on_support(*a, measurements, sr.x,
+                                      effective.support_threshold);
   }
 
   DecodeResult out;
@@ -62,11 +144,36 @@ DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
   // Synthesise the frame from the recovered coefficients (y = Ψ x, done via
   // the fast transform rather than the dense matrix).
   const la::Matrix coeff_grid = la::Matrix::from_flat(sr.x, rows_, cols_);
-  out.frame = dsp::synthesize(opts.basis, coeff_grid);
-  if (opts.clamp01) {
+  out.frame = dsp::synthesize(effective.basis, coeff_grid);
+  if (effective.clamp01) {
     for (std::size_t i = 0; i < out.frame.size(); ++i)
       out.frame.data()[i] = std::clamp(out.frame.data()[i], 0.0, 1.0);
   }
+  return out;
+}
+
+std::vector<DecodeResult> Decoder::decode_batch(
+    const SamplingPattern& pattern,
+    const std::vector<la::Vector>& measurements) const {
+  return decode_batch_with(pattern, measurements, *solver_, opts_);
+}
+
+std::vector<DecodeResult> Decoder::decode_batch_with(
+    const SamplingPattern& pattern,
+    const std::vector<la::Vector>& measurements,
+    const solvers::SparseSolver& solver, const DecoderOptions& opts) const {
+  FLEXCS_CHECK(!measurements.empty(), "decoder: empty batch");
+  // Price the shared setup once: the operator build (cache) and its spectral
+  // norm. Every per-frame solve below then starts at its main loop.
+  const double sigma = operator_norm(pattern);
+  DecoderOptions batch_opts = opts;
+  if (batch_opts.solve.operator_norm_hint <= 0.0)
+    batch_opts.solve.operator_norm_hint = sigma;
+
+  std::vector<DecodeResult> out;
+  out.reserve(measurements.size());
+  for (const la::Vector& y : measurements)
+    out.push_back(decode_with(pattern, y, solver, batch_opts));
   return out;
 }
 

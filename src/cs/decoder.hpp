@@ -4,6 +4,8 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "cs/sampling.hpp"
 #include "dsp/basis.hpp"
@@ -65,16 +67,58 @@ class Decoder {
                            const solvers::SparseSolver& solver,
                            const DecoderOptions& opts) const;
 
+  /// Batch decode: every frame in `measurements` was sampled with the same
+  /// `pattern`, so the measurement operator A = Φ_M·Ψ is built once (via the
+  /// cache) and its spectral norm is computed once and passed to every solve
+  /// as SolveOptions::operator_norm_hint — FISTA's Lipschitz setup, the
+  /// per-solve fixed cost, is paid once per batch instead of once per frame.
+  /// Results are index-aligned with the input.
+  std::vector<DecodeResult> decode_batch(
+      const SamplingPattern& pattern,
+      const std::vector<la::Vector>& measurements) const;
+
+  /// Same, with an explicit solver and options (cf. decode_with).
+  std::vector<DecodeResult> decode_batch_with(
+      const SamplingPattern& pattern,
+      const std::vector<la::Vector>& measurements,
+      const solvers::SparseSolver& solver, const DecoderOptions& opts) const;
+
   /// The measurement matrix A = Φ_M·Ψ for a pattern (exposed for tests and
-  /// for solver benchmarking).
+  /// for solver benchmarking). Returns a copy; decode paths use the shared
+  /// cached operator below.
   la::Matrix measurement_matrix(const SamplingPattern& pattern) const;
 
+  /// Cached row-selection operator for a pattern, keyed on the pattern's
+  /// index vector (small MRU cache). Repeated decodes with the same pattern
+  /// — a trimmed decode's screen + final pass, or a batched window of frames
+  /// — skip the dense rebuild entirely.
+  std::shared_ptr<const la::Matrix> measurement_operator(
+      const SamplingPattern& pattern) const;
+
+  /// sigma_max of the pattern's measurement operator, computed once per
+  /// cached pattern (la::spectral_norm) and reused as the solvers'
+  /// Lipschitz/step-size bound.
+  double operator_norm(const SamplingPattern& pattern) const;
+
  private:
+  struct CachedOperator {
+    std::vector<std::size_t> indices;  // cache key (pattern row selection)
+    std::shared_ptr<const la::Matrix> a;
+    double sigma = -1.0;  // sigma_max(A); < 0 until first requested
+  };
+
+  std::shared_ptr<const la::Matrix> operator_for(
+      const SamplingPattern& pattern, double* cached_sigma) const;
+
   std::size_t rows_;
   std::size_t cols_;
   DecoderOptions opts_;
   std::shared_ptr<const solvers::SparseSolver> solver_;
   la::Matrix psi_;  // N x N synthesis matrix
+  // guards operator_cache_: decode paths are const and a Decoder may be
+  // shared across worker threads, so the cache must tolerate concurrent use.
+  mutable std::mutex cache_mu_;
+  mutable std::vector<CachedOperator> operator_cache_;  // MRU order, bounded
 };
 
 }  // namespace flexcs::cs

@@ -25,6 +25,11 @@ double median_abs_residual(const cs::SamplingPattern& p, const la::Vector& y,
   return absres[absres.size() / 2];
 }
 
+double seconds_between(Deadline::Clock::time_point t0,
+                       Deadline::Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
 }  // namespace
 
 const char* strategy_name(Strategy strategy) {
@@ -57,6 +62,9 @@ RobustPipeline::RobustPipeline(
                "RPCA rung needs a window of at least one frame");
   FLEXCS_CHECK(opts_.ewma_alpha > 0.0 && opts_.ewma_alpha <= 1.0,
                "EWMA alpha must be in (0,1]");
+  FLEXCS_CHECK(opts_.accept.max_rel_residual > 0.0 &&
+                   opts_.accept.max_median_abs_residual > 0.0,
+               "acceptance thresholds must be positive");
 }
 
 void RobustPipeline::reset() {
@@ -77,6 +85,7 @@ RobustPipeline::Candidate RobustPipeline::evaluate_decode(
   // a mild (few percent) optimistic bias that the thresholds absorb.
   const double denom = std::max(y.norm2(), 1e-12);
   c.score = result.residual_norm / denom;
+  c.badness = c.score / opts_.accept.max_rel_residual;
   c.accepted = c.score <= opts_.accept.max_rel_residual &&
                (c.converged || !opts_.accept.require_convergence);
   return c;
@@ -86,6 +95,7 @@ RobustPipeline::Candidate RobustPipeline::evaluate_aggregate(
     la::Matrix frame, const cs::SamplingPattern& p, const la::Vector& y) const {
   Candidate c;
   c.score = median_abs_residual(p, y, frame);
+  c.badness = c.score / opts_.accept.max_median_abs_residual;
   c.frame = std::move(frame);
   c.converged = true;  // aggregate strategies have no single solver state
   c.accepted = c.score <= opts_.accept.max_median_abs_residual;
@@ -142,6 +152,150 @@ void RobustPipeline::finish_frame(const cs::SamplingPattern& p,
   if (!was_drifting && health_.drift_detected) ++health_.drift_events;
 }
 
+void RobustPipeline::apply_measurement_channel(RecoveryReport& report,
+                                               cs::SamplingPattern& p,
+                                               la::Vector& y) {
+  if (!opts_.measurement_faults.has_measurement_faults()) return;
+  cs::FaultedMeasurements fm =
+      opts_.measurement_faults.corrupt_measurements(y, p, report.frame_index);
+  report.dropped_measurements += fm.dropped.size();
+  report.saturated_measurements += fm.saturated_count;
+  p = std::move(fm.pattern);
+  y = std::move(fm.values);
+}
+
+void RobustPipeline::acquire(const la::Matrix& frame, Rng& rng,
+                             RecoveryReport& report,
+                             const std::vector<bool>* exclude,
+                             cs::SamplingPattern& p, la::Vector& y) {
+  p = exclude == nullptr
+          ? cs::random_pattern(rows_, cols_, opts_.sampling_fraction, rng)
+          : cs::random_pattern_excluding(rows_, cols_, opts_.sampling_fraction,
+                                         *exclude, rng);
+  y = encoder_.encode(frame, p, rng);
+  apply_measurement_channel(report, p, y);
+}
+
+int RobustPipeline::effective_budget(const FrameControl& ctrl) const {
+  int budget = opts_.budget.max_decode_calls;
+  if (ctrl.max_decode_calls >= 0)
+    budget = std::min(budget, std::max(1, ctrl.max_decode_calls));
+  return budget;
+}
+
+Strategy RobustPipeline::effective_max_rung(const FrameControl& ctrl) const {
+  return static_cast<int>(ctrl.max_rung) < static_cast<int>(opts_.max_rung)
+             ? ctrl.max_rung
+             : opts_.max_rung;
+}
+
+RobustPipeline::FrameResult RobustPipeline::run_ladder(
+    const la::Matrix& corrupted_frame, Rng& rng, const FrameControl& ctrl,
+    RecoveryReport report, int budget, Strategy max_rung, Attempt rung0,
+    double rung0_seconds) {
+  const auto ladder_start = Deadline::Clock::now();
+  report.first_rel_residual = rung0.cand.score;
+
+  // `last` is the most recent attempt (an accepted one ends the climb and is
+  // returned); `best` is the argmin-badness attempt across every rung tried,
+  // which is what the caller receives when NO rung is accepted — the ladder
+  // must never hand back a late candidate that scored worse than an earlier
+  // one. Ties keep the earlier (cheaper) attempt.
+  Attempt best = rung0;  // copy: frames are tile-sized
+  Attempt last = std::move(rung0);
+
+  const auto climb = [&](Strategy rung, int cost, auto&& run) {
+    if (last.cand.accepted) return;
+    // A fired deadline ends escalation: every further rung would be cut
+    // short at its own entry check, so the best candidate so far stands.
+    if (last.cand.deadline_expired || ctrl.solve.should_stop()) return;
+    if (static_cast<int>(rung) > static_cast<int>(max_rung)) return;
+    if (budget < cost) {
+      report.budget_exhausted = true;
+      return;
+    }
+    budget -= cost;
+    report.decode_calls += cost;
+    ++report.escalation_depth;
+    Attempt attempt;
+    attempt.rung = rung;
+    run(attempt);
+    if (attempt.cand.badness < best.cand.badness) best = attempt;
+    last = std::move(attempt);
+  };
+
+  climb(Strategy::kTrimmedDecode, 2, [&](Attempt& a) {
+    const cs::TrimmedDecodeResult trimmed = cs::decode_trimmed_ex(
+        decoder_, last.pattern, last.y, 4.0, 0.2, ctrl.solve);
+    a.trimmed = trimmed.trimmed_count;
+    a.cand = evaluate_decode(trimmed.result, last.y);
+    a.pattern = last.pattern;
+    a.y = last.y;
+  });
+
+  for (int retry = 0; retry < opts_.budget.fresh_pattern_retries; ++retry) {
+    climb(Strategy::kFreshPatternRetry, 2, [&](Attempt& a) {
+      acquire(corrupted_frame, rng, report, nullptr, a.pattern, a.y);
+      const cs::TrimmedDecodeResult trimmed =
+          cs::decode_trimmed_ex(decoder_, a.pattern, a.y, 4.0, 0.2, ctrl.solve);
+      a.trimmed = trimmed.trimmed_count;
+      a.cand = evaluate_decode(trimmed.result, a.y);
+    });
+  }
+
+  climb(Strategy::kResample, 2 * opts_.budget.resample_rounds, [&](Attempt& a) {
+    cs::ResampleOptions ropts;
+    ropts.rounds = opts_.budget.resample_rounds;
+    ropts.solve = ctrl.solve;
+    // Judged against the most recent acquisition: the aggregate output
+    // intentionally stops fitting corrupted measurements, so the median
+    // statistic over the latest pattern is the honest score for it.
+    a.pattern = last.pattern;
+    a.y = last.y;
+    a.cand = evaluate_aggregate(
+        cs::reconstruct_resample(corrupted_frame, opts_.sampling_fraction,
+                                 ropts, encoder_, decoder_, rng),
+        a.pattern, a.y);
+  });
+
+  climb(Strategy::kRpcaWindow, 2, [&](Attempt& a) {
+    // Robust-PCA outlier detection over the sliding window, then a trimmed
+    // decode of the current frame sampled away from the flagged pixels.
+    const std::vector<la::Matrix> frames(window_.begin(), window_.end());
+    cs::RpcaFilterOptions filter_opts;
+    filter_opts.rpca.deadline = ctrl.solve.deadline;
+    filter_opts.rpca.cancel = ctrl.solve.cancel;
+    const std::vector<std::vector<bool>> masks =
+        cs::rpca_outlier_masks(frames, filter_opts);
+    acquire(corrupted_frame, rng, report, &masks.back(), a.pattern, a.y);
+    const cs::TrimmedDecodeResult trimmed =
+        cs::decode_trimmed_ex(decoder_, a.pattern, a.y, 4.0, 0.2, ctrl.solve);
+    a.trimmed = trimmed.trimmed_count;
+    a.cand = evaluate_decode(trimmed.result, a.y);
+  });
+
+  // An accepted attempt is always the last one (acceptance stops the climb);
+  // otherwise return the best-scoring candidate, not the last attempted.
+  Attempt& returned = last.cand.accepted ? last : best;
+  report.strategy = returned.rung;
+  report.trimmed_measurements = returned.trimmed;
+  report.solver_iterations = returned.cand.solver_iterations;
+
+  finish_frame(returned.pattern, returned.y, returned.cand, report);
+  // Flag the frame if its control fired at any point — whether a solver was
+  // interrupted mid-iteration or the deadline lapsed between rungs.
+  report.deadline_expired =
+      last.cand.deadline_expired || ctrl.solve.should_stop();
+  report.decode_seconds =
+      rung0_seconds +
+      seconds_between(ladder_start, Deadline::Clock::now());
+
+  FrameResult out;
+  out.frame = std::move(returned.cand.frame);
+  out.report = std::move(report);
+  return out;
+}
+
 RobustPipeline::FrameResult RobustPipeline::process(
     const la::Matrix& corrupted_frame, Rng& rng, const FrameControl& ctrl) {
   FLEXCS_CHECK(corrupted_frame.rows() == rows_ &&
@@ -156,32 +310,8 @@ RobustPipeline::FrameResult RobustPipeline::process(
 
   RecoveryReport report;
   report.frame_index = next_frame_index_++;
-  int budget = opts_.budget.max_decode_calls;
-  if (ctrl.max_decode_calls >= 0)
-    budget = std::min(budget, std::max(1, ctrl.max_decode_calls));
-  const Strategy max_rung =
-      static_cast<int>(ctrl.max_rung) < static_cast<int>(opts_.max_rung)
-          ? ctrl.max_rung
-          : opts_.max_rung;
-
-  // One acquisition: fresh Φ, encode, then the measurement-fault channel.
-  const auto acquire = [&](cs::SamplingPattern& p, la::Vector& y,
-                           const std::vector<bool>* exclude) {
-    p = exclude == nullptr
-            ? cs::random_pattern(rows_, cols_, opts_.sampling_fraction, rng)
-            : cs::random_pattern_excluding(rows_, cols_,
-                                           opts_.sampling_fraction, *exclude,
-                                           rng);
-    y = encoder_.encode(corrupted_frame, p, rng);
-    if (opts_.measurement_faults.has_measurement_faults()) {
-      cs::FaultedMeasurements fm = opts_.measurement_faults.corrupt_measurements(
-          y, p, report.frame_index);
-      report.dropped_measurements += fm.dropped.size();
-      report.saturated_measurements += fm.saturated_count;
-      p = std::move(fm.pattern);
-      y = std::move(fm.values);
-    }
-  };
+  const int budget = effective_budget(ctrl);
+  const Strategy max_rung = effective_max_rung(ctrl);
 
   // Rung 0: plain decode. This is byte-identical to Decoder::decode on the
   // same acquisition — no screening, no trimming — so a healthy array pays
@@ -189,98 +319,95 @@ RobustPipeline::FrameResult RobustPipeline::process(
   // plain decode honours the frame deadline.
   cs::DecoderOptions plain_opts = decoder_.options();
   plain_opts.solve = ctrl.solve;
-  cs::SamplingPattern pattern;
-  la::Vector y;
-  acquire(pattern, y, nullptr);
+  Attempt rung0;
+  rung0.rung = Strategy::kPlainDecode;
+  acquire(corrupted_frame, rng, report, nullptr, rung0.pattern, rung0.y);
   const cs::DecodeResult plain =
-      decoder_.decode_with(pattern, y, decoder_.solver(), plain_opts);
-  budget -= 1;
+      decoder_.decode_with(rung0.pattern, rung0.y, decoder_.solver(),
+                           plain_opts);
   report.decode_calls += 1;
-  Candidate chosen = evaluate_decode(plain, y);
-  report.first_rel_residual = chosen.score;
-  report.strategy = Strategy::kPlainDecode;
+  rung0.cand = evaluate_decode(plain, rung0.y);
 
-  cs::SamplingPattern eval_pattern = pattern;
-  la::Vector eval_y = y;
+  return run_ladder(corrupted_frame, rng, ctrl, std::move(report), budget - 1,
+                    max_rung, std::move(rung0),
+                    seconds_between(start, Deadline::Clock::now()));
+}
 
-  const auto climb = [&](Strategy rung, int cost, auto&& run) {
-    if (chosen.accepted) return;
-    // A fired deadline ends escalation: every further rung would be cut
-    // short at its own entry check, so the best candidate so far stands.
-    if (chosen.deadline_expired || ctrl.solve.should_stop()) return;
-    if (static_cast<int>(rung) > static_cast<int>(max_rung)) return;
-    if (budget < cost) {
-      report.budget_exhausted = true;
-      return;
-    }
-    budget -= cost;
-    report.decode_calls += cost;
-    report.strategy = rung;
-    ++report.escalation_depth;
-    run();
-  };
-
-  climb(Strategy::kTrimmedDecode, 2, [&] {
-    const cs::TrimmedDecodeResult trimmed =
-        cs::decode_trimmed_ex(decoder_, pattern, y, 4.0, 0.2, ctrl.solve);
-    report.trimmed_measurements = trimmed.trimmed_count;
-    chosen = evaluate_decode(trimmed.result, y);
-  });
-
-  for (int retry = 0; retry < opts_.budget.fresh_pattern_retries; ++retry) {
-    climb(Strategy::kFreshPatternRetry, 2, [&] {
-      cs::SamplingPattern fresh_p;
-      la::Vector fresh_y;
-      acquire(fresh_p, fresh_y, nullptr);
-      const cs::TrimmedDecodeResult trimmed = cs::decode_trimmed_ex(
-          decoder_, fresh_p, fresh_y, 4.0, 0.2, ctrl.solve);
-      report.trimmed_measurements = trimmed.trimmed_count;
-      chosen = evaluate_decode(trimmed.result, fresh_y);
-      eval_pattern = std::move(fresh_p);
-      eval_y = std::move(fresh_y);
-    });
+std::vector<RobustPipeline::FrameResult> RobustPipeline::process_batch(
+    const std::vector<la::Matrix>& frames, Rng& rng, const FrameControl& ctrl) {
+  FLEXCS_CHECK(!frames.empty(), "runtime: empty frame batch");
+  for (const la::Matrix& f : frames) {
+    FLEXCS_CHECK(f.rows() == rows_ && f.cols() == cols_,
+                 "runtime: frame shape mismatch in batch");
+    FLEXCS_CHECK(la::all_finite(f), "runtime: non-finite pixel in batch");
   }
 
-  climb(Strategy::kResample, 2 * opts_.budget.resample_rounds, [&] {
-    cs::ResampleOptions ropts;
-    ropts.rounds = opts_.budget.resample_rounds;
-    ropts.solve = ctrl.solve;
-    chosen = evaluate_aggregate(
-        cs::reconstruct_resample(corrupted_frame, opts_.sampling_fraction,
-                                 ropts, encoder_, decoder_, rng),
-        eval_pattern, eval_y);
-  });
+  const auto start = Deadline::Clock::now();
+  const int budget = effective_budget(ctrl);
+  const Strategy max_rung = effective_max_rung(ctrl);
 
-  climb(Strategy::kRpcaWindow, 2, [&] {
-    // Robust-PCA outlier detection over the sliding window, then a trimmed
-    // decode of the current frame sampled away from the flagged pixels.
-    const std::vector<la::Matrix> frames(window_.begin(), window_.end());
-    cs::RpcaFilterOptions filter_opts;
-    filter_opts.rpca.deadline = ctrl.solve.deadline;
-    filter_opts.rpca.cancel = ctrl.solve.cancel;
-    const std::vector<std::vector<bool>> masks =
-        cs::rpca_outlier_masks(frames, filter_opts);
-    cs::SamplingPattern ex_p;
-    la::Vector ex_y;
-    acquire(ex_p, ex_y, &masks.back());
-    const cs::TrimmedDecodeResult trimmed =
-        cs::decode_trimmed_ex(decoder_, ex_p, ex_y, 4.0, 0.2, ctrl.solve);
-    chosen = evaluate_decode(trimmed.result, ex_y);
-    eval_pattern = std::move(ex_p);
-    eval_y = std::move(ex_y);
-  });
+  // One shared acquisition pattern for the whole batch: the decoder's cached
+  // measurement operator and Lipschitz estimate are priced once.
+  const cs::SamplingPattern base =
+      cs::random_pattern(rows_, cols_, opts_.sampling_fraction, rng);
 
-  finish_frame(eval_pattern, eval_y, chosen, report);
-  report.solver_iterations = chosen.solver_iterations;
-  // Flag the frame if its control fired at any point — whether a solver was
-  // interrupted mid-iteration or the deadline lapsed between rungs.
-  report.deadline_expired = chosen.deadline_expired || ctrl.solve.should_stop();
-  report.decode_seconds =
-      std::chrono::duration<double>(Deadline::Clock::now() - start).count();
+  struct Acquired {
+    RecoveryReport report;
+    cs::SamplingPattern pattern;
+    la::Vector y;
+    bool shares_operator = true;  // fault channel left the pattern intact
+  };
+  std::vector<Acquired> acquired(frames.size());
+  std::vector<la::Vector> shared_ys;
+  shared_ys.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    Acquired& a = acquired[i];
+    a.report.frame_index = next_frame_index_++;
+    a.pattern = base;
+    a.y = encoder_.encode(frames[i], base, rng);
+    apply_measurement_channel(a.report, a.pattern, a.y);
+    a.shares_operator = a.pattern.indices == base.indices;
+    if (a.shares_operator) shared_ys.push_back(a.y);
+  }
 
-  FrameResult out;
-  out.frame = std::move(chosen.frame);
-  out.report = std::move(report);
+  cs::DecoderOptions plain_opts = decoder_.options();
+  plain_opts.solve = ctrl.solve;
+  std::vector<cs::DecodeResult> shared_decodes;
+  if (!shared_ys.empty())
+    shared_decodes = decoder_.decode_batch_with(base, shared_ys,
+                                                decoder_.solver(), plain_opts);
+  const double shared_seconds =
+      seconds_between(start, Deadline::Clock::now()) /
+      static_cast<double>(frames.size());
+
+  std::vector<FrameResult> out;
+  out.reserve(frames.size());
+  std::size_t shared_next = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    Acquired& a = acquired[i];
+    // Window membership matches the sequential process() loop: a frame's
+    // ladder sees itself and its predecessors, never batch successors.
+    window_.push_back(frames[i]);
+    while (window_.size() > opts_.budget.rpca_window) window_.pop_front();
+
+    const auto frame_start = Deadline::Clock::now();
+    const cs::DecodeResult plain =
+        a.shares_operator
+            ? std::move(shared_decodes[shared_next++])
+            : decoder_.decode_with(a.pattern, a.y, decoder_.solver(),
+                                   plain_opts);
+    a.report.decode_calls += 1;
+    Attempt rung0;
+    rung0.rung = Strategy::kPlainDecode;
+    rung0.cand = evaluate_decode(plain, a.y);
+    rung0.pattern = std::move(a.pattern);
+    rung0.y = std::move(a.y);
+    out.push_back(run_ladder(
+        frames[i], rng, ctrl, std::move(a.report), budget - 1, max_rung,
+        std::move(rung0),
+        shared_seconds +
+            seconds_between(frame_start, Deadline::Clock::now())));
+  }
   return out;
 }
 

@@ -108,12 +108,16 @@ struct FrameControl {
 /// What happened while recovering one frame.
 struct RecoveryReport {
   std::size_t frame_index = 0;
-  Strategy strategy = Strategy::kPlainDecode;  // rung that produced the output
+  // The rung that produced the returned frame. When a rung passed the sanity
+  // check this is that rung; when every rung was rejected it is the rung of
+  // the best-scoring candidate across all attempts (scores normalised by
+  // each family's acceptance threshold), NOT merely the last rung tried.
+  Strategy strategy = Strategy::kPlainDecode;
   int escalation_depth = 0;   // rungs climbed beyond plain decode
   int decode_calls = 0;       // solver runs spent on this frame
   bool accepted = false;      // sanity check passed at `strategy`
   bool budget_exhausted = false;  // ladder stopped early for lack of budget
-  bool converged = false;     // solver convergence of the final decode rung
+  bool converged = false;     // solver convergence of the returned candidate
   // Deadline/cancellation fired during this frame: the output is the best
   // candidate produced before the cut (possibly a partial iterate).
   bool deadline_expired = false;
@@ -121,7 +125,10 @@ struct RecoveryReport {
   double decode_seconds = 0.0;  // wall time of process() for this frame
   double rel_residual = 0.0;        // acceptance statistic of the output
   double first_rel_residual = 0.0;  // rung-0 statistic (escalation trigger)
-  std::size_t trimmed_measurements = 0;  // rung 1/2 trim count
+  // Measurements trimmed by the rung that produced the returned frame (0 for
+  // rungs that do not trim) — always describes the returned candidate, never
+  // a discarded one.
+  std::size_t trimmed_measurements = 0;
   std::size_t dropped_measurements = 0;  // lost to the measurement channel
   std::size_t saturated_measurements = 0;
   std::vector<bool> suspected_defects;  // row-major pixel mask
@@ -169,6 +176,19 @@ class RobustPipeline {
   FrameResult process(const la::Matrix& corrupted_frame, Rng& rng,
                       const FrameControl& ctrl);
 
+  /// Batched variant for streaming workers: every frame in the window is
+  /// sampled with ONE shared pattern, so the rung-0 decode reuses a single
+  /// cached measurement operator and Lipschitz estimate across the whole
+  /// batch (Decoder::decode_batch). Frames whose rung-0 sanity check fails
+  /// escalate individually through the normal ladder afterwards, in order.
+  /// `ctrl` (deadline included) spans the whole batch. Results are
+  /// index-aligned with `frames`. Frames whose measurement-fault channel
+  /// altered the pattern (dropped measurements) fall back to an individual
+  /// rung-0 decode — identical semantics, no shared operator.
+  std::vector<FrameResult> process_batch(const std::vector<la::Matrix>& frames,
+                                         Rng& rng,
+                                         const FrameControl& ctrl = {});
+
   const HealthCounters& health() const { return health_; }
   const RobustPipelineOptions& options() const { return opts_; }
   const cs::Decoder& decoder() const { return decoder_; }
@@ -180,10 +200,24 @@ class RobustPipeline {
   struct Candidate {
     la::Matrix frame;
     double score = 0.0;  // acceptance statistic (lower is better)
+    // Score normalised by its family's acceptance threshold, so decode-rung
+    // and aggregate-rung candidates compare on one axis (<= 1 ~ acceptable).
+    double badness = 0.0;
     bool accepted = false;
     bool converged = false;
     bool deadline_expired = false;
     int solver_iterations = 0;
+  };
+
+  /// One ladder attempt: the candidate plus the acquisition it was judged
+  /// against, so whichever attempt is ultimately returned carries its own
+  /// pattern/measurements into the suspect-defect bookkeeping.
+  struct Attempt {
+    Candidate cand;
+    Strategy rung = Strategy::kPlainDecode;
+    cs::SamplingPattern pattern;
+    la::Vector y;
+    std::size_t trimmed = 0;  // measurements this attempt's rung trimmed
   };
 
   Candidate evaluate_decode(const cs::DecodeResult& result,
@@ -192,6 +226,27 @@ class RobustPipeline {
                                const la::Vector& y) const;
   void finish_frame(const cs::SamplingPattern& p, const la::Vector& y,
                     const Candidate& chosen, RecoveryReport& report);
+
+  /// Applies the measurement-level fault channel to one acquisition.
+  void apply_measurement_channel(RecoveryReport& report,
+                                 cs::SamplingPattern& p, la::Vector& y);
+  /// Fresh acquisition: draws Φ (optionally excluding pixels), encodes, and
+  /// runs the measurement-fault channel.
+  void acquire(const la::Matrix& frame, Rng& rng, RecoveryReport& report,
+               const std::vector<bool>* exclude, cs::SamplingPattern& p,
+               la::Vector& y);
+  /// Rungs 1-4 plus selection of the returned attempt and the per-frame
+  /// bookkeeping. `budget` is what remains after rung 0; `rung0` is the
+  /// plain-decode attempt; `rung0_seconds` is the wall time already spent on
+  /// this frame (shared batch setup is amortised into it by process_batch).
+  FrameResult run_ladder(const la::Matrix& corrupted_frame, Rng& rng,
+                         const FrameControl& ctrl, RecoveryReport report,
+                         int budget, Strategy max_rung, Attempt rung0,
+                         double rung0_seconds);
+
+  /// Per-frame budget and rung ceiling after `ctrl` overrides.
+  int effective_budget(const FrameControl& ctrl) const;
+  Strategy effective_max_rung(const FrameControl& ctrl) const;
 
   std::size_t rows_;
   std::size_t cols_;

@@ -1,0 +1,156 @@
+#include "runtime/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace flexcs::runtime {
+namespace {
+
+// Validates the tiling before any member that depends on it is built (the
+// StreamServer is constructed in the initializer list over the padded tile
+// geometry, so the checks cannot wait for the constructor body).
+ShardOptions validated(ShardOptions opts, std::size_t rows, std::size_t cols) {
+  FLEXCS_CHECK(rows > 0 && cols > 0, "sharded decoder over an empty array");
+  FLEXCS_CHECK(opts.tile_rows >= 1 && opts.tile_cols >= 1,
+               "shard tiles must be at least 1 x 1");
+  FLEXCS_CHECK(opts.tile_rows <= rows && opts.tile_cols <= cols,
+               "shard tile larger than the array");
+  FLEXCS_CHECK(rows % opts.tile_rows == 0 && cols % opts.tile_cols == 0,
+               "shard tiles must evenly divide the array");
+  FLEXCS_CHECK(opts.stream.policy != BackpressurePolicy::kDropOldest,
+               "sharded decode cannot drop tiles "
+               "(the gather would never complete)");
+  return opts;
+}
+
+std::size_t clamp_index(std::ptrdiff_t v, std::size_t hi) {
+  if (v < 0) return 0;
+  if (static_cast<std::size_t>(v) > hi) return hi;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+ShardedDecoder::ShardedDecoder(std::size_t rows, std::size_t cols,
+                               ShardOptions opts)
+    : rows_(rows),
+      cols_(cols),
+      opts_(validated(std::move(opts), rows, cols)),
+      grid_rows_(rows / opts_.tile_rows),
+      grid_cols_(cols / opts_.tile_cols),
+      padded_rows_(opts_.tile_rows + 2 * opts_.halo),
+      padded_cols_(opts_.tile_cols + 2 * opts_.halo),
+      server_(padded_rows_, padded_cols_, opts_.stream) {
+  FLEXCS_CHECK(grid_rows_ >= 1 && grid_cols_ >= 1,
+               "sharded decoder needs at least one tile");
+}
+
+la::Matrix ShardedDecoder::extract_tile(const la::Matrix& frame,
+                                        std::size_t tr, std::size_t tc) const {
+  const std::size_t r0 = tr * opts_.tile_rows;
+  const std::size_t c0 = tc * opts_.tile_cols;
+  la::Matrix tile(padded_rows_, padded_cols_);
+  for (std::size_t i = 0; i < padded_rows_; ++i) {
+    const std::size_t src_r = clamp_index(
+        static_cast<std::ptrdiff_t>(r0 + i) -
+            static_cast<std::ptrdiff_t>(opts_.halo),
+        rows_ - 1);
+    for (std::size_t j = 0; j < padded_cols_; ++j) {
+      const std::size_t src_c = clamp_index(
+          static_cast<std::ptrdiff_t>(c0 + j) -
+              static_cast<std::ptrdiff_t>(opts_.halo),
+          cols_ - 1);
+      tile(i, j) = frame(src_r, src_c);
+    }
+  }
+  return tile;
+}
+
+void ShardedDecoder::stitch_tile(const la::Matrix& tile, std::size_t tr,
+                                 std::size_t tc, la::Matrix& out) const {
+  const std::size_t r0 = tr * opts_.tile_rows;
+  const std::size_t c0 = tc * opts_.tile_cols;
+  for (std::size_t i = 0; i < opts_.tile_rows; ++i)
+    for (std::size_t j = 0; j < opts_.tile_cols; ++j)
+      out(r0 + i, c0 + j) = tile(opts_.halo + i, opts_.halo + j);
+}
+
+ShardFrameResult ShardedDecoder::process(const la::Matrix& frame,
+                                         const solvers::SolveOptions& ctrl) {
+  std::vector<ShardFrameResult> out =
+      process_batch(std::vector<la::Matrix>{frame}, ctrl);
+  return std::move(out.front());
+}
+
+std::vector<ShardFrameResult> ShardedDecoder::process_batch(
+    const std::vector<la::Matrix>& frames, const solvers::SolveOptions& ctrl) {
+  FLEXCS_CHECK(!frames.empty(), "sharded decode of an empty batch");
+  for (const la::Matrix& f : frames)
+    FLEXCS_CHECK(f.rows() == rows_ && f.cols() == cols_,
+                 "sharded decode: frame shape mismatch");
+
+  const auto start = Deadline::Clock::now();
+  const std::size_t n_tiles = shards();
+  SubmitControl submit_ctrl;
+  submit_ctrl.deadline = ctrl.deadline;
+  submit_ctrl.cancel = ctrl.cancel;
+
+  // Scatter, tile-position-major: consecutive submissions share the padded
+  // tile geometry AND the tile position, so a batching StreamServer decodes
+  // them with one shared sampling pattern (RobustPipeline::process_batch).
+  for (std::size_t t = 0; t < n_tiles; ++t) {
+    const std::size_t tr = t / grid_cols_;
+    const std::size_t tc = t % grid_cols_;
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      const std::uint64_t id = static_cast<std::uint64_t>(f) * n_tiles + t;
+      const bool ok =
+          server_.submit(id, extract_tile(frames[f], tr, tc), submit_ctrl);
+      FLEXCS_CHECK(ok, "sharded decode: worker pool already closed");
+      ++total_submitted_;
+    }
+  }
+
+  // Gather: block until the pool has finished every tile ever submitted
+  // (cumulative count — results of concurrent callers are not supported;
+  // the class is documented single-caller).
+  server_.wait_for_completed(total_submitted_);
+
+  std::vector<ShardFrameResult> out(frames.size());
+  for (ShardFrameResult& r : out) {
+    r.frame = la::Matrix(rows_, cols_);
+    r.report.tiles = n_tiles;
+    r.report.tile_reports.resize(n_tiles);
+  }
+  for (StreamResult& sr : server_.drain_results()) {
+    const std::size_t f = static_cast<std::size_t>(sr.stream_id) / n_tiles;
+    const std::size_t t = static_cast<std::size_t>(sr.stream_id) % n_tiles;
+    FLEXCS_CHECK(f < out.size(), "sharded decode: stale result in the pool");
+    const std::size_t tr = t / grid_cols_;
+    const std::size_t tc = t % grid_cols_;
+    ShardFrameResult& r = out[f];
+    stitch_tile(sr.frame, tr, tc, r.frame);
+
+    ShardReport& rep = r.report;
+    if (sr.report.accepted) ++rep.tiles_accepted;
+    rep.decode_calls += sr.report.decode_calls;
+    rep.deadline_expired |= sr.report.deadline_expired;
+    rep.budget_exhausted |= sr.report.budget_exhausted;
+    rep.max_rel_residual =
+        std::max(rep.max_rel_residual, sr.report.rel_residual);
+    TileReport& tile_rep = rep.tile_reports[t];
+    tile_rep.tile_row = tr;
+    tile_rep.tile_col = tc;
+    tile_rep.report = std::move(sr.report);
+  }
+
+  const double elapsed = std::chrono::duration<double>(
+                             Deadline::Clock::now() - start)
+                             .count();
+  for (ShardFrameResult& r : out) r.report.decode_seconds = elapsed;
+  return out;
+}
+
+}  // namespace flexcs::runtime

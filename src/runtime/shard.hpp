@@ -1,0 +1,130 @@
+// Sharded decode of large arrays: partitions an R x C frame into a grid of
+// fixed-size tiles, runs one Decoder + RobustPipeline per tile (each worker
+// of an internal StreamServer owns a pipeline over the tile geometry), and
+// gathers the tile reconstructions back into the full frame. Two things make
+// this worthwhile on large panels:
+//
+//   cost    every solver iteration over the full frame costs O(M·N) with
+//           M ≈ f·R·C measurements and N = R·C unknowns; splitting into T
+//           tiles divides both M and N by T, so the per-iteration cost drops
+//           by ~T² while the tile count only multiplies it back by T — a
+//           ~T-fold algorithmic saving before any thread-level concurrency;
+//   memory  the dense Ψ (N x N) of a 128 x 128 frame is 2 GB; a 32 x 32
+//           tile's is 8 MB.
+//
+// Tiles are statistically independent solves, so block-DCT seams can appear
+// at tile borders. An optional halo pads every tile with replicated border
+// pixels from its neighbours before sampling; only the tile interior is
+// copied back, which suppresses the seams at the cost of slightly larger
+// tile solves.
+//
+// Scatter/gather rides the StreamServer worker pool: tiles are submitted as
+// frames of the padded tile geometry and collected with wait_for_completed.
+// The caller's deadline/cancel control propagates into every tile solve via
+// SubmitControl. Tile→worker assignment is nondeterministic under more than
+// one worker (each worker owns its own RNG stream), so reconstructions are
+// deterministic only per worker count; tests compare by RMSE, not bits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/stream.hpp"
+
+namespace flexcs::runtime {
+
+struct ShardOptions {
+  std::size_t tile_rows = 32;  // must divide the frame rows
+  std::size_t tile_cols = 32;  // must divide the frame cols
+  // Replicated-border padding around each tile, in pixels per side. 0 decodes
+  // bare tiles (fastest, visible seams under aggressive sampling); 2 is
+  // enough to let the DCT atoms of neighbouring tiles overlap.
+  std::size_t halo = 2;
+  // Worker pool + per-tile pipeline configuration. The server is created
+  // over the PADDED tile geometry. policy must not be kDropOldest (a
+  // dropped tile would leave a hole in the gather and hang it).
+  StreamOptions stream;
+};
+
+/// Per-tile outcome, in row-major tile-grid order.
+struct TileReport {
+  std::size_t tile_row = 0;  // tile-grid coordinates, not pixels
+  std::size_t tile_col = 0;
+  RecoveryReport report;
+};
+
+/// Aggregate of one sharded frame decode.
+struct ShardReport {
+  std::size_t tiles = 0;
+  std::size_t tiles_accepted = 0;  // tiles whose ladder sanity check passed
+  int decode_calls = 0;            // summed over tiles
+  bool deadline_expired = false;   // any tile cut short
+  bool budget_exhausted = false;   // any tile ran out of ladder budget
+  double max_rel_residual = 0.0;   // worst tile acceptance statistic
+  double decode_seconds = 0.0;     // wall time of the scatter/gather
+  std::vector<TileReport> tile_reports;
+};
+
+struct ShardFrameResult {
+  la::Matrix frame;  // full-size reconstruction
+  ShardReport report;
+};
+
+/// Scatter/gather front-end decoding a large array as a grid of concurrent
+/// tile solves. Owns a StreamServer of the padded tile geometry. NOT
+/// thread-safe: one frame (or one batch) in flight at a time, from one
+/// caller thread — the concurrency lives in the worker pool underneath.
+class ShardedDecoder {
+ public:
+  ShardedDecoder(std::size_t rows, std::size_t cols, ShardOptions opts = {});
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Tile grid dimensions (tiles per column / per row of the grid).
+  std::size_t grid_rows() const { return grid_rows_; }
+  std::size_t grid_cols() const { return grid_cols_; }
+  std::size_t shards() const { return grid_rows_ * grid_cols_; }
+  /// Padded tile geometry actually decoded (tile + 2·halo per side).
+  std::size_t padded_rows() const { return padded_rows_; }
+  std::size_t padded_cols() const { return padded_cols_; }
+  const ShardOptions& options() const { return opts_; }
+
+  /// Telemetry of the underlying worker pool (cumulative across frames).
+  StreamHealth health() const { return server_.health(); }
+
+  /// Decodes one full frame: scatters its tiles across the worker pool,
+  /// waits for every tile, and stitches the interiors back together.
+  /// `ctrl`'s deadline/cancel are forwarded into every tile solve.
+  ShardFrameResult process(const la::Matrix& frame,
+                           const solvers::SolveOptions& ctrl = {});
+
+  /// Batched variant: tiles are submitted tile-position-major (all frames'
+  /// tile 0, then all frames' tile 1, …) so a StreamServer with batch_depth
+  /// > 1 batches same-geometry tile solves and shares one measurement
+  /// operator + Lipschitz estimate across them. Results are index-aligned
+  /// with `frames`.
+  std::vector<ShardFrameResult> process_batch(
+      const std::vector<la::Matrix>& frames,
+      const solvers::SolveOptions& ctrl = {});
+
+ private:
+  /// Copies tile (tr, tc) plus its halo out of `frame`, replicating frame
+  /// border pixels where the halo sticks out of the array.
+  la::Matrix extract_tile(const la::Matrix& frame, std::size_t tr,
+                          std::size_t tc) const;
+  /// Copies the interior of a decoded padded tile into the full frame.
+  void stitch_tile(const la::Matrix& tile, std::size_t tr, std::size_t tc,
+                   la::Matrix& out) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+  ShardOptions opts_;
+  std::size_t grid_rows_;
+  std::size_t grid_cols_;
+  std::size_t padded_rows_;
+  std::size_t padded_cols_;
+  StreamServer server_;
+  std::size_t total_submitted_ = 0;  // cumulative, for wait_for_completed
+};
+
+}  // namespace flexcs::runtime

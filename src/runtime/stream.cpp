@@ -14,15 +14,29 @@ double seconds_since(Deadline::Clock::time_point t0,
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  const auto rank = static_cast<std::ptrdiff_t>(
-      q * static_cast<double>(values.size() - 1) + 0.5);
-  std::nth_element(values.begin(), values.begin() + rank, values.end());
-  return values[static_cast<std::size_t>(rank)];
-}
-
 }  // namespace
+
+double latency_percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Linear interpolation between the two bracketing order statistics: the
+  // quantile position in [0, n-1] splits into an index and a fraction. The
+  // old nearest-rank (+0.5) rule biased every percentile upward — p50 of
+  // {1, 2} reported 2 instead of 1.5.
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(lo),
+                   values.end());
+  const double v_lo = values[lo];
+  if (frac == 0.0 || lo + 1 == values.size()) return v_lo;
+  // nth_element leaves the (lo+1)-th order statistic as the minimum of the
+  // upper partition.
+  const double v_hi = *std::min_element(
+      values.begin() + static_cast<std::ptrdiff_t>(lo) + 1, values.end());
+  return v_lo + frac * (v_hi - v_lo);
+}
 
 const char* backpressure_policy_name(BackpressurePolicy policy) {
   switch (policy) {
@@ -49,6 +63,8 @@ StreamServer::StreamServer(std::size_t rows, std::size_t cols,
                "stream queue needs at least one slot");
   FLEXCS_CHECK(opts_.watchdog_period_seconds > 0.0,
                "watchdog period must be positive");
+  FLEXCS_CHECK(opts_.batch_depth >= 1,
+               "stream batch depth must be at least one frame");
 
   in_flight_.resize(opts_.workers);
   pipelines_.reserve(opts_.workers);
@@ -70,6 +86,11 @@ StreamServer::StreamServer(std::size_t rows, std::size_t cols,
 StreamServer::~StreamServer() { close(); }
 
 bool StreamServer::submit(std::uint64_t stream_id, la::Matrix frame) {
+  return submit(stream_id, std::move(frame), SubmitControl{});
+}
+
+bool StreamServer::submit(std::uint64_t stream_id, la::Matrix frame,
+                          const SubmitControl& ctrl) {
   FLEXCS_CHECK(frame.rows() == rows_ && frame.cols() == cols_,
                "stream: frame shape mismatch");
   const auto now = Deadline::Clock::now();
@@ -94,6 +115,8 @@ bool StreamServer::submit(std::uint64_t stream_id, la::Matrix frame) {
   item.submit_index = next_submit_index_++;
   item.frame = std::move(frame);
   item.submitted_at = now;
+  item.external_deadline = ctrl.deadline;
+  item.external_cancel = ctrl.cancel;
   queue_.push_back(std::move(item));
   ++submitted_;
   queue_high_water_ = std::max(queue_high_water_, queue_.size());
@@ -104,20 +127,28 @@ bool StreamServer::submit(std::uint64_t stream_id, la::Matrix frame) {
 
 void StreamServer::worker_loop(std::size_t worker_index) {
   for (;;) {
-    Pending item;
+    std::vector<Pending> batch;
     std::size_t depth_after = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_not_empty_.wait(lock,
                             [this] { return closed_ || !queue_.empty(); });
       if (queue_.empty()) return;  // closed and fully drained
-      item = std::move(queue_.front());
-      queue_.pop_front();
+      const std::size_t take = std::min(opts_.batch_depth, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
       depth_after = queue_.size();
     }
-    queue_not_full_.notify_one();
+    if (batch.size() > 1)
+      queue_not_full_.notify_all();  // freed several slots at once
+    else
+      queue_not_full_.notify_one();
 
     const auto dequeued_at = Deadline::Clock::now();
+    const std::size_t n = batch.size();
 
     // Degrade ladder: as the queue fills, spend less on each frame. Level 1
     // halves the deadline and stops the ladder at the trimmed decode; level
@@ -141,7 +172,10 @@ void StreamServer::worker_loop(std::size_t worker_index) {
       ctrl.max_decode_calls = 1;
     }
     if (degrade && opts_.frame_deadline_seconds > 0.0) {
-      const double queued = seconds_since(item.submitted_at, dequeued_at);
+      // The oldest frame of the batch has burned the most queue time; its
+      // remaining end-to-end budget bounds the whole batch.
+      const double queued =
+          seconds_since(batch.front().submitted_at, dequeued_at);
       const double remaining = opts_.frame_deadline_seconds - queued;
       const double floor =
           opts_.degrade_deadline_floor * opts_.frame_deadline_seconds;
@@ -152,11 +186,27 @@ void StreamServer::worker_loop(std::size_t worker_index) {
     const bool cheapened =
         level >= 1 || (opts_.frame_deadline_seconds > 0.0 &&
                        deadline_s < 0.75 * opts_.frame_deadline_seconds);
+    // One solve control spans the whole batch, so the per-frame deadline
+    // scales by the batch size.
+    deadline_s *= static_cast<double>(n);
     if (deadline_s > 0.0) ctrl.solve.deadline = Deadline::after(deadline_s);
+
+    // External per-submission deadlines only ever tighten: the earliest one
+    // across the batch wins over the policy-derived deadline.
+    for (const Pending& p : batch) {
+      if (p.external_deadline.unlimited()) continue;
+      if (ctrl.solve.deadline.unlimited() ||
+          p.external_deadline.when() < ctrl.solve.deadline.when())
+        ctrl.solve.deadline = p.external_deadline;
+    }
 
     // Register with the watchdog before starting the solve.
     CancelSource cancel;
     ctrl.solve.cancel = cancel.token();
+    // A submission whose external token already fired cancels its batch up
+    // front; tokens that fire mid-solve are forwarded by the watchdog.
+    for (const Pending& p : batch)
+      if (p.external_cancel.cancelled()) cancel.cancel();
     double stall_after = opts_.stall_floor_seconds;
     if (deadline_s > 0.0)
       stall_after = std::max(stall_after, opts_.stall_multiplier * deadline_s);
@@ -168,40 +218,62 @@ void StreamServer::worker_loop(std::size_t worker_index) {
       slot.started_at = dequeued_at;
       slot.stall_after_seconds = stall_after;
       slot.cancel = cancel;
+      slot.externals.clear();
+      for (const Pending& p : batch)
+        slot.externals.push_back(p.external_cancel);
     }
 
-    RobustPipeline::FrameResult fr = pipelines_[worker_index]->process(
-        item.frame, rngs_[worker_index], ctrl);
+    std::vector<RobustPipeline::FrameResult> frs;
+    if (n == 1) {
+      frs.push_back(pipelines_[worker_index]->process(
+          batch.front().frame, rngs_[worker_index], ctrl));
+    } else {
+      std::vector<la::Matrix> frames;
+      frames.reserve(n);
+      for (Pending& p : batch) frames.push_back(std::move(p.frame));
+      frs = pipelines_[worker_index]->process_batch(frames,
+                                                    rngs_[worker_index], ctrl);
+    }
 
     bool was_stalled = false;
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
       was_stalled = in_flight_[worker_index].stall_fired;
       in_flight_[worker_index].active = false;
+      in_flight_[worker_index].externals.clear();
     }
 
     const auto finished_at = Deadline::Clock::now();
-    StreamResult result;
-    result.stream_id = item.stream_id;
-    result.submit_index = item.submit_index;
-    result.frame = std::move(fr.frame);
-    result.report = std::move(fr.report);
-    result.degrade_level = level;
-    result.queue_seconds = seconds_since(item.submitted_at, dequeued_at);
-    result.latency_seconds = seconds_since(item.submitted_at, finished_at);
-    // A watchdog cancellation surfaces on the report as well: the solver's
-    // cooperative check is the mechanism that actually stopped the frame.
-    if (was_stalled) result.report.deadline_expired = true;
-
     {
       std::lock_guard<std::mutex> lock(results_mu_);
-      ++completed_;
-      if (cheapened) ++degraded_;
-      if (result.report.deadline_expired) ++deadline_expired_;
-      latencies_seconds_.push_back(result.latency_seconds);
-      results_.push_back(std::move(result));
+      for (std::size_t i = 0; i < n; ++i) {
+        StreamResult result;
+        result.stream_id = batch[i].stream_id;
+        result.submit_index = batch[i].submit_index;
+        result.frame = std::move(frs[i].frame);
+        result.report = std::move(frs[i].report);
+        result.degrade_level = level;
+        result.queue_seconds = seconds_since(batch[i].submitted_at,
+                                             dequeued_at);
+        result.latency_seconds =
+            seconds_since(batch[i].submitted_at, finished_at);
+        // A watchdog cancellation surfaces on the report as well: the
+        // solver's cooperative check is what actually stopped the frame.
+        if (was_stalled) result.report.deadline_expired = true;
+        ++completed_;
+        if (cheapened) ++degraded_;
+        if (result.report.deadline_expired) ++deadline_expired_;
+        latencies_seconds_.push_back(result.latency_seconds);
+        results_.push_back(std::move(result));
+      }
     }
+    results_cv_.notify_all();
   }
+}
+
+void StreamServer::wait_for_completed(std::size_t target) const {
+  std::unique_lock<std::mutex> lock(results_mu_);
+  results_cv_.wait(lock, [this, target] { return completed_ >= target; });
 }
 
 void StreamServer::watchdog_loop() {
@@ -215,7 +287,15 @@ void StreamServer::watchdog_loop() {
     const auto now = Deadline::Clock::now();
     std::lock_guard<std::mutex> guard(inflight_mu_);
     for (InFlight& slot : in_flight_) {
-      if (!slot.active || slot.stall_fired) continue;
+      if (!slot.active) continue;
+      // Forward external cancellation into the running solve. Not a stall:
+      // the caller asked for it, so it is not counted or marked as one.
+      for (const CancelToken& t : slot.externals) {
+        if (!t.cancelled()) continue;
+        slot.cancel.cancel();
+        break;
+      }
+      if (slot.stall_fired) continue;
       if (slot.stall_after_seconds <= 0.0) continue;
       if (seconds_since(slot.started_at, now) < slot.stall_after_seconds)
         continue;
@@ -271,8 +351,8 @@ StreamHealth StreamServer::health() const {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     h.stalled = stalled_;
   }
-  h.p50_latency_seconds = percentile(latencies, 0.50);
-  h.p99_latency_seconds = percentile(std::move(latencies), 0.99);
+  h.p50_latency_seconds = latency_percentile(latencies, 0.50);
+  h.p99_latency_seconds = latency_percentile(std::move(latencies), 0.99);
   return h;
 }
 

@@ -42,6 +42,13 @@ enum class BackpressurePolicy { kBlock, kDropOldest, kDegrade };
 /// Short stable identifier, e.g. "block" or "degrade".
 const char* backpressure_policy_name(BackpressurePolicy policy);
 
+/// Percentile with linear interpolation between order statistics (the
+/// "exclusive" definition used by numpy's default): p50 of {1, 2} is 1.5,
+/// not 2. `q` in [0, 1]; an empty sample reports 0. Exposed for tests and
+/// for benchmarks that summarise their own latency samples the same way
+/// StreamHealth does.
+double latency_percentile(std::vector<double> values, double q);
+
 struct StreamOptions {
   std::size_t workers = 2;         // worker threads (>= 1)
   std::size_t queue_capacity = 8;  // bounded MPMC queue slots (>= 1)
@@ -61,6 +68,13 @@ struct StreamOptions {
   double stall_floor_seconds = 0.0;
   double watchdog_period_seconds = 0.002;  // scan interval
   bool watchdog_enabled = true;
+  // Frames a worker pops per dequeue (>= 1). A batch is decoded through
+  // RobustPipeline::process_batch — one shared sampling pattern, so the
+  // cached measurement operator and its Lipschitz estimate are priced once
+  // per batch instead of once per frame. The per-frame deadline scales by
+  // the batch size (one control spans the whole batch); degrade levels are
+  // computed once per batch from the queue depth after the pop.
+  std::size_t batch_depth = 1;
   // Per-worker recovery pipeline configuration (shared by all workers).
   RobustPipelineOptions pipeline;
   // Sparse solver shared by all workers (solvers are immutable once built,
@@ -82,6 +96,17 @@ struct StreamHealth {
   std::size_t queue_high_water = 0;  // max queue depth observed
   double p50_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
+};
+
+/// Optional per-submission control: an external deadline tightens the
+/// worker's policy-derived solve deadline for whichever batch the frame
+/// rides in, and an external cancel token is forwarded into the running
+/// solve by the watchdog (without counting as a stall). Both default inert.
+/// Used by ShardedDecoder to propagate one frame-level deadline/cancel into
+/// every tile solve.
+struct SubmitControl {
+  Deadline deadline;
+  CancelToken cancel;
 };
 
 /// One recovered frame as delivered by the server.
@@ -112,6 +137,16 @@ class StreamServer {
   /// wait. Thread-safe.
   bool submit(std::uint64_t stream_id, la::Matrix frame);
 
+  /// Same, with a per-submission deadline/cancel token (see SubmitControl).
+  bool submit(std::uint64_t stream_id, la::Matrix frame,
+              const SubmitControl& ctrl);
+
+  /// Blocks until at least `target` frames have completed since construction
+  /// (cumulative, monotone). The caller must guarantee `target` frames will
+  /// actually complete: under DropOldest an evicted frame never completes,
+  /// so gather-style callers (ShardedDecoder) must not use that policy.
+  void wait_for_completed(std::size_t target) const;
+
   /// Stops intake, lets the workers drain the queue, and joins all threads.
   /// Idempotent; called by the destructor.
   void close();
@@ -135,6 +170,8 @@ class StreamServer {
     std::uint64_t submit_index = 0;
     la::Matrix frame;
     Deadline::Clock::time_point submitted_at{};
+    Deadline external_deadline;   // unlimited unless submitted with one
+    CancelToken external_cancel;  // inert unless submitted with one
   };
 
   // Per-worker in-flight slot, scanned by the watchdog.
@@ -144,6 +181,9 @@ class StreamServer {
     Deadline::Clock::time_point started_at{};
     double stall_after_seconds = 0.0;  // <= 0 disables the watchdog for it
     CancelSource cancel;
+    // External cancel tokens of the batch in flight; the watchdog forwards
+    // a fired one into `cancel` (not counted as a stall).
+    std::vector<CancelToken> externals;
   };
 
   void worker_loop(std::size_t worker_index);
@@ -165,8 +205,10 @@ class StreamServer {
   std::size_t submitted_ = 0;
   std::size_t dropped_ = 0;
 
-  // results_mu_ guards results_, latencies_ and the completion counters.
+  // results_mu_ guards results_, latencies_ and the completion counters;
+  // results_cv_ wakes wait_for_completed() after each batch completes.
   mutable std::mutex results_mu_;
+  mutable std::condition_variable results_cv_;
   std::vector<StreamResult> results_;
   std::vector<double> latencies_seconds_;
   std::size_t completed_ = 0;

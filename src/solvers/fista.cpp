@@ -14,6 +14,10 @@ namespace {
 // bound on sigma_max, hence a smaller, still-convergent step — if it fires
 // mid-setup. Unbounded solves keep la::spectral_norm bit-for-bit.
 double lipschitz_sigma(const la::Matrix& a, const SolveOptions& ctrl) {
+  // A caller-supplied bound (typically la::spectral_norm of the same A,
+  // cached across a batch of solves sharing one pattern) wins outright: it
+  // is the same number this function would compute, minus the cost.
+  if (ctrl.operator_norm_hint > 0.0) return ctrl.operator_norm_hint;
   if (ctrl.deadline.unlimited() && !ctrl.cancel.cancelled())
     return la::spectral_norm(a);
 

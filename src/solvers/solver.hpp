@@ -24,6 +24,13 @@ namespace flexcs::solvers {
 struct SolveOptions {
   runtime::Deadline deadline;
   runtime::CancelToken cancel;
+  // Known upper bound on sigma_max(A), e.g. cached by the decoder across a
+  // batch of frames sharing one sampling pattern. When > 0, solvers that
+  // need a Lipschitz / step-size estimate (FISTA/ISTA) use it directly and
+  // skip their own spectral setup. 0 means unknown: each solve computes its
+  // own estimate. Passing a bound for the wrong operator slows convergence
+  // (too large) or breaks it (too small) — only reuse across identical A.
+  double operator_norm_hint = 0.0;
 
   bool should_stop() const { return deadline.expired() || cancel.cancelled(); }
 };

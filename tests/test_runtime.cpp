@@ -137,12 +137,83 @@ TEST(RobustPipeline, RpcaWindowRungRunsWhenResampleDoesNotFitBudget) {
   Rng rng(11);
   for (int f = 0; f < 3; ++f) {
     const auto res = pipe.process(corrupted, rng);
-    EXPECT_EQ(res.report.strategy, Strategy::kRpcaWindow);
+    // Depth 3 == trimmed, fresh-pattern and RPCA all ran; resample (depth 3
+    // in rung order) was skipped for budget, never attempted.
     EXPECT_EQ(res.report.escalation_depth, 3);
+    EXPECT_NE(res.report.strategy, Strategy::kResample);
+    // `strategy` names the rung of the returned frame: the RPCA rung when it
+    // was accepted there, otherwise the best-scoring rejected candidate
+    // (which may be an earlier rung).
+    if (res.report.accepted) {
+      EXPECT_EQ(res.report.strategy, Strategy::kRpcaWindow);
+    }
     EXPECT_TRUE(res.report.budget_exhausted);
     EXPECT_LE(res.report.decode_calls, 9);
   }
   EXPECT_EQ(pipe.health().budget_exhaustions, 3u);
+}
+
+// Headline regression for the returned-candidate selection: when NO rung is
+// accepted, the ladder must return the argmin-score candidate — not whatever
+// the last rung produced. Impossible thresholds force a full climb where the
+// trimmed decode beats the plain decode and the resample aggregate (judged
+// against a sub-nano median threshold) is by far the worst AND the last
+// attempt; the buggy ladder returned resample's frame labelled "resample".
+TEST(RobustPipeline, LadderReturnsBestCandidateWhenNoRungAccepted) {
+  const la::Matrix truth = thermal_frame(16, 7);
+  const la::Matrix corrupted = stuck_frame(truth, 0.10, 3);
+
+  RobustPipelineOptions opts;
+  opts.accept.max_rel_residual = 1e-6;         // rejects every decode rung
+  opts.accept.max_median_abs_residual = 1e-9;  // rejects resample even harder
+  opts.max_rung = Strategy::kResample;
+  opts.budget.fresh_pattern_retries = 0;  // ladder: plain, trimmed, resample
+  RobustPipeline pipe(16, 16, opts, fista());
+  Rng rng(11);
+  const auto res = pipe.process(corrupted, rng);
+
+  EXPECT_FALSE(res.report.accepted);
+  EXPECT_EQ(res.report.escalation_depth, 2);  // trimmed and resample both ran
+  EXPECT_EQ(res.report.decode_calls, 15);     // 1 + 2 + 2*6
+  // The returned frame is the trimmed attempt (best normalised score), and
+  // strategy + trim stats describe THAT attempt, not the resample tried last.
+  EXPECT_EQ(res.report.strategy, Strategy::kTrimmedDecode);
+  EXPECT_GT(res.report.trimmed_measurements, 0u);
+  EXPECT_LT(res.report.rel_residual, res.report.first_rel_residual);
+  EXPECT_EQ(pipe.health().frames_accepted, 0u);
+
+  // Bit-exact replay of the trimmed attempt from the same RNG state: rung 1
+  // reuses rung 0's acquisition, so the trimmed decode consumes no RNG draws
+  // and can be reproduced directly.
+  Rng replay(11);
+  const cs::SamplingPattern pattern = cs::random_pattern(16, 16, 0.5, replay);
+  const cs::Encoder encoder;
+  const la::Vector y = encoder.encode(corrupted, pattern, replay);
+  const cs::TrimmedDecodeResult trimmed =
+      cs::decode_trimmed_ex(pipe.decoder(), pattern, y, 4.0, 0.2, {});
+  EXPECT_EQ(la::max_abs_diff(res.frame, trimmed.result.frame), 0.0);
+  EXPECT_EQ(res.report.trimmed_measurements, trimmed.trimmed_count);
+}
+
+// With the ladder capped at the plain decode, the same configuration returns
+// the plain frame labelled plain with zero trim stats — the trim count of a
+// discarded attempt must never leak into the report (it used to).
+TEST(RobustPipeline, RejectedPlainOnlyLadderReportsPlainAttempt) {
+  const la::Matrix truth = thermal_frame(16, 7);
+  const la::Matrix corrupted = stuck_frame(truth, 0.10, 3);
+
+  RobustPipelineOptions opts;
+  opts.accept.max_rel_residual = 1e-6;
+  opts.max_rung = Strategy::kPlainDecode;
+  RobustPipeline pipe(16, 16, opts, fista());
+  Rng rng(11);
+  const auto res = pipe.process(corrupted, rng);
+
+  EXPECT_FALSE(res.report.accepted);
+  EXPECT_EQ(res.report.strategy, Strategy::kPlainDecode);
+  EXPECT_EQ(res.report.escalation_depth, 0);
+  EXPECT_EQ(res.report.trimmed_measurements, 0u);
+  EXPECT_EQ(res.report.rel_residual, res.report.first_rel_residual);
 }
 
 TEST(RobustPipeline, BudgetExhaustionStopsTheLadder) {
@@ -165,6 +236,27 @@ TEST(RobustPipeline, BudgetExhaustionStopsTheLadder) {
   // No rung recovered the frame, so no rung counter moved.
   for (std::size_t r = 0; r < kStrategyCount; ++r)
     EXPECT_EQ(pipe.health().recovered_per_rung[r], 0u);
+}
+
+TEST(RobustPipeline, ProcessBatchMatchesSequentialSemantics) {
+  const la::Matrix f0 = thermal_frame(16, 7);
+  const la::Matrix f1 = thermal_frame(16, 8);
+  RobustPipeline pipe(16, 16, {}, fista());
+  Rng rng(11);
+  const auto results = pipe.process_batch({f0, f1, f0}, rng);
+
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].report.accepted) << "frame " << i;
+    EXPECT_EQ(results[i].report.strategy, Strategy::kPlainDecode);
+    EXPECT_EQ(results[i].report.decode_calls, 1);
+    EXPECT_EQ(results[i].report.frame_index, i);
+  }
+  // Same frame, same shared pattern, same operator-norm hint: identical
+  // reconstructions for the duplicated frame.
+  EXPECT_EQ(la::max_abs_diff(results[0].frame, results[2].frame), 0.0);
+  EXPECT_EQ(pipe.health().frames_processed, 3u);
+  EXPECT_EQ(pipe.health().frames_accepted, 3u);
 }
 
 TEST(RobustPipeline, DefectRateEwmaDetectsDrift) {

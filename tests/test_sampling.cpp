@@ -128,6 +128,29 @@ TEST(Sampling, ScheduleRoundTripsPattern) {
   EXPECT_EQ(p.indices, q.indices);
 }
 
+// Property: the schedule is a lossless encoding of ANY sampling pattern —
+// rectangular or square, sparse or full, any seed — not just the single
+// pinned geometry above.
+TEST(Sampling, ScheduleRoundTripsEveryGeometryFractionAndSeed) {
+  Rng rng(99);
+  const std::size_t dims[] = {1, 2, 3, 5, 8, 16, 31};
+  const double fractions[] = {0.1, 0.35, 0.6, 1.0};
+  for (std::size_t rows : dims) {
+    for (std::size_t cols : dims) {
+      for (double fraction : fractions) {
+        const SamplingPattern p = random_pattern(rows, cols, fraction, rng);
+        const ScanSchedule s = make_scan_schedule(p);
+        ASSERT_EQ(s.total_reads(), p.m());
+        const SamplingPattern q = pattern_from_schedule(s, rows, cols);
+        ASSERT_EQ(q.rows, p.rows);
+        ASSERT_EQ(q.cols, p.cols);
+        ASSERT_EQ(q.indices, p.indices)
+            << rows << "x" << cols << " fraction " << fraction;
+      }
+    }
+  }
+}
+
 TEST(Sampling, FullSamplingSelectsEverything) {
   Rng rng(12);
   const SamplingPattern p = random_pattern(4, 4, 1.0, rng);

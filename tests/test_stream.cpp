@@ -225,5 +225,103 @@ TEST(StreamServer, FrameDeadlineSurfacesInHealthAndReports) {
     EXPECT_TRUE(la::all_finite(r.frame));
 }
 
+TEST(StreamServer, LatencyPercentileInterpolatesBetweenOrderStatistics) {
+  EXPECT_EQ(latency_percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(latency_percentile({3.0}, 0.99), 3.0);
+  // The old nearest-rank rule reported 2.0 here.
+  EXPECT_DOUBLE_EQ(latency_percentile({1.0, 2.0}, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(latency_percentile({1.0, 2.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(latency_percentile({4.0, 1.0, 3.0, 2.0}, 0.25), 1.75);
+
+  std::vector<double> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<double>(100 - i);  // 100..1, unsorted on purpose
+  EXPECT_DOUBLE_EQ(latency_percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(latency_percentile(v, 1.0), 100.0);
+  EXPECT_NEAR(latency_percentile(v, 0.99), 99.01, 1e-9);
+  EXPECT_NEAR(latency_percentile(v, 0.5), 50.5, 1e-9);
+}
+
+TEST(StreamServer, BatchDepthDeliversEveryFrame) {
+  constexpr std::size_t kDim = 16;
+  constexpr std::size_t kFrames = 10;
+  StreamOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 8;
+  opts.batch_depth = 3;
+  opts.policy = BackpressurePolicy::kBlock;
+  opts.solver = fista();
+  StreamServer server(kDim, kDim, opts);
+
+  const la::Matrix frame = thermal_frame(kDim, 4);
+  for (std::size_t f = 0; f < kFrames; ++f)
+    EXPECT_TRUE(server.submit(f, frame));
+  server.close();
+
+  const StreamHealth h = server.health();
+  EXPECT_EQ(h.submitted, kFrames);
+  EXPECT_EQ(h.completed, kFrames);
+  const std::vector<StreamResult> results = server.drain_results();
+  ASSERT_EQ(results.size(), kFrames);
+  std::set<std::uint64_t> ids;
+  for (const StreamResult& r : results) {
+    ids.insert(r.stream_id);
+    EXPECT_TRUE(r.report.accepted);  // clean frames decode on rung 0
+    EXPECT_TRUE(la::all_finite(r.frame));
+  }
+  EXPECT_EQ(ids.size(), kFrames);  // every submission came back exactly once
+}
+
+TEST(StreamServer, WaitForCompletedAndExternalCancelPropagate) {
+  constexpr std::size_t kDim = 16;
+  StreamOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 4;
+  opts.solver = fista();
+  StreamServer server(kDim, kDim, opts);
+
+  // A submission whose cancel token fired before dequeue is cut short at the
+  // solver's entry check and surfaces as deadline_expired — the same
+  // cooperative mechanism ShardedDecoder relies on for frame-level cancel.
+  CancelSource cancel;
+  cancel.cancel();
+  SubmitControl ctrl;
+  ctrl.cancel = cancel.token();
+  const la::Matrix frame = thermal_frame(kDim, 4);
+  EXPECT_TRUE(server.submit(0, frame, ctrl));
+  EXPECT_TRUE(server.submit(1, frame, ctrl));
+  server.wait_for_completed(2);
+
+  const std::vector<StreamResult> results = server.drain_results();
+  ASSERT_EQ(results.size(), 2u);
+  for (const StreamResult& r : results) {
+    EXPECT_TRUE(r.report.deadline_expired);
+    EXPECT_FALSE(r.report.accepted);
+    EXPECT_TRUE(la::all_finite(r.frame));
+  }
+  // Health must not count the caller-requested cancellation as a stall.
+  EXPECT_EQ(server.health().stalled, 0u);
+  server.close();
+}
+
+TEST(StreamServer, ExternalDeadlineTightensTheSolve) {
+  constexpr std::size_t kDim = 16;
+  StreamOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 4;
+  opts.solver = fista();  // no policy deadline at all
+  StreamServer server(kDim, kDim, opts);
+
+  SubmitControl ctrl;
+  ctrl.deadline = Deadline::after(0.0);  // already expired at submit
+  const la::Matrix frame = thermal_frame(kDim, 4);
+  EXPECT_TRUE(server.submit(0, frame, ctrl));
+  server.wait_for_completed(1);
+  const std::vector<StreamResult> results = server.drain_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].report.deadline_expired);
+  server.close();
+}
+
 }  // namespace
 }  // namespace flexcs::runtime

@@ -66,14 +66,25 @@ ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
     ("src/cs/encoder.cpp", r"Encoder::encode_scanned\b", ("FLEXCS_CHECK",)),
     ("src/cs/decoder.cpp", r"Decoder::decode\b", ("FLEXCS_CHECK", "decode_with")),
     ("src/cs/decoder.cpp", r"Decoder::decode_with\b", ("FLEXCS_CHECK",)),
-    ("src/cs/decoder.cpp", r"Decoder::measurement_matrix\b", ("FLEXCS_CHECK",)),
+    ("src/cs/decoder.cpp", r"Decoder::decode_batch\b", ("FLEXCS_CHECK", "decode_batch_with")),
+    ("src/cs/decoder.cpp", r"Decoder::decode_batch_with\b", ("FLEXCS_CHECK",)),
+    ("src/cs/decoder.cpp", r"Decoder::measurement_matrix\b", ("FLEXCS_CHECK", "measurement_operator")),
+    ("src/cs/decoder.cpp", r"Decoder::measurement_operator\b", ("FLEXCS_CHECK",)),
+    ("src/cs/decoder.cpp", r"Decoder::operator_norm\b", ("FLEXCS_CHECK",)),
     ("src/cs/sampling.cpp", r"\bapply_pattern\b", ("FLEXCS_CHECK",)),
     ("src/cs/faults.cpp", r"FaultScenario::corrupt_frame\b", ("FLEXCS_CHECK",)),
     ("src/cs/faults.cpp", r"FaultScenario::corrupt_measurements\b", ("FLEXCS_CHECK",)),
     ("src/cs/pipeline.cpp", r"\bdecode_trimmed_ex\b", ("FLEXCS_CHECK",)),
     ("src/runtime/pipeline.cpp", r"RobustPipeline::process\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/pipeline.cpp", r"RobustPipeline::process_batch\b", ("FLEXCS_CHECK",)),
     ("src/runtime/stream.cpp", r"StreamServer::StreamServer\b", ("FLEXCS_CHECK",)),
-    ("src/runtime/stream.cpp", r"StreamServer::submit\b", ("FLEXCS_CHECK",)),
+    # The first submit overload delegates to the SubmitControl one, which
+    # carries the shape check.
+    ("src/runtime/stream.cpp", r"StreamServer::submit\b", ("FLEXCS_CHECK", "SubmitControl")),
+    ("src/runtime/shard.cpp", r"ShardedDecoder::ShardedDecoder\b", ("FLEXCS_CHECK",)),
+    # ShardedDecoder::process delegates to process_batch, which validates.
+    ("src/runtime/shard.cpp", r"ShardedDecoder::process\b", ("FLEXCS_CHECK", "process_batch")),
+    ("src/runtime/shard.cpp", r"ShardedDecoder::process_batch\b", ("FLEXCS_CHECK",)),
 )
 
 # How deep into a function body (in non-blank lines) validation must appear.

@@ -23,13 +23,26 @@ Decoder::Decoder(std::size_t rows, std::size_t cols, DecoderOptions opts,
       cols_(cols),
       opts_(opts),
       solver_(std::move(solver)),
-      psi_(dsp::synthesis_matrix(opts.basis, rows, cols)) {
+      psi_(opts.implicit_psi
+               ? la::Matrix()
+               : dsp::synthesis_matrix(opts.basis, rows, cols)) {
   FLEXCS_CHECK(rows_ > 0 && cols_ > 0, "decoder over empty array");
+  // Implicit mode skips the Ψ build, so probe the basis here to surface
+  // geometry constraints (Haar needs dyadic dims) at construction, exactly
+  // where the dense build would have thrown.
+  if (opts_.implicit_psi)
+    dsp::analyze(opts_.basis, la::Matrix(rows_, cols_, 0.0));
   if (!solver_) solver_ = std::make_shared<solvers::AdmmLassoSolver>();
 }
 
-std::shared_ptr<const la::Matrix> Decoder::operator_for(
-    const SamplingPattern& pattern, double* cached_sigma) const {
+const la::Matrix& Decoder::psi() const {
+  FLEXCS_CHECK(!opts_.implicit_psi,
+               "decoder: psi() unavailable in implicit_psi mode");
+  return psi_;
+}
+
+Decoder::CachedOperator Decoder::entry_for(
+    const SamplingPattern& pattern) const {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     for (std::size_t i = 0; i < operator_cache_.size(); ++i) {
@@ -37,39 +50,53 @@ std::shared_ptr<const la::Matrix> Decoder::operator_for(
       // MRU: rotate the hit to the front so hot patterns stay resident.
       std::rotate(operator_cache_.begin(), operator_cache_.begin() + i,
                   operator_cache_.begin() + i + 1);
-      if (cached_sigma != nullptr) *cached_sigma = operator_cache_.front().sigma;
-      return operator_cache_.front().a;
+      return operator_cache_.front();
     }
   }
 
   // Build outside the lock: psi_ is immutable after construction, so a
   // concurrent duplicate build is wasted work, never a race.
-  auto built =
-      std::make_shared<const la::Matrix>(psi_.select_rows(pattern.indices));
+  CachedOperator entry;
+  entry.indices = pattern.indices;
+  if (opts_.implicit_psi) {
+    entry.op = std::make_shared<const SubsampledTransformOperator>(opts_.basis,
+                                                                   pattern);
+  } else {
+    entry.a =
+        std::make_shared<const la::Matrix>(psi_.select_rows(pattern.indices));
+    entry.dense_view = std::make_shared<const la::DenseOperator>(entry.a);
+  }
 
   std::lock_guard<std::mutex> lock(cache_mu_);
   for (std::size_t i = 0; i < operator_cache_.size(); ++i) {
     if (operator_cache_[i].indices != pattern.indices) continue;
     std::rotate(operator_cache_.begin(), operator_cache_.begin() + i,
                 operator_cache_.begin() + i + 1);
-    if (cached_sigma != nullptr) *cached_sigma = operator_cache_.front().sigma;
-    return operator_cache_.front().a;  // raced build won; keep its sigma
+    return operator_cache_.front();  // raced build won; keep its sigma
   }
-  CachedOperator entry;
-  entry.indices = pattern.indices;
-  entry.a = built;
-  operator_cache_.insert(operator_cache_.begin(), std::move(entry));
+  operator_cache_.insert(operator_cache_.begin(), entry);
   if (operator_cache_.size() > kOperatorCacheCapacity)
     operator_cache_.pop_back();
-  if (cached_sigma != nullptr) *cached_sigma = -1.0;
-  return built;
+  return entry;
 }
 
 std::shared_ptr<const la::Matrix> Decoder::measurement_operator(
     const SamplingPattern& pattern) const {
   FLEXCS_CHECK(pattern.rows == rows_ && pattern.cols == cols_,
                "decoder: pattern shape mismatch");
-  return operator_for(pattern, nullptr);
+  FLEXCS_CHECK(!opts_.implicit_psi,
+               "decoder: measurement_operator unavailable in implicit_psi "
+               "mode (use implicit_operator)");
+  return entry_for(pattern).a;
+}
+
+std::shared_ptr<const SubsampledTransformOperator> Decoder::implicit_operator(
+    const SamplingPattern& pattern) const {
+  FLEXCS_CHECK(pattern.rows == rows_ && pattern.cols == cols_,
+               "decoder: pattern shape mismatch");
+  FLEXCS_CHECK(opts_.implicit_psi,
+               "decoder: implicit_operator requires implicit_psi mode");
+  return entry_for(pattern).op;
 }
 
 la::Matrix Decoder::measurement_matrix(const SamplingPattern& pattern) const {
@@ -79,16 +106,19 @@ la::Matrix Decoder::measurement_matrix(const SamplingPattern& pattern) const {
 double Decoder::operator_norm(const SamplingPattern& pattern) const {
   FLEXCS_CHECK(pattern.rows == rows_ && pattern.cols == cols_,
                "decoder: pattern shape mismatch");
-  double sigma = -1.0;
-  const std::shared_ptr<const la::Matrix> a = operator_for(pattern, &sigma);
-  if (sigma >= 0.0) return sigma;
-  // Computed without the lock (spectral_norm is the expensive part); a
-  // concurrent duplicate lands on the identical deterministic value.
-  sigma = la::spectral_norm(*a);
+  const CachedOperator entry = entry_for(pattern);
+  if (entry.sigma >= 0.0) return entry.sigma;
+  // Computed without the lock (the power iteration is the expensive part); a
+  // concurrent duplicate lands on the identical deterministic value. Dense
+  // mode keeps la::spectral_norm bit-for-bit; implicit mode runs the same
+  // iteration through the fast transform.
+  const double sigma = entry.op != nullptr
+                           ? la::operator_norm_estimate(*entry.op)
+                           : la::spectral_norm(*entry.a);
   std::lock_guard<std::mutex> lock(cache_mu_);
-  for (CachedOperator& entry : operator_cache_) {
-    if (entry.indices == pattern.indices) {
-      entry.sigma = sigma;
+  for (CachedOperator& cached : operator_cache_) {
+    if (cached.indices == pattern.indices) {
+      cached.sigma = sigma;
       break;
     }
   }
@@ -114,22 +144,23 @@ DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
                "decode_with cannot change the basis (Ψ is cached)");
   FLEXCS_CHECK(pattern.rows == rows_ && pattern.cols == cols_,
                "decoder: pattern shape mismatch");
-  double cached_sigma = -1.0;
-  const std::shared_ptr<const la::Matrix> a =
-      operator_for(pattern, &cached_sigma);
+  const CachedOperator entry = entry_for(pattern);
+  const la::LinearOperator& a = entry.linop();
 
   DecoderOptions effective = opts;
   // Reuse a previously computed spectral norm of this exact operator: the
   // value is what the solver's own setup would produce, minus the cost. A
   // hint the caller already set wins (it knows something we don't).
-  if (effective.solve.operator_norm_hint <= 0.0 && cached_sigma > 0.0)
-    effective.solve.operator_norm_hint = cached_sigma;
+  if (effective.solve.operator_norm_hint <= 0.0 && entry.sigma > 0.0)
+    effective.solve.operator_norm_hint = entry.sigma;
 
-  solvers::SolveResult sr = solver.solve(*a, measurements, effective.solve);
+  solvers::SolveResult sr = solver.solve(a, measurements, effective.solve);
   // Skip de-biasing on an interrupted solve: the caller's budget is spent,
   // and a least-squares re-fit of a partial support isn't worth paying for.
+  // The operator overload refits matrix-free in implicit mode (no dense A
+  // exists) and delegates to the matrix version otherwise.
   if (effective.debias && !sr.deadline_expired) {
-    sr.x = solvers::debias_on_support(*a, measurements, sr.x,
+    sr.x = solvers::debias_on_support(a, measurements, sr.x,
                                       effective.support_threshold);
   }
 

@@ -1,0 +1,62 @@
+#include "cs/transform_operator.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "dsp/dct.hpp"
+
+namespace flexcs::cs {
+
+SubsampledTransformOperator::SubsampledTransformOperator(dsp::BasisKind basis,
+                                                         SamplingPattern pattern)
+    : basis_(basis), pattern_(std::move(pattern)) {
+  FLEXCS_CHECK(pattern_.rows > 0 && pattern_.cols > 0,
+               "SubsampledTransformOperator: empty grid");
+  FLEXCS_CHECK(!pattern_.indices.empty(),
+               "SubsampledTransformOperator: empty sampling pattern");
+  const std::size_t n = pattern_.n();
+  std::size_t prev = 0;
+  for (std::size_t k = 0; k < pattern_.indices.size(); ++k) {
+    const std::size_t idx = pattern_.indices[k];
+    FLEXCS_CHECK(idx < n, "SubsampledTransformOperator: index out of range");
+    FLEXCS_CHECK(k == 0 || idx > prev,
+                 "SubsampledTransformOperator: indices not strictly increasing");
+    prev = idx;
+  }
+  if (basis_ == dsp::BasisKind::kDct2D) {
+    dr_ = dsp::dct_matrix(pattern_.rows);
+    dc_ = dsp::dct_matrix(pattern_.cols);
+  } else {
+    // Haar dimension constraints surface at construction, not mid-solve.
+    dsp::analyze(basis_, la::Matrix(pattern_.rows, pattern_.cols, 0.0));
+  }
+}
+
+la::Vector SubsampledTransformOperator::apply(const la::Vector& x) const {
+  FLEXCS_CHECK(x.size() == cols(),
+               "SubsampledTransformOperator::apply shape mismatch");
+  const la::Matrix grid = la::Matrix::from_flat(x, pattern_.rows, pattern_.cols);
+  const la::Matrix frame =
+      basis_ == dsp::BasisKind::kDct2D
+          ? la::matmul(la::matmul_at_b(dr_, grid), dc_)  // = dsp::idct2d
+          : dsp::synthesize(basis_, grid);
+  la::Vector y(pattern_.m());
+  for (std::size_t k = 0; k < pattern_.indices.size(); ++k)
+    y[k] = frame.data()[pattern_.indices[k]];
+  return y;
+}
+
+la::Vector SubsampledTransformOperator::apply_adjoint(const la::Vector& y) const {
+  FLEXCS_CHECK(y.size() == rows(),
+               "SubsampledTransformOperator::apply_adjoint shape mismatch");
+  la::Matrix frame(pattern_.rows, pattern_.cols, 0.0);
+  for (std::size_t k = 0; k < pattern_.indices.size(); ++k)
+    frame.data()[pattern_.indices[k]] = y[k];
+  const la::Matrix coeffs =
+      basis_ == dsp::BasisKind::kDct2D
+          ? la::matmul_a_bt(la::matmul(dr_, frame), dc_)  // = dsp::dct2d
+          : dsp::analyze(basis_, frame);
+  return coeffs.flatten();
+}
+
+}  // namespace flexcs::cs

@@ -1,0 +1,48 @@
+// Matrix-free measurement operator A = Φ_M · Ψ (Eq. 8): the subsampled
+// synthesis transform applied through the fast 2-D transform instead of a
+// dense M x N matrix.
+//
+//   apply(x)         = gather(synthesize(grid(x)), pattern indices)
+//   apply_adjoint(y) = flatten(analyze(scatter(y, pattern indices)))
+//
+// The adjoint identity holds exactly because Φ_Mᵀ is scatter and Ψᵀ is the
+// analysis transform of an orthonormal basis. Peak state is O(N) for the
+// working grids plus the two cached 1-D DCT matrices (rows² + cols²) — a
+// 128×128 frame costs ~260 KB against the ~2 GB dense Ψ, and 256×256 fits
+// where the dense basis (~34 GB) cannot be built at all.
+#pragma once
+
+#include "cs/sampling.hpp"
+#include "dsp/basis.hpp"
+#include "la/operator.hpp"
+
+namespace flexcs::cs {
+
+class SubsampledTransformOperator final : public la::LinearOperator {
+ public:
+  /// Pattern indices must be strictly increasing row-major pixel indices
+  /// inside the rows x cols grid (same contract as apply_pattern).
+  SubsampledTransformOperator(dsp::BasisKind basis, SamplingPattern pattern);
+
+  std::size_t rows() const override { return pattern_.m(); }
+  std::size_t cols() const override { return pattern_.n(); }
+  la::Vector apply(const la::Vector& x) const override;
+  la::Vector apply_adjoint(const la::Vector& y) const override;
+  /// sigma_max(Φ_M Ψ) <= sigma_max(Ψ) = 1: row selection of an orthonormal
+  /// basis never expands norms. Exact (not just an upper bound) whenever at
+  /// least one pixel is sampled per Ψ's row space — always true here.
+  double norm_upper_bound() const override { return 1.0; }
+
+  dsp::BasisKind basis() const { return basis_; }
+  const SamplingPattern& pattern() const { return pattern_; }
+
+ private:
+  dsp::BasisKind basis_;
+  SamplingPattern pattern_;
+  // Cached 1-D DCT matrices (DCT basis only): dsp::dct2d/idct2d rebuild them
+  // per call, which would dominate the per-iteration cost inside a solver.
+  la::Matrix dr_;
+  la::Matrix dc_;
+};
+
+}  // namespace flexcs::cs

@@ -1,0 +1,117 @@
+// Matrix-free linear operators: the abstract LinearOperator interface
+// (apply / apply_adjoint / shape), a DenseOperator adapter over la::Matrix,
+// deterministic operator-norm power iteration, a dense materialiser for
+// tests, and a conjugate-gradient solver for SPD systems given only a
+// matvec callback.
+//
+// The sparse solvers only ever need y = A·x and x = Aᵀ·y — never the matrix
+// entries — so an implicit operator (e.g. the decoder's Φ_M·Ψ computed via
+// the fast 2-D DCT) can replace the dense M x N matrix wholesale. Operators
+// that *are* dense expose their matrix through dense(), which lets solvers
+// keep their specialised dense kernels (Woodbury/Cholesky paths) bit-for-bit
+// and lets entry-hungry solvers (OMP, BP-LP) reject implicit operators
+// explicitly instead of silently materialising an N x N basis.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "la/matrix.hpp"
+
+namespace flexcs::la {
+
+/// Abstract real linear operator A of shape rows() x cols().
+/// Implementations must be immutable after construction so one instance can
+/// be shared across solves and threads (the solver layer relies on this the
+/// same way it relies on Matrix being read-only during a solve).
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+
+  /// y = A x. Requires x.size() == cols(); implementations throw CheckError
+  /// on shape mismatch.
+  virtual Vector apply(const Vector& x) const = 0;
+
+  /// x = Aᵀ y. Requires y.size() == rows().
+  virtual Vector apply_adjoint(const Vector& y) const = 0;
+
+  /// Non-null when the operator is (or caches) an explicit dense matrix.
+  /// Solvers use it to keep their specialised dense kernels; entry-hungry
+  /// solvers (OMP, BP-LP) require it and reject implicit operators.
+  virtual const Matrix* dense() const { return nullptr; }
+
+  /// A cheap, always-valid upper bound on sigma_max(A); 0 means unknown.
+  /// Deadline-bounded Lipschitz setups fall back to it when the power
+  /// iteration cannot run to convergence (a too-large bound only shrinks
+  /// the step, it never breaks convergence).
+  virtual double norm_upper_bound() const { return 0.0; }
+
+  bool empty() const { return rows() == 0 || cols() == 0; }
+};
+
+/// Dense adapter: wraps an explicit matrix as a LinearOperator. apply /
+/// apply_adjoint are exactly la::matvec / la::matvec_t, so solvers driven
+/// through a DenseOperator reproduce their historical dense results
+/// bit-for-bit. norm_upper_bound() is the Frobenius norm (>= sigma_max).
+class DenseOperator final : public LinearOperator {
+ public:
+  /// Owning: moves the matrix in.
+  explicit DenseOperator(Matrix a);
+  /// Shared ownership (e.g. the decoder's cached measurement operator).
+  explicit DenseOperator(std::shared_ptr<const Matrix> a);
+  /// Non-owning view; `a` must outlive the operator. Used by the dense
+  /// solve() wrappers so wrapping never copies a large A.
+  static DenseOperator borrowed(const Matrix& a);
+
+  std::size_t rows() const override { return a_->rows(); }
+  std::size_t cols() const override { return a_->cols(); }
+  Vector apply(const Vector& x) const override;
+  Vector apply_adjoint(const Vector& y) const override;
+  const Matrix* dense() const override { return a_; }
+  double norm_upper_bound() const override { return frobenius_; }
+
+ private:
+  DenseOperator(std::shared_ptr<const Matrix> owned, const Matrix* borrowed);
+
+  std::shared_ptr<const Matrix> owned_;  // null in borrowed mode
+  const Matrix* a_;                      // never null
+  double frobenius_ = 0.0;
+};
+
+/// Largest singular value estimate via power iteration on AᵀA, with the same
+/// deterministic start vector and iteration count as la::spectral_norm — for
+/// a DenseOperator the result is bit-identical to spectral_norm(matrix).
+double operator_norm_estimate(const LinearOperator& a, int iters = 60);
+
+/// Materialises the operator as a dense matrix, one apply per column
+/// (O(cols) applies — test/debug use only, this is exactly the cost the
+/// implicit operators exist to avoid).
+Matrix to_dense(const LinearOperator& a);
+
+/// Conjugate gradient for S x = b where S is symmetric positive definite and
+/// available only as a matvec callback. Used by the matrix-free solver paths
+/// for their inner least-squares systems (normal equations + ridge), where
+/// S = AᵀA + c·I is SPD by construction.
+struct CgOptions {
+  int max_iterations = 200;
+  double tol = 1e-10;  // relative residual ||S x - b|| / ||b||
+  // Polled once per iteration; a fired stop returns the current iterate
+  // (finite, converged = false). Defaults to never stopping.
+  std::function<bool()> should_stop;
+};
+
+struct CgResult {
+  Vector x;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// `x0` seeds the iteration (warm start); pass an empty vector for zero.
+CgResult cg_solve(const std::function<Vector(const Vector&)>& apply_spd,
+                  const Vector& b, const CgOptions& opts = {},
+                  const Vector& x0 = {});
+
+}  // namespace flexcs::la

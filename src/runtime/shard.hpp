@@ -43,6 +43,10 @@ struct ShardOptions {
   // Worker pool + per-tile pipeline configuration. The server is created
   // over the PADDED tile geometry. policy must not be kDropOldest (a
   // dropped tile would leave a hole in the gather and hang it).
+  // stream.pipeline.decoder.implicit_psi applies per tile: tiling already
+  // bounds the dense basis to the tile size, but implicit mode drops even
+  // that (and is what makes an untiled large-frame decode possible when the
+  // stitching artefacts of sharding are unacceptable).
   StreamOptions stream;
 };
 

@@ -1,6 +1,7 @@
 #include "solvers/admm.hpp"
 
 #include <cmath>
+#include <functional>
 
 #include "common/check.hpp"
 #include "la/decomp.hpp"
@@ -8,7 +9,7 @@
 
 namespace flexcs::solvers {
 
-SolveResult AdmmLassoSolver::solve_impl(const la::Matrix& a,
+SolveResult AdmmLassoSolver::solve_impl(const la::LinearOperator& a,
                                         const la::Vector& b,
                                         const SolveOptions& ctrl) const {
   validate_solve_inputs(a, b, "ADMM");
@@ -26,25 +27,46 @@ SolveResult AdmmLassoSolver::solve_impl(const la::Matrix& a,
     return result;
   }
 
-  const la::Vector atb = matvec_t(a, b);
+  const la::Vector atb = a.apply_adjoint(b);
   const double lambda =
       opts_.lambda > 0.0 ? opts_.lambda : 1e-3 * atb.norm_inf();
   const double rho = opts_.rho;
 
-  // Woodbury: (A^T A + rho I)^{-1} q = (q - A^T (rho I + A A^T)^{-1} A q)/rho.
-  la::Matrix small = matmul_a_bt(a, a);  // A A^T, M x M
-  for (std::size_t i = 0; i < m; ++i) small(i, i) += rho;
-  const la::Matrix chol = la::cholesky(small);
-
-  auto apply_inverse = [&](const la::Vector& q) {
-    const la::Vector aq = matvec(a, q);
-    const la::Vector w = la::cholesky_solve(chol, aq);
-    la::Vector out = q - matvec_t(a, w);
-    out /= rho;
-    return out;
-  };
-
   la::Vector x(n, 0.0), z(n, 0.0), u(n, 0.0);
+
+  // x-update solve for (A^T A + rho I) x = q.
+  std::function<la::Vector(const la::Vector&)> apply_inverse;
+  la::Matrix chol;  // dense path only
+  const la::Matrix* mat = a.dense();
+  if (mat != nullptr) {
+    // Woodbury: (A^T A + rho I)^{-1} q = (q - A^T (rho I + A A^T)^{-1} A q)/rho.
+    la::Matrix small = matmul_a_bt(*mat, *mat);  // A A^T, M x M
+    for (std::size_t i = 0; i < m; ++i) small(i, i) += rho;
+    chol = la::cholesky(small);
+    apply_inverse = [&chol, mat, rho](const la::Vector& q) {
+      const la::Vector aq = matvec(*mat, q);
+      const la::Vector w = la::cholesky_solve(chol, aq);
+      la::Vector out = q - matvec_t(*mat, w);
+      out /= rho;
+      return out;
+    };
+  } else {
+    // Matrix-free: conjugate gradient on the SPD system, warm-started from
+    // the previous x-iterate. For the subsampled orthonormal transforms
+    // sigma_max(A) <= 1, so the condition number is at most (1 + rho)/rho
+    // and CG converges in a handful of iterations.
+    apply_inverse = [&a, &x, &ctrl, rho](const la::Vector& q) {
+      la::CgOptions cg;
+      cg.tol = 1e-10;
+      cg.should_stop = [&ctrl] { return ctrl.should_stop(); };
+      const auto apply_spd = [&a, rho](const la::Vector& v) {
+        la::Vector out = a.apply_adjoint(a.apply(v));
+        for (std::size_t i = 0; i < out.size(); ++i) out[i] += rho * v[i];
+        return out;
+      };
+      return la::cg_solve(apply_spd, q, cg, x).x;
+    };
+  }
 
   for (int it = 0; it < opts_.max_iterations; ++it) {
     if (ctrl.should_stop()) {
@@ -88,7 +110,7 @@ SolveResult AdmmLassoSolver::solve_impl(const la::Matrix& a,
   }
 
   result.x = z;  // z is the sparse iterate
-  result.residual_norm = (matvec(a, z) - b).norm2();
+  result.residual_norm = (a.apply(z) - b).norm2();
   return result;
 }
 

@@ -25,7 +25,7 @@ class AdmmLassoSolver final : public SparseSolver {
   std::string name() const override { return "admm"; }
 
  protected:
-  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+  SolveResult solve_impl(const la::LinearOperator& a, const la::Vector& b,
                          const SolveOptions& ctrl) const override;
 
  private:

@@ -5,9 +5,16 @@
 
 namespace flexcs::solvers {
 
-SolveResult BpLpSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
+SolveResult BpLpSolver::solve_impl(const la::LinearOperator& aop,
+                                   const la::Vector& b,
                                    const SolveOptions& ctrl) const {
-  validate_solve_inputs(a, b, "BP-LP");
+  validate_solve_inputs(aop, b, "BP-LP");
+  // The LP reformulation tabulates A's entries into the simplex constraint
+  // matrix, so it cannot run matrix-free; route implicit operators to
+  // FISTA/ADMM/IRLS/CoSaMP instead.
+  FLEXCS_CHECK(aop.dense() != nullptr,
+               "BP-LP requires a dense operator (needs matrix entries)");
+  const la::Matrix& a = *aop.dense();
   const std::size_t m = a.rows(), n = a.cols();
 
   if (ctrl.should_stop()) {  // expired before building the 2N-column LP
@@ -45,7 +52,7 @@ SolveResult BpLpSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
     for (std::size_t c = 0; c < n; ++c)
       result.x[c] = lp_res.x[c] - lp_res.x[n + c];
   }
-  result.residual_norm = (matvec(a, result.x) - b).norm2();
+  result.residual_norm = (la::matvec(a, result.x) - b).norm2();
   return result;
 }
 

@@ -22,7 +22,7 @@ class BpLpSolver final : public SparseSolver {
   std::string name() const override { return "bp-lp"; }
 
  protected:
-  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+  SolveResult solve_impl(const la::LinearOperator& a, const la::Vector& b,
                          const SolveOptions& ctrl) const override;
 
  private:

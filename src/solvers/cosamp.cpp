@@ -25,18 +25,47 @@ std::vector<std::size_t> top_k(const la::Vector& v, std::size_t k) {
 }
 
 // Least squares over the columns in `support`; returns coefficients aligned
-// with `support`.
-la::Vector lstsq_on_support(const la::Matrix& a, const la::Vector& b,
+// with `support`. Dense operators extract the columns and use QR least
+// squares (the historical path); implicit ones solve the ridge-stabilised
+// normal equations by conjugate gradient through embed/gather.
+la::Vector lstsq_on_support(const la::LinearOperator& a, const la::Vector& b,
                             const std::vector<std::size_t>& support) {
-  la::Matrix as(a.rows(), support.size());
-  for (std::size_t j = 0; j < support.size(); ++j)
-    for (std::size_t r = 0; r < a.rows(); ++r) as(r, j) = a(r, support[j]);
-  return la::lstsq(as, b);
+  if (const la::Matrix* mat = a.dense()) {
+    la::Matrix as(mat->rows(), support.size());
+    for (std::size_t j = 0; j < support.size(); ++j)
+      for (std::size_t r = 0; r < mat->rows(); ++r)
+        as(r, j) = (*mat)(r, support[j]);
+    return la::lstsq(as, b);
+  }
+
+  const auto embed = [&](const la::Vector& c) {
+    la::Vector full(a.cols(), 0.0);
+    for (std::size_t j = 0; j < support.size(); ++j) full[support[j]] = c[j];
+    return full;
+  };
+  const auto gather = [&](const la::Vector& full) {
+    la::Vector c(support.size());
+    for (std::size_t j = 0; j < support.size(); ++j) c[j] = full[support[j]];
+    return c;
+  };
+  const double bound = a.norm_upper_bound();
+  const double ridge = 1e-10 * std::max(1.0, bound * bound);
+  const auto apply_normal = [&](const la::Vector& c) {
+    la::Vector out = gather(a.apply_adjoint(a.apply(embed(c))));
+    for (std::size_t j = 0; j < c.size(); ++j) out[j] += ridge * c[j];
+    return out;
+  };
+  la::CgOptions cg;
+  cg.tol = 1e-12;
+  cg.max_iterations =
+      static_cast<int>(std::max<std::size_t>(200, support.size()));
+  return la::cg_solve(apply_normal, gather(a.apply_adjoint(b)), cg).x;
 }
 
 }  // namespace
 
-SolveResult CosampSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
+SolveResult CosampSolver::solve_impl(const la::LinearOperator& a,
+                                     const la::Vector& b,
                                      const SolveOptions& ctrl) const {
   validate_solve_inputs(a, b, "CoSaMP");
   const std::size_t m = a.rows(), n = a.cols();
@@ -66,7 +95,7 @@ SolveResult CosampSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
       break;
     }
     // Identify: union of current support with the 2K strongest proxies.
-    const la::Vector proxy = matvec_t(a, residual);
+    const la::Vector proxy = a.apply_adjoint(residual);
     std::vector<std::size_t> candidates = top_k(proxy, 2 * k);
     for (std::size_t j = 0; j < n; ++j)
       if (x[j] != 0.0) candidates.push_back(j);
@@ -97,7 +126,7 @@ SolveResult CosampSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
     for (std::size_t j : kept) x[j] = dense[j];
 
     // Update residual.
-    residual = b - matvec(a, x);
+    residual = b - a.apply(x);
     const double res = residual.norm2();
     result.iterations = it + 1;
     if (res / bnorm < opts_.residual_tol) {

@@ -18,7 +18,7 @@ class CosampSolver final : public SparseSolver {
   std::string name() const override { return "cosamp"; }
 
  protected:
-  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+  SolveResult solve_impl(const la::LinearOperator& a, const la::Vector& b,
                          const SolveOptions& ctrl) const override;
 
  private:

@@ -8,24 +8,26 @@ namespace flexcs::solvers {
 namespace {
 
 // Lipschitz setup, sigma_max(A). The fixed-budget power iteration of
-// la::spectral_norm costs more than a tight frame deadline can afford, so a
-// bounded solve estimates sigma with an early-exit power iteration that
-// polls the deadline, falling back to the Frobenius norm — always an upper
-// bound on sigma_max, hence a smaller, still-convergent step — if it fires
-// mid-setup. Unbounded solves keep la::spectral_norm bit-for-bit.
-double lipschitz_sigma(const la::Matrix& a, const SolveOptions& ctrl) {
-  // A caller-supplied bound (typically la::spectral_norm of the same A,
-  // cached across a batch of solves sharing one pattern) wins outright: it
-  // is the same number this function would compute, minus the cost.
+// la::operator_norm_estimate costs more than a tight frame deadline can
+// afford, so a bounded solve estimates sigma with an early-exit power
+// iteration that polls the deadline, falling back to the operator's cheap
+// norm bound — always >= sigma_max, hence a smaller, still-convergent step —
+// if it fires mid-setup. Unbounded solves keep the full iteration, which
+// for dense operators matches la::spectral_norm bit-for-bit.
+double lipschitz_sigma(const la::LinearOperator& a, const SolveOptions& ctrl) {
+  // A caller-supplied bound (typically la::operator_norm_estimate of the
+  // same A, cached across a batch of solves sharing one pattern) wins
+  // outright: it is the same number this function would compute, minus the
+  // cost.
   if (ctrl.operator_norm_hint > 0.0) return ctrl.operator_norm_hint;
   if (ctrl.deadline.unlimited() && !ctrl.cancel.cancelled())
-    return la::spectral_norm(a);
+    return la::operator_norm_estimate(a);
 
-  double frob = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i)
-    frob += a.data()[i] * a.data()[i];
-  frob = std::sqrt(frob);
-  if (frob == 0.0) return 0.0;
+  // Cheap always-valid bound: the Frobenius norm for dense operators (the
+  // historical fallback, bit-for-bit), sigma_max(Psi) = 1 for the subsampled
+  // orthonormal transforms. 0 means the operator offers none.
+  const double bound = a.norm_upper_bound();
+  if (a.dense() != nullptr && bound == 0.0) return 0.0;  // zero matrix
 
   la::Vector v(a.cols());
   for (std::size_t i = 0; i < v.size(); ++i)
@@ -35,10 +37,11 @@ double lipschitz_sigma(const la::Matrix& a, const SolveOptions& ctrl) {
   constexpr int kMaxIters = 60;
   constexpr double kTol = 1e-3;
   for (int it = 0; it < kMaxIters; ++it) {
-    if (ctrl.should_stop()) return frob;  // safe bound, main loop exits next
-    la::Vector w = la::matvec_t(a, la::matvec(a, v));
+    if (ctrl.should_stop())  // safe bound, main loop exits next
+      return bound > 0.0 ? bound : (sigma > 0.0 ? 1.05 * sigma : 1.0);
+    la::Vector w = a.apply_adjoint(a.apply(v));
     const double n = w.norm2();
-    if (n == 0.0) return frob;
+    if (n == 0.0) return bound;
     v = w / n;
     const double next = std::sqrt(n);
     if (it > 0 && std::abs(next - sigma) <= kTol * next) {
@@ -49,7 +52,7 @@ double lipschitz_sigma(const la::Matrix& a, const SolveOptions& ctrl) {
   }
   // Power iteration approaches sigma_max from below; pad the estimate so the
   // step 1/sigma^2 stays on the convergent side.
-  return std::min(1.05 * sigma, frob);
+  return bound > 0.0 ? std::min(1.05 * sigma, bound) : 1.05 * sigma;
 }
 
 }  // namespace
@@ -66,7 +69,8 @@ la::Vector soft_threshold(const la::Vector& v, double t) {
   return out;
 }
 
-SolveResult FistaSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
+SolveResult FistaSolver::solve_impl(const la::LinearOperator& a,
+                                    const la::Vector& b,
                                     const SolveOptions& ctrl) const {
   validate_solve_inputs(a, b, "FISTA");
   const std::size_t n = a.cols();
@@ -84,7 +88,7 @@ SolveResult FistaSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
     return result;
   }
 
-  const la::Vector atb = matvec_t(a, b);
+  const la::Vector atb = a.apply_adjoint(b);
   const double lambda =
       opts_.lambda > 0.0 ? opts_.lambda : 1e-3 * atb.norm_inf();
 
@@ -103,8 +107,8 @@ SolveResult FistaSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
       break;
     }
     // Gradient step at y: grad = A^T (A y - b).
-    const la::Vector ay = matvec(a, y);
-    la::Vector grad = matvec_t(a, ay);
+    const la::Vector ay = a.apply(y);
+    la::Vector grad = a.apply_adjoint(ay);
     grad -= atb;
     la::Vector x_new(n);
     for (std::size_t i = 0; i < n; ++i)
@@ -132,7 +136,7 @@ SolveResult FistaSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
   }
 
   result.x = x;
-  result.residual_norm = (matvec(a, x) - b).norm2();
+  result.residual_norm = (a.apply(x) - b).norm2();
   return result;
 }
 

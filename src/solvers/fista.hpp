@@ -19,7 +19,7 @@ class FistaSolver final : public SparseSolver {
   std::string name() const override { return opts_.accelerate ? "fista" : "ista"; }
 
  protected:
-  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+  SolveResult solve_impl(const la::LinearOperator& a, const la::Vector& b,
                          const SolveOptions& ctrl) const override;
 
  private:

@@ -21,7 +21,7 @@ class IrlsSolver final : public SparseSolver {
   std::string name() const override { return "irls"; }
 
  protected:
-  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+  SolveResult solve_impl(const la::LinearOperator& a, const la::Vector& b,
                          const SolveOptions& ctrl) const override;
 
  private:

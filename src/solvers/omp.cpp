@@ -8,9 +8,16 @@
 
 namespace flexcs::solvers {
 
-SolveResult OmpSolver::solve_impl(const la::Matrix& a, const la::Vector& b,
+SolveResult OmpSolver::solve_impl(const la::LinearOperator& aop,
+                                  const la::Vector& b,
                                   const SolveOptions& ctrl) const {
-  validate_solve_inputs(a, b, "OMP");
+  validate_solve_inputs(aop, b, "OMP");
+  // OMP reads individual matrix entries (incremental support Gram), so it
+  // cannot run matrix-free; route implicit operators to FISTA/ADMM/IRLS/
+  // CoSaMP instead.
+  FLEXCS_CHECK(aop.dense() != nullptr,
+               "OMP requires a dense operator (needs matrix entries)");
+  const la::Matrix& a = *aop.dense();
   const std::size_t m = a.rows(), n = a.cols();
   const std::size_t kmax =
       opts_.max_sparsity > 0 ? std::min(opts_.max_sparsity, m) : m / 2;

@@ -17,7 +17,7 @@ class OmpSolver final : public SparseSolver {
   std::string name() const override { return "omp"; }
 
  protected:
-  SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+  SolveResult solve_impl(const la::LinearOperator& a, const la::Vector& b,
                          const SolveOptions& ctrl) const override;
 
  private:

@@ -23,6 +23,17 @@ SolveResult SparseSolver::solve(const la::Matrix& a,
 
 SolveResult SparseSolver::solve(const la::Matrix& a, const la::Vector& b,
                                 const SolveOptions& ctrl) const {
+  return solve(la::DenseOperator::borrowed(a), b, ctrl);
+}
+
+SolveResult SparseSolver::solve(const la::LinearOperator& a,
+                                const la::Vector& b) const {
+  return solve(a, b, SolveOptions{});
+}
+
+SolveResult SparseSolver::solve(const la::LinearOperator& a,
+                                const la::Vector& b,
+                                const SolveOptions& ctrl) const {
   const auto start = runtime::Deadline::Clock::now();
   SolveResult result = solve_impl(a, b, ctrl);
   result.solve_seconds =
@@ -53,6 +64,19 @@ void validate_solve_inputs(const la::Matrix& a, const la::Vector& b,
                    std::to_string(b.size()) + " entries");
   FLEXCS_CHECK(la::all_finite(b), name + ": non-finite measurement in b");
   FLEXCS_CHECK(la::all_finite(a), name + ": non-finite entry in A");
+}
+
+void validate_solve_inputs(const la::LinearOperator& a, const la::Vector& b,
+                           const char* who) {
+  const std::string name(who);
+  FLEXCS_CHECK(!a.empty(), name + ": empty measurement operator");
+  FLEXCS_CHECK(a.rows() == b.size(),
+               name + ": A is " + std::to_string(a.rows()) + "x" +
+                   std::to_string(a.cols()) + " but b has " +
+                   std::to_string(b.size()) + " entries");
+  FLEXCS_CHECK(la::all_finite(b), name + ": non-finite measurement in b");
+  if (const la::Matrix* m = a.dense())
+    FLEXCS_CHECK(la::all_finite(*m), name + ": non-finite entry in A");
 }
 
 la::Vector debias_on_support(const la::Matrix& a, const la::Vector& b,
@@ -93,6 +117,59 @@ la::Vector debias_on_support(const la::Matrix& a, const la::Vector& b,
   la::Vector out(x.size(), 0.0);
   for (std::size_t j = 0; j < support.size(); ++j) out[support[j]] = coef[j];
   return out;
+}
+
+la::Vector debias_on_support(const la::LinearOperator& a, const la::Vector& b,
+                             const la::Vector& x, double threshold) {
+  if (const la::Matrix* m = a.dense())
+    return debias_on_support(*m, b, x, threshold);
+
+  FLEXCS_CHECK(a.cols() == x.size() && a.rows() == b.size(),
+               "debias: shape mismatch");
+  std::vector<std::size_t> support;
+  for (std::size_t j = 0; j < x.size(); ++j)
+    if (std::fabs(x[j]) > threshold) support.push_back(j);
+  if (support.empty()) return la::Vector(x.size(), 0.0);
+
+  if (support.size() > a.rows()) {
+    std::sort(support.begin(), support.end(),
+              [&x](std::size_t i, std::size_t j) {
+                return std::fabs(x[i]) > std::fabs(x[j]);
+              });
+    support.resize(a.rows());
+    std::sort(support.begin(), support.end());
+  }
+
+  // Same ridge-regularised normal equations as the dense path, solved by
+  // conjugate gradient through embed/gather instead of materialising the
+  // support columns: S c = A_Sᵀ A_S c + ridge·c with A_S c = A·embed(c).
+  const auto embed = [&](const la::Vector& c) {
+    la::Vector full(a.cols(), 0.0);
+    for (std::size_t j = 0; j < support.size(); ++j) full[support[j]] = c[j];
+    return full;
+  };
+  const auto gather = [&](const la::Vector& full) {
+    la::Vector c(support.size());
+    for (std::size_t j = 0; j < support.size(); ++j) c[j] = full[support[j]];
+    return c;
+  };
+  // The dense path scales its ridge by the mean support-column energy; with
+  // no entry access we bound it by sigma_max(A)^2 instead (exactly 1 for the
+  // subsampled orthonormal transforms this path exists for).
+  const double bound = a.norm_upper_bound();
+  const double ridge = 1e-10 * std::max(1.0, bound * bound);
+  const auto apply_normal = [&](const la::Vector& c) {
+    la::Vector out = gather(a.apply_adjoint(a.apply(embed(c))));
+    for (std::size_t j = 0; j < c.size(); ++j) out[j] += ridge * c[j];
+    return out;
+  };
+  la::CgOptions cg;
+  cg.max_iterations =
+      static_cast<int>(std::max<std::size_t>(200, support.size()));
+  cg.tol = 1e-12;
+  const la::CgResult fit =
+      la::cg_solve(apply_normal, gather(a.apply_adjoint(b)), cg);
+  return embed(fit.x);
 }
 
 std::vector<std::string> solver_names() {

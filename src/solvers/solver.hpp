@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "la/operator.hpp"
 #include "runtime/deadline.hpp"
 
 namespace flexcs::solvers {
@@ -57,6 +58,8 @@ class SparseSolver {
   /// Solves for sparse x from b ≈ A x. Requires a.rows() == b.size(), a
   /// non-empty A, and finite entries in both A and b; violations throw
   /// CheckError (every implementation calls validate_solve_inputs first).
+  /// Thin wrapper over the operator overload (A wrapped without copying);
+  /// results are identical to the historical dense-matrix path.
   SolveResult solve(const la::Matrix& a, const la::Vector& b) const;
 
   /// Same solve under cooperative control: the deadline / cancellation token
@@ -68,12 +71,24 @@ class SparseSolver {
   SolveResult solve(const la::Matrix& a, const la::Vector& b,
                     const SolveOptions& ctrl) const;
 
+  /// Matrix-free solve: A given only through apply/apply_adjoint. Gradient
+  /// based solvers (FISTA/ISTA, ADMM, IRLS, CoSaMP) support any operator;
+  /// entry-hungry solvers (OMP, BP-LP) require a.dense() != nullptr and
+  /// throw CheckError for implicit operators. Deadline/cancel semantics and
+  /// the partial-iterate guarantee match the dense overload.
+  SolveResult solve(const la::LinearOperator& a, const la::Vector& b) const;
+  SolveResult solve(const la::LinearOperator& a, const la::Vector& b,
+                    const SolveOptions& ctrl) const;
+
  protected:
   /// Per-solver algorithm body. Must call validate_solve_inputs first
   /// (enforced by tools/flexcs_lint.py, rule entry-check), honour `ctrl`
   /// once per iteration, and set deadline_expired when stopping early.
   /// Timing and the partial-iterate guarantee are applied by solve().
-  virtual SolveResult solve_impl(const la::Matrix& a, const la::Vector& b,
+  /// Dense-only algorithms branch on a.dense() and reject implicit
+  /// operators with FLEXCS_CHECK.
+  virtual SolveResult solve_impl(const la::LinearOperator& a,
+                                 const la::Vector& b,
                                  const SolveOptions& ctrl) const = 0;
 };
 
@@ -85,11 +100,26 @@ class SparseSolver {
 void validate_solve_inputs(const la::Matrix& a, const la::Vector& b,
                            const char* who);
 
+/// Operator form of the same contract: non-empty operator, b matches its
+/// row count, b finite — and when the operator is dense, its entries finite
+/// too (implicit operators are validated structurally at construction; their
+/// applies cannot manufacture NaN from finite inputs).
+void validate_solve_inputs(const la::LinearOperator& a, const la::Vector& b,
+                           const char* who);
+
 /// Least-squares re-fit restricted to the support {i : |x[i]| > threshold}.
 /// Standard de-biasing step after L1 solvers (removes the shrinkage bias).
 /// If the support is larger than the number of measurements, the largest
 /// a.rows() entries are kept.
 la::Vector debias_on_support(const la::Matrix& a, const la::Vector& b,
+                             const la::Vector& x, double threshold = 1e-8);
+
+/// Matrix-free debias: dense operators delegate to the matrix version
+/// (identical results); implicit operators solve the same ridge-regularised
+/// normal equations on the support by conjugate gradient, never touching
+/// matrix entries. Used by the decoder's implicit_psi path, where no dense
+/// A exists to refit against.
+la::Vector debias_on_support(const la::LinearOperator& a, const la::Vector& b,
                              const la::Vector& x, double threshold = 1e-8);
 
 /// Names accepted by make_solver.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <memory>
 #include <string>
 
 #include "common/check.hpp"
@@ -11,7 +12,10 @@
 #include "cs/decoder.hpp"
 #include "cs/encoder.hpp"
 #include "cs/sampling.hpp"
+#include "cs/transform_operator.hpp"
+#include "dsp/basis.hpp"
 #include "la/matrix.hpp"
+#include "la/operator.hpp"
 #include "solvers/solver.hpp"
 
 namespace {
@@ -229,6 +233,89 @@ TEST(DecoderContracts, RejectsEmptyMeasurements) {
 
 TEST(DecoderContracts, RejectsEmptyGeometry) {
   EXPECT_THROW(cs::Decoder(0, 4), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Operator entry points (la::LinearOperator / cs::SubsampledTransformOperator)
+
+class OperatorContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    Rng rng(77);
+    pattern_ = cs::random_pattern(6, 6, 0.5, rng);
+    op_ = std::make_unique<cs::SubsampledTransformOperator>(
+        flexcs::dsp::BasisKind::kDct2D, pattern_);
+    la::Vector x0(36, 0.0);
+    x0[2] = 1.0;
+    x0[17] = -0.7;
+    b_ = op_->apply(x0);
+  }
+
+  cs::SamplingPattern pattern_;
+  std::unique_ptr<cs::SubsampledTransformOperator> op_;
+  la::Vector b_;
+};
+
+TEST_P(OperatorContractTest, WellPosedImplicitProblemIsAcceptedOrRejected) {
+  // Matrix-free-capable solvers accept the implicit operator; entry-hungry
+  // ones must reject it with CheckError rather than fault.
+  const auto solver = solvers::make_solver(GetParam());
+  if (GetParam() == "omp" || GetParam() == "bp-lp") {
+    EXPECT_THROW(solver->solve(*op_, b_), CheckError);
+  } else {
+    EXPECT_NO_THROW(solver->solve(*op_, b_));
+  }
+}
+
+TEST_P(OperatorContractTest, RejectsMismatchedDimensionsThroughOperator) {
+  const auto solver = solvers::make_solver(GetParam());
+  EXPECT_THROW(solver->solve(*op_, la::Vector(op_->rows() + 1, 1.0)),
+               CheckError);
+  EXPECT_THROW(solver->solve(*op_, la::Vector(op_->rows() - 1, 1.0)),
+               CheckError);
+}
+
+TEST_P(OperatorContractTest, RejectsNanMeasurementsThroughOperator) {
+  const auto solver = solvers::make_solver(GetParam());
+  la::Vector bad = b_;
+  bad[1] = kNan;
+  EXPECT_THROW(solver->solve(*op_, bad), CheckError);
+  bad[1] = kInf;
+  EXPECT_THROW(solver->solve(*op_, bad), CheckError);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, OperatorContractTest,
+                         ::testing::ValuesIn(solvers::solver_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(OperatorContracts, DenseOperatorStillRejectsNanMatrixEntries) {
+  Rng rng(78);
+  la::Matrix bad(4, 8);
+  for (std::size_t i = 0; i < bad.size(); ++i) bad.data()[i] = rng.normal();
+  bad(2, 3) = kNan;
+  const la::DenseOperator op(bad);
+  const la::Vector b(4, 1.0);
+  for (const auto& name : solvers::solver_names())
+    EXPECT_THROW(solvers::make_solver(name)->solve(op, b), CheckError) << name;
+}
+
+TEST(OperatorContracts, OperatorDebiasRejectsShapeMismatch) {
+  Rng rng(79);
+  const cs::SamplingPattern p = cs::random_pattern(6, 6, 0.5, rng);
+  const cs::SubsampledTransformOperator op(flexcs::dsp::BasisKind::kDct2D, p);
+  const la::Vector b(op.rows(), 1.0);
+  EXPECT_THROW(
+      solvers::debias_on_support(op, b, la::Vector(op.cols() + 1, 1.0)),
+      CheckError);
+  EXPECT_THROW(
+      solvers::debias_on_support(op, la::Vector(op.rows() + 2, 1.0),
+                                 la::Vector(op.cols(), 1.0)),
+      CheckError);
 }
 
 }  // namespace

@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "cs/sampling.hpp"
+#include "cs/transform_operator.hpp"
+#include "dsp/basis.hpp"
 #include "la/matrix.hpp"
 #include "lp/simplex.hpp"
 #include "rpca/rpca.hpp"
@@ -130,6 +133,107 @@ TEST(DeadlineSemantics, MidRunExpiryReturnsBoundedPartialIterate) {
     ctrl.deadline = runtime::Deadline::after(2e-3);
     const SolveResult r = solver->solve(p.a, p.b, ctrl);
     expect_flagged_and_bounded(r, p, solver->name());
+  }
+}
+
+// --------------------------------------------------------------------------
+// The operator overload must keep identical deadline/cancel semantics: the
+// implicit-Ψ roster is the matrix-free-capable subset (OMP and BP-LP reject
+// implicit operators outright, which is their documented contract).
+
+struct OperatorProblem {
+  std::shared_ptr<const cs::SubsampledTransformOperator> op;
+  la::Vector b;
+};
+
+OperatorProblem make_operator_problem(std::size_t rows, std::size_t cols,
+                                      std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  const cs::SamplingPattern p = cs::random_pattern(rows, cols, 0.5, rng);
+  auto op = std::make_shared<const cs::SubsampledTransformOperator>(
+      dsp::BasisKind::kDct2D, p);
+  la::Vector x0(p.n(), 0.0);
+  for (std::size_t j = 0; j < k; ++j)
+    x0[rng.uniform_index(p.n())] = 1.0 + rng.uniform();
+  OperatorProblem out;
+  out.b = op->apply(x0);
+  out.op = std::move(op);
+  return out;
+}
+
+std::vector<std::shared_ptr<const SparseSolver>> matrix_free_roster() {
+  FistaOptions fista;
+  fista.max_iterations = 2000000;
+  fista.tol = 0.0;
+  AdmmOptions admm;
+  admm.max_iterations = 2000000;
+  admm.abs_tol = 0.0;
+  admm.rel_tol = 0.0;
+  IrlsOptions irls;
+  irls.max_iterations = 2000000;
+  irls.tol = 0.0;
+  CosampOptions cosamp;
+  cosamp.max_iterations = 2000000;
+  cosamp.residual_tol = 0.0;
+  return {
+      std::make_shared<FistaSolver>(fista),
+      std::make_shared<AdmmLassoSolver>(admm),
+      std::make_shared<IrlsSolver>(irls),
+      std::make_shared<CosampSolver>(cosamp),
+  };
+}
+
+void expect_flagged_and_bounded_op(const SolveResult& r,
+                                   const OperatorProblem& p,
+                                   const std::string& who) {
+  EXPECT_TRUE(r.deadline_expired) << who;
+  EXPECT_FALSE(r.converged) << who;
+  EXPECT_EQ(r.x.size(), p.op->cols()) << who;
+  EXPECT_TRUE(la::all_finite(r.x)) << who;
+  EXPECT_GE(r.solve_seconds, 0.0) << who;
+  EXPECT_LE(r.residual_norm, p.b.norm2() * (1.0 + 1e-12)) << who;
+  EXPECT_NEAR((p.op->apply(r.x) - p.b).norm2(), r.residual_norm,
+              1e-9 * (1.0 + p.b.norm2()))
+      << who;
+}
+
+TEST(DeadlineSemantics, AlreadyExpiredReturnsImmediatelyImplicitOperator) {
+  const OperatorProblem p = make_operator_problem(8, 8, 5, 4321);
+  SolveOptions ctrl;
+  ctrl.deadline = runtime::Deadline::after(0.0);
+  for (const auto& solver : matrix_free_roster()) {
+    const SolveResult r = solver->solve(*p.op, p.b, ctrl);
+    expect_flagged_and_bounded_op(r, p, solver->name());
+    EXPECT_EQ(r.iterations, 0) << solver->name();
+    const SolveResult replay = solver->solve(*p.op, p.b, ctrl);
+    ASSERT_EQ(replay.x.size(), r.x.size()) << solver->name();
+    for (std::size_t i = 0; i < r.x.size(); ++i)
+      EXPECT_EQ(replay.x[i], r.x[i]) << solver->name() << " coeff " << i;
+  }
+}
+
+TEST(DeadlineSemantics, PreCancelledTokenStopsImplicitOperatorSolves) {
+  const OperatorProblem p = make_operator_problem(8, 8, 5, 4321);
+  runtime::CancelSource source;
+  source.cancel();
+  SolveOptions ctrl;
+  ctrl.cancel = source.token();
+  for (const auto& solver : matrix_free_roster()) {
+    const SolveResult r = solver->solve(*p.op, p.b, ctrl);
+    expect_flagged_and_bounded_op(r, p, solver->name());
+    EXPECT_EQ(r.iterations, 0) << solver->name();
+  }
+}
+
+TEST(DeadlineSemantics, MidRunExpiryBoundsImplicitOperatorIterate) {
+  // 32x32 grid -> 1024 coefficients, tolerances zeroed: nothing converges
+  // before a 2 ms deadline on this geometry.
+  const OperatorProblem p = make_operator_problem(32, 32, 20, 787);
+  for (const auto& solver : matrix_free_roster()) {
+    SolveOptions ctrl;
+    ctrl.deadline = runtime::Deadline::after(2e-3);
+    const SolveResult r = solver->solve(*p.op, p.b, ctrl);
+    expect_flagged_and_bounded_op(r, p, solver->name());
   }
 }
 

@@ -1,0 +1,223 @@
+// Operator test harness: the adjoint dot-product property
+// <A x, y> == <x, A^T y> is what every matrix-free solver in the library
+// leans on (a wrong adjoint makes gradients silently point the wrong way),
+// so it is verified here for both operator families across geometries,
+// together with entry-wise equivalence against the dense Ψ path, the
+// operator-norm power iteration, and the CG kernel.
+#include "la/operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "cs/sampling.hpp"
+#include "cs/transform_operator.hpp"
+#include "dsp/basis.hpp"
+#include "la/matrix.hpp"
+
+namespace flexcs::cs {
+namespace {
+
+la::Vector random_vector(std::size_t n, Rng& rng) {
+  la::Vector v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+la::Matrix random_matrix(std::size_t m, std::size_t n, Rng& rng) {
+  la::Matrix a(m, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.normal();
+  return a;
+}
+
+// |<A x, y> - <x, A^T y>| over a batch of random probe pairs.
+double adjoint_mismatch(const la::LinearOperator& a, Rng& rng, int trials) {
+  double worst = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const la::Vector x = random_vector(a.cols(), rng);
+    const la::Vector y = random_vector(a.rows(), rng);
+    const double lhs = la::dot(a.apply(x), y);
+    const double rhs = la::dot(x, a.apply_adjoint(y));
+    worst = std::max(worst, std::fabs(lhs - rhs));
+  }
+  return worst;
+}
+
+struct Geometry {
+  std::size_t rows, cols;
+  double fraction;
+  dsp::BasisKind basis;
+};
+
+class AdjointProperty : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(AdjointProperty, SubsampledTransformSatisfiesDotProductIdentity) {
+  const Geometry g = GetParam();
+  Rng rng(0xAD501 ^ (g.rows * 131 + g.cols * 17));
+  const SamplingPattern p = random_pattern(g.rows, g.cols, g.fraction, rng);
+  const SubsampledTransformOperator op(g.basis, p);
+  ASSERT_EQ(op.rows(), p.m());
+  ASSERT_EQ(op.cols(), p.n());
+  EXPECT_LT(adjoint_mismatch(op, rng, 8), 1e-10);
+}
+
+TEST_P(AdjointProperty, DenseOperatorSatisfiesDotProductIdentity) {
+  const Geometry g = GetParam();
+  Rng rng(0xAD502 ^ (g.rows * 131 + g.cols * 17));
+  const std::size_t m =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   g.fraction *
+                                   static_cast<double>(g.rows * g.cols)));
+  const la::DenseOperator op(random_matrix(m, g.rows * g.cols, rng));
+  EXPECT_LT(adjoint_mismatch(op, rng, 8), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AdjointProperty,
+    ::testing::Values(
+        Geometry{8, 8, 0.5, dsp::BasisKind::kDct2D},
+        Geometry{8, 12, 0.4, dsp::BasisKind::kDct2D},
+        Geometry{12, 8, 0.6, dsp::BasisKind::kDct2D},
+        Geometry{16, 16, 0.3, dsp::BasisKind::kDct2D},
+        Geometry{5, 7, 0.8, dsp::BasisKind::kDct2D},
+        Geometry{32, 32, 0.25, dsp::BasisKind::kDct2D},
+        Geometry{8, 8, 0.5, dsp::BasisKind::kHaar2D},
+        Geometry{16, 8, 0.4, dsp::BasisKind::kHaar2D}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return dsp::to_string(info.param.basis) + "_" +
+             std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols);
+    });
+
+TEST(SubsampledTransformOperator, MatchesDensePsiRowSelectionEntrywise) {
+  // The implicit operator must be *the same linear map* as Φ_M·Ψ built
+  // densely, not merely adjoint-consistent — compare every entry.
+  for (const auto basis : {dsp::BasisKind::kDct2D, dsp::BasisKind::kHaar2D}) {
+    Rng rng(0xE0E0 + static_cast<unsigned>(basis));
+    const std::size_t rows = 8, cols = 8;
+    const SamplingPattern p = random_pattern(rows, cols, 0.5, rng);
+    const SubsampledTransformOperator op(basis, p);
+    const la::Matrix dense_a =
+        dsp::synthesis_matrix(basis, rows, cols).select_rows(p.indices);
+    EXPECT_LT(la::max_abs_diff(la::to_dense(op), dense_a), 1e-12)
+        << dsp::to_string(basis);
+  }
+}
+
+TEST(SubsampledTransformOperator, NormBoundIsValidAndNearlyTight) {
+  Rng rng(0x51617);
+  const SamplingPattern p = random_pattern(12, 12, 0.5, rng);
+  const SubsampledTransformOperator op(dsp::BasisKind::kDct2D, p);
+  const double sigma = la::operator_norm_estimate(op);
+  EXPECT_GT(sigma, 0.5);               // half the pixels sampled
+  EXPECT_LE(sigma, op.norm_upper_bound() + 1e-9);
+  EXPECT_DOUBLE_EQ(op.norm_upper_bound(), 1.0);
+}
+
+TEST(DenseOperator, NormEstimateMatchesSpectralNormBitForBit) {
+  Rng rng(0x5B11);
+  const la::Matrix a = random_matrix(20, 35, rng);
+  const la::DenseOperator op(a);
+  EXPECT_EQ(la::operator_norm_estimate(op), la::spectral_norm(a));
+  EXPECT_DOUBLE_EQ(op.norm_upper_bound(), a.norm_fro());
+}
+
+TEST(DenseOperator, BorrowedAndOwnedAgree) {
+  Rng rng(0xB0B0);
+  const la::Matrix a = random_matrix(6, 9, rng);
+  const la::DenseOperator owned(a);
+  const la::DenseOperator view = la::DenseOperator::borrowed(a);
+  const la::Vector x = random_vector(9, rng);
+  const la::Vector y = random_vector(6, rng);
+  EXPECT_EQ(la::max_abs_diff(owned.apply(x), view.apply(x)), 0.0);
+  EXPECT_EQ(la::max_abs_diff(owned.apply_adjoint(y), view.apply_adjoint(y)),
+            0.0);
+  ASSERT_NE(view.dense(), nullptr);
+  EXPECT_EQ(view.dense(), &a);  // borrowed mode never copies
+}
+
+TEST(OperatorChecks, ShapeMismatchesThrow) {
+  Rng rng(0xBAD5);
+  const SamplingPattern p = random_pattern(8, 8, 0.5, rng);
+  const SubsampledTransformOperator op(dsp::BasisKind::kDct2D, p);
+  EXPECT_THROW(op.apply(la::Vector(op.cols() + 1, 0.0)), CheckError);
+  EXPECT_THROW(op.apply_adjoint(la::Vector(op.rows() + 1, 0.0)), CheckError);
+  const la::DenseOperator d(random_matrix(4, 6, rng));
+  EXPECT_THROW(d.apply(la::Vector(7, 0.0)), CheckError);
+  EXPECT_THROW(d.apply_adjoint(la::Vector(5, 0.0)), CheckError);
+}
+
+TEST(OperatorChecks, InvalidPatternsThrowAtConstruction) {
+  SamplingPattern p;
+  p.rows = 4;
+  p.cols = 4;
+  EXPECT_THROW(SubsampledTransformOperator(dsp::BasisKind::kDct2D, p),
+               CheckError);  // empty index set
+  p.indices = {0, 2, 16};    // out of range for a 4x4 grid
+  EXPECT_THROW(SubsampledTransformOperator(dsp::BasisKind::kDct2D, p),
+               CheckError);
+  p.indices = {0, 2, 2};     // not strictly increasing
+  EXPECT_THROW(SubsampledTransformOperator(dsp::BasisKind::kDct2D, p),
+               CheckError);
+  p.indices = {0, 2, 5};
+  p.rows = 0;                // empty grid
+  EXPECT_THROW(SubsampledTransformOperator(dsp::BasisKind::kDct2D, p),
+               CheckError);
+  p.rows = 5;                // 5x4 is not dyadic: Haar must reject it
+  p.cols = 5;
+  EXPECT_THROW(SubsampledTransformOperator(dsp::BasisKind::kHaar2D, p),
+               CheckError);
+}
+
+TEST(CgSolve, SolvesSpdSystemAndHonoursWarmStart) {
+  Rng rng(0xC6C6);
+  const la::Matrix a = random_matrix(12, 12, rng);
+  // S = A^T A + I is SPD.
+  const auto apply_spd = [&a](const la::Vector& v) {
+    la::Vector out = la::matvec_t(a, la::matvec(a, v));
+    out += v;
+    return out;
+  };
+  const la::Vector x_true = random_vector(12, rng);
+  const la::Vector b = apply_spd(x_true);
+
+  const la::CgResult cold = la::cg_solve(apply_spd, b);
+  EXPECT_TRUE(cold.converged);
+  EXPECT_LT(la::max_abs_diff(cold.x, x_true), 1e-8);
+
+  // Warm-started from the exact solution, CG must accept immediately.
+  const la::CgResult warm = la::cg_solve(apply_spd, b, {}, x_true);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_EQ(warm.iterations, 0);
+}
+
+TEST(CgSolve, StopCallbackReturnsFiniteIterate) {
+  Rng rng(0xC7C7);
+  const la::Matrix a = random_matrix(10, 10, rng);
+  const auto apply_spd = [&a](const la::Vector& v) {
+    la::Vector out = la::matvec_t(a, la::matvec(a, v));
+    out += v;
+    return out;
+  };
+  const la::Vector b = random_vector(10, rng);
+  la::CgOptions opts;
+  int polls = 0;
+  opts.should_stop = [&polls] { return ++polls > 2; };
+  const la::CgResult r = la::cg_solve(apply_spd, b, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+  EXPECT_TRUE(la::all_finite(r.x));
+}
+
+TEST(ToDense, RoundTripsDenseOperator) {
+  Rng rng(0x70D3);
+  const la::Matrix a = random_matrix(5, 8, rng);
+  EXPECT_EQ(la::max_abs_diff(la::to_dense(la::DenseOperator::borrowed(a)), a),
+            0.0);
+}
+
+}  // namespace
+}  // namespace flexcs::cs

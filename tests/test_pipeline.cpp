@@ -246,6 +246,95 @@ TEST_F(PipelineTest, DecodeWithRejectsBasisChange) {
                CheckError);
 }
 
+TEST_F(PipelineTest, ImplicitPsiDecodeMatchesDensePath) {
+  // The matrix-free decoder must be a drop-in replacement: same frame, same
+  // pattern, same solver family — reconstructions agree to solver precision
+  // without ever building Ψ.
+  Rng rng(21), rng2(21);
+  const la::Matrix frame = make_frame(rng);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng2);
+  const la::Vector y = encoder_.encode(frame, p, rng);
+
+  DecoderOptions implicit_opts;
+  implicit_opts.implicit_psi = true;
+  const Decoder implicit_decoder(32, 32, implicit_opts);
+  const DecodeResult dense = decoder_.decode(p, y);
+  const DecodeResult matrix_free = implicit_decoder.decode(p, y);
+  EXPECT_EQ(dense.converged, matrix_free.converged);
+  EXPECT_LT(la::max_abs_diff(dense.frame, matrix_free.frame), 1e-4);
+  EXPECT_NEAR(dense.residual_norm, matrix_free.residual_norm, 1e-6);
+}
+
+TEST_F(PipelineTest, ImplicitPsiBatchDecodeMatchesSingleDecodes) {
+  Rng rng(22);
+  DecoderOptions opts;
+  opts.implicit_psi = true;
+  const Decoder decoder(32, 32, opts);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+  std::vector<la::Vector> batch;
+  for (int f = 0; f < 3; ++f)
+    batch.push_back(encoder_.encode(make_frame(rng), p, rng));
+  const std::vector<DecodeResult> batched = decoder.decode_batch(p, batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  // The batch path only adds the operator-norm hint; with the hint equal to
+  // what each solve would compute itself, frames must match one-by-one
+  // decodes to solver precision.
+  for (std::size_t f = 0; f < batch.size(); ++f) {
+    const DecodeResult single = decoder.decode(p, batch[f]);
+    EXPECT_LT(la::max_abs_diff(single.frame, batched[f].frame), 1e-6);
+  }
+}
+
+TEST_F(PipelineTest, ImplicitPsiDebiasHonoursSupportThreshold) {
+  // Regression for the support_threshold contract on the implicit path:
+  // debias-on-support must run matrix-free (no cached dense A exists), and
+  // a threshold high enough to empty the support must zero the coefficients
+  // rather than fall back to the biased estimate or throw.
+  Rng rng(23), rng2(23);
+  const la::Matrix frame = make_frame(rng);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng2);
+  const la::Vector y = encoder_.encode(frame, p, rng);
+
+  DecoderOptions opts;
+  opts.implicit_psi = true;
+  opts.debias = true;
+  opts.clamp01 = false;
+  const Decoder decoder(32, 32, opts);
+
+  const DecodeResult debiased = decoder.decode(p, y);
+  DecoderOptions no_debias = opts;
+  no_debias.debias = false;
+  const Decoder plain_decoder(32, 32, no_debias);
+  const DecodeResult biased = plain_decoder.decode(p, y);
+  // De-biasing must actually change the coefficients (it re-fits the
+  // support), proving the implicit path did not silently skip it.
+  EXPECT_GT(la::max_abs_diff(debiased.coefficients, biased.coefficients),
+            1e-12);
+  // Every coefficient below the threshold must be zeroed by the re-fit.
+  DecoderOptions huge_threshold = opts;
+  huge_threshold.support_threshold = 1e9;
+  const Decoder zeroing_decoder(32, 32, huge_threshold);
+  const DecodeResult zeroed = zeroing_decoder.decode(p, y);
+  EXPECT_EQ(zeroed.coefficients.norm_inf(), 0.0);
+}
+
+TEST_F(PipelineTest, ImplicitPsiRefusesDenseAccessors) {
+  DecoderOptions opts;
+  opts.implicit_psi = true;
+  const Decoder decoder(8, 8, opts);
+  Rng rng(24);
+  const SamplingPattern p = random_pattern(8, 8, 0.5, rng);
+  EXPECT_THROW(decoder.psi(), CheckError);
+  EXPECT_THROW(decoder.measurement_matrix(p), CheckError);
+  EXPECT_THROW(decoder.measurement_operator(p), CheckError);
+  // and the dense decoder refuses the implicit accessor
+  const SamplingPattern p32 = random_pattern(32, 32, 0.5, rng);
+  EXPECT_THROW(decoder_.implicit_operator(p32), CheckError);
+  // operator_norm works in both modes and agrees across them
+  const Decoder dense_decoder(8, 8);
+  EXPECT_NEAR(decoder.operator_norm(p), dense_decoder.operator_norm(p), 1e-10);
+}
+
 TEST_F(PipelineTest, ResampleTrimOptionImprovesResult) {
   Rng rng(13);
   const la::Matrix frame = make_frame(rng);

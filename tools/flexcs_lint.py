@@ -62,6 +62,17 @@ ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
     ("src/solvers/admm.cpp", r"AdmmLassoSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
     ("src/solvers/bp_lp.cpp", r"BpLpSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
     ("src/solvers/solver.cpp", r"\bdebias_on_support", ("FLEXCS_CHECK",)),
+    ("src/la/operator.cpp", r"\bcg_solve\b", ("FLEXCS_CHECK",)),
+    # Matrix-free measurement operator: the constructor owns the pattern
+    # validation; apply/apply_adjoint re-check shapes because solvers hand
+    # them arbitrary iterate vectors.
+    ("src/cs/transform_operator.cpp",
+     r"SubsampledTransformOperator::SubsampledTransformOperator\b",
+     ("FLEXCS_CHECK",)),
+    ("src/cs/transform_operator.cpp",
+     r"SubsampledTransformOperator::apply\b", ("FLEXCS_CHECK",)),
+    ("src/cs/transform_operator.cpp",
+     r"SubsampledTransformOperator::apply_adjoint\b", ("FLEXCS_CHECK",)),
     ("src/cs/encoder.cpp", r"Encoder::encode\b", ("FLEXCS_CHECK",)),
     ("src/cs/encoder.cpp", r"Encoder::encode_scanned\b", ("FLEXCS_CHECK",)),
     ("src/cs/decoder.cpp", r"Decoder::decode\b", ("FLEXCS_CHECK", "decode_with")),
@@ -71,6 +82,7 @@ ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
     ("src/cs/decoder.cpp", r"Decoder::measurement_matrix\b", ("FLEXCS_CHECK", "measurement_operator")),
     ("src/cs/decoder.cpp", r"Decoder::measurement_operator\b", ("FLEXCS_CHECK",)),
     ("src/cs/decoder.cpp", r"Decoder::operator_norm\b", ("FLEXCS_CHECK",)),
+    ("src/cs/decoder.cpp", r"Decoder::implicit_operator\b", ("FLEXCS_CHECK",)),
     ("src/cs/sampling.cpp", r"\bapply_pattern\b", ("FLEXCS_CHECK",)),
     ("src/cs/faults.cpp", r"FaultScenario::corrupt_frame\b", ("FLEXCS_CHECK",)),
     ("src/cs/faults.cpp", r"FaultScenario::corrupt_measurements\b", ("FLEXCS_CHECK",)),

@@ -197,11 +197,14 @@ class ThreadingTest(unittest.TestCase):
 
 
 class EntryCheckTest(unittest.TestCase):
+    # Mirrors the real operator-based solver surface: solve_impl takes the
+    # abstract la::LinearOperator, not a dense matrix.
     UNCHECKED = (
         "#include \"solvers/omp.hpp\"\n"
         "namespace flexcs::solvers {\n"
-        "SolveResult OmpSolver::solve_impl(const la::Matrix& a,\n"
-        "                                  const la::Vector& b) const {\n"
+        "SolveResult OmpSolver::solve_impl(const la::LinearOperator& a,\n"
+        "                                  const la::Vector& b,\n"
+        "                                  const SolveOptions& ctrl) const {\n"
         "  SolveResult r;\n"
         "  r.x = la::Vector(a.cols(), 0.0);\n"
         "  return r;\n"
@@ -239,6 +242,52 @@ class EntryCheckTest(unittest.TestCase):
                  and x.path == "src/solvers/omp.cpp"
                  and "validate" in x.message]
         self.assertTrue(fired)
+
+    # The matrix-free operator's entry points (ctor validates the pattern,
+    # apply/apply_adjoint re-check shapes) are covered by the same rule.
+    OPERATOR_UNCHECKED = (
+        "#include \"cs/transform_operator.hpp\"\n"
+        "namespace flexcs::cs {\n"
+        "SubsampledTransformOperator::SubsampledTransformOperator(\n"
+        "    dsp::BasisKind basis, SamplingPattern pattern)\n"
+        "    : basis_(basis), pattern_(std::move(pattern)) {}\n"
+        "la::Vector SubsampledTransformOperator::apply(\n"
+        "    const la::Vector& x) const {\n"
+        "  return la::Vector(pattern_.m(), 0.0);\n"
+        "}\n"
+        "la::Vector SubsampledTransformOperator::apply_adjoint(\n"
+        "    const la::Vector& y) const {\n"
+        "  return la::Vector(pattern_.n(), 0.0);\n"
+        "}\n"
+        "}\n")
+
+    def test_unchecked_transform_operator_fires(self):
+        f = lint_fixture({"src/cs/transform_operator.cpp":
+                          self.OPERATOR_UNCHECKED})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/cs/transform_operator.cpp"]
+        # ctor, apply, and apply_adjoint each carry their own spec.
+        self.assertEqual(3, len(fired), "\n".join(str(x) for x in fired))
+
+    def test_checked_transform_operator_clean(self):
+        src = self.OPERATOR_UNCHECKED
+        src = src.replace(
+            "    : basis_(basis), pattern_(std::move(pattern)) {}",
+            "    : basis_(basis), pattern_(std::move(pattern)) {\n"
+            "  FLEXCS_CHECK(!pattern_.indices.empty(), \"empty pattern\");\n"
+            "}")
+        src = src.replace(
+            "  return la::Vector(pattern_.m(), 0.0);",
+            "  FLEXCS_CHECK(x.size() == cols(), \"shape\");\n"
+            "  return la::Vector(pattern_.m(), 0.0);")
+        src = src.replace(
+            "  return la::Vector(pattern_.n(), 0.0);",
+            "  FLEXCS_CHECK(y.size() == rows(), \"shape\");\n"
+            "  return la::Vector(pattern_.n(), 0.0);")
+        f = lint_fixture({"src/cs/transform_operator.cpp": src})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/cs/transform_operator.cpp"]
+        self.assertFalse(fired, "\n".join(str(x) for x in fired))
 
 
 class PartialLintTest(unittest.TestCase):

@@ -44,7 +44,7 @@ const la::Matrix& Decoder::psi() const {
 Decoder::CachedOperator Decoder::entry_for(
     const SamplingPattern& pattern) const {
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    common::MutexLock lock(cache_mu_);
     for (std::size_t i = 0; i < operator_cache_.size(); ++i) {
       if (operator_cache_[i].indices != pattern.indices) continue;
       // MRU: rotate the hit to the front so hot patterns stay resident.
@@ -67,7 +67,7 @@ Decoder::CachedOperator Decoder::entry_for(
     entry.dense_view = std::make_shared<const la::DenseOperator>(entry.a);
   }
 
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  common::MutexLock lock(cache_mu_);
   for (std::size_t i = 0; i < operator_cache_.size(); ++i) {
     if (operator_cache_[i].indices != pattern.indices) continue;
     std::rotate(operator_cache_.begin(), operator_cache_.begin() + i,
@@ -115,7 +115,7 @@ double Decoder::operator_norm(const SamplingPattern& pattern) const {
   const double sigma = entry.op != nullptr
                            ? la::operator_norm_estimate(*entry.op)
                            : la::spectral_norm(*entry.a);
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  common::MutexLock lock(cache_mu_);
   for (CachedOperator& cached : operator_cache_) {
     if (cached.indices == pattern.indices) {
       cached.sigma = sigma;

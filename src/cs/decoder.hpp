@@ -4,9 +4,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "cs/sampling.hpp"
 #include "cs/transform_operator.hpp"
 #include "dsp/basis.hpp"
@@ -141,17 +141,20 @@ class Decoder {
 
   /// Cache lookup/build for either mode; returns the entry by value (shared
   /// pointers, cheap) so callers never hold references into the MRU vector.
-  CachedOperator entry_for(const SamplingPattern& pattern) const;
+  CachedOperator entry_for(const SamplingPattern& pattern) const
+      FLEXCS_EXCLUDES(cache_mu_);
 
   std::size_t rows_;
   std::size_t cols_;
   DecoderOptions opts_;
   std::shared_ptr<const solvers::SparseSolver> solver_;
   la::Matrix psi_;  // N x N synthesis matrix (empty when implicit_psi)
-  // guards operator_cache_: decode paths are const and a Decoder may be
-  // shared across worker threads, so the cache must tolerate concurrent use.
-  mutable std::mutex cache_mu_;
-  mutable std::vector<CachedOperator> operator_cache_;  // MRU order, bounded
+  // cache_mu_ guards the MRU operator cache: decode paths are const and a
+  // Decoder may be shared across worker threads, so the cache must tolerate
+  // concurrent use (contract checked by Clang TSA under `analyze`).
+  mutable common::Mutex cache_mu_;
+  mutable std::vector<CachedOperator> operator_cache_  // MRU order, bounded
+      FLEXCS_GUARDED_BY(cache_mu_);
 };
 
 }  // namespace flexcs::cs

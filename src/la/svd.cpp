@@ -11,9 +11,14 @@ namespace {
 
 // One-sided Jacobi on a tall matrix (m >= n): orthogonalise columns of `w`
 // with plane rotations accumulated into `v`.
-void jacobi_sweeps(Matrix& w, Matrix& v, double tol, int max_sweeps) {
+void jacobi_sweeps(Matrix& w, Matrix& v, double tol, int max_sweeps,
+                   const SvdStopHook& should_stop) {
   const std::size_t m = w.rows(), n = w.cols();
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Cooperative cut: a fired deadline/cancel stops between sweeps, leaving
+    // the factors partially orthogonalised (callers treat the result like
+    // any other max_sweeps truncation).
+    if (should_stop && should_stop()) break;
     bool rotated = false;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
@@ -47,11 +52,12 @@ void jacobi_sweeps(Matrix& w, Matrix& v, double tol, int max_sweeps) {
   }
 }
 
-SvdResult svd_tall(const Matrix& a, double tol, int max_sweeps) {
+SvdResult svd_tall(const Matrix& a, double tol, int max_sweeps,
+                   const SvdStopHook& should_stop) {
   const std::size_t m = a.rows(), n = a.cols();
   Matrix w = a;
   Matrix v = Matrix::identity(n);
-  jacobi_sweeps(w, v, tol, max_sweeps);
+  jacobi_sweeps(w, v, tol, max_sweeps, should_stop);
 
   // Singular values are the column norms of the rotated matrix.
   Vector s(n);
@@ -87,11 +93,12 @@ SvdResult svd_tall(const Matrix& a, double tol, int max_sweeps) {
 
 }  // namespace
 
-SvdResult svd(const Matrix& a, double tol, int max_sweeps) {
+SvdResult svd(const Matrix& a, double tol, int max_sweeps,
+              const SvdStopHook& should_stop) {
   FLEXCS_CHECK(!a.empty(), "svd of empty matrix");
-  if (a.rows() >= a.cols()) return svd_tall(a, tol, max_sweeps);
+  if (a.rows() >= a.cols()) return svd_tall(a, tol, max_sweeps, should_stop);
   // Wide matrix: factor the transpose and swap factors.
-  SvdResult rt = svd_tall(a.transposed(), tol, max_sweeps);
+  SvdResult rt = svd_tall(a.transposed(), tol, max_sweeps, should_stop);
   SvdResult r;
   r.u = std::move(rt.v);
   r.s = std::move(rt.s);
@@ -106,8 +113,9 @@ Matrix svd_reconstruct(const SvdResult& r) {
   return matmul_a_bt(us, r.v);
 }
 
-Matrix sv_shrink(const Matrix& a, double tau, std::size_t* rank_out) {
-  SvdResult r = svd(a);
+Matrix sv_shrink(const Matrix& a, double tau, std::size_t* rank_out,
+                 const SvdStopHook& should_stop) {
+  SvdResult r = svd(a, 1e-12, 60, should_stop);
   std::size_t rank = 0;
   for (std::size_t j = 0; j < r.s.size(); ++j) {
     r.s[j] = std::max(0.0, r.s[j] - tau);

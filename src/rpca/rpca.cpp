@@ -41,12 +41,14 @@ RpcaResult decompose(const la::Matrix& d, const RpcaOptions& opts) {
       r.deadline_expired = true;
       break;
     }
-    // L-update: singular value shrinkage of (D - S + Y/mu).
+    // L-update: singular value shrinkage of (D - S + Y/mu). The stop hook
+    // reaches inside the SVD's sweep loop, so a fired deadline cuts the
+    // frame mid-factorisation instead of waiting out up to 60 sweeps.
     la::Matrix work = d;
     work -= r.sparse;
     for (std::size_t i = 0; i < work.size(); ++i)
       work.data()[i] += y.data()[i] / mu;
-    r.low_rank = la::sv_shrink(work, 1.0 / mu, &r.rank);
+    r.low_rank = la::sv_shrink(work, 1.0 / mu, &r.rank, should_stop);
 
     // S-update: entrywise soft threshold of (D - L + Y/mu).
     work = d;

@@ -94,33 +94,33 @@ bool StreamServer::submit(std::uint64_t stream_id, la::Matrix frame,
   FLEXCS_CHECK(frame.rows() == rows_ && frame.cols() == cols_,
                "stream: frame shape mismatch");
   const auto now = Deadline::Clock::now();
-  std::unique_lock<std::mutex> lock(mu_);
-  if (opts_.policy == BackpressurePolicy::kDropOldest) {
-    if (closed_) return false;
-    if (queue_.size() >= opts_.queue_capacity) {
-      queue_.pop_front();  // evict the stalest frame, keep the freshest
-      ++dropped_;
+  {
+    common::MutexLock lock(mu_);
+    if (opts_.policy == BackpressurePolicy::kDropOldest) {
+      if (closed_) return false;
+      if (queue_.size() >= opts_.queue_capacity) {
+        queue_.pop_front();  // evict the stalest frame, keep the freshest
+        ++dropped_;
+      }
+    } else {
+      // Block and Degrade both hold the producer on a full queue; Degrade
+      // relies on the workers cheapening frames so the wait stays short.
+      while (!closed_ && queue_.size() >= opts_.queue_capacity)
+        queue_not_full_.wait(mu_);
+      if (closed_) return false;
     }
-  } else {
-    // Block and Degrade both hold the producer on a full queue; Degrade
-    // relies on the workers cheapening frames so the wait stays short.
-    queue_not_full_.wait(lock, [this] {
-      return closed_ || queue_.size() < opts_.queue_capacity;
-    });
-    if (closed_) return false;
-  }
 
-  Pending item;
-  item.stream_id = stream_id;
-  item.submit_index = next_submit_index_++;
-  item.frame = std::move(frame);
-  item.submitted_at = now;
-  item.external_deadline = ctrl.deadline;
-  item.external_cancel = ctrl.cancel;
-  queue_.push_back(std::move(item));
-  ++submitted_;
-  queue_high_water_ = std::max(queue_high_water_, queue_.size());
-  lock.unlock();
+    Pending item;
+    item.stream_id = stream_id;
+    item.submit_index = next_submit_index_++;
+    item.frame = std::move(frame);
+    item.submitted_at = now;
+    item.external_deadline = ctrl.deadline;
+    item.external_cancel = ctrl.cancel;
+    queue_.push_back(std::move(item));
+    ++submitted_;
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
+  }
   queue_not_empty_.notify_one();
   return true;
 }
@@ -130,9 +130,8 @@ void StreamServer::worker_loop(std::size_t worker_index) {
     std::vector<Pending> batch;
     std::size_t depth_after = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_not_empty_.wait(lock,
-                            [this] { return closed_ || !queue_.empty(); });
+      common::MutexLock lock(mu_);
+      while (!closed_ && queue_.empty()) queue_not_empty_.wait(mu_);
       if (queue_.empty()) return;  // closed and fully drained
       const std::size_t take = std::min(opts_.batch_depth, queue_.size());
       batch.reserve(take);
@@ -211,7 +210,7 @@ void StreamServer::worker_loop(std::size_t worker_index) {
     if (deadline_s > 0.0)
       stall_after = std::max(stall_after, opts_.stall_multiplier * deadline_s);
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      common::MutexLock lock(inflight_mu_);
       InFlight& slot = in_flight_[worker_index];
       slot.active = true;
       slot.stall_fired = false;
@@ -237,7 +236,7 @@ void StreamServer::worker_loop(std::size_t worker_index) {
 
     bool was_stalled = false;
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      common::MutexLock lock(inflight_mu_);
       was_stalled = in_flight_[worker_index].stall_fired;
       in_flight_[worker_index].active = false;
       in_flight_[worker_index].externals.clear();
@@ -245,7 +244,7 @@ void StreamServer::worker_loop(std::size_t worker_index) {
 
     const auto finished_at = Deadline::Clock::now();
     {
-      std::lock_guard<std::mutex> lock(results_mu_);
+      common::MutexLock lock(results_mu_);
       for (std::size_t i = 0; i < n; ++i) {
         StreamResult result;
         result.stream_id = batch[i].stream_id;
@@ -272,20 +271,24 @@ void StreamServer::worker_loop(std::size_t worker_index) {
 }
 
 void StreamServer::wait_for_completed(std::size_t target) const {
-  std::unique_lock<std::mutex> lock(results_mu_);
-  results_cv_.wait(lock, [this, target] { return completed_ >= target; });
+  common::MutexLock lock(results_mu_);
+  while (completed_ < target) results_cv_.wait(results_mu_);
 }
 
 void StreamServer::watchdog_loop() {
-  const auto period = std::chrono::duration_cast<Deadline::Clock::duration>(
-      std::chrono::duration<double>(opts_.watchdog_period_seconds));
-  std::unique_lock<std::mutex> lock(watchdog_mu_);
   for (;;) {
-    if (watchdog_cv_.wait_for(lock, period,
-                              [this] { return watchdog_stop_; }))
-      return;
+    {
+      // The wakeup wait holds only watchdog_mu_; the in-flight scan below
+      // runs off it, so watchdog_mu_ and inflight_mu_ are never nested (a
+      // spurious wakeup merely scans early, which is harmless).
+      common::MutexLock lock(watchdog_mu_);
+      if (!watchdog_stop_)
+        watchdog_cv_.wait_for_seconds(watchdog_mu_,
+                                      opts_.watchdog_period_seconds);
+      if (watchdog_stop_) return;
+    }
     const auto now = Deadline::Clock::now();
-    std::lock_guard<std::mutex> guard(inflight_mu_);
+    common::MutexLock guard(inflight_mu_);
     for (InFlight& slot : in_flight_) {
       if (!slot.active) continue;
       // Forward external cancellation into the running solve. Not a stall:
@@ -308,7 +311,7 @@ void StreamServer::watchdog_loop() {
 
 void StreamServer::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     closed_ = true;
   }
   // Joins below are idempotent (joinable() is false after the first close).
@@ -317,7 +320,7 @@ void StreamServer::close() {
   for (std::thread& t : workers_)
     if (t.joinable()) t.join();
   {
-    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    common::MutexLock lock(watchdog_mu_);
     watchdog_stop_ = true;
   }
   watchdog_cv_.notify_all();
@@ -325,7 +328,7 @@ void StreamServer::close() {
 }
 
 std::vector<StreamResult> StreamServer::drain_results() {
-  std::lock_guard<std::mutex> lock(results_mu_);
+  common::MutexLock lock(results_mu_);
   std::vector<StreamResult> out;
   out.swap(results_);
   return out;
@@ -334,21 +337,21 @@ std::vector<StreamResult> StreamServer::drain_results() {
 StreamHealth StreamServer::health() const {
   StreamHealth h;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     h.submitted = submitted_;
     h.dropped = dropped_;
     h.queue_high_water = queue_high_water_;
   }
   std::vector<double> latencies;
   {
-    std::lock_guard<std::mutex> lock(results_mu_);
+    common::MutexLock lock(results_mu_);
     h.completed = completed_;
     h.degraded = degraded_;
     h.deadline_expired = deadline_expired_;
     latencies = latencies_seconds_;
   }
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    common::MutexLock lock(inflight_mu_);
     h.stalled = stalled_;
   }
   h.p50_latency_seconds = latency_percentile(latencies, 0.50);

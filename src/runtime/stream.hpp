@@ -23,14 +23,13 @@
 // as stalls in StreamHealth.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/rng.hpp"
 #include "runtime/deadline.hpp"
 #include "runtime/pipeline.hpp"
@@ -140,28 +139,30 @@ class StreamServer {
   /// Enqueues one corrupted frame for recovery. Returns false only after
   /// close(); under the Block/Degrade policies a full queue makes this call
   /// wait. Thread-safe.
-  bool submit(std::uint64_t stream_id, la::Matrix frame);
+  bool submit(std::uint64_t stream_id, la::Matrix frame) FLEXCS_EXCLUDES(mu_);
 
   /// Same, with a per-submission deadline/cancel token (see SubmitControl).
   bool submit(std::uint64_t stream_id, la::Matrix frame,
-              const SubmitControl& ctrl);
+              const SubmitControl& ctrl) FLEXCS_EXCLUDES(mu_);
 
   /// Blocks until at least `target` frames have completed since construction
   /// (cumulative, monotone). The caller must guarantee `target` frames will
   /// actually complete: under DropOldest an evicted frame never completes,
   /// so gather-style callers (ShardedDecoder) must not use that policy.
-  void wait_for_completed(std::size_t target) const;
+  void wait_for_completed(std::size_t target) const
+      FLEXCS_EXCLUDES(results_mu_);
 
   /// Stops intake, lets the workers drain the queue, and joins all threads.
   /// Idempotent; called by the destructor.
-  void close();
+  void close() FLEXCS_EXCLUDES(mu_, watchdog_mu_);
 
   /// Moves out every completed result accumulated so far (in completion
   /// order, which under concurrency is not submission order).
-  std::vector<StreamResult> drain_results();
+  std::vector<StreamResult> drain_results() FLEXCS_EXCLUDES(results_mu_);
 
   /// Snapshot of the aggregate telemetry.
-  StreamHealth health() const;
+  StreamHealth health() const
+      FLEXCS_EXCLUDES(mu_, results_mu_, inflight_mu_);
 
   const StreamOptions& options() const { return opts_; }
 
@@ -191,39 +192,44 @@ class StreamServer {
     std::vector<CancelToken> externals;
   };
 
-  void worker_loop(std::size_t worker_index);
-  void watchdog_loop();
+  void worker_loop(std::size_t worker_index)
+      FLEXCS_EXCLUDES(mu_, results_mu_, inflight_mu_);
+  void watchdog_loop() FLEXCS_EXCLUDES(inflight_mu_, watchdog_mu_);
 
   const std::size_t rows_;
   const std::size_t cols_;
   const StreamOptions opts_;
 
-  // mu_ guards queue_, closed_, submit counters and queue_high_water_;
-  // producers and workers rendezvous on the two condition variables.
-  mutable std::mutex mu_;
-  std::condition_variable queue_not_full_;
-  std::condition_variable queue_not_empty_;
-  std::deque<Pending> queue_;
-  bool closed_ = false;
-  std::uint64_t next_submit_index_ = 0;
-  std::size_t queue_high_water_ = 0;
-  std::size_t submitted_ = 0;
-  std::size_t dropped_ = 0;
+  // mu_ guards the intake side: the queue, the closed flag, the submit
+  // counters and the queue high-water mark; producers and workers rendezvous
+  // on the two condition variables. The FLEXCS_GUARDED_BY contracts are
+  // verified by Clang TSA under the `analyze` preset.
+  mutable common::Mutex mu_;
+  common::CondVar queue_not_full_;
+  common::CondVar queue_not_empty_;
+  std::deque<Pending> queue_ FLEXCS_GUARDED_BY(mu_);
+  bool closed_ FLEXCS_GUARDED_BY(mu_) = false;
+  std::uint64_t next_submit_index_ FLEXCS_GUARDED_BY(mu_) = 0;
+  std::size_t queue_high_water_ FLEXCS_GUARDED_BY(mu_) = 0;
+  std::size_t submitted_ FLEXCS_GUARDED_BY(mu_) = 0;
+  std::size_t dropped_ FLEXCS_GUARDED_BY(mu_) = 0;
 
-  // results_mu_ guards results_, latencies_ and the completion counters;
-  // results_cv_ wakes wait_for_completed() after each batch completes.
-  mutable std::mutex results_mu_;
-  mutable std::condition_variable results_cv_;
-  std::vector<StreamResult> results_;
-  std::vector<double> latencies_seconds_;
-  std::size_t completed_ = 0;
-  std::size_t degraded_ = 0;
-  std::size_t deadline_expired_ = 0;
+  // results_mu_ guards the completion side: results, latency samples and the
+  // completion counters; results_cv_ wakes wait_for_completed() after each
+  // batch completes.
+  mutable common::Mutex results_mu_;
+  mutable common::CondVar results_cv_;
+  std::vector<StreamResult> results_ FLEXCS_GUARDED_BY(results_mu_);
+  std::vector<double> latencies_seconds_ FLEXCS_GUARDED_BY(results_mu_);
+  std::size_t completed_ FLEXCS_GUARDED_BY(results_mu_) = 0;
+  std::size_t degraded_ FLEXCS_GUARDED_BY(results_mu_) = 0;
+  std::size_t deadline_expired_ FLEXCS_GUARDED_BY(results_mu_) = 0;
 
-  // inflight_mu_ guards in_flight_ and stalled_ (worker <-> watchdog).
-  mutable std::mutex inflight_mu_;
-  std::vector<InFlight> in_flight_;
-  std::size_t stalled_ = 0;
+  // inflight_mu_ guards the worker <-> watchdog handshake (in-flight slots
+  // and the stall counter).
+  mutable common::Mutex inflight_mu_;
+  std::vector<InFlight> in_flight_ FLEXCS_GUARDED_BY(inflight_mu_);
+  std::size_t stalled_ FLEXCS_GUARDED_BY(inflight_mu_) = 0;
 
   // Worker-owned state: element w is touched only by worker thread w after
   // construction, so no guard is needed.
@@ -232,10 +238,10 @@ class StreamServer {
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;
-  // watchdog_mu_ guards watchdog_stop_ for the shutdown condition variable.
-  std::mutex watchdog_mu_;
-  std::condition_variable watchdog_cv_;
-  bool watchdog_stop_ = false;
+  // watchdog_mu_ guards the watchdog shutdown flag for its wakeup CondVar.
+  common::Mutex watchdog_mu_;
+  common::CondVar watchdog_cv_;
+  bool watchdog_stop_ FLEXCS_GUARDED_BY(watchdog_mu_) = false;
 };
 
 }  // namespace flexcs::runtime

@@ -1,0 +1,47 @@
+// Positive thread-safety-analysis fixture: exercises the annotated
+// primitives the way the runtime does — scoped locks, REQUIRES-contracted
+// helpers, and explicit condition loops around CondVar. Compiled with
+// -fsyntax-only -Wthread-safety -Werror=thread-safety-analysis under the
+// `analyze` preset; it must produce no diagnostics. Its negative twin,
+// tsa_violation.cpp, must fail the same invocation (WILL_FAIL), proving the
+// contracts are actually enforced rather than silently macro-expanded away.
+#include "common/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) FLEXCS_EXCLUDES(mu_) {
+    flexcs::common::MutexLock lock(mu_);
+    value_ += delta;
+    nonempty_.notify_one();
+  }
+
+  int wait_nonzero() FLEXCS_EXCLUDES(mu_) {
+    flexcs::common::MutexLock lock(mu_);
+    while (value_ == 0) nonempty_.wait(mu_);
+    return value_;
+  }
+
+  void bump_locked() FLEXCS_REQUIRES(mu_) { ++value_; }
+
+  void bump_twice() FLEXCS_EXCLUDES(mu_) {
+    flexcs::common::MutexLock lock(mu_);
+    bump_locked();
+    bump_locked();
+  }
+
+ private:
+  mutable flexcs::common::Mutex mu_;
+  flexcs::common::CondVar nonempty_;
+  int value_ FLEXCS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int flexcs_tsa_clean_entry() {
+  Counter c;
+  c.add(1);
+  c.bump_twice();
+  return c.wait_nonzero();
+}

@@ -1,0 +1,40 @@
+// Negative thread-safety-analysis fixture: reads and writes a
+// FLEXCS_GUARDED_BY member without holding its mutex, and calls a
+// FLEXCS_REQUIRES function unlocked. Under the `analyze` preset this file is
+// compiled with -fsyntax-only -Werror=thread-safety-analysis and the ctest is
+// registered WILL_FAIL: if this ever *compiles*, the annotation layer has
+// stopped enforcing anything (e.g. the macros expanded to nothing under
+// Clang) and the test suite fails loudly.
+#include "common/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int read_unlocked() const {
+    return value_;  // BAD: guarded member read without mu_
+  }
+
+  void write_unlocked(int v) {
+    value_ = v;  // BAD: guarded member written without mu_
+  }
+
+  void bump_locked() FLEXCS_REQUIRES(mu_) { ++value_; }
+
+  void call_without_lock() {
+    bump_locked();  // BAD: REQUIRES(mu_) callee, mu_ not held
+  }
+
+ private:
+  mutable flexcs::common::Mutex mu_;
+  int value_ FLEXCS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int flexcs_tsa_violation_entry() {
+  Counter c;
+  c.write_unlocked(3);
+  c.call_without_lock();
+  return c.read_unlocked();
+}

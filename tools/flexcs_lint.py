@@ -19,9 +19,20 @@ Enforces project invariants the compiler cannot express:
   threading         thread creation (std::thread / std::jthread) is confined
                     to src/runtime/ — the streaming runtime owns all
                     concurrency; `.detach()` is banned everywhere (threads
-                    must be joined so shutdown is deterministic); and every
-                    mutex member in a header carries a comment saying what it
-                    guards (within the two lines above the declaration)
+                    must be joined so shutdown is deterministic); mutex
+                    members in headers must be the annotated
+                    flexcs::common::Mutex (raw std::mutex carries no
+                    compiler-checked capability), and every mutex member must
+                    be named by at least one FLEXCS_GUARDED_BY /
+                    FLEXCS_PT_GUARDED_BY / FLEXCS_REQUIRES (or acquire/
+                    release) contract in the same header — a comment is no
+                    longer enough; Clang TSA verifies the contract under the
+                    `analyze` preset
+  deadline-poll     every bounded iteration loop in the iterative kernels
+                    (src/solvers/, src/rpca/, src/lp/, src/la/) polls its
+                    cooperative deadline/cancel control — a loop over
+                    max_iterations that never calls should_stop()/checks the
+                    token would hang past its frame budget
 
 A line may opt out of one rule with a trailing marker comment:
 
@@ -310,14 +321,30 @@ def check_float_equality(f: SourceFile) -> List[Finding]:
 # all concurrency; everything below it stays single-threaded and composable).
 THREAD_ALLOWED_PREFIX = "src/runtime/"
 
+# The annotated locking primitives themselves: the raw std::mutex inside the
+# flexcs::common::Mutex wrapper is the one mutex the contract machinery
+# cannot apply to (it IS the capability).
+MUTEX_CONTRACT_EXEMPT = ("src/common/annotations.hpp",)
+
 _THREAD_SPAWN_RE = re.compile(r"\bstd::j?thread\b")
 _DETACH_RE = re.compile(r"\.\s*detach\s*\(")
-_MUTEX_MEMBER_RE = re.compile(
-    r"\bstd::(?:shared_|recursive_|timed_|recursive_timed_)?mutex\s+\w+\s*;")
+_STD_MUTEX_MEMBER_RE = re.compile(
+    r"\bstd::(?:shared_|recursive_|timed_|recursive_timed_)?mutex\s+(\w+)\s*;")
+_WRAPPED_MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:flexcs::)?(?:common::)?Mutex\s+(\w+)\s*;")
 
-# A mutex member declaration must say what it guards within this many lines
-# above it (comments count; they are read from the unstripped source).
-MUTEX_DOC_WINDOW = 2
+
+def _has_lock_contract(stripped: str, mutex_name: str) -> bool:
+    """True when at least one FLEXCS_* capability contract names the mutex:
+    a member guarded by it, or a function that requires/acquires/releases
+    it. FLEXCS_EXCLUDES alone is not a contract — it documents what a caller
+    must NOT hold, it never says what the mutex protects."""
+    esc = re.escape(mutex_name)
+    contract = re.compile(
+        r"FLEXCS_(?:PT_)?GUARDED_BY\(\s*" + esc + r"\s*\)"
+        r"|FLEXCS_(?:REQUIRES|ACQUIRE|RELEASE|TRY_ACQUIRE)\([^)]*\b" + esc
+        + r"\b")
+    return contract.search(stripped) is not None
 
 
 def check_threading(f: SourceFile) -> List[Finding]:
@@ -338,21 +365,100 @@ def check_threading(f: SourceFile) -> List[Finding]:
                 "streaming runtime; lower layers stay single-threaded")
             if fd:
                 findings.append(fd)
-    if f.is_header():
-        originals = f.lines
+    if f.is_header() and f.relpath not in MUTEX_CONTRACT_EXEMPT:
         for idx, line in enumerate(f.stripped_lines, start=1):
-            if not _MUTEX_MEMBER_RE.search(line):
+            std_m = _STD_MUTEX_MEMBER_RE.search(line)
+            if std_m:
+                fd = f.finding_unless_allowed(
+                    idx, "threading",
+                    f"std::mutex member '{std_m.group(1)}' in a header — use "
+                    "flexcs::common::Mutex (common/annotations.hpp) so Clang "
+                    "TSA can enforce its locking contract")
+                if fd:
+                    findings.append(fd)
                 continue
-            lo = max(0, idx - 1 - MUTEX_DOC_WINDOW)
-            context = originals[lo:idx]  # the window above plus the line itself
-            if any("guard" in ln.lower() for ln in context):
+            wrapped = _WRAPPED_MUTEX_MEMBER_RE.search(line)
+            if not wrapped:
+                continue
+            name = wrapped.group(1)
+            if _has_lock_contract(f.stripped, name):
                 continue
             fd = f.finding_unless_allowed(
                 idx, "threading",
-                "mutex member without a 'guards ...' comment — document "
-                f"what it protects within {MUTEX_DOC_WINDOW} lines above")
+                f"mutex member '{name}' has no FLEXCS_GUARDED_BY / "
+                "FLEXCS_REQUIRES contract in this header — annotate what it "
+                "protects so the `analyze` preset can verify every access")
             if fd:
                 findings.append(fd)
+    return findings
+
+
+# Iterative-kernel scope for the deadline-poll rule: any bounded iteration
+# loop here must poll the cooperative deadline/cancel control so an expired
+# solve stops at the next iteration boundary (the streaming runtime's
+# bounded-latency contract).
+DEADLINE_POLL_DIRS = ("src/solvers/", "src/rpca/", "src/lp/", "src/la/")
+
+# A loop counts as a bounded solver iteration when its header names one of
+# these budget tokens.
+_LOOP_BOUND_TOKENS = ("max_iterations", "max_iters", "kMaxIters", "kmax",
+                      "max_sweeps")
+
+# ...and its body must reference one of these to count as polling.
+_DEADLINE_POLL_TOKENS = ("should_stop", "cancelled", "deadline", "expired",
+                         "cancel")
+
+_LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
+
+
+def _balanced_span(text: str, start: int, open_ch: str, close_ch: str
+                   ) -> Optional[int]:
+    """Index one past the matching closer for the opener at `start`."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return None
+
+
+def check_deadline_poll(f: SourceFile) -> List[Finding]:
+    if not f.relpath.startswith(DEADLINE_POLL_DIRS):
+        return []
+    findings: List[Finding] = []
+    text = f.stripped
+    for m in _LOOP_HEAD_RE.finditer(text):
+        paren_open = text.index("(", m.start())
+        paren_end = _balanced_span(text, paren_open, "(", ")")
+        if paren_end is None:
+            continue
+        header = text[paren_open:paren_end]
+        if not any(tok in header for tok in _LOOP_BOUND_TOKENS):
+            continue
+        line_no = text.count("\n", 0, m.start()) + 1
+        # Loop body: the braced block after the header, or the single
+        # statement up to ';' for brace-less loops.
+        i = paren_end
+        while i < len(text) and text[i] in " \t\n":
+            i += 1
+        if i < len(text) and text[i] == "{":
+            body_end = _balanced_span(text, i, "{", "}")
+            body = text[i:body_end] if body_end else text[i:]
+        else:
+            semi = text.find(";", i)
+            body = text[i:semi if semi != -1 else len(text)]
+        if any(tok in body for tok in _DEADLINE_POLL_TOKENS):
+            continue
+        fd = f.finding_unless_allowed(
+            line_no, "deadline-poll",
+            "bounded solver loop never polls its deadline/cancel token — "
+            "check ctrl.should_stop() (or the deadline/cancel members) each "
+            "iteration so expired solves stop at the next boundary")
+        if fd:
+            findings.append(fd)
     return findings
 
 
@@ -363,6 +469,7 @@ FILE_RULES: Sequence[Callable[[SourceFile], List[Finding]]] = (
     check_rng_discipline,
     check_float_equality,
     check_threading,
+    check_deadline_poll,
 )
 
 

@@ -167,33 +167,134 @@ class ThreadingTest(unittest.TestCase):
         f = lint_fixture({"src/runtime/bad.cpp": "worker.detach();\n"})
         self.assertIn("threading", rules_fired(f))
 
-    def test_undocumented_mutex_member_fires(self):
-        src = ("#pragma once\n"
-               "#include <mutex>\n"
-               "class S {\n"
-               "  std::mutex mu_;\n"
-               "};\n")
-        f = lint_fixture({"src/runtime/bad.hpp": src})
-        self.assertIn("threading", rules_fired(f))
-
-    def test_documented_mutex_member_clean(self):
+    def test_std_mutex_member_fires_even_with_comment(self):
+        # The old rule accepted a "guards ..." comment; the contract upgrade
+        # demands the annotated wrapper type so Clang TSA can verify it.
         src = ("#pragma once\n"
                "#include <mutex>\n"
                "class S {\n"
                "  // mu_ guards the queue and counters below.\n"
                "  mutable std::mutex mu_;\n"
                "};\n")
+        f = lint_fixture({"src/runtime/bad.hpp": src})
+        self.assertIn("threading", rules_fired(f))
+
+    def test_wrapped_mutex_without_contract_fires(self):
+        src = ("#pragma once\n"
+               "#include \"common/annotations.hpp\"\n"
+               "class S {\n"
+               "  common::Mutex mu_;\n"
+               "  int count_ = 0;\n"
+               "};\n")
+        f = lint_fixture({"src/runtime/bad.hpp": src})
+        self.assertIn("threading", rules_fired(f))
+
+    def test_wrapped_mutex_with_guarded_by_clean(self):
+        src = ("#pragma once\n"
+               "#include \"common/annotations.hpp\"\n"
+               "class S {\n"
+               "  mutable common::Mutex mu_;\n"
+               "  int count_ FLEXCS_GUARDED_BY(mu_) = 0;\n"
+               "};\n")
         f = lint_fixture({"src/runtime/ok.hpp": src})
         self.assertNotIn("threading", rules_fired(f))
 
-    def test_mutex_in_cpp_not_required_to_document(self):
+    def test_wrapped_mutex_with_requires_clean(self):
+        src = ("#pragma once\n"
+               "#include \"common/annotations.hpp\"\n"
+               "class S {\n"
+               "  void step() FLEXCS_REQUIRES(mu_);\n"
+               "  flexcs::common::Mutex mu_;\n"
+               "};\n")
+        f = lint_fixture({"src/runtime/ok.hpp": src})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_excludes_alone_is_not_a_contract(self):
+        src = ("#pragma once\n"
+               "#include \"common/annotations.hpp\"\n"
+               "class S {\n"
+               "  void poll() FLEXCS_EXCLUDES(mu_);\n"
+               "  common::Mutex mu_;\n"
+               "};\n")
+        f = lint_fixture({"src/runtime/bad.hpp": src})
+        self.assertIn("threading", rules_fired(f))
+
+    def test_mutex_in_cpp_not_required_to_have_contract(self):
         f = lint_fixture({"src/runtime/ok.cpp": "static std::mutex mu;\n"})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_annotation_header_itself_exempt(self):
+        src = ("#pragma once\n"
+               "class Mutex {\n"
+               "  std::mutex mu_;\n"
+               "};\n")
+        f = lint_fixture({"src/common/annotations.hpp": src})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_mutex_contract_suppression_marker(self):
+        src = ("#pragma once\n"
+               "class S {\n"
+               "  std::mutex mu_;  // flexcs-lint: allow(threading)\n"
+               "};\n")
+        f = lint_fixture({"src/runtime/ok.hpp": src})
         self.assertNotIn("threading", rules_fired(f))
 
     def test_suppression_marker(self):
         src = "std::thread t([] {});  // flexcs-lint: allow(threading)\n"
         f = lint_fixture({"tests/ok.cpp": src})
         self.assertNotIn("threading", rules_fired(f))
+
+
+class DeadlinePollTest(unittest.TestCase):
+    POLLING = (
+        "#include \"solvers/solver.hpp\"\n"
+        "namespace flexcs::solvers {\n"
+        "void iterate(const SolveOptions& ctrl, int max_iterations) {\n"
+        "  for (int it = 0; it < max_iterations; ++it) {\n"
+        "    if (ctrl.should_stop()) break;\n"
+        "    // work\n"
+        "  }\n"
+        "}\n"
+        "}\n")
+
+    def test_polling_loop_clean(self):
+        f = lint_fixture({"src/solvers/kernel.cpp": self.POLLING})
+        self.assertNotIn("deadline-poll", rules_fired(f))
+
+    def test_non_polling_loop_fires(self):
+        src = self.POLLING.replace("    if (ctrl.should_stop()) break;\n", "")
+        f = lint_fixture({"src/solvers/kernel.cpp": src})
+        self.assertIn("deadline-poll", rules_fired(f))
+
+    def test_deadline_member_poll_counts(self):
+        src = self.POLLING.replace(
+            "if (ctrl.should_stop()) break;",
+            "if (ctrl.deadline.expired()) break;")
+        f = lint_fixture({"src/lp/kernel.cpp": src})
+        self.assertNotIn("deadline-poll", rules_fired(f))
+
+    def test_unbounded_helper_loop_ignored(self):
+        # Loops without a budget token (plain element loops) are not solver
+        # iteration loops and need no poll.
+        src = ("void scale(double* v, unsigned long n) {\n"
+               "  for (unsigned long i = 0; i < n; ++i) v[i] *= 2.0;\n"
+               "}\n")
+        f = lint_fixture({"src/solvers/helper.cpp": src})
+        self.assertNotIn("deadline-poll", rules_fired(f))
+
+    def test_out_of_scope_directory_ignored(self):
+        src = self.POLLING.replace("    if (ctrl.should_stop()) break;\n", "")
+        f = lint_fixture({"src/fe/kernel.cpp": src})
+        self.assertNotIn("deadline-poll", rules_fired(f))
+
+    def test_suppression_marker(self):
+        src = self.POLLING.replace(
+            "  for (int it = 0; it < max_iterations; ++it) {\n",
+            "  for (int it = 0; it < max_iterations; ++it) {"
+            "  // flexcs-lint: allow(deadline-poll)\n")
+        src = src.replace("    if (ctrl.should_stop()) break;\n", "")
+        f = lint_fixture({"src/solvers/kernel.cpp": src})
+        self.assertNotIn("deadline-poll", rules_fired(f))
 
 
 class EntryCheckTest(unittest.TestCase):

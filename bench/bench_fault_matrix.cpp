@@ -5,7 +5,7 @@
 // costs — against every fault kind of cs/faults.hpp.
 //
 // Usage:
-//   bench_fault_matrix [--smoke] [--json]
+//   bench_fault_matrix [--smoke] [--json] [--out PATH]
 //
 //   --smoke   tiny configuration (16x16, one frame, one severity, rungs 0-1)
 //             used by the ctest smoke registration; finishes in seconds.
@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "cs/faults.hpp"
@@ -216,19 +217,6 @@ std::string to_json(const std::vector<Cell>& cells) {
   return out;
 }
 
-// Records the JSON at the repo root so sweeps are versioned alongside the
-// code that produced them. Best-effort: a read-only checkout only warns.
-void record_json(const std::string& json, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path);
-    return;
-  }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  std::fprintf(stderr, "recorded %s\n", path);
-}
-
 void print_table(const std::vector<Cell>& cells, const SweepConfig& cfg) {
   std::printf(
       "Fault matrix — RobustPipeline ladder capped per strategy "
@@ -254,17 +242,12 @@ void print_table(const std::vector<Cell>& cells, const SweepConfig& cfg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json = true;
-    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json]\n", argv[0]);
-      return 2;
-    }
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  if (!args.ok) {
+    bench::print_bench_usage(argv[0]);
+    return 2;
   }
-  const SweepConfig cfg = smoke ? smoke_config() : SweepConfig{};
+  const SweepConfig cfg = args.smoke ? smoke_config() : SweepConfig{};
 
   std::vector<Cell> cells;
   for (const cs::FaultKind kind : kKinds) {
@@ -278,10 +261,12 @@ int main(int argc, char** argv) {
         cells.push_back(run_cell(cfg, kind, severity, strategy));
   }
 
-  if (json) {
+  if (args.json) {
     const std::string out = to_json(cells);
     std::fputs(out.c_str(), stdout);
-    if (!smoke) record_json(out, FLEXCS_SOURCE_DIR "/BENCH_fault_matrix.json");
+    if (bench::should_record(args))
+      bench::record_json(out, bench::record_path(
+          args, FLEXCS_SOURCE_DIR "/BENCH_fault_matrix.json"));
   } else {
     print_table(cells, cfg);
   }

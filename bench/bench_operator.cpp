@@ -20,7 +20,7 @@
 // would be ~34 GB — completes implicit-only.
 //
 // Usage:
-//   bench_operator [--smoke] [--json]
+//   bench_operator [--smoke] [--json] [--out PATH]
 //
 //   --smoke   tiny configuration (16x16, both arms) used by the ctest smoke
 //             registration; finishes in well under a second.
@@ -60,6 +60,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -208,19 +209,6 @@ std::string to_json(const std::vector<OperatorCell>& cells) {
   return out;
 }
 
-// Records the JSON at the repo root so sweeps are versioned alongside the
-// code that produced them. Best-effort: a read-only checkout only warns.
-void record_json(const std::string& json, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path);
-    return;
-  }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  std::fprintf(stderr, "recorded %s\n", path);
-}
-
 std::string human_bytes(std::size_t bytes) {
   if (bytes >= (std::size_t{1} << 30))
     return strformat("%.1f GB", static_cast<double>(bytes) / (1 << 30));
@@ -262,17 +250,12 @@ void print_table(const std::vector<OperatorCell>& cells,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json = true;
-    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json]\n", argv[0]);
-      return 2;
-    }
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  if (!args.ok) {
+    bench::print_bench_usage(argv[0]);
+    return 2;
   }
-  const SweepConfig cfg = smoke ? smoke_config() : SweepConfig{};
+  const SweepConfig cfg = args.smoke ? smoke_config() : SweepConfig{};
 
   std::vector<OperatorCell> cells;
   for (const std::size_t dim : cfg.both_dims) {
@@ -283,10 +266,12 @@ int main(int argc, char** argv) {
     cells.push_back(run_cell(cfg, dim, /*implicit=*/true));
   fill_deltas(cells);
 
-  if (json) {
+  if (args.json) {
     const std::string out = to_json(cells);
     std::fputs(out.c_str(), stdout);
-    if (!smoke) record_json(out, FLEXCS_SOURCE_DIR "/BENCH_operator.json");
+    if (bench::should_record(args))
+      bench::record_json(out, bench::record_path(
+          args, FLEXCS_SOURCE_DIR "/BENCH_operator.json"));
   } else {
     print_table(cells, cfg);
   }

@@ -19,11 +19,12 @@
 // is not bought with seams or quality loss).
 //
 // Usage:
-//   bench_shard_scale [--smoke] [--json]
+//   bench_shard_scale [--smoke] [--json] [--out PATH]
 //
 //   --smoke   tiny configuration (32x32, two grids, two batch depths) used
 //             by the ctest smoke registration; finishes in seconds.
 //   --json    machine-readable output instead of the text table.
+//   --out     record path override (see bench_util.hpp).
 //
 // JSON schema (--json): stdout carries exactly one JSON array; one object
 // per (size, grid, batch depth) cell, all keys always present:
@@ -59,6 +60,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -219,19 +221,6 @@ std::string to_json(const std::vector<ScaleCell>& cells) {
   return out;
 }
 
-// Records the JSON at the repo root so sweeps are versioned alongside the
-// code that produced them. Best-effort: a read-only checkout only warns.
-void record_json(const std::string& json, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path);
-    return;
-  }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  std::fprintf(stderr, "recorded %s\n", path);
-}
-
 void print_table(const std::vector<ScaleCell>& cells, const SweepConfig& cfg) {
   std::printf(
       "Sharded decode scaling — ShardedDecoder, %zu workers, %zu frames "
@@ -259,17 +248,12 @@ void print_table(const std::vector<ScaleCell>& cells, const SweepConfig& cfg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json = true;
-    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json]\n", argv[0]);
-      return 2;
-    }
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  if (!args.ok) {
+    bench::print_bench_usage(argv[0]);
+    return 2;
   }
-  const SweepConfig cfg = smoke ? smoke_config() : SweepConfig{};
+  const SweepConfig cfg = args.smoke ? smoke_config() : SweepConfig{};
 
   std::vector<ScaleCell> cells;
   for (const std::size_t dim : cfg.dims)
@@ -278,10 +262,12 @@ int main(int argc, char** argv) {
         cells.push_back(run_cell(cfg, dim, grid, depth));
   fill_baselines(cells);
 
-  if (json) {
+  if (args.json) {
     const std::string out = to_json(cells);
     std::fputs(out.c_str(), stdout);
-    if (!smoke) record_json(out, FLEXCS_SOURCE_DIR "/BENCH_shard_scale.json");
+    if (bench::should_record(args))
+      bench::record_json(out, bench::record_path(
+          args, FLEXCS_SOURCE_DIR "/BENCH_shard_scale.json"));
   } else {
     print_table(cells, cfg);
   }

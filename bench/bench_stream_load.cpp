@@ -15,7 +15,7 @@
 // for both.
 //
 // Usage:
-//   bench_stream_load [--smoke] [--json]
+//   bench_stream_load [--smoke] [--json] [--out PATH]
 //
 //   --smoke   tiny configuration (16x16, one load factor, two policies)
 //             used by the ctest smoke registration; finishes in seconds.
@@ -56,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -211,19 +212,6 @@ std::string to_json(const std::vector<LoadCell>& cells) {
   return out;
 }
 
-// Records the JSON at the repo root so sweeps are versioned alongside the
-// code that produced them. Best-effort: a read-only checkout only warns.
-void record_json(const std::string& json, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path);
-    return;
-  }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  std::fprintf(stderr, "recorded %s\n", path);
-}
-
 void print_table(const std::vector<LoadCell>& cells, const SweepConfig& cfg) {
   std::printf(
       "Stream load sweep — StreamServer, %zux%zu frames, %zu workers, "
@@ -252,27 +240,24 @@ void print_table(const std::vector<LoadCell>& cells, const SweepConfig& cfg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json = true;
-    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json]\n", argv[0]);
-      return 2;
-    }
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  if (!args.ok) {
+    bench::print_bench_usage(argv[0]);
+    return 2;
   }
-  const SweepConfig cfg = smoke ? smoke_config() : SweepConfig{};
+  const SweepConfig cfg = args.smoke ? smoke_config() : SweepConfig{};
 
   std::vector<LoadCell> cells;
   for (const runtime::BackpressurePolicy policy : cfg.policies)
     for (const double load : cfg.loads)
       cells.push_back(run_cell(cfg, policy, load));
 
-  if (json) {
+  if (args.json) {
     const std::string out = to_json(cells);
     std::fputs(out.c_str(), stdout);
-    if (!smoke) record_json(out, FLEXCS_SOURCE_DIR "/BENCH_stream_load.json");
+    if (bench::should_record(args))
+      bench::record_json(out, bench::record_path(
+          args, FLEXCS_SOURCE_DIR "/BENCH_stream_load.json"));
   } else {
     print_table(cells, cfg);
   }

@@ -1,0 +1,602 @@
+#include "runtime/service.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <deque>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "runtime/stream.hpp"
+
+namespace flexcs::runtime {
+namespace {
+
+ServiceOptions validated(ServiceOptions opts) {
+  FLEXCS_CHECK(opts.queue_capacity >= 1, "service queue capacity must be >= 1");
+  FLEXCS_CHECK(opts.max_inflight_frames >= 1,
+               "service needs at least one in-flight frame slot");
+  FLEXCS_CHECK(opts.tile_retry_budget >= 0,
+               "tile retry budget must be non-negative");
+  FLEXCS_CHECK(opts.max_respawns >= 0, "respawn budget must be non-negative");
+  FLEXCS_CHECK(opts.retry_backoff_seconds >= 0.0 &&
+                   opts.retry_backoff_cap_seconds >= 0.0,
+               "retry backoff must be non-negative");
+  FLEXCS_CHECK(opts.heartbeat_multiplier >= 0.0 &&
+                   opts.heartbeat_floor_seconds >= 0.0,
+               "heartbeat timeout must be non-negative");
+  return opts;
+}
+
+double seconds_since(Deadline::Clock::time_point from,
+                     Deadline::Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+Deadline::Clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<Deadline::Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+// Constant slack added to deadline-derived heartbeats: a worker needs wire
+// round-trip and serialization time on top of its solve budget, so a very
+// tight tile deadline must not read as a wedged worker.
+constexpr double kHeartbeatSlackSeconds = 0.05;
+
+// Interruptible 1 ms nap for the shutdown grace loop (the pump itself never
+// sleeps — it waits in poll()).
+void nap_briefly() {
+  timespec ts{0, 1000000L};
+  ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+DecodeService::DecodeService(std::size_t rows, std::size_t cols,
+                             ServiceOptions opts)
+    : opts_(validated(std::move(opts))),
+      grid_(rows, cols, opts_.tile_rows, opts_.tile_cols, opts_.halo) {
+  FLEXCS_CHECK(grid_.tiles() >= 1, "decode service needs at least one tile");
+  slots_.resize(opts_.workers);
+  for (std::size_t i = 0; i < slots_.size(); ++i) spawn_worker(i);
+}
+
+DecodeService::~DecodeService() { close(); }
+
+std::size_t DecodeService::live_workers() const {
+  std::size_t n = 0;
+  for (const WorkerSlot& slot : slots_) n += slot.live ? 1 : 0;
+  return n;
+}
+
+void DecodeService::spawn_worker(std::size_t slot_index) {
+  WorkerSlot& slot = slots_[slot_index];
+  int sv[2] = {-1, -1};
+  FLEXCS_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+               "socketpair failed");
+  const pid_t pid = ::fork();
+  FLEXCS_CHECK(pid >= 0, "fork failed");
+  if (pid == 0) {
+    // Worker child. Drop the broker side of our pair and every other slot's
+    // broker fd inherited through fork, so a dead broker reads as EOF here
+    // and a dead sibling cannot hold our transport open.
+    ::close(sv[0]);
+    for (std::size_t other = 0; other < slots_.size(); ++other) {
+      if (other != slot_index && slots_[other].fd >= 0)
+        ::close(slots_[other].fd);
+    }
+    WorkerConfig cfg;
+    cfg.padded_rows = grid_.padded_rows;
+    cfg.padded_cols = grid_.padded_cols;
+    cfg.pipeline = opts_.pipeline;
+    cfg.solver = opts_.solver;
+    cfg.seed = opts_.seed;
+    if (slot_index < opts_.fault_injection.size()) {
+      const WorkerFaultInjection& f = opts_.fault_injection[slot_index];
+      // spawn_count still holds the pre-fork value in the child: 0 means
+      // this is the slot's first process.
+      if (slot.spawn_count == 0 || f.persist_across_respawn) cfg.faults = f;
+    }
+    const int code = decode_worker_loop(sv[1], cfg);
+    ::close(sv[1]);
+    // _Exit: no atexit handlers, no static destructors — they belong to the
+    // broker image this process was forked from.
+    std::_Exit(code);
+  }
+  ::close(sv[1]);
+  slot.pid = pid;
+  slot.fd = sv[0];
+  slot.live = true;
+  slot.busy = false;
+  slot.job_frame = nullptr;
+  slot.job_tile = 0;
+  slot.seq = 0;
+  slot.inbuf.clear();
+  ++slot.spawn_count;
+}
+
+void DecodeService::kill_worker(WorkerSlot& slot) {
+  if (slot.pid > 0) {
+    ::kill(slot.pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    slot.pid = -1;
+  }
+  if (slot.fd >= 0) {
+    ::close(slot.fd);
+    slot.fd = -1;
+  }
+  slot.live = false;
+  slot.busy = false;
+  slot.job_frame = nullptr;
+  slot.inbuf.clear();
+}
+
+void DecodeService::handle_worker_failure(std::size_t slot_index,
+                                          FailureKind kind,
+                                          const solvers::SolveOptions& ctrl) {
+  WorkerSlot& slot = slots_[slot_index];
+  switch (kind) {
+    case FailureKind::kCrash:
+      ++health_.worker_crashes;
+      break;
+    case FailureKind::kStall:
+      ++health_.worker_stalls;
+      break;
+    case FailureKind::kCorrupt:
+      ++health_.checksum_rejects;
+      break;
+  }
+  ActiveFrame* frame = slot.busy ? slot.job_frame : nullptr;
+  const std::size_t tile = slot.job_tile;
+  kill_worker(slot);
+  if (respawns_used_ < opts_.max_respawns) {
+    ++respawns_used_;
+    spawn_worker(slot_index);
+    ++health_.worker_respawns;
+  }
+  if (frame != nullptr) fail_tile(*frame, tile, ctrl);
+}
+
+void DecodeService::fail_tile(ActiveFrame& frame, std::size_t tile,
+                              const solvers::SolveOptions& ctrl) {
+  TileState& ts = frame.tiles[tile];
+  ts.stage = TileState::Stage::kPending;
+  if (ts.attempts >= opts_.tile_retry_budget) {
+    // Out of wire retries: the broker decodes it itself, right now.
+    decode_tile_in_process(frame, tile, ctrl);
+    return;
+  }
+  // Exponential backoff before the next dispatch of this tile: attempt k
+  // (1-based) waits base * 2^(k-1), capped.
+  const double delay = std::min(
+      opts_.retry_backoff_cap_seconds,
+      opts_.retry_backoff_seconds *
+          std::pow(2.0, static_cast<double>(std::max(ts.attempts - 1, 0))));
+  ts.eligible_at = Deadline::Clock::now() + to_duration(delay);
+}
+
+wire::TileRequest DecodeService::make_request(
+    const ActiveFrame& frame, std::size_t tile,
+    const solvers::SolveOptions& ctrl) {
+  wire::TileRequest req;
+  req.frame_index = frame.global_index;
+  req.tile_index = tile;
+  double deadline_s = opts_.tile_deadline_seconds;
+  // Degrade admission caps mirror StreamServer's worker_loop levels.
+  if (frame.degrade_level == 1) {
+    deadline_s *= 0.5;
+    req.max_rung = static_cast<std::uint32_t>(Strategy::kTrimmedDecode);
+    req.max_decode_calls = 3;
+  } else if (frame.degrade_level >= 2) {
+    deadline_s *= 0.25;
+    req.max_rung = static_cast<std::uint32_t>(Strategy::kPlainDecode);
+    req.max_decode_calls = 1;
+  }
+  if (!ctrl.deadline.unlimited()) {
+    // An expired external deadline still maps to a positive wire value:
+    // deadline_seconds <= 0 means "none" on the wire.
+    const double rem = std::max(ctrl.deadline.remaining_seconds(), 1e-9);
+    deadline_s = deadline_s > 0.0 ? std::min(deadline_s, rem) : rem;
+  }
+  req.deadline_seconds = deadline_s;
+  req.tile = grid_.extract(*frame.source, tile);
+  return req;
+}
+
+RobustPipeline& DecodeService::in_process_pipeline() {
+  if (!in_process_) {
+    in_process_ = std::make_unique<RobustPipeline>(
+        grid_.padded_rows, grid_.padded_cols, opts_.pipeline, opts_.solver);
+  }
+  return *in_process_;
+}
+
+void DecodeService::decode_tile_in_process(ActiveFrame& frame,
+                                           std::size_t tile,
+                                           const solvers::SolveOptions& ctrl) {
+  const wire::TileRequest req = make_request(frame, tile, ctrl);
+  // Same FrameControl construction as decode_tile() in the worker, plus the
+  // caller's cancel token (which cannot cross the process boundary). An
+  // inert token does not perturb the solve, so this path stays bit-identical
+  // to the worker path for the same tile.
+  FrameControl fc;
+  if (req.deadline_seconds > 0.0)
+    fc.solve.deadline = Deadline::after(req.deadline_seconds);
+  fc.solve.cancel = ctrl.cancel;
+  fc.max_decode_calls = req.max_decode_calls;
+  FLEXCS_CHECK(req.max_rung < kStrategyCount, "tile rung out of range");
+  fc.max_rung = static_cast<Strategy>(req.max_rung);
+  Rng rng(tile_seed(opts_.seed, req.frame_index, req.tile_index));
+  RobustPipeline::FrameResult result =
+      in_process_pipeline().process(req.tile, rng, fc);
+  result.report.frame_index = static_cast<std::size_t>(req.frame_index);
+  complete_tile(frame, tile, result.frame, std::move(result.report),
+                /*in_process=*/true);
+}
+
+void DecodeService::dispatch_tile(std::size_t slot_index, ActiveFrame& frame,
+                                  std::size_t tile,
+                                  const solvers::SolveOptions& ctrl) {
+  WorkerSlot& slot = slots_[slot_index];
+  wire::TileRequest req = make_request(frame, tile, ctrl);
+  req.seq = next_seq_++;
+  const std::vector<std::uint8_t> bytes = wire::encode_tile_request(req);
+
+  TileState& ts = frame.tiles[tile];
+  if (ts.attempts > 0) ++health_.tile_redispatches;
+  ++ts.attempts;
+  ts.stage = TileState::Stage::kDispatched;
+  ++health_.tiles_dispatched;
+
+  slot.busy = true;
+  slot.job_frame = &frame;
+  slot.job_tile = tile;
+  slot.seq = req.seq;
+  slot.dispatched_at = Deadline::Clock::now();
+  slot.heartbeat_seconds =
+      req.deadline_seconds > 0.0
+          ? std::max(opts_.heartbeat_floor_seconds,
+                     opts_.heartbeat_multiplier * req.deadline_seconds +
+                         kHeartbeatSlackSeconds)
+          : opts_.heartbeat_floor_seconds;
+  if (!wire::send_message(slot.fd, bytes)) {
+    // The worker died before (or while) we wrote: crash path requeues the
+    // tile and respawns the slot.
+    handle_worker_failure(slot_index, FailureKind::kCrash, ctrl);
+  }
+}
+
+void DecodeService::complete_tile(ActiveFrame& frame, std::size_t tile,
+                                  const la::Matrix& padded,
+                                  RecoveryReport report, bool in_process) {
+  TileState& ts = frame.tiles[tile];
+  FLEXCS_CHECK(ts.stage != TileState::Stage::kDone,
+               "tile completed twice");
+  ts.stage = TileState::Stage::kDone;
+  ts.in_process = in_process;
+  grid_.stitch(padded, tile, frame.out);
+
+  ShardReport& rep = frame.report;
+  rep.tiles_accepted += report.accepted ? 1 : 0;
+  rep.decode_calls += report.decode_calls;
+  rep.deadline_expired = rep.deadline_expired || report.deadline_expired;
+  rep.budget_exhausted = rep.budget_exhausted || report.budget_exhausted;
+  rep.max_rel_residual = std::max(rep.max_rel_residual, report.rel_residual);
+  if (report.deadline_expired) ++health_.deadline_expired_tiles;
+
+  TileReport& tr = rep.tile_reports[tile];
+  tr.tile_row = grid_.tile_row(tile);
+  tr.tile_col = grid_.tile_col(tile);
+  tr.dispatch_attempts = ts.attempts;
+  tr.in_process = in_process;
+  tr.report = std::move(report);
+
+  if (in_process) {
+    ++health_.tiles_in_process;
+  } else {
+    ++health_.tiles_completed;
+  }
+  ++frame.tiles_done;
+}
+
+bool DecodeService::collect_slot(std::size_t slot_index,
+                                 const solvers::SolveOptions& ctrl) {
+  WorkerSlot& slot = slots_[slot_index];
+  std::uint8_t chunk[65536];
+  const ssize_t n = ::read(slot.fd, chunk, sizeof(chunk));
+  if (n == 0) {  // EOF: the worker exited (or was SIGKILLed by injection)
+    handle_worker_failure(slot_index, FailureKind::kCrash, ctrl);
+    return false;
+  }
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN) return true;
+    handle_worker_failure(slot_index, FailureKind::kCrash, ctrl);
+    return false;
+  }
+  slot.inbuf.insert(slot.inbuf.end(), chunk, chunk + n);
+
+  for (;;) {
+    wire::Message msg;
+    std::size_t consumed = 0;
+    const wire::DecodeStatus st =
+        wire::decode_message(slot.inbuf.data(), slot.inbuf.size(), msg,
+                             consumed);
+    if (st == wire::DecodeStatus::kShort) return true;
+    if (st != wire::DecodeStatus::kOk) {
+      // Bad magic / version / length / checksum: the byte stream has no
+      // resync point, so the worker is done for.
+      handle_worker_failure(slot_index, FailureKind::kCorrupt, ctrl);
+      return false;
+    }
+    slot.inbuf.erase(slot.inbuf.begin(),
+                     slot.inbuf.begin() + static_cast<std::ptrdiff_t>(consumed));
+
+    if (msg.type != wire::MessageType::kTileResponse) {
+      handle_worker_failure(slot_index, FailureKind::kCorrupt, ctrl);
+      return false;
+    }
+    wire::TileResponse resp;
+    try {
+      resp = wire::decode_tile_response(msg);
+    } catch (const CheckError&) {
+      // Checksum passed but the payload lies structurally.
+      handle_worker_failure(slot_index, FailureKind::kCorrupt, ctrl);
+      return false;
+    }
+    if (resp.tile.rows() != grid_.padded_rows ||
+        resp.tile.cols() != grid_.padded_cols) {
+      handle_worker_failure(slot_index, FailureKind::kCorrupt, ctrl);
+      return false;
+    }
+    if (slot.busy && resp.seq == slot.seq) {
+      ActiveFrame& frame = *slot.job_frame;
+      const std::size_t tile = slot.job_tile;
+      slot.busy = false;
+      slot.job_frame = nullptr;
+      complete_tile(frame, tile, resp.tile, std::move(resp.report),
+                    /*in_process=*/false);
+    } else {
+      // A response for a dispatch we already gave up on (e.g. the answer of
+      // a worker we declared stalled raced the SIGKILL). The tile was (or
+      // will be) decoded elsewhere; dropping this one keeps exactly one
+      // completion per tile.
+      ++health_.stale_responses;
+    }
+  }
+}
+
+void DecodeService::pump(std::vector<std::unique_ptr<ActiveFrame>>& window,
+                         const solvers::SolveOptions& ctrl) {
+  const Deadline::Clock::time_point now = Deadline::Clock::now();
+
+  // --- poll timeout: zero when there is dispatchable or fallback work now,
+  // otherwise the nearest of heartbeat expiries and backoff gates, capped at
+  // a 20 ms supervision tick.
+  double wait_s = 0.02;
+  bool idle_worker = false;
+  for (const WorkerSlot& slot : slots_) {
+    if (!slot.live) continue;
+    if (!slot.busy) {
+      idle_worker = true;
+      continue;
+    }
+    if (slot.heartbeat_seconds > 0.0) {
+      const double rem = slot.heartbeat_seconds -
+                         seconds_since(slot.dispatched_at, now);
+      wait_s = std::min(wait_s, rem);
+    }
+  }
+  const bool fleet_down = live_workers() == 0;
+  for (const std::unique_ptr<ActiveFrame>& af : window) {
+    if (!af) continue;
+    for (const TileState& ts : af->tiles) {
+      if (ts.stage != TileState::Stage::kPending) continue;
+      if (fleet_down || ctrl.cancel.cancelled() ||
+          ts.attempts >= opts_.tile_retry_budget) {
+        wait_s = 0.0;  // in-process fallback runs this round
+      } else {
+        const double rem = seconds_since(now, ts.eligible_at);
+        wait_s = std::min(wait_s, idle_worker ? rem : 0.02);
+      }
+    }
+  }
+  const int timeout_ms =
+      wait_s <= 0.0 ? 0
+                    : static_cast<int>(std::min(wait_s * 1000.0 + 1.0, 20.0));
+
+  // --- poll + read + collect.
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> fd_slots;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].live) continue;
+    pollfd p{};
+    p.fd = slots_[i].fd;
+    p.events = POLLIN;
+    fds.push_back(p);
+    fd_slots.push_back(i);
+  }
+  if (!fds.empty()) {
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                          timeout_ms);
+    if (rc > 0) {
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+          collect_slot(fd_slots[i], ctrl);
+      }
+    }
+  }
+
+  // --- heartbeat scan: a dispatched tile unanswered past its timeout means
+  // a wedged worker — SIGKILL, respawn, re-dispatch.
+  const Deadline::Clock::time_point after_poll = Deadline::Clock::now();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    WorkerSlot& slot = slots_[i];
+    if (!slot.live || !slot.busy || slot.heartbeat_seconds <= 0.0) continue;
+    if (seconds_since(slot.dispatched_at, after_poll) > slot.heartbeat_seconds)
+      handle_worker_failure(i, FailureKind::kStall, ctrl);
+  }
+
+  // --- dispatch pending tiles (lowest frame, then lowest tile, first) and
+  // run the in-process fallback for everything that can no longer ride the
+  // fleet.
+  for (const std::unique_ptr<ActiveFrame>& af : window) {
+    if (!af) continue;
+    for (std::size_t tile = 0; tile < af->tiles.size(); ++tile) {
+      TileState& ts = af->tiles[tile];
+      if (ts.stage != TileState::Stage::kPending) continue;
+      if (ctrl.cancel.cancelled() || live_workers() == 0 ||
+          ts.attempts >= opts_.tile_retry_budget) {
+        decode_tile_in_process(*af, tile, ctrl);
+        continue;
+      }
+      if (seconds_since(after_poll, ts.eligible_at) > 0.0) continue;
+      std::size_t slot_index = slots_.size();
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].live && !slots_[i].busy) {
+          slot_index = i;
+          break;
+        }
+      }
+      if (slot_index == slots_.size()) return;  // fleet saturated
+      dispatch_tile(slot_index, *af, tile, ctrl);
+    }
+  }
+}
+
+ServiceFrameResult DecodeService::process(const la::Matrix& frame,
+                                          const solvers::SolveOptions& ctrl) {
+  std::vector<ServiceFrameResult> out =
+      process_batch(std::vector<la::Matrix>{frame}, ctrl);
+  return std::move(out.front());
+}
+
+std::vector<ServiceFrameResult> DecodeService::process_batch(
+    const std::vector<la::Matrix>& frames, const solvers::SolveOptions& ctrl) {
+  FLEXCS_CHECK(!closed_, "process on a closed DecodeService");
+  FLEXCS_CHECK(!frames.empty(), "decode service got an empty batch");
+  for (const la::Matrix& f : frames) {
+    FLEXCS_CHECK(f.rows() == grid_.rows && f.cols() == grid_.cols,
+                 "frame shape does not match the service geometry");
+  }
+  const Deadline::Clock::time_point t0 = Deadline::Clock::now();
+  std::vector<ServiceFrameResult> results(frames.size());
+
+  // Submission burst through the admission policy. Block admits everything
+  // (the synchronous caller is the backpressure); DropOldest evicts the
+  // oldest waiting frame once the backlog exceeds the queue capacity.
+  std::deque<std::size_t> backlog;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    ++health_.frames_submitted;
+    backlog.push_back(i);
+    if (opts_.policy == BackpressurePolicy::kDropOldest &&
+        backlog.size() > opts_.queue_capacity) {
+      const std::size_t victim = backlog.front();
+      backlog.pop_front();
+      ++health_.frames_dropped;
+      results[victim].dropped = true;
+      results[victim].frame = la::Matrix(grid_.rows, grid_.cols);
+    }
+  }
+
+  std::vector<std::unique_ptr<ActiveFrame>> window(opts_.max_inflight_frames);
+  const auto admit = [&]() {
+    for (std::unique_ptr<ActiveFrame>& slot : window) {
+      if (slot || backlog.empty()) continue;
+      const std::size_t ri = backlog.front();
+      backlog.pop_front();
+      auto af = std::make_unique<ActiveFrame>();
+      af->result_index = ri;
+      af->global_index = next_frame_global_++;
+      af->source = &frames[ri];
+      af->submitted_at = t0;
+      af->admitted_at = Deadline::Clock::now();
+      // Degrade level from the backlog depth left behind at admission — the
+      // same depth→level mapping the streaming server applies at dequeue.
+      if (opts_.policy == BackpressurePolicy::kDegrade) {
+        af->degrade_level = StreamServer::degrade_level_for(
+            backlog.size(), opts_.queue_capacity);
+        if (af->degrade_level > 0) ++health_.frames_degraded;
+      }
+      af->out = la::Matrix(grid_.rows, grid_.cols);
+      af->report.tiles = grid_.tiles();
+      af->report.tile_reports.resize(grid_.tiles());
+      af->tiles.resize(grid_.tiles());
+      ++health_.frames_admitted;
+      slot = std::move(af);
+    }
+  };
+
+  admit();
+  for (;;) {
+    bool active = false;
+    for (const std::unique_ptr<ActiveFrame>& af : window)
+      active = active || af != nullptr;
+    if (!active) break;
+
+    pump(window, ctrl);
+
+    const Deadline::Clock::time_point now = Deadline::Clock::now();
+    for (std::unique_ptr<ActiveFrame>& slot : window) {
+      if (!slot || slot->tiles_done < slot->tiles.size()) continue;
+      ActiveFrame& af = *slot;
+      ServiceFrameResult& res = results[af.result_index];
+      af.report.decode_seconds = seconds_since(af.admitted_at, now);
+      res.latency_seconds = seconds_since(af.submitted_at, now);
+      res.frame = std::move(af.out);
+      res.report = std::move(af.report);
+      res.degrade_level = af.degrade_level;
+      ++health_.frames_completed;
+      slot.reset();
+    }
+    admit();
+  }
+
+  // Every admitted frame has completed (the pump loop exits only on an
+  // empty window), so frames_lost stays 0 — the invariant the supervision
+  // tests pin. Count defensively anyway.
+  health_.frames_lost += health_.frames_admitted - health_.frames_completed;
+  return results;
+}
+
+void DecodeService::close() {
+  if (closed_) return;
+  closed_ = true;
+  // Orderly: ask every live worker to exit...
+  const std::vector<std::uint8_t> bye =
+      wire::encode_message(wire::MessageType::kShutdown, {});
+  for (WorkerSlot& slot : slots_) {
+    if (slot.live && slot.fd >= 0) wire::send_message(slot.fd, bye);
+  }
+  // ...give the fleet a grace window...
+  const Deadline grace = Deadline::after(opts_.shutdown_grace_seconds);
+  for (WorkerSlot& slot : slots_) {
+    if (!slot.live) continue;
+    while (slot.pid > 0) {
+      int status = 0;
+      const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+      if (r == slot.pid) {
+        slot.pid = -1;
+        break;
+      }
+      if (r < 0 && errno != EINTR) break;
+      if (grace.expired()) break;
+      nap_briefly();
+    }
+    // ...then SIGKILL the stragglers.
+    kill_worker(slot);
+  }
+}
+
+}  // namespace flexcs::runtime

@@ -1,0 +1,244 @@
+// Crash-tolerant multi-process decode service: a single-threaded broker that
+// admits frames under the streaming backpressure policies, scatters their
+// tiles over a fleet of forked worker processes (each running the tile
+// RobustPipeline behind the length-prefixed, checksummed wire protocol), and
+// stitches the results exactly as ShardedDecoder does — except that here a
+// worker is a *process*, so a crashed, wedged, or byte-corrupting worker
+// cannot take the frame (or the service) down with it.
+//
+// Supervision, per worker slot:
+//
+//   spawn → healthy → suspect → killed → respawned
+//
+//   - a worker whose socket EOFs or whose process exits unexpectedly is a
+//     crash: its in-flight tile is re-dispatched and the slot respawned;
+//   - a dispatched tile with no response within the heartbeat timeout
+//     (max(heartbeat_floor_seconds, heartbeat_multiplier x tile deadline))
+//     marks the worker suspect: it is SIGKILLed, reaped, and respawned, and
+//     the tile re-dispatched to a survivor;
+//   - a response that fails the wire checksum (or lies structurally) poisons
+//     the byte stream: same treatment — kill, respawn, re-dispatch;
+//   - re-dispatches carry a retry budget with exponential backoff; a tile
+//     that exhausts it is decoded in-process by the broker itself, as is
+//     everything else once the fleet collapses (respawn budget exhausted,
+//     zero live workers) — graceful degradation, never a hang or a lost
+//     frame.
+//
+// Determinism: tile sampling patterns are seeded from (seed, frame, tile) —
+// see worker.hpp — so a re-dispatched or fallback-decoded tile is
+// bit-identical to the one the dead worker would have produced. Fault
+// injection (worker self-kill, stalls, wire corruption) therefore changes
+// health counters, never pixels.
+//
+// Threading: the broker is deliberately single-threaded (poll-based event
+// loop, no std::thread anywhere), which keeps fork() safe at any time — a
+// forked child of a multi-threaded process inherits locked mutexes it can
+// never unlock. NOT thread-safe: one caller thread, like ShardedDecoder.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/shard.hpp"
+#include "runtime/worker.hpp"
+
+namespace flexcs::runtime {
+
+struct ServiceOptions {
+  std::size_t tile_rows = 16;  // must divide the frame rows
+  std::size_t tile_cols = 16;  // must divide the frame cols
+  std::size_t halo = 2;        // replicated-border pixels per tile side
+  // Worker processes to fork. 0 runs every tile in-process (no forks) — the
+  // same code path the supervisor degrades to when the fleet collapses.
+  std::size_t workers = 2;
+  // Admission control over pending frames, reusing the streaming policies:
+  // Block admits everything (the synchronous caller is the backpressure),
+  // DropOldest evicts the oldest waiting frame when the backlog exceeds
+  // queue_capacity, Degrade cheapens frames admitted from a deep backlog
+  // (same depth→level mapping as StreamServer::degrade_level_for).
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  std::size_t queue_capacity = 8;
+  // Frames tiled/decoded concurrently; pending frames wait in the backlog.
+  std::size_t max_inflight_frames = 2;
+  // Per-tile solve budget, forwarded over the wire into the worker's
+  // FrameControl. <= 0 disables the solve deadline.
+  double tile_deadline_seconds = 0.0;
+  // Heartbeat timeout: a dispatched tile unanswered for
+  //   max(heartbeat_floor_seconds, heartbeat_multiplier * tile deadline)
+  // marks its worker suspect (SIGKILL + respawn + re-dispatch). Both zero
+  // disables wedge detection — crashes are still caught via EOF.
+  double heartbeat_multiplier = 4.0;
+  double heartbeat_floor_seconds = 0.0;
+  // Wire dispatch attempts per tile before the broker decodes it in-process.
+  int tile_retry_budget = 3;
+  // Re-dispatch backoff: attempt k waits retry_backoff_seconds * 2^(k-1),
+  // capped. Keeps a crash-looping tile from hammering the fleet.
+  double retry_backoff_seconds = 0.002;
+  double retry_backoff_cap_seconds = 0.05;
+  // Fleet-wide respawn budget. Exhausted + zero live workers = collapse:
+  // every remaining tile decodes in-process.
+  int max_respawns = 8;
+  // close(): orderly-shutdown window before stragglers are SIGKILLed.
+  double shutdown_grace_seconds = 0.2;
+  // Per-tile pipeline configuration, shared by workers and the in-process
+  // fallback (identical construction is part of the determinism contract).
+  RobustPipelineOptions pipeline;
+  std::shared_ptr<const solvers::SparseSolver> solver;  // null = default
+  std::uint64_t seed = 0x5eed;
+  // Deterministic fault injection, indexed by worker slot; shorter vectors
+  // leave the remaining slots fault-free. Drives the supervision tests and
+  // the crash-rate bench.
+  std::vector<WorkerFaultInjection> fault_injection;
+};
+
+/// Cumulative service telemetry (since construction). Every supervision
+/// event is observable here; frames_lost is the invariant the whole design
+/// defends — it stays 0 through crashes, stalls, and wire corruption.
+struct ServiceHealth {
+  std::size_t frames_submitted = 0;
+  std::size_t frames_admitted = 0;
+  std::size_t frames_completed = 0;
+  std::size_t frames_dropped = 0;   // DropOldest evictions
+  std::size_t frames_degraded = 0;  // admitted at a nonzero degrade level
+  std::size_t frames_lost = 0;      // admitted but never stitched (target: 0)
+  std::size_t tiles_dispatched = 0;  // wire dispatches, retries included
+  std::size_t tiles_completed = 0;   // stitched from worker responses
+  std::size_t tile_redispatches = 0;  // dispatches after a failure
+  std::size_t tiles_in_process = 0;   // broker-fallback decodes
+  std::size_t worker_crashes = 0;  // unexpected exits / EOFs
+  std::size_t worker_stalls = 0;   // heartbeat timeouts (SIGKILLed)
+  std::size_t worker_respawns = 0;
+  std::size_t checksum_rejects = 0;  // corrupt or truncated wire messages
+  std::size_t stale_responses = 0;   // responses for a dead dispatch
+  std::size_t deadline_expired_tiles = 0;
+};
+
+struct ServiceFrameResult {
+  la::Matrix frame;   // stitched reconstruction (zeros when dropped)
+  ShardReport report;  // per-tile attribution incl. dispatch_attempts
+  bool dropped = false;     // DropOldest victim — never admitted
+  int degrade_level = 0;    // admission degrade level (Degrade policy)
+  double latency_seconds = 0.0;  // submission → stitched
+};
+
+/// The broker. Forks its workers at construction, supervises them across
+/// process()/process_batch() calls, and reaps them at close()/destruction.
+class DecodeService {
+ public:
+  DecodeService(std::size_t rows, std::size_t cols, ServiceOptions opts = {});
+  ~DecodeService();  // close()
+
+  DecodeService(const DecodeService&) = delete;
+  DecodeService& operator=(const DecodeService&) = delete;
+
+  const TileGrid& grid() const { return grid_; }
+  std::size_t shards() const { return grid_.tiles(); }
+  const ServiceOptions& options() const { return opts_; }
+
+  /// Decodes one frame through the worker fleet. `ctrl.deadline` tightens
+  /// every tile's solve budget; `ctrl.cancel` is honoured for tiles not yet
+  /// dispatched (they return best-partial in-process immediately) — a token
+  /// cannot cross the process boundary, so in-flight tiles run to their own
+  /// deadline/heartbeat bound.
+  ServiceFrameResult process(const la::Matrix& frame,
+                             const solvers::SolveOptions& ctrl = {});
+
+  /// Batched variant: frames are submitted as one burst through the
+  /// admission policy, then decoded max_inflight_frames at a time. Results
+  /// are index-aligned with `frames` (dropped frames flagged, zero-filled).
+  std::vector<ServiceFrameResult> process_batch(
+      const std::vector<la::Matrix>& frames,
+      const solvers::SolveOptions& ctrl = {});
+
+  ServiceHealth health() const { return health_; }
+  std::size_t live_workers() const;
+
+  /// Shuts the fleet down (orderly, then SIGKILL after the grace window)
+  /// and reaps every child. Idempotent; called by the destructor. Further
+  /// process() calls are rejected.
+  void close();
+
+ private:
+  struct TileState {
+    enum class Stage : std::uint8_t { kPending, kDispatched, kDone };
+    Stage stage = Stage::kPending;
+    int attempts = 0;       // wire dispatches consumed
+    bool in_process = false;
+    Deadline::Clock::time_point eligible_at{};  // backoff gate
+  };
+
+  struct ActiveFrame {
+    std::size_t result_index = 0;
+    std::uint64_t global_index = 0;
+    int degrade_level = 0;
+    const la::Matrix* source = nullptr;  // caller's frame, outlives the batch
+    la::Matrix out;
+    ShardReport report;
+    std::size_t tiles_done = 0;
+    std::vector<TileState> tiles;
+    Deadline::Clock::time_point submitted_at{};  // batch submission burst
+    Deadline::Clock::time_point admitted_at{};   // entered the decode window
+  };
+
+  struct WorkerSlot {
+    pid_t pid = -1;
+    int fd = -1;
+    bool live = false;
+    int spawn_count = 0;  // processes ever spawned into this slot
+    std::vector<std::uint8_t> inbuf;
+    // Current dispatch (one in flight per worker).
+    bool busy = false;
+    ActiveFrame* job_frame = nullptr;
+    std::size_t job_tile = 0;
+    std::uint64_t seq = 0;
+    Deadline::Clock::time_point dispatched_at{};
+    double heartbeat_seconds = 0.0;  // <= 0 disables the wedge timeout
+  };
+
+  enum class FailureKind { kCrash, kStall, kCorrupt };
+
+  void spawn_worker(std::size_t slot_index);
+  /// SIGKILL + reap + fd teardown. Safe on already-dead processes.
+  void kill_worker(WorkerSlot& slot);
+  /// Crash/stall/corrupt handling: counters, teardown, in-flight tile
+  /// requeue, respawn (budget permitting).
+  void handle_worker_failure(std::size_t slot_index, FailureKind kind,
+                             const solvers::SolveOptions& ctrl);
+  /// Returns the tile to kPending with backoff, or decodes it in-process
+  /// once its retry budget is gone.
+  void fail_tile(ActiveFrame& frame, std::size_t tile,
+                 const solvers::SolveOptions& ctrl);
+  void decode_tile_in_process(ActiveFrame& frame, std::size_t tile,
+                              const solvers::SolveOptions& ctrl);
+  wire::TileRequest make_request(const ActiveFrame& frame, std::size_t tile,
+                                 const solvers::SolveOptions& ctrl);
+  /// Sends one tile to an idle worker slot; a send failure is handled as a
+  /// crash (the tile is requeued by the failure path).
+  void dispatch_tile(std::size_t slot_index, ActiveFrame& frame,
+                     std::size_t tile, const solvers::SolveOptions& ctrl);
+  void complete_tile(ActiveFrame& frame, std::size_t tile,
+                     const la::Matrix& padded, RecoveryReport report,
+                     bool in_process);
+  /// Drains every parseable message out of a slot's input buffer; returns
+  /// false when the slot died (EOF / corrupt stream) and was torn down.
+  bool collect_slot(std::size_t slot_index, const solvers::SolveOptions& ctrl);
+  /// One supervision round: poll/read/collect, heartbeat scan, dispatch.
+  void pump(std::vector<std::unique_ptr<ActiveFrame>>& window,
+            const solvers::SolveOptions& ctrl);
+  RobustPipeline& in_process_pipeline();
+
+  ServiceOptions opts_;
+  TileGrid grid_;
+  std::vector<WorkerSlot> slots_;
+  ServiceHealth health_;
+  std::unique_ptr<RobustPipeline> in_process_;  // lazy fallback pipeline
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_frame_global_ = 0;
+  int respawns_used_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace flexcs::runtime

@@ -9,17 +9,11 @@
 namespace flexcs::runtime {
 namespace {
 
-// Validates the tiling before any member that depends on it is built (the
-// StreamServer is constructed in the initializer list over the padded tile
-// geometry, so the checks cannot wait for the constructor body).
-ShardOptions validated(ShardOptions opts, std::size_t rows, std::size_t cols) {
-  FLEXCS_CHECK(rows > 0 && cols > 0, "sharded decoder over an empty array");
-  FLEXCS_CHECK(opts.tile_rows >= 1 && opts.tile_cols >= 1,
-               "shard tiles must be at least 1 x 1");
-  FLEXCS_CHECK(opts.tile_rows <= rows && opts.tile_cols <= cols,
-               "shard tile larger than the array");
-  FLEXCS_CHECK(rows % opts.tile_rows == 0 && cols % opts.tile_cols == 0,
-               "shard tiles must evenly divide the array");
+// Validates the tiling-independent options before any member that depends on
+// them is built (the StreamServer is constructed in the initializer list over
+// the padded tile geometry, so the checks cannot wait for the constructor
+// body). The grid divisibility checks live in TileGrid itself.
+ShardOptions validated(ShardOptions opts) {
   FLEXCS_CHECK(opts.stream.policy != BackpressurePolicy::kDropOldest,
                "sharded decode cannot drop tiles "
                "(the gather would never complete)");
@@ -34,48 +28,73 @@ std::size_t clamp_index(std::ptrdiff_t v, std::size_t hi) {
 
 }  // namespace
 
-ShardedDecoder::ShardedDecoder(std::size_t rows, std::size_t cols,
-                               ShardOptions opts)
-    : rows_(rows),
-      cols_(cols),
-      opts_(validated(std::move(opts), rows, cols)),
-      grid_rows_(rows / opts_.tile_rows),
-      grid_cols_(cols / opts_.tile_cols),
-      padded_rows_(opts_.tile_rows + 2 * opts_.halo),
-      padded_cols_(opts_.tile_cols + 2 * opts_.halo),
-      server_(padded_rows_, padded_cols_, opts_.stream) {
-  FLEXCS_CHECK(grid_rows_ >= 1 && grid_cols_ >= 1,
-               "sharded decoder needs at least one tile");
+TileGrid::TileGrid(std::size_t rows_in, std::size_t cols_in,
+                   std::size_t tile_rows_in, std::size_t tile_cols_in,
+                   std::size_t halo_in)
+    : rows(rows_in),
+      cols(cols_in),
+      tile_rows(tile_rows_in),
+      tile_cols(tile_cols_in),
+      halo(halo_in),
+      grid_rows(0),
+      grid_cols(0),
+      padded_rows(0),
+      padded_cols(0) {
+  FLEXCS_CHECK(rows > 0 && cols > 0, "tile grid over an empty array");
+  FLEXCS_CHECK(tile_rows >= 1 && tile_cols >= 1,
+               "grid tiles must be at least 1 x 1");
+  FLEXCS_CHECK(tile_rows <= rows && tile_cols <= cols,
+               "grid tile larger than the array");
+  FLEXCS_CHECK(rows % tile_rows == 0 && cols % tile_cols == 0,
+               "grid tiles must evenly divide the array");
+  grid_rows = rows / tile_rows;
+  grid_cols = cols / tile_cols;
+  padded_rows = tile_rows + 2 * halo;
+  padded_cols = tile_cols + 2 * halo;
 }
 
-la::Matrix ShardedDecoder::extract_tile(const la::Matrix& frame,
-                                        std::size_t tr, std::size_t tc) const {
-  const std::size_t r0 = tr * opts_.tile_rows;
-  const std::size_t c0 = tc * opts_.tile_cols;
-  la::Matrix tile(padded_rows_, padded_cols_);
-  for (std::size_t i = 0; i < padded_rows_; ++i) {
+la::Matrix TileGrid::extract(const la::Matrix& frame, std::size_t tile) const {
+  FLEXCS_CHECK(tile < tiles(), "tile index outside the grid");
+  FLEXCS_CHECK(frame.rows() == rows && frame.cols() == cols,
+               "tile extract: frame shape mismatch");
+  const std::size_t r0 = tile_row(tile) * tile_rows;
+  const std::size_t c0 = tile_col(tile) * tile_cols;
+  la::Matrix padded(padded_rows, padded_cols);
+  for (std::size_t i = 0; i < padded_rows; ++i) {
     const std::size_t src_r = clamp_index(
-        static_cast<std::ptrdiff_t>(r0 + i) -
-            static_cast<std::ptrdiff_t>(opts_.halo),
-        rows_ - 1);
-    for (std::size_t j = 0; j < padded_cols_; ++j) {
-      const std::size_t src_c = clamp_index(
-          static_cast<std::ptrdiff_t>(c0 + j) -
-              static_cast<std::ptrdiff_t>(opts_.halo),
-          cols_ - 1);
-      tile(i, j) = frame(src_r, src_c);
+        static_cast<std::ptrdiff_t>(r0 + i) - static_cast<std::ptrdiff_t>(halo),
+        rows - 1);
+    for (std::size_t j = 0; j < padded_cols; ++j) {
+      const std::size_t src_c =
+          clamp_index(static_cast<std::ptrdiff_t>(c0 + j) -
+                          static_cast<std::ptrdiff_t>(halo),
+                      cols - 1);
+      padded(i, j) = frame(src_r, src_c);
     }
   }
-  return tile;
+  return padded;
 }
 
-void ShardedDecoder::stitch_tile(const la::Matrix& tile, std::size_t tr,
-                                 std::size_t tc, la::Matrix& out) const {
-  const std::size_t r0 = tr * opts_.tile_rows;
-  const std::size_t c0 = tc * opts_.tile_cols;
-  for (std::size_t i = 0; i < opts_.tile_rows; ++i)
-    for (std::size_t j = 0; j < opts_.tile_cols; ++j)
-      out(r0 + i, c0 + j) = tile(opts_.halo + i, opts_.halo + j);
+void TileGrid::stitch(const la::Matrix& padded, std::size_t tile,
+                      la::Matrix& out) const {
+  FLEXCS_CHECK(tile < tiles(), "tile index outside the grid");
+  FLEXCS_CHECK(padded.rows() == padded_rows && padded.cols() == padded_cols,
+               "tile stitch: padded tile shape mismatch");
+  FLEXCS_CHECK(out.rows() == rows && out.cols() == cols,
+               "tile stitch: output shape mismatch");
+  const std::size_t r0 = tile_row(tile) * tile_rows;
+  const std::size_t c0 = tile_col(tile) * tile_cols;
+  for (std::size_t i = 0; i < tile_rows; ++i)
+    for (std::size_t j = 0; j < tile_cols; ++j)
+      out(r0 + i, c0 + j) = padded(halo + i, halo + j);
+}
+
+ShardedDecoder::ShardedDecoder(std::size_t rows, std::size_t cols,
+                               ShardOptions opts)
+    : opts_(validated(std::move(opts))),
+      grid_(rows, cols, opts_.tile_rows, opts_.tile_cols, opts_.halo),
+      server_(grid_.padded_rows, grid_.padded_cols, opts_.stream) {
+  FLEXCS_CHECK(grid_.tiles() >= 1, "sharded decoder needs at least one tile");
 }
 
 ShardFrameResult ShardedDecoder::process(const la::Matrix& frame,
@@ -89,7 +108,7 @@ std::vector<ShardFrameResult> ShardedDecoder::process_batch(
     const std::vector<la::Matrix>& frames, const solvers::SolveOptions& ctrl) {
   FLEXCS_CHECK(!frames.empty(), "sharded decode of an empty batch");
   for (const la::Matrix& f : frames)
-    FLEXCS_CHECK(f.rows() == rows_ && f.cols() == cols_,
+    FLEXCS_CHECK(f.rows() == grid_.rows && f.cols() == grid_.cols,
                  "sharded decode: frame shape mismatch");
 
   const auto start = Deadline::Clock::now();
@@ -102,12 +121,10 @@ std::vector<ShardFrameResult> ShardedDecoder::process_batch(
   // tile geometry AND the tile position, so a batching StreamServer decodes
   // them with one shared sampling pattern (RobustPipeline::process_batch).
   for (std::size_t t = 0; t < n_tiles; ++t) {
-    const std::size_t tr = t / grid_cols_;
-    const std::size_t tc = t % grid_cols_;
     for (std::size_t f = 0; f < frames.size(); ++f) {
       const std::uint64_t id = static_cast<std::uint64_t>(f) * n_tiles + t;
       const bool ok =
-          server_.submit(id, extract_tile(frames[f], tr, tc), submit_ctrl);
+          server_.submit(id, grid_.extract(frames[f], t), submit_ctrl);
       FLEXCS_CHECK(ok, "sharded decode: worker pool already closed");
       ++total_submitted_;
     }
@@ -120,7 +137,7 @@ std::vector<ShardFrameResult> ShardedDecoder::process_batch(
 
   std::vector<ShardFrameResult> out(frames.size());
   for (ShardFrameResult& r : out) {
-    r.frame = la::Matrix(rows_, cols_);
+    r.frame = la::Matrix(grid_.rows, grid_.cols);
     r.report.tiles = n_tiles;
     r.report.tile_reports.resize(n_tiles);
   }
@@ -128,10 +145,8 @@ std::vector<ShardFrameResult> ShardedDecoder::process_batch(
     const std::size_t f = static_cast<std::size_t>(sr.stream_id) / n_tiles;
     const std::size_t t = static_cast<std::size_t>(sr.stream_id) % n_tiles;
     FLEXCS_CHECK(f < out.size(), "sharded decode: stale result in the pool");
-    const std::size_t tr = t / grid_cols_;
-    const std::size_t tc = t % grid_cols_;
     ShardFrameResult& r = out[f];
-    stitch_tile(sr.frame, tr, tc, r.frame);
+    grid_.stitch(sr.frame, t, r.frame);
 
     ShardReport& rep = r.report;
     if (sr.report.accepted) ++rep.tiles_accepted;
@@ -141,8 +156,8 @@ std::vector<ShardFrameResult> ShardedDecoder::process_batch(
     rep.max_rel_residual =
         std::max(rep.max_rel_residual, sr.report.rel_residual);
     TileReport& tile_rep = rep.tile_reports[t];
-    tile_rep.tile_row = tr;
-    tile_rep.tile_col = tc;
+    tile_rep.tile_row = grid_.tile_row(t);
+    tile_rep.tile_col = grid_.tile_col(t);
     tile_rep.report = std::move(sr.report);
   }
 

@@ -33,6 +33,36 @@
 
 namespace flexcs::runtime {
 
+/// Tiling geometry shared by ShardedDecoder (thread pool) and DecodeService
+/// (worker processes): partitions a rows x cols frame into an evenly dividing
+/// grid of tile_rows x tile_cols tiles, each padded with `halo` replicated
+/// border pixels per side. Tiles are addressed by their row-major grid index.
+struct TileGrid {
+  TileGrid(std::size_t rows, std::size_t cols, std::size_t tile_rows,
+           std::size_t tile_cols, std::size_t halo);
+
+  std::size_t rows;
+  std::size_t cols;
+  std::size_t tile_rows;
+  std::size_t tile_cols;
+  std::size_t halo;
+  std::size_t grid_rows;
+  std::size_t grid_cols;
+  std::size_t padded_rows;  // tile_rows + 2 * halo
+  std::size_t padded_cols;
+
+  std::size_t tiles() const { return grid_rows * grid_cols; }
+  std::size_t tile_row(std::size_t tile) const { return tile / grid_cols; }
+  std::size_t tile_col(std::size_t tile) const { return tile % grid_cols; }
+
+  /// Copies tile `tile` plus its halo out of `frame`, replicating frame
+  /// border pixels where the halo sticks out of the array.
+  la::Matrix extract(const la::Matrix& frame, std::size_t tile) const;
+  /// Copies the interior of a decoded padded tile into the full frame.
+  void stitch(const la::Matrix& padded, std::size_t tile,
+              la::Matrix& out) const;
+};
+
 struct ShardOptions {
   std::size_t tile_rows = 32;  // must divide the frame rows
   std::size_t tile_cols = 32;  // must divide the frame cols
@@ -50,10 +80,16 @@ struct ShardOptions {
   StreamOptions stream;
 };
 
-/// Per-tile outcome, in row-major tile-grid order.
+/// Per-tile outcome, in row-major tile-grid order. The full RecoveryReport of
+/// every tile rides along in the stitched result, so callers can attribute a
+/// degraded frame to the tile (and the ladder rung) that caused it. The
+/// dispatch fields are filled by DecodeService; ShardedDecoder's in-process
+/// pool leaves them at their defaults (one attempt, no fallback).
 struct TileReport {
   std::size_t tile_row = 0;  // tile-grid coordinates, not pixels
   std::size_t tile_col = 0;
+  int dispatch_attempts = 1;  // worker dispatches this tile consumed
+  bool in_process = false;    // decoded by the broker fallback, not a worker
   RecoveryReport report;
 };
 
@@ -82,16 +118,17 @@ class ShardedDecoder {
  public:
   ShardedDecoder(std::size_t rows, std::size_t cols, ShardOptions opts = {});
 
-  std::size_t rows() const { return rows_; }
-  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return grid_.rows; }
+  std::size_t cols() const { return grid_.cols; }
   /// Tile grid dimensions (tiles per column / per row of the grid).
-  std::size_t grid_rows() const { return grid_rows_; }
-  std::size_t grid_cols() const { return grid_cols_; }
-  std::size_t shards() const { return grid_rows_ * grid_cols_; }
+  std::size_t grid_rows() const { return grid_.grid_rows; }
+  std::size_t grid_cols() const { return grid_.grid_cols; }
+  std::size_t shards() const { return grid_.tiles(); }
   /// Padded tile geometry actually decoded (tile + 2·halo per side).
-  std::size_t padded_rows() const { return padded_rows_; }
-  std::size_t padded_cols() const { return padded_cols_; }
+  std::size_t padded_rows() const { return grid_.padded_rows; }
+  std::size_t padded_cols() const { return grid_.padded_cols; }
   const ShardOptions& options() const { return opts_; }
+  const TileGrid& grid() const { return grid_; }
 
   /// Telemetry of the underlying worker pool (cumulative across frames).
   StreamHealth health() const { return server_.health(); }
@@ -112,21 +149,8 @@ class ShardedDecoder {
       const solvers::SolveOptions& ctrl = {});
 
  private:
-  /// Copies tile (tr, tc) plus its halo out of `frame`, replicating frame
-  /// border pixels where the halo sticks out of the array.
-  la::Matrix extract_tile(const la::Matrix& frame, std::size_t tr,
-                          std::size_t tc) const;
-  /// Copies the interior of a decoded padded tile into the full frame.
-  void stitch_tile(const la::Matrix& tile, std::size_t tr, std::size_t tc,
-                   la::Matrix& out) const;
-
-  std::size_t rows_;
-  std::size_t cols_;
   ShardOptions opts_;
-  std::size_t grid_rows_;
-  std::size_t grid_cols_;
-  std::size_t padded_rows_;
-  std::size_t padded_cols_;
+  TileGrid grid_;
   StreamServer server_;
   std::size_t total_submitted_ = 0;  // cumulative, for wait_for_completed
 };

@@ -1,0 +1,122 @@
+#include "runtime/worker.hpp"
+
+#include <time.h>  // nanosleep: interruptible, so SIGKILL lands mid-stall
+
+#include <algorithm>
+#include <csignal>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace flexcs::runtime {
+namespace {
+
+// Interruptible sleep for the stall injection. nanosleep (not
+// std::this_thread::sleep_for) so the loop stays signal-transparent: a
+// SIGKILL from the supervisor terminates the stall immediately.
+void stall_for(double seconds) {
+  if (seconds <= 0.0) return;
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(seconds);
+  ts.tv_nsec = static_cast<long>((seconds - static_cast<double>(ts.tv_sec)) *
+                                 1e9);
+  timespec rem;
+  while (::nanosleep(&ts, &rem) != 0) ts = rem;
+}
+
+}  // namespace
+
+std::uint64_t tile_seed(std::uint64_t base, std::uint64_t frame_index,
+                        std::uint64_t tile_index) {
+  // SplitMix64 finalizer over the tile's global identity. The odd constants
+  // separate frame and tile axes so (f=1, t=0) and (f=0, t=1) do not collide.
+  std::uint64_t z = base ^ (frame_index * 0x9E3779B97F4A7C15ull) ^
+                    (tile_index * 0xC2B2AE3D27D4EB4Full + 0xD6E8FEB86659FD93ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+RobustPipeline::FrameResult decode_tile(RobustPipeline& pipeline,
+                                        const wire::TileRequest& req,
+                                        std::uint64_t base_seed) {
+  FLEXCS_CHECK(req.max_rung < kStrategyCount,
+               "tile request rung out of range");
+  FrameControl ctrl;
+  if (req.deadline_seconds > 0.0)
+    ctrl.solve.deadline = Deadline::after(req.deadline_seconds);
+  ctrl.max_decode_calls = req.max_decode_calls;
+  ctrl.max_rung = static_cast<Strategy>(req.max_rung);
+  Rng rng(tile_seed(base_seed, req.frame_index, req.tile_index));
+  RobustPipeline::FrameResult result = pipeline.process(req.tile, rng, ctrl);
+  // The pipeline numbers frames by its own call count, which differs across
+  // processes; the global frame index is the meaningful one downstream.
+  result.report.frame_index = static_cast<std::size_t>(req.frame_index);
+  return result;
+}
+
+int decode_worker_loop(int fd, const WorkerConfig& cfg) {
+  FLEXCS_CHECK(fd >= 0, "worker loop needs a valid transport fd");
+  FLEXCS_CHECK(cfg.padded_rows > 0 && cfg.padded_cols > 0,
+               "worker loop over an empty tile geometry");
+  // Everything below must not unwind: the worker runs in a forked copy of
+  // the broker, and an exception escaping here would run the broker's atexit
+  // machinery twice. Failures become exit codes instead.
+  try {
+    RobustPipeline pipeline(cfg.padded_rows, cfg.padded_cols, cfg.pipeline,
+                            cfg.solver);
+    std::vector<std::uint8_t> inbuf;
+    std::int32_t handled = 0;
+    for (;;) {
+      wire::Message msg;
+      const wire::ReadStatus rs = wire::read_message(fd, inbuf, msg);
+      if (rs == wire::ReadStatus::kEof) return 0;  // broker went away
+      if (rs != wire::ReadStatus::kMessage) return 3;
+      if (msg.type == wire::MessageType::kShutdown) return 0;
+      if (msg.type != wire::MessageType::kTileRequest) return 3;
+
+      // Crash injection: the request is consumed but never answered — from
+      // the broker's side this is a worker dying mid-decode.
+      if (cfg.faults.kill_after_tiles >= 0 &&
+          handled >= cfg.faults.kill_after_tiles) {
+        ::raise(SIGKILL);
+      }
+
+      const wire::TileRequest req = wire::decode_tile_request(msg);
+      RobustPipeline::FrameResult result = decode_tile(pipeline, req,
+                                                       cfg.seed);
+      wire::TileResponse resp;
+      resp.seq = req.seq;
+      resp.tile = std::move(result.frame);
+      resp.report = std::move(result.report);
+      std::vector<std::uint8_t> bytes = wire::encode_tile_response(resp);
+
+      if (cfg.faults.corrupt_after_tiles >= 0 &&
+          handled == cfg.faults.corrupt_after_tiles) {
+        // Flip one bit in the middle of the payload: framing stays intact,
+        // the checksum does not.
+        bytes[bytes.size() / 2] ^= 0x20u;
+      }
+      if (cfg.faults.stall_after_tiles >= 0 &&
+          handled == cfg.faults.stall_after_tiles) {
+        stall_for(cfg.faults.stall_seconds);
+      }
+      if (cfg.faults.truncate_after_tiles >= 0 &&
+          handled == cfg.faults.truncate_after_tiles) {
+        const std::vector<std::uint8_t> half(
+            bytes.begin(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2));
+        wire::send_message(fd, half);
+        return 4;  // die with the message half-sent
+      }
+
+      if (!wire::send_message(fd, bytes)) return 0;  // broker went away
+      ++handled;
+    }
+  } catch (...) {
+    return 5;  // CheckError or allocation failure inside the decode
+  }
+}
+
+}  // namespace flexcs::runtime

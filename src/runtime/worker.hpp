@@ -1,0 +1,82 @@
+// The worker side of the multi-process decode service: a blocking loop that
+// reads TileRequests off a socketpair, decodes each tile through its own
+// RobustPipeline, and writes TileResponses back. Workers are forked (not
+// exec'd) by DecodeService, so configuration arrives structurally through
+// the inherited WorkerConfig — only per-tile requests and responses cross
+// the wire.
+//
+// Determinism contract: a tile's sampling pattern is seeded from
+// (base seed, frame_index, tile_index) via tile_seed(), never from worker
+// identity or dispatch order. Any process — a worker, a respawned worker, or
+// the broker's in-process fallback — decoding the same tile therefore draws
+// the same pattern and produces a bit-identical reconstruction, which is what
+// lets the supervisor re-dispatch a crashed worker's tile without changing
+// the stitched frame at all.
+//
+// The built-in fault injection exists for the supervision tests and the
+// crash-rate bench: it makes a worker crash, wedge, or corrupt its own wire
+// output at deterministic points so every failure path of the broker can be
+// driven repeatably.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/pipeline.hpp"
+#include "runtime/wire.hpp"
+#include "solvers/solver.hpp"
+
+namespace flexcs::runtime {
+
+/// Deterministic fault injection for one worker process. Counters are in
+/// handled tiles: `kill_after_tiles = K` means the worker serves K tiles and
+/// SIGKILLs itself upon consuming request K+1 (a crash mid-decode: the
+/// request is gone from the pipe, no response will ever come). Negative
+/// values disable an injection.
+struct WorkerFaultInjection {
+  // raise(SIGKILL) after consuming the (K+1)-th request.
+  std::int32_t kill_after_tiles = -1;
+  // Sleep this long before responding to the (K+1)-th request (a wedged
+  // worker; the broker's heartbeat timeout must recover it).
+  std::int32_t stall_after_tiles = -1;
+  double stall_seconds = 0.0;
+  // Flip one payload bit in the encoded response of the (K+1)-th request
+  // (checksum reject at the broker).
+  std::int32_t corrupt_after_tiles = -1;
+  // Send only the first half of the response of the (K+1)-th request, then
+  // exit (a short read / truncated message at the broker).
+  std::int32_t truncate_after_tiles = -1;
+  // Apply the injection to every process respawned into this worker slot,
+  // not just the first (the bench's sustained-crash-rate knob).
+  bool persist_across_respawn = false;
+};
+
+/// Everything a worker process needs, inherited through fork().
+struct WorkerConfig {
+  std::size_t padded_rows = 0;   // tile geometry the pipeline decodes
+  std::size_t padded_cols = 0;
+  RobustPipelineOptions pipeline;
+  std::shared_ptr<const solvers::SparseSolver> solver;  // null = default
+  std::uint64_t seed = 0;        // base seed for tile_seed()
+  WorkerFaultInjection faults;
+};
+
+/// Seed of tile (frame_index, tile_index)'s sampling pattern: a SplitMix64
+/// finalizer over the base seed and the tile's global identity. Identical in
+/// every process, independent of dispatch order.
+std::uint64_t tile_seed(std::uint64_t base, std::uint64_t frame_index,
+                        std::uint64_t tile_index);
+
+/// Decodes one tile request. Shared by worker processes and the broker's
+/// in-process fallback so the two paths stay bit-identical by construction.
+RobustPipeline::FrameResult decode_tile(RobustPipeline& pipeline,
+                                        const wire::TileRequest& req,
+                                        std::uint64_t base_seed);
+
+/// The worker process main loop: serves tile requests on `fd` until a
+/// shutdown message, EOF, or a transport error. Returns the process exit
+/// code (0 on orderly shutdown). Never throws — a worker that dies must die
+/// by exit code or signal, not by unwinding into the forked runtime.
+int decode_worker_loop(int fd, const WorkerConfig& cfg);
+
+}  // namespace flexcs::runtime

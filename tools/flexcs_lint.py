@@ -27,12 +27,21 @@ Enforces project invariants the compiler cannot express:
                     FLEXCS_PT_GUARDED_BY / FLEXCS_REQUIRES (or acquire/
                     release) contract in the same header — a comment is no
                     longer enough; Clang TSA verifies the contract under the
-                    `analyze` preset
+                    `analyze` preset; process control (::fork / ::kill /
+                    ::waitpid / ::socketpair / ...) is likewise confined to
+                    src/runtime/ — the decode-service broker owns worker
+                    process lifecycles, and a stray fork() under a
+                    multi-threaded layer inherits locked mutexes it can
+                    never unlock
   deadline-poll     every bounded iteration loop in the iterative kernels
                     (src/solvers/, src/rpca/, src/lp/, src/la/) polls its
                     cooperative deadline/cancel control — a loop over
                     max_iterations that never calls should_stop()/checks the
-                    token would hang past its frame budget
+                    token would hang past its frame budget; and every
+                    unbounded supervision loop in src/runtime/ (`for (;;)`,
+                    `while (true)`) must either poll a deadline/heartbeat
+                    token or contain an explicit break/return — an exitless
+                    infinite loop in the broker is a guaranteed hang
 
 A line may opt out of one rule with a trailing marker comment:
 
@@ -108,6 +117,17 @@ ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
     # ShardedDecoder::process delegates to process_batch, which validates.
     ("src/runtime/shard.cpp", r"ShardedDecoder::process\b", ("FLEXCS_CHECK", "process_batch")),
     ("src/runtime/shard.cpp", r"ShardedDecoder::process_batch\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/shard.cpp", r"TileGrid::TileGrid\b", ("FLEXCS_CHECK",)),
+    # Multi-process decode service: the typed wire decoders validate every
+    # structural claim an untrusted peer process can make, the worker loop
+    # validates its transport/geometry, and the broker validates frames at
+    # admission (process delegates to process_batch).
+    ("src/runtime/wire.cpp", r"\bdecode_tile_request\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/wire.cpp", r"\bdecode_tile_response\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/worker.cpp", r"\bdecode_worker_loop\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/service.cpp", r"DecodeService::DecodeService\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/service.cpp", r"DecodeService::process\b", ("FLEXCS_CHECK", "process_batch")),
+    ("src/runtime/service.cpp", r"DecodeService::process_batch\b", ("FLEXCS_CHECK",)),
 )
 
 # How deep into a function body (in non-blank lines) validation must appear.
@@ -328,6 +348,13 @@ MUTEX_CONTRACT_EXEMPT = ("src/common/annotations.hpp",)
 
 _THREAD_SPAWN_RE = re.compile(r"\bstd::j?thread\b")
 _DETACH_RE = re.compile(r"\.\s*detach\s*\(")
+# Global-scope-qualified POSIX process control (the project idiom for
+# syscalls). The lookbehind keeps member functions like Rng::fork() and
+# DecodeService member calls out of scope — only `::fork(` at global scope
+# matches.
+_PROCESS_CONTROL_RE = re.compile(
+    r"(?<![\w>])::(?:v?fork|kill|raise|waitpid|wait|socketpair|pipe2?"
+    r"|execvp?e?|_[eE]xit)\s*\(")
 _STD_MUTEX_MEMBER_RE = re.compile(
     r"\bstd::(?:shared_|recursive_|timed_|recursive_timed_)?mutex\s+(\w+)\s*;")
 _WRAPPED_MUTEX_MEMBER_RE = re.compile(
@@ -363,6 +390,15 @@ def check_threading(f: SourceFile) -> List[Finding]:
                 idx, "threading",
                 "std::thread outside src/runtime/ — concurrency lives in the "
                 "streaming runtime; lower layers stay single-threaded")
+            if fd:
+                findings.append(fd)
+        if (_PROCESS_CONTROL_RE.search(line)
+                and not f.relpath.startswith(THREAD_ALLOWED_PREFIX)):
+            fd = f.finding_unless_allowed(
+                idx, "threading",
+                "process control (::fork/::kill/::waitpid/...) outside "
+                "src/runtime/ — the decode-service broker owns worker "
+                "process lifecycles")
             if fd:
                 findings.append(fd)
     if f.is_header() and f.relpath not in MUTEX_CONTRACT_EXEMPT:
@@ -408,6 +444,20 @@ _LOOP_BOUND_TOKENS = ("max_iterations", "max_iters", "kMaxIters", "kmax",
 _DEADLINE_POLL_TOKENS = ("should_stop", "cancelled", "deadline", "expired",
                          "cancel")
 
+# Supervision scope: unbounded loops (`for (;;)`, `while (true)`) in the
+# streaming/service runtime must either poll a time-based token or contain
+# an explicit exit statement — the broker event loop, the worker read loop,
+# and the watchdog all run "forever" by design, but each iteration must be
+# able to leave.
+RUNTIME_SUPERVISION_PREFIX = "src/runtime/"
+
+# Matched against the loop header with all whitespace removed.
+_UNBOUNDED_HEADER_RE = re.compile(r"^\((?:;;|true|1)\)$")
+
+# Exit paths that satisfy the supervision rule, on top of the poll tokens.
+_SUPERVISION_EXIT_TOKENS = _DEADLINE_POLL_TOKENS + (
+    "heartbeat", "poll", "break", "return", "throw")
+
 _LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
 
 
@@ -426,7 +476,9 @@ def _balanced_span(text: str, start: int, open_ch: str, close_ch: str
 
 
 def check_deadline_poll(f: SourceFile) -> List[Finding]:
-    if not f.relpath.startswith(DEADLINE_POLL_DIRS):
+    in_kernels = f.relpath.startswith(DEADLINE_POLL_DIRS)
+    in_runtime = f.relpath.startswith(RUNTIME_SUPERVISION_PREFIX)
+    if not (in_kernels or in_runtime):
         return []
     findings: List[Finding] = []
     text = f.stripped
@@ -436,7 +488,11 @@ def check_deadline_poll(f: SourceFile) -> List[Finding]:
         if paren_end is None:
             continue
         header = text[paren_open:paren_end]
-        if not any(tok in header for tok in _LOOP_BOUND_TOKENS):
+        bounded_solver_loop = in_kernels and any(
+            tok in header for tok in _LOOP_BOUND_TOKENS)
+        unbounded_supervision_loop = in_runtime and bool(
+            _UNBOUNDED_HEADER_RE.match(re.sub(r"\s+", "", header)))
+        if not (bounded_solver_loop or unbounded_supervision_loop):
             continue
         line_no = text.count("\n", 0, m.start()) + 1
         # Loop body: the braced block after the header, or the single
@@ -450,13 +506,23 @@ def check_deadline_poll(f: SourceFile) -> List[Finding]:
         else:
             semi = text.find(";", i)
             body = text[i:semi if semi != -1 else len(text)]
-        if any(tok in body for tok in _DEADLINE_POLL_TOKENS):
+        if bounded_solver_loop:
+            if any(tok in body for tok in _DEADLINE_POLL_TOKENS):
+                continue
+            fd = f.finding_unless_allowed(
+                line_no, "deadline-poll",
+                "bounded solver loop never polls its deadline/cancel token — "
+                "check ctrl.should_stop() (or the deadline/cancel members) "
+                "each iteration so expired solves stop at the next boundary")
+            if fd:
+                findings.append(fd)
+            continue
+        if any(tok in body for tok in _SUPERVISION_EXIT_TOKENS):
             continue
         fd = f.finding_unless_allowed(
             line_no, "deadline-poll",
-            "bounded solver loop never polls its deadline/cancel token — "
-            "check ctrl.should_stop() (or the deadline/cancel members) each "
-            "iteration so expired solves stop at the next boundary")
+            "unbounded supervision loop has no exit path — poll a deadline/"
+            "heartbeat token or break/return so the broker cannot hang")
         if fd:
             findings.append(fd)
     return findings

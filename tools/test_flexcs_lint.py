@@ -245,6 +245,43 @@ class ThreadingTest(unittest.TestCase):
         self.assertNotIn("threading", rules_fired(f))
 
 
+class ProcessControlTest(unittest.TestCase):
+    def test_fork_outside_runtime_fires(self):
+        f = lint_fixture({"src/cs/bad.cpp": "pid_t p = ::fork();\n"})
+        self.assertIn("threading", rules_fired(f))
+
+    def test_kill_and_waitpid_outside_runtime_fire(self):
+        src = ("void reap(pid_t p) {\n"
+               "  ::kill(p, 9);\n"
+               "  ::waitpid(p, nullptr, 0);\n"
+               "}\n")
+        f = lint_fixture({"tools/bad.cpp": src})
+        fired = [x for x in f if x.rule == "threading"]
+        self.assertEqual(2, len(fired), "\n".join(str(x) for x in fired))
+
+    def test_process_control_inside_runtime_clean(self):
+        src = ("void spawn() {\n"
+               "  int sv[2];\n"
+               "  ::socketpair(1, 1, 0, sv);\n"
+               "  if (::fork() == 0) ::_Exit(0);\n"
+               "}\n")
+        f = lint_fixture({"src/runtime/service.cpp": src})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_member_fork_not_confused(self):
+        # Rng::fork() (deterministic stream splitting) and member calls are
+        # not process control.
+        src = ("Rng Rng::fork() { return Rng(next_u64()); }\n"
+               "void g(Rng& base) { Rng child = base.fork(); }\n")
+        f = lint_fixture({"src/common/rng.cpp": src})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_suppression_marker(self):
+        src = "pid_t p = ::fork();  // flexcs-lint: allow(threading)\n"
+        f = lint_fixture({"tests/ok.cpp": src})
+        self.assertNotIn("threading", rules_fired(f))
+
+
 class DeadlinePollTest(unittest.TestCase):
     POLLING = (
         "#include \"solvers/solver.hpp\"\n"
@@ -294,6 +331,71 @@ class DeadlinePollTest(unittest.TestCase):
             "  // flexcs-lint: allow(deadline-poll)\n")
         src = src.replace("    if (ctrl.should_stop()) break;\n", "")
         f = lint_fixture({"src/solvers/kernel.cpp": src})
+        self.assertNotIn("deadline-poll", rules_fired(f))
+
+
+class SupervisionLoopTest(unittest.TestCase):
+    def test_exitless_infinite_loop_in_runtime_fires(self):
+        src = ("void broker() {\n"
+               "  for (;;) {\n"
+               "    step();\n"
+               "  }\n"
+               "}\n")
+        f = lint_fixture({"src/runtime/service.cpp": src})
+        self.assertIn("deadline-poll", rules_fired(f))
+
+    def test_while_true_without_exit_fires(self):
+        src = ("void watch() {\n"
+               "  while (true) {\n"
+               "    scan();\n"
+               "  }\n"
+               "}\n")
+        f = lint_fixture({"src/runtime/stream.cpp": src})
+        self.assertIn("deadline-poll", rules_fired(f))
+
+    def test_loop_with_break_clean(self):
+        src = ("void broker() {\n"
+               "  for (;;) {\n"
+               "    if (done()) break;\n"
+               "    step();\n"
+               "  }\n"
+               "}\n")
+        f = lint_fixture({"src/runtime/service.cpp": src})
+        self.assertNotIn("deadline-poll", rules_fired(f))
+
+    def test_loop_with_heartbeat_poll_clean(self):
+        src = ("void watch(double heartbeat_seconds) {\n"
+               "  while (true) {\n"
+               "    wait_for(heartbeat_seconds);\n"
+               "  }\n"
+               "}\n")
+        f = lint_fixture({"src/runtime/stream.cpp": src})
+        self.assertNotIn("deadline-poll", rules_fired(f))
+
+    def test_bounded_runtime_loop_ignored(self):
+        # Element loops in the runtime are not supervision loops.
+        src = ("void fill(double* v, unsigned long n) {\n"
+               "  for (unsigned long i = 0; i < n; ++i) v[i] = 0.0;\n"
+               "}\n")
+        f = lint_fixture({"src/runtime/shard.cpp": src})
+        self.assertNotIn("deadline-poll", rules_fired(f))
+
+    def test_infinite_loop_outside_runtime_ignored(self):
+        src = ("void spin() {\n"
+               "  for (;;) {\n"
+               "    step();\n"
+               "  }\n"
+               "}\n")
+        f = lint_fixture({"src/fe/sim.cpp": src})
+        self.assertNotIn("deadline-poll", rules_fired(f))
+
+    def test_suppression_marker(self):
+        src = ("void broker() {\n"
+               "  for (;;) {  // flexcs-lint: allow(deadline-poll)\n"
+               "    step();\n"
+               "  }\n"
+               "}\n")
+        f = lint_fixture({"src/runtime/service.cpp": src})
         self.assertNotIn("deadline-poll", rules_fired(f))
 
 
@@ -388,6 +490,39 @@ class EntryCheckTest(unittest.TestCase):
         f = lint_fixture({"src/cs/transform_operator.cpp": src})
         fired = [x for x in f if x.rule == "entry-check"
                  and x.path == "src/cs/transform_operator.cpp"]
+        self.assertFalse(fired, "\n".join(str(x) for x in fired))
+
+
+class ServiceEntryCheckTest(unittest.TestCase):
+    # The broker validates at admission; a bare-bones process_batch that
+    # touches frames without FLEXCS_CHECK breaks the contract.
+    UNCHECKED = (
+        "#include \"runtime/service.hpp\"\n"
+        "namespace flexcs::runtime {\n"
+        "std::vector<ServiceFrameResult> DecodeService::process_batch(\n"
+        "    const std::vector<la::Matrix>& frames,\n"
+        "    const solvers::SolveOptions& ctrl) {\n"
+        "  std::vector<ServiceFrameResult> results(frames.size());\n"
+        "  return results;\n"
+        "}\n"
+        "}\n")
+
+    def test_unvalidated_process_batch_fires(self):
+        f = lint_fixture({"src/runtime/service.cpp": self.UNCHECKED})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/runtime/service.cpp"
+                 and "process_batch" in x.message and "validate" in x.message]
+        self.assertTrue(fired)
+
+    def test_validated_process_batch_clean(self):
+        src = self.UNCHECKED.replace(
+            "  std::vector<ServiceFrameResult> results(frames.size());\n",
+            "  FLEXCS_CHECK(!frames.empty(), \"empty batch\");\n"
+            "  std::vector<ServiceFrameResult> results(frames.size());\n")
+        f = lint_fixture({"src/runtime/service.cpp": src})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/runtime/service.cpp"
+                 and "process_batch" in x.message and "validate" in x.message]
         self.assertFalse(fired, "\n".join(str(x) for x in fired))
 
 

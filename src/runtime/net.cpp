@@ -1,0 +1,224 @@
+#include "runtime/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+#include "runtime/posix_io.hpp"
+
+namespace flexcs::runtime::net {
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  FLEXCS_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+               "net: host must be an IPv4 dotted-quad address");
+  return addr;
+}
+
+}  // namespace
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  FLEXCS_CHECK(flags >= 0, "net: fcntl(F_GETFL) failed");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  FLEXCS_CHECK(::fcntl(fd, F_SETFL, next) == 0, "net: fcntl(F_SETFL) failed");
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Listener Listener::open(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  FLEXCS_CHECK(fd >= 0, "net: socket() failed");
+  Listener l;
+  l.fd_ = fd;  // RAII from here: any throw below closes the fd
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  FLEXCS_CHECK(
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
+      "net: bind failed — port in use or host not local");
+  FLEXCS_CHECK(::listen(fd, SOMAXCONN) == 0, "net: listen failed");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  FLEXCS_CHECK(
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+      "net: getsockname failed");
+  l.port_ = ntohs(bound.sin_port);
+  set_nonblocking(fd, true);
+  return l;
+}
+
+int Listener::accept_nonblocking() {
+  if (fd_ < 0) return -1;
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      set_nonblocking(conn, true);
+      set_nodelay(conn);
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    return -1;  // EAGAIN (nothing pending) or a transient accept error
+  }
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+int connect_to(const std::string& host, std::uint16_t port,
+               double timeout_seconds) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  set_nonblocking(fd, true);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  while (rc != 0 && errno == EINTR)
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    // Wait for the three-way handshake under poll, bounded by the timeout.
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    int timeout_ms = static_cast<int>(timeout_seconds * 1000.0);
+    if (timeout_ms < 1) timeout_ms = 1;
+    int pr = ::poll(&p, 1, timeout_ms);
+    while (pr < 0 && errno == EINTR) pr = ::poll(&p, 1, timeout_ms);
+    if (pr <= 0) {
+      ::close(fd);
+      return -1;  // timeout or poll failure
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;  // refused, unreachable, reset, ...
+    }
+    rc = 0;
+  }
+  if (rc != 0) {
+    ::close(fd);
+    return -1;  // immediate refusal
+  }
+  set_nonblocking(fd, false);  // the worker loop is intentionally blocking
+  set_nodelay(fd);
+  return fd;
+}
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(other.fd_),
+      inbuf_(std::move(other.inbuf_)),
+      outbuf_(std::move(other.outbuf_)) {
+  other.fd_ = -1;
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    inbuf_ = std::move(other.inbuf_);
+    outbuf_ = std::move(other.outbuf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Connection::queue_message(const std::vector<std::uint8_t>& bytes) {
+  FLEXCS_CHECK(fd_ >= 0, "net: queue_message on a closed connection");
+  outbuf_.insert(outbuf_.end(), bytes.begin(), bytes.end());
+  return flush();
+}
+
+bool Connection::flush() {
+  if (outbuf_.empty() || fd_ < 0) return fd_ >= 0;
+  std::size_t written = 0;
+  const io::WriteResult wr =
+      io::send_some(fd_, outbuf_.data(), outbuf_.size(), &written);
+  outbuf_.erase(outbuf_.begin(),
+                outbuf_.begin() + static_cast<std::ptrdiff_t>(written));
+  return wr != io::WriteResult::kError;
+}
+
+Connection::ReadStatus Connection::read_available() {
+  FLEXCS_CHECK(fd_ >= 0, "net: read_available on a closed connection");
+  bool any = false;
+  for (;;) {
+    std::uint8_t chunk[65536];
+    std::size_t got = 0;
+    const io::ReadResult rr = io::read_some(fd_, chunk, sizeof chunk, &got);
+    if (rr == io::ReadResult::kData) {
+      inbuf_.insert(inbuf_.end(), chunk, chunk + got);
+      any = true;
+      continue;
+    }
+    if (rr == io::ReadResult::kWouldBlock)
+      return any ? ReadStatus::kProgress : ReadStatus::kNoData;
+    return ReadStatus::kClosed;  // EOF or transport error
+  }
+}
+
+wire::DecodeStatus Connection::next_message(wire::Message& out) {
+  std::size_t consumed = 0;
+  const wire::DecodeStatus st =
+      wire::decode_message(inbuf_.data(), inbuf_.size(), out, consumed);
+  if (st == wire::DecodeStatus::kOk) {
+    inbuf_.erase(inbuf_.begin(),
+                 inbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+  }
+  return st;
+}
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+  outbuf_.clear();
+}
+
+}  // namespace flexcs::runtime::net

@@ -1,0 +1,126 @@
+// TCP transport primitives for the multi-host decode service: a nonblocking
+// listener the single-threaded poll() broker folds into its event loop, a
+// blocking connector with timeout for the worker side, and a buffered
+// nonblocking Connection that owns the partial-read/partial-write state of
+// one accepted peer.
+//
+// Design constraints, inherited from the broker (see service.hpp):
+//
+//   - the broker is single-threaded and fork-safe, so nothing here may spawn
+//     threads or block: accept, reads, and writes on the broker side are all
+//     nonblocking, and a write the socket cannot take right now is buffered
+//     in the Connection until the next POLLOUT;
+//   - EINTR never surfaces: all syscalls retry through runtime/posix_io, the
+//     helper shared with the socketpair transport, so a signal mid-transfer
+//     cannot masquerade as a short read or a failed send;
+//   - the worker side stays blocking (one request in flight, same shape as
+//     the socketpair worker loop), so connect_to returns a plain blocking fd
+//     with TCP_NODELAY set.
+//
+// Loopback (127.0.0.1) is the default and what the tests and bench use; the
+// same primitives carry real multi-host deployments unchanged — the wire
+// format is versioned, checksummed, and endian-pinned for exactly that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/wire.hpp"
+
+namespace flexcs::runtime::net {
+
+/// Marks an fd nonblocking (or blocking again). FLEXCS_CHECKs on failure —
+/// an fd that cannot change mode is a programming error, not a peer fault.
+void set_nonblocking(int fd, bool on);
+
+/// Disables Nagle batching. Best-effort: tile requests are latency-bound and
+/// far larger than one segment, so a failure here degrades, never breaks.
+void set_nodelay(int fd);
+
+/// Nonblocking IPv4 TCP listener. Move-only RAII over the listening fd.
+class Listener {
+ public:
+  Listener() = default;  // not listening; fd() < 0
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+
+  /// Binds and listens on host:port (port 0 = ephemeral). The fd comes back
+  /// nonblocking with SO_REUSEADDR set. Throws CheckError when the bind
+  /// fails — a broker that cannot listen cannot serve its remote fleet.
+  static Listener open(const std::string& host, std::uint16_t port);
+
+  bool listening() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// The bound port (resolved after an ephemeral bind).
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection without blocking: returns the accepted
+  /// fd (already nonblocking, TCP_NODELAY) or -1 when none is pending.
+  int accept_nonblocking();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect to host:port bounded by `timeout_seconds` (the connect
+/// itself runs nonblocking under poll, then the fd is flipped back to
+/// blocking with TCP_NODELAY). Returns the fd, or -1 on refusal, timeout, or
+/// resolution failure — the worker's reconnect loop treats them all the same.
+int connect_to(const std::string& host, std::uint16_t port,
+               double timeout_seconds);
+
+/// One accepted broker-side connection: a nonblocking fd plus the buffered
+/// partial-read and partial-write state the poll loop needs. Move-only RAII.
+class Connection {
+ public:
+  Connection() = default;  // not connected; valid() false
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// True when queued bytes are waiting for the socket (poll for POLLOUT).
+  bool wants_write() const { return !outbuf_.empty(); }
+
+  /// Queues one encoded wire message and opportunistically flushes. Returns
+  /// false when the connection died mid-write (the caller tears it down).
+  bool queue_message(const std::vector<std::uint8_t>& bytes);
+
+  /// Pushes buffered bytes into the socket until it blocks or drains.
+  /// Returns false when the peer is gone.
+  bool flush();
+
+  enum class ReadStatus { kProgress, kNoData, kClosed };
+
+  /// Drains everything the socket has right now into the receive buffer
+  /// (nonblocking, EINTR-safe). kProgress = new bytes arrived.
+  ReadStatus read_available();
+
+  /// Attempts to parse one wire message out of the receive buffer head.
+  /// kShort means "wait for more bytes"; any other non-kOk status poisons
+  /// the stream (no resync point) and the caller should close the peer.
+  wire::DecodeStatus next_message(wire::Message& out);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> inbuf_;
+  std::vector<std::uint8_t> outbuf_;
+};
+
+}  // namespace flexcs::runtime::net

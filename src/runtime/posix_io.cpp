@@ -1,0 +1,59 @@
+#include "runtime/posix_io.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace flexcs::runtime::io {
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE and friends: the peer is gone
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ReadResult read_some(int fd, std::uint8_t* buf, std::size_t cap,
+                     std::size_t* got) {
+  *got = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, cap);
+    if (n > 0) {
+      *got = static_cast<std::size_t>(n);
+      return ReadResult::kData;
+    }
+    if (n == 0) return ReadResult::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadResult::kWouldBlock;
+    return ReadResult::kError;
+  }
+}
+
+WriteResult send_some(int fd, const std::uint8_t* data, std::size_t size,
+                      std::size_t* written) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *written = sent;
+        return WriteResult::kPartial;
+      }
+      *written = sent;
+      return WriteResult::kError;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  *written = sent;
+  return WriteResult::kAll;
+}
+
+}  // namespace flexcs::runtime::io

@@ -1,0 +1,51 @@
+// EINTR-safe POSIX read/write helpers shared by every transport in the
+// runtime: the socketpair framing in wire.cpp, the TCP primitives in net.cpp,
+// and the broker's poll-driven reads in service.cpp. Factoring the retry
+// loops into one place keeps signal handling uniform — a signal landing in
+// the middle of a partial read or write is always retried here, so it can
+// never surface to a caller as a spurious short read (wire::kShort) or a
+// failed send.
+//
+// Nothing here allocates or throws; results come back as a status enum so
+// the callers (worker loops that must not unwind, the single-threaded
+// broker) can translate failures into their own supervision actions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sys/types.h>
+
+namespace flexcs::runtime::io {
+
+/// Writes all `size` bytes to `fd` via ::send(MSG_NOSIGNAL), looping over
+/// partial sends and retrying EINTR. A dead peer therefore reads as EPIPE
+/// (false), never SIGPIPE. Works on any socket fd (socketpair or TCP).
+/// Returns false on any unrecoverable transport error.
+bool send_all(int fd, const std::uint8_t* data, std::size_t size);
+
+enum class ReadResult {
+  kData,        // >= 1 byte read; *got holds the count
+  kEof,         // orderly peer shutdown
+  kWouldBlock,  // nonblocking fd with nothing pending (EAGAIN/EWOULDBLOCK)
+  kError,       // unrecoverable transport error (errno preserved)
+};
+
+/// One ::read of up to `cap` bytes into `buf`, retrying EINTR so a signal
+/// during a partial read is invisible to the caller. On kData, *got is the
+/// byte count (never 0).
+ReadResult read_some(int fd, std::uint8_t* buf, std::size_t cap,
+                     std::size_t* got);
+
+enum class WriteResult {
+  kAll,         // every byte written
+  kPartial,     // nonblocking fd filled its buffer; *written < size
+  kError,       // unrecoverable transport error (peer gone, ...)
+};
+
+/// Nonblocking-friendly variant of send_all: writes as much as the socket
+/// accepts, retrying EINTR, and reports how far it got via *written so a
+/// buffered caller can queue the remainder (the broker's TCP connections).
+WriteResult send_some(int fd, const std::uint8_t* data, std::size_t size,
+                      std::size_t* written);
+
+}  // namespace flexcs::runtime::io

@@ -17,6 +17,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/strings.hpp"
 #include "runtime/stream.hpp"
 
 namespace flexcs::runtime {
@@ -35,6 +36,13 @@ ServiceOptions validated(ServiceOptions opts) {
   FLEXCS_CHECK(opts.heartbeat_multiplier >= 0.0 &&
                    opts.heartbeat_floor_seconds >= 0.0,
                "heartbeat timeout must be non-negative");
+  FLEXCS_CHECK(opts.remote_connect_grace_seconds >= 0.0,
+               "remote connect grace must be non-negative");
+  FLEXCS_CHECK(opts.ping_interval_seconds > 0.0 &&
+                   opts.remote_read_timeout_seconds > 0.0,
+               "remote keepalive intervals must be positive");
+  FLEXCS_CHECK(opts.max_remote_reconnects >= 0,
+               "remote reconnect budget must be non-negative");
   return opts;
 }
 
@@ -53,6 +61,11 @@ Deadline::Clock::duration to_duration(double seconds) {
 // tight tile deadline must not read as a wedged worker.
 constexpr double kHeartbeatSlackSeconds = 0.05;
 
+// Smoothing factor for the per-slot EWMA of observed tile latency that keys
+// weighted dispatch. A slot with no observation yet scores 0, so fresh
+// capacity is probed before proven-slow capacity is reused.
+constexpr double kEwmaAlpha = 0.3;
+
 // Interruptible 1 ms nap for the shutdown grace loop (the pump itself never
 // sleeps — it waits in poll()).
 void nap_briefly() {
@@ -62,6 +75,38 @@ void nap_briefly() {
 
 }  // namespace
 
+std::string ServiceHealth::to_json() const {
+  std::string out = "{";
+  const auto field = [&out](const char* name, std::size_t value) {
+    if (out.size() > 1) out += ", ";
+    out += strformat("\"%s\": %zu", name, value);
+  };
+  field("frames_submitted", frames_submitted);
+  field("frames_admitted", frames_admitted);
+  field("frames_completed", frames_completed);
+  field("frames_dropped", frames_dropped);
+  field("frames_degraded", frames_degraded);
+  field("frames_lost", frames_lost);
+  field("tiles_dispatched", tiles_dispatched);
+  field("tiles_completed", tiles_completed);
+  field("tile_redispatches", tile_redispatches);
+  field("tiles_in_process", tiles_in_process);
+  field("worker_crashes", worker_crashes);
+  field("worker_stalls", worker_stalls);
+  field("worker_respawns", worker_respawns);
+  field("checksum_rejects", checksum_rejects);
+  field("stale_responses", stale_responses);
+  field("deadline_expired_tiles", deadline_expired_tiles);
+  field("remote_connects", remote_connects);
+  field("remote_reconnects", remote_reconnects);
+  field("remote_disconnects", remote_disconnects);
+  field("handshake_failures", handshake_failures);
+  field("read_timeouts", read_timeouts);
+  field("redispatches_on_disconnect", redispatches_on_disconnect);
+  out += "}";
+  return out;
+}
+
 DecodeService::DecodeService(std::size_t rows, std::size_t cols,
                              ServiceOptions opts)
     : opts_(validated(std::move(opts))),
@@ -69,6 +114,13 @@ DecodeService::DecodeService(std::size_t rows, std::size_t cols,
   FLEXCS_CHECK(grid_.tiles() >= 1, "decode service needs at least one tile");
   slots_.resize(opts_.workers);
   for (std::size_t i = 0; i < slots_.size(); ++i) spawn_worker(i);
+  if (opts_.remote_workers > 0) {
+    listener_ = net::Listener::open(opts_.listen_host, opts_.listen_port);
+    remote_slots_.resize(opts_.remote_workers);
+    const Deadline::Clock::time_point now = Deadline::Clock::now();
+    for (RemoteSlot& r : remote_slots_) r.state_since = now;
+    if (opts_.spawn_remote_loopback) spawn_loopback_remotes();
+  }
 }
 
 DecodeService::~DecodeService() { close(); }
@@ -79,6 +131,39 @@ std::size_t DecodeService::live_workers() const {
   return n;
 }
 
+std::size_t DecodeService::healthy_remote_workers() const {
+  std::size_t n = 0;
+  for (const RemoteSlot& r : remote_slots_)
+    n += r.state == RemoteSlot::State::kHealthy ? 1 : 0;
+  return n;
+}
+
+bool DecodeService::fleet_has_prospects(
+    Deadline::Clock::time_point now) const {
+  for (const WorkerSlot& slot : slots_) {
+    if (slot.live) return true;
+  }
+  for (const RemoteSlot& r : remote_slots_) {
+    switch (r.state) {
+      case RemoteSlot::State::kHealthy:
+      case RemoteSlot::State::kSuspect:
+        return true;
+      case RemoteSlot::State::kConnecting:
+      case RemoteSlot::State::kHandshaking:
+      case RemoteSlot::State::kReconnecting:
+        // A slot plausibly about to (re)connect counts, but only within the
+        // grace window — past it, waiting would turn a partition into a hang.
+        if (seconds_since(r.state_since, now) <=
+            opts_.remote_connect_grace_seconds)
+          return true;
+        break;
+      case RemoteSlot::State::kDisconnected:
+        break;
+    }
+  }
+  return false;
+}
+
 void DecodeService::spawn_worker(std::size_t slot_index) {
   WorkerSlot& slot = slots_[slot_index];
   int sv[2] = {-1, -1};
@@ -87,14 +172,17 @@ void DecodeService::spawn_worker(std::size_t slot_index) {
   const pid_t pid = ::fork();
   FLEXCS_CHECK(pid >= 0, "fork failed");
   if (pid == 0) {
-    // Worker child. Drop the broker side of our pair and every other slot's
-    // broker fd inherited through fork, so a dead broker reads as EOF here
-    // and a dead sibling cannot hold our transport open.
+    // Worker child. Drop the broker side of our pair and every other broker
+    // fd inherited through fork — sibling socketpairs, the TCP listener, and
+    // any remote connections — so a dead broker reads as EOF here and this
+    // child cannot hold a peer's transport open.
     ::close(sv[0]);
     for (std::size_t other = 0; other < slots_.size(); ++other) {
       if (other != slot_index && slots_[other].fd >= 0)
         ::close(slots_[other].fd);
     }
+    listener_.close();
+    for (RemoteSlot& r : remote_slots_) r.conn.close();
     WorkerConfig cfg;
     cfg.padded_rows = grid_.padded_rows;
     cfg.padded_cols = grid_.padded_cols;
@@ -123,6 +211,37 @@ void DecodeService::spawn_worker(std::size_t slot_index) {
   slot.seq = 0;
   slot.inbuf.clear();
   ++slot.spawn_count;
+}
+
+void DecodeService::spawn_loopback_remotes() {
+  for (std::size_t i = 0; i < remote_slots_.size(); ++i) {
+    const pid_t pid = ::fork();
+    FLEXCS_CHECK(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Remote worker child: it reaches the broker through TCP only, so
+      // every inherited broker fd must go — the listener above all (holding
+      // it open would keep the port alive past the broker's close()).
+      for (WorkerSlot& slot : slots_) {
+        if (slot.fd >= 0) ::close(slot.fd);
+      }
+      const std::uint16_t port = listener_.port();
+      listener_.close();
+      for (RemoteSlot& r : remote_slots_) r.conn.close();
+      RemoteWorkerConfig cfg;
+      cfg.host = "127.0.0.1";
+      cfg.port = port;
+      cfg.worker.padded_rows = grid_.padded_rows;
+      cfg.worker.padded_cols = grid_.padded_cols;
+      cfg.worker.pipeline = opts_.pipeline;
+      cfg.worker.solver = opts_.solver;
+      cfg.worker.seed = opts_.seed;
+      if (i < opts_.remote_fault_injection.size())
+        cfg.net_faults = opts_.remote_fault_injection[i];
+      const int code = remote_decode_worker_loop(cfg);
+      std::_Exit(code);
+    }
+    loopback_pids_.push_back(pid);
+  }
 }
 
 void DecodeService::kill_worker(WorkerSlot& slot) {
@@ -243,7 +362,7 @@ void DecodeService::decode_tile_in_process(ActiveFrame& frame,
       in_process_pipeline().process(req.tile, rng, fc);
   result.report.frame_index = static_cast<std::size_t>(req.frame_index);
   complete_tile(frame, tile, result.frame, std::move(result.report),
-                /*in_process=*/true);
+                /*in_process=*/true, /*remote=*/false);
 }
 
 void DecodeService::dispatch_tile(std::size_t slot_index, ActiveFrame& frame,
@@ -278,9 +397,220 @@ void DecodeService::dispatch_tile(std::size_t slot_index, ActiveFrame& frame,
   }
 }
 
+void DecodeService::handle_remote_failure(std::size_t remote_index,
+                                          RemoteFailureKind kind,
+                                          const solvers::SolveOptions& ctrl) {
+  RemoteSlot& slot = remote_slots_[remote_index];
+  switch (kind) {
+    case RemoteFailureKind::kDisconnect:
+      ++health_.remote_disconnects;
+      break;
+    case RemoteFailureKind::kTimeout:
+      ++health_.read_timeouts;
+      break;
+    case RemoteFailureKind::kCorrupt:
+      // Same accounting as a forked worker poisoning its socketpair.
+      ++health_.checksum_rejects;
+      break;
+  }
+  ActiveFrame* frame = slot.busy ? slot.job_frame : nullptr;
+  const std::size_t tile = slot.job_tile;
+  slot.conn.close();
+  slot.busy = false;
+  slot.job_frame = nullptr;
+  slot.ping_outstanding = false;
+  // The peer process owns the re-dial; this side just waits for it — as a
+  // prospect within the grace window, then as plain spare capacity.
+  slot.state = RemoteSlot::State::kReconnecting;
+  slot.state_since = Deadline::Clock::now();
+  if (frame != nullptr) {
+    ++health_.redispatches_on_disconnect;
+    fail_tile(*frame, tile, ctrl);
+  }
+}
+
+void DecodeService::accept_remote_connections(
+    Deadline::Clock::time_point now) {
+  for (;;) {
+    const int fd = listener_.accept_nonblocking();
+    if (fd < 0) return;
+    // Bind to a slot that is waiting for a connection; a disconnected slot
+    // is revivable (a healed partition re-adds capacity) but last in line.
+    std::size_t index = remote_slots_.size();
+    for (std::size_t i = 0; i < remote_slots_.size(); ++i) {
+      const RemoteSlot::State st = remote_slots_[i].state;
+      if (st == RemoteSlot::State::kConnecting ||
+          st == RemoteSlot::State::kReconnecting) {
+        index = i;
+        break;
+      }
+      if (st == RemoteSlot::State::kDisconnected &&
+          index == remote_slots_.size())
+        index = i;
+    }
+    if (index == remote_slots_.size()) {
+      // Fleet full: drop the connection; the peer backs off and retries.
+      ::close(fd);
+      continue;
+    }
+    RemoteSlot& slot = remote_slots_[index];
+    slot.conn = net::Connection(fd);
+    slot.state = RemoteSlot::State::kHandshaking;
+    slot.state_since = now;
+    slot.last_activity = now;
+    slot.ping_outstanding = false;
+  }
+}
+
+bool DecodeService::process_remote_message(std::size_t remote_index,
+                                           const wire::Message& msg,
+                                           const solvers::SolveOptions& ctrl) {
+  RemoteSlot& slot = remote_slots_[remote_index];
+
+  if (slot.state == RemoteSlot::State::kHandshaking) {
+    // Only a valid, compatible Hello gets the slot to healthy.
+    wire::HelloAck ack;
+    ack.accepted = true;
+    wire::HelloRequest hello;
+    bool parsed = false;
+    if (msg.type == wire::MessageType::kHello) {
+      try {
+        hello = wire::decode_hello(msg);
+        parsed = true;
+      } catch (const CheckError&) {
+      }
+    }
+    if (!parsed) {
+      ++health_.handshake_failures;
+      slot.conn.close();
+      slot.state = RemoteSlot::State::kReconnecting;
+      slot.state_since = Deadline::Clock::now();
+      return false;
+    }
+    if (hello.wire_version != wire::kVersion) {
+      ack = {false, wire::HelloReject::kVersionMismatch};
+    } else if ((hello.capabilities & wire::kCapTileDecode) == 0) {
+      ack = {false, wire::HelloReject::kMissingCapability};
+    } else if (hello.padded_rows != grid_.padded_rows ||
+               hello.padded_cols != grid_.padded_cols) {
+      ack = {false, wire::HelloReject::kGeometryMismatch};
+    } else if (hello.seed != opts_.seed) {
+      // A worker drawing patterns from a different base seed would break the
+      // cross-host determinism contract — refuse it outright.
+      ack = {false, wire::HelloReject::kSeedMismatch};
+    } else if (slot.ever_connected &&
+               remote_reconnects_used_ >= opts_.max_remote_reconnects) {
+      ack = {false, wire::HelloReject::kBudgetExhausted};
+    }
+    if (!ack.accepted) {
+      ++health_.handshake_failures;
+      slot.conn.queue_message(wire::encode_hello_ack(ack));  // best effort
+      slot.conn.close();
+      // A reasoned refusal is permanent for this peer (it exits rather than
+      // re-dial the same parameters): no longer a prospect.
+      slot.state = RemoteSlot::State::kDisconnected;
+      slot.state_since = Deadline::Clock::now();
+      return false;
+    }
+    if (!slot.conn.queue_message(wire::encode_hello_ack(ack))) {
+      handle_remote_failure(remote_index, RemoteFailureKind::kDisconnect,
+                            ctrl);
+      return false;
+    }
+    if (slot.ever_connected) {
+      ++health_.remote_reconnects;
+      ++remote_reconnects_used_;
+    } else {
+      ++health_.remote_connects;
+    }
+    slot.ever_connected = true;
+    slot.state = RemoteSlot::State::kHealthy;
+    slot.state_since = Deadline::Clock::now();
+    slot.last_activity = slot.state_since;
+    return true;
+  }
+
+  // Healthy-state traffic.
+  if (msg.type == wire::MessageType::kPong) {
+    slot.ping_outstanding = false;
+    return true;
+  }
+  if (msg.type != wire::MessageType::kTileResponse) {
+    handle_remote_failure(remote_index, RemoteFailureKind::kCorrupt, ctrl);
+    return false;
+  }
+  wire::TileResponse resp;
+  try {
+    resp = wire::decode_tile_response(msg);
+  } catch (const CheckError&) {
+    handle_remote_failure(remote_index, RemoteFailureKind::kCorrupt, ctrl);
+    return false;
+  }
+  if (resp.tile.rows() != grid_.padded_rows ||
+      resp.tile.cols() != grid_.padded_cols) {
+    handle_remote_failure(remote_index, RemoteFailureKind::kCorrupt, ctrl);
+    return false;
+  }
+  if (slot.busy && resp.seq == slot.seq) {
+    ActiveFrame& frame = *slot.job_frame;
+    const std::size_t tile = slot.job_tile;
+    slot.busy = false;
+    slot.job_frame = nullptr;
+    const double observed =
+        seconds_since(slot.dispatched_at, Deadline::Clock::now());
+    slot.ewma_tile_seconds =
+        slot.ewma_tile_seconds <= 0.0
+            ? observed
+            : kEwmaAlpha * observed +
+                  (1.0 - kEwmaAlpha) * slot.ewma_tile_seconds;
+    complete_tile(frame, tile, resp.tile, std::move(resp.report),
+                  /*in_process=*/false, /*remote=*/true);
+  } else {
+    ++health_.stale_responses;
+  }
+  return true;
+}
+
+void DecodeService::dispatch_remote_tile(std::size_t remote_index,
+                                         ActiveFrame& frame, std::size_t tile,
+                                         const solvers::SolveOptions& ctrl) {
+  RemoteSlot& slot = remote_slots_[remote_index];
+  wire::TileRequest req = make_request(frame, tile, ctrl);
+  req.seq = next_seq_++;
+  const std::vector<std::uint8_t> bytes = wire::encode_tile_request(req);
+
+  TileState& ts = frame.tiles[tile];
+  if (ts.attempts > 0) ++health_.tile_redispatches;
+  ++ts.attempts;
+  ts.stage = TileState::Stage::kDispatched;
+  ++health_.tiles_dispatched;
+
+  slot.busy = true;
+  slot.job_frame = &frame;
+  slot.job_tile = tile;
+  slot.seq = req.seq;
+  slot.dispatched_at = Deadline::Clock::now();
+  slot.ping_outstanding = false;  // a dispatch supersedes any idle probe
+  slot.heartbeat_seconds =
+      req.deadline_seconds > 0.0
+          ? std::max(opts_.heartbeat_floor_seconds,
+                     opts_.heartbeat_multiplier * req.deadline_seconds +
+                         kHeartbeatSlackSeconds)
+          : opts_.heartbeat_floor_seconds;
+  // A TCP peer can vanish without an EOF (half-open connection), so a busy
+  // remote dispatch always carries a timeout — the read timeout backstops a
+  // disabled heartbeat.
+  if (slot.heartbeat_seconds <= 0.0)
+    slot.heartbeat_seconds = opts_.remote_read_timeout_seconds;
+  if (!slot.conn.queue_message(bytes)) {
+    handle_remote_failure(remote_index, RemoteFailureKind::kDisconnect, ctrl);
+  }
+}
+
 void DecodeService::complete_tile(ActiveFrame& frame, std::size_t tile,
                                   const la::Matrix& padded,
-                                  RecoveryReport report, bool in_process) {
+                                  RecoveryReport report, bool in_process,
+                                  bool remote) {
   TileState& ts = frame.tiles[tile];
   FLEXCS_CHECK(ts.stage != TileState::Stage::kDone,
                "tile completed twice");
@@ -301,6 +631,7 @@ void DecodeService::complete_tile(ActiveFrame& frame, std::size_t tile,
   tr.tile_col = grid_.tile_col(tile);
   tr.dispatch_attempts = ts.attempts;
   tr.in_process = in_process;
+  tr.remote = remote;
   tr.report = std::move(report);
 
   if (in_process) {
@@ -365,8 +696,15 @@ bool DecodeService::collect_slot(std::size_t slot_index,
       const std::size_t tile = slot.job_tile;
       slot.busy = false;
       slot.job_frame = nullptr;
+      const double observed =
+          seconds_since(slot.dispatched_at, Deadline::Clock::now());
+      slot.ewma_tile_seconds =
+          slot.ewma_tile_seconds <= 0.0
+              ? observed
+              : kEwmaAlpha * observed +
+                    (1.0 - kEwmaAlpha) * slot.ewma_tile_seconds;
       complete_tile(frame, tile, resp.tile, std::move(resp.report),
-                    /*in_process=*/false);
+                    /*in_process=*/false, /*remote=*/false);
     } else {
       // A response for a dispatch we already gave up on (e.g. the answer of
       // a worker we declared stalled raced the SIGKILL). The tile was (or
@@ -380,6 +718,25 @@ bool DecodeService::collect_slot(std::size_t slot_index,
 void DecodeService::pump(std::vector<std::unique_ptr<ActiveFrame>>& window,
                          const solvers::SolveOptions& ctrl) {
   const Deadline::Clock::time_point now = Deadline::Clock::now();
+
+  // --- remote lifecycle sweep: a slot stuck waiting for a connection (or a
+  // valid Hello) past the grace window stops being a prospect, so its tiles
+  // route to the forked fleet or in-process instead of hanging on a
+  // partition. The slot stays revivable should a connection arrive later.
+  for (RemoteSlot& r : remote_slots_) {
+    const bool waiting = r.state == RemoteSlot::State::kConnecting ||
+                         r.state == RemoteSlot::State::kHandshaking ||
+                         r.state == RemoteSlot::State::kReconnecting;
+    if (!waiting || seconds_since(r.state_since, now) <=
+                        opts_.remote_connect_grace_seconds)
+      continue;
+    if (r.state == RemoteSlot::State::kHandshaking) {
+      ++health_.handshake_failures;  // connected but never said a valid Hello
+      r.conn.close();
+    }
+    r.state = RemoteSlot::State::kDisconnected;
+    r.state_since = now;
+  }
 
   // --- poll timeout: zero when there is dispatchable or fallback work now,
   // otherwise the nearest of heartbeat expiries and backoff gates, capped at
@@ -398,7 +755,19 @@ void DecodeService::pump(std::vector<std::unique_ptr<ActiveFrame>>& window,
       wait_s = std::min(wait_s, rem);
     }
   }
-  const bool fleet_down = live_workers() == 0;
+  for (const RemoteSlot& r : remote_slots_) {
+    if (r.state != RemoteSlot::State::kHealthy) continue;
+    if (!r.busy) {
+      idle_worker = true;
+      continue;
+    }
+    if (r.heartbeat_seconds > 0.0) {
+      const double rem =
+          r.heartbeat_seconds - seconds_since(r.dispatched_at, now);
+      wait_s = std::min(wait_s, rem);
+    }
+  }
+  const bool fleet_down = !fleet_has_prospects(now);
   for (const std::unique_ptr<ActiveFrame>& af : window) {
     if (!af) continue;
     for (const TileState& ts : af->tiles) {
@@ -416,30 +785,99 @@ void DecodeService::pump(std::vector<std::unique_ptr<ActiveFrame>>& window,
       wait_s <= 0.0 ? 0
                     : static_cast<int>(std::min(wait_s * 1000.0 + 1.0, 20.0));
 
-  // --- poll + read + collect.
+  // --- poll + read + collect over the whole fleet: forked socketpairs, the
+  // TCP listener, and every bound remote connection (POLLOUT only while its
+  // send buffer holds bytes the socket would not take earlier).
+  enum class FdKind : std::uint8_t { kForked, kListener, kRemote };
   std::vector<pollfd> fds;
-  std::vector<std::size_t> fd_slots;
+  std::vector<FdKind> fd_kind;
+  std::vector<std::size_t> fd_index;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (!slots_[i].live) continue;
     pollfd p{};
     p.fd = slots_[i].fd;
     p.events = POLLIN;
     fds.push_back(p);
-    fd_slots.push_back(i);
+    fd_kind.push_back(FdKind::kForked);
+    fd_index.push_back(i);
+  }
+  if (listener_.listening()) {
+    pollfd p{};
+    p.fd = listener_.fd();
+    p.events = POLLIN;
+    fds.push_back(p);
+    fd_kind.push_back(FdKind::kListener);
+    fd_index.push_back(0);
+  }
+  for (std::size_t i = 0; i < remote_slots_.size(); ++i) {
+    const RemoteSlot& r = remote_slots_[i];
+    if (!r.conn.valid()) continue;
+    pollfd p{};
+    p.fd = r.conn.fd();
+    p.events = POLLIN;
+    if (r.conn.wants_write()) p.events |= POLLOUT;
+    fds.push_back(p);
+    fd_kind.push_back(FdKind::kRemote);
+    fd_index.push_back(i);
   }
   if (!fds.empty()) {
     const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
                           timeout_ms);
     if (rc > 0) {
+      const Deadline::Clock::time_point read_now = Deadline::Clock::now();
       for (std::size_t i = 0; i < fds.size(); ++i) {
-        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
-          collect_slot(fd_slots[i], ctrl);
+        if (fds[i].revents == 0) continue;
+        switch (fd_kind[i]) {
+          case FdKind::kForked:
+            if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+              collect_slot(fd_index[i], ctrl);
+            break;
+          case FdKind::kListener:
+            accept_remote_connections(read_now);
+            break;
+          case FdKind::kRemote: {
+            const std::size_t ri = fd_index[i];
+            RemoteSlot& r = remote_slots_[ri];
+            if (!r.conn.valid() || r.conn.fd() != fds[i].fd) break;
+            if ((fds[i].revents & POLLOUT) != 0 && !r.conn.flush()) {
+              handle_remote_failure(ri, RemoteFailureKind::kDisconnect, ctrl);
+              break;
+            }
+            if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) break;
+            const net::Connection::ReadStatus rs = r.conn.read_available();
+            if (rs == net::Connection::ReadStatus::kProgress)
+              r.last_activity = read_now;
+            // Drain complete messages even when the peer closed right after
+            // writing them — a finished tile should not be re-decoded just
+            // because its connection died a microsecond later.
+            bool torn_down = false;
+            for (;;) {
+              wire::Message msg;
+              const wire::DecodeStatus st = r.conn.next_message(msg);
+              if (st == wire::DecodeStatus::kShort) break;
+              if (st != wire::DecodeStatus::kOk) {
+                handle_remote_failure(ri, RemoteFailureKind::kCorrupt, ctrl);
+                torn_down = true;
+                break;
+              }
+              if (!process_remote_message(ri, msg, ctrl)) {
+                torn_down = true;
+                break;
+              }
+            }
+            if (!torn_down && rs == net::Connection::ReadStatus::kClosed)
+              handle_remote_failure(ri, RemoteFailureKind::kDisconnect, ctrl);
+            break;
+          }
+        }
       }
     }
   }
 
   // --- heartbeat scan: a dispatched tile unanswered past its timeout means
-  // a wedged worker — SIGKILL, respawn, re-dispatch.
+  // a wedged worker — SIGKILL + respawn for a forked slot, teardown +
+  // reconnect for a remote one (the broker cannot signal a remote process;
+  // it can only stop listening to it).
   const Deadline::Clock::time_point after_poll = Deadline::Clock::now();
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     WorkerSlot& slot = slots_[i];
@@ -447,30 +885,84 @@ void DecodeService::pump(std::vector<std::unique_ptr<ActiveFrame>>& window,
     if (seconds_since(slot.dispatched_at, after_poll) > slot.heartbeat_seconds)
       handle_worker_failure(i, FailureKind::kStall, ctrl);
   }
+  for (std::size_t i = 0; i < remote_slots_.size(); ++i) {
+    RemoteSlot& r = remote_slots_[i];
+    if (r.state != RemoteSlot::State::kHealthy) continue;
+    if (r.busy) {
+      if (r.heartbeat_seconds > 0.0 &&
+          seconds_since(r.dispatched_at, after_poll) > r.heartbeat_seconds) {
+        r.state = RemoteSlot::State::kSuspect;  // observable transition
+        handle_remote_failure(i, RemoteFailureKind::kTimeout, ctrl);
+      }
+      continue;
+    }
+    // Idle keepalive: TCP gives no EOF for a half-open peer, so an idle
+    // connection is pinged and a missing pong read as a dead one. A busy
+    // dispatch never pings — a single-threaded worker mid-solve cannot
+    // answer, and its heartbeat already bounds the wait.
+    if (r.ping_outstanding) {
+      if (seconds_since(r.ping_sent_at, after_poll) >
+          opts_.remote_read_timeout_seconds) {
+        r.state = RemoteSlot::State::kSuspect;
+        handle_remote_failure(i, RemoteFailureKind::kTimeout, ctrl);
+      }
+    } else if (seconds_since(r.last_activity, after_poll) >
+               opts_.ping_interval_seconds) {
+      const std::vector<std::uint8_t> ping =
+          wire::encode_message(wire::MessageType::kPing, {});
+      if (!r.conn.queue_message(ping)) {
+        handle_remote_failure(i, RemoteFailureKind::kDisconnect, ctrl);
+      } else {
+        r.ping_outstanding = true;
+        r.ping_sent_at = after_poll;
+      }
+    }
+  }
 
-  // --- dispatch pending tiles (lowest frame, then lowest tile, first) and
-  // run the in-process fallback for everything that can no longer ride the
-  // fleet.
+  // --- dispatch pending tiles (lowest frame, then lowest tile, first) to
+  // the idle worker — forked or remote — with the lowest EWMA tile latency,
+  // and run the in-process fallback for everything that can no longer ride
+  // the fleet.
   for (const std::unique_ptr<ActiveFrame>& af : window) {
     if (!af) continue;
     for (std::size_t tile = 0; tile < af->tiles.size(); ++tile) {
       TileState& ts = af->tiles[tile];
       if (ts.stage != TileState::Stage::kPending) continue;
-      if (ctrl.cancel.cancelled() || live_workers() == 0 ||
+      if (ctrl.cancel.cancelled() || !fleet_has_prospects(after_poll) ||
           ts.attempts >= opts_.tile_retry_budget) {
         decode_tile_in_process(*af, tile, ctrl);
         continue;
       }
       if (seconds_since(after_poll, ts.eligible_at) > 0.0) continue;
-      std::size_t slot_index = slots_.size();
+      bool found = false;
+      bool best_remote = false;
+      std::size_t best_index = 0;
+      double best_ewma = 0.0;
       for (std::size_t i = 0; i < slots_.size(); ++i) {
-        if (slots_[i].live && !slots_[i].busy) {
-          slot_index = i;
-          break;
+        if (!slots_[i].live || slots_[i].busy) continue;
+        if (!found || slots_[i].ewma_tile_seconds < best_ewma) {
+          found = true;
+          best_remote = false;
+          best_index = i;
+          best_ewma = slots_[i].ewma_tile_seconds;
         }
       }
-      if (slot_index == slots_.size()) return;  // fleet saturated
-      dispatch_tile(slot_index, *af, tile, ctrl);
+      for (std::size_t i = 0; i < remote_slots_.size(); ++i) {
+        const RemoteSlot& r = remote_slots_[i];
+        if (r.state != RemoteSlot::State::kHealthy || r.busy) continue;
+        if (!found || r.ewma_tile_seconds < best_ewma) {
+          found = true;
+          best_remote = true;
+          best_index = i;
+          best_ewma = r.ewma_tile_seconds;
+        }
+      }
+      if (!found) return;  // fleet saturated
+      if (best_remote) {
+        dispatch_remote_tile(best_index, *af, tile, ctrl);
+      } else {
+        dispatch_tile(best_index, *af, tile, ctrl);
+      }
     }
   }
 }
@@ -573,12 +1065,20 @@ std::vector<ServiceFrameResult> DecodeService::process_batch(
 void DecodeService::close() {
   if (closed_) return;
   closed_ = true;
-  // Orderly: ask every live worker to exit...
+  // Orderly: ask every live worker — forked or remote — to exit...
   const std::vector<std::uint8_t> bye =
       wire::encode_message(wire::MessageType::kShutdown, {});
   for (WorkerSlot& slot : slots_) {
     if (slot.live && slot.fd >= 0) wire::send_message(slot.fd, bye);
   }
+  for (RemoteSlot& r : remote_slots_) {
+    if (r.conn.valid()) r.conn.queue_message(bye);  // best-effort flush
+    r.conn.close();
+    r.state = RemoteSlot::State::kDisconnected;
+  }
+  // ...stop accepting (a remote worker dialing a closed port fails fast and
+  // exhausts its connect budget instead of lingering)...
+  listener_.close();
   // ...give the fleet a grace window...
   const Deadline grace = Deadline::after(opts_.shutdown_grace_seconds);
   for (WorkerSlot& slot : slots_) {
@@ -597,6 +1097,30 @@ void DecodeService::close() {
     // ...then SIGKILL the stragglers.
     kill_worker(slot);
   }
+  for (pid_t& pid : loopback_pids_) {
+    if (pid <= 0) continue;
+    while (pid > 0) {
+      int status = 0;
+      const pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid) {
+        pid = -1;
+        break;
+      }
+      if (r < 0 && errno != EINTR) break;
+      if (grace.expired()) break;
+      nap_briefly();
+    }
+    if (pid > 0) {
+      // A loopback remote stuck in its reconnect backoff never saw the
+      // shutdown message; bound the wait.
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      pid = -1;
+    }
+  }
+  loopback_pids_.clear();
 }
 
 }  // namespace flexcs::runtime

@@ -1,14 +1,26 @@
 // Crash-tolerant multi-process decode service: a single-threaded broker that
 // admits frames under the streaming backpressure policies, scatters their
-// tiles over a fleet of forked worker processes (each running the tile
-// RobustPipeline behind the length-prefixed, checksummed wire protocol), and
-// stitches the results exactly as ShardedDecoder does — except that here a
-// worker is a *process*, so a crashed, wedged, or byte-corrupting worker
-// cannot take the frame (or the service) down with it.
+// tiles over a heterogeneous fleet — forked local worker processes over
+// socketpairs plus remote workers over TCP (see net.hpp / DESIGN.md §9) —
+// and stitches the results exactly as ShardedDecoder does. A worker is a
+// *process* (possibly on another host), so a crashed, wedged, partitioned,
+// or byte-corrupting worker cannot take the frame (or the service) down
+// with it.
 //
-// Supervision, per worker slot:
+// Supervision, per forked worker slot:
 //
 //   spawn → healthy → suspect → killed → respawned
+//
+// and per remote slot (the broker owns the connection, not the process):
+//
+//   connecting → handshaking → healthy → suspect → reconnecting
+//                                                → disconnected
+//
+// Dispatch is weighted: among idle admitted workers (forked or remote) the
+// one with the lowest EWMA per-tile latency gets the next tile, so a slow
+// WAN link naturally starves while a fast local worker fills. Degradation
+// order under failure is remote → local-forked → in-process; the last rung
+// never fails, so frames_lost stays 0 through a full network partition.
 //
 //   - a worker whose socket EOFs or whose process exits unexpectedly is a
 //     crash: its in-flight tile is re-dispatched and the slot respawned;
@@ -40,8 +52,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "runtime/net.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/worker.hpp"
 
@@ -92,6 +106,39 @@ struct ServiceOptions {
   // leave the remaining slots fault-free. Drives the supervision tests and
   // the crash-rate bench.
   std::vector<WorkerFaultInjection> fault_injection;
+
+  // --- remote TCP fleet (multi-host scale-out) ---
+  // Remote worker slots. > 0 makes the broker listen on listen_host:
+  // listen_port and admit workers that pass the handshake (wire version,
+  // kCapTileDecode, matching tile geometry and seed). Remote and forked
+  // workers serve one fleet behind the same dispatch interface.
+  std::size_t remote_workers = 0;
+  // Fork one local process per remote slot running remote_decode_worker_loop
+  // against our own listener — the deterministic loopback topology the tests
+  // and bench use. External processes join a real deployment through the
+  // same loop + listen_port().
+  bool spawn_remote_loopback = true;
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;  // 0 = ephemeral; resolved via listen_port()
+  // How long a remote slot may sit connecting / handshaking / reconnecting
+  // before the broker stops treating it as a prospect and routes its tiles
+  // to the forked fleet or in-process — the bound on how long a full network
+  // partition can delay a frame.
+  double remote_connect_grace_seconds = 2.0;
+  // Idle-connection keepalive: ping an idle healthy remote after this long
+  // without traffic; no pong (or no bytes on a busy dispatch whose heartbeat
+  // is disabled) within remote_read_timeout_seconds tears the connection
+  // down. Busy dispatches use the heartbeat formula above, like forked
+  // workers.
+  double ping_interval_seconds = 0.25;
+  double remote_read_timeout_seconds = 1.0;
+  // Fleet-wide budget of remote re-admissions after a disconnect; exhausted
+  // means a flapping peer is refused (HelloReject::kBudgetExhausted) instead
+  // of thrashing the dispatch loop forever.
+  int max_remote_reconnects = 64;
+  // Deterministic network fault injection, indexed by remote slot. Only
+  // applies to loopback-forked remote workers.
+  std::vector<RemoteFaultInjection> remote_fault_injection;
 };
 
 /// Cumulative service telemetry (since construction). Every supervision
@@ -114,6 +161,18 @@ struct ServiceHealth {
   std::size_t checksum_rejects = 0;  // corrupt or truncated wire messages
   std::size_t stale_responses = 0;   // responses for a dead dispatch
   std::size_t deadline_expired_tiles = 0;
+  // Remote (TCP) fleet counters.
+  std::size_t remote_connects = 0;     // first-time handshake admissions
+  std::size_t remote_reconnects = 0;   // re-admissions after a disconnect
+  std::size_t remote_disconnects = 0;  // connection losses (EOF, write fail)
+  std::size_t handshake_failures = 0;  // rejected or malformed hellos
+  std::size_t read_timeouts = 0;       // remote heartbeat / pong timeouts
+  std::size_t redispatches_on_disconnect = 0;  // in-flight tiles requeued
+                                               // when their connection died
+
+  /// One flat JSON object, every counter by name — the bench and external
+  /// health scrapes consume this instead of reaching into the struct.
+  std::string to_json() const;
 };
 
 struct ServiceFrameResult {
@@ -155,6 +214,13 @@ class DecodeService {
 
   ServiceHealth health() const { return health_; }
   std::size_t live_workers() const;
+  /// Remote slots currently admitted (handshake complete, connection up).
+  std::size_t healthy_remote_workers() const;
+  /// The broker's bound listener port (0 when no remote fleet). External
+  /// remote workers dial this with remote_decode_worker_loop.
+  std::uint16_t listen_port() const {
+    return listener_.listening() ? listener_.port() : 0;
+  }
 
   /// Shuts the fleet down (orderly, then SIGKILL after the grace window)
   /// and reaps every child. Idempotent; called by the destructor. Further
@@ -196,9 +262,50 @@ class DecodeService {
     std::uint64_t seq = 0;
     Deadline::Clock::time_point dispatched_at{};
     double heartbeat_seconds = 0.0;  // <= 0 disables the wedge timeout
+    // EWMA of observed per-tile latency, the weighted-dispatch key. 0 until
+    // the first completion, so fresh workers are probed first.
+    double ewma_tile_seconds = 0.0;
+  };
+
+  /// One remote worker slot. Unlike a forked slot (whose process the broker
+  /// owns), a remote slot supervises a *connection*: the peer process decides
+  /// when to (re)connect, the broker decides whether to admit it.
+  ///
+  ///   connecting → handshaking → healthy → suspect ─┐
+  ///        ▲                                        ▼
+  ///        └──────────── reconnecting ◄─────────────┘
+  ///                           │ (grace expires)
+  ///                           ▼
+  ///                      disconnected  (revivable on a later connect,
+  ///                                     but never counted as a prospect)
+  struct RemoteSlot {
+    enum class State : std::uint8_t {
+      kConnecting,    // never connected; awaiting the first dial
+      kHandshaking,   // connection bound; awaiting a valid Hello
+      kHealthy,       // admitted; dispatchable
+      kSuspect,       // timeout detected this round (transient, torn down)
+      kReconnecting,  // connection lost; still a prospect within the grace
+      kDisconnected,  // grace expired or refused; tiles route elsewhere
+    };
+    State state = State::kConnecting;
+    net::Connection conn;
+    bool ever_connected = false;  // admitted at least once (reconnect budget)
+    Deadline::Clock::time_point state_since{};
+    Deadline::Clock::time_point last_activity{};  // bytes seen / admission
+    bool ping_outstanding = false;
+    Deadline::Clock::time_point ping_sent_at{};
+    // Current dispatch (one in flight per worker), mirroring WorkerSlot.
+    bool busy = false;
+    ActiveFrame* job_frame = nullptr;
+    std::size_t job_tile = 0;
+    std::uint64_t seq = 0;
+    Deadline::Clock::time_point dispatched_at{};
+    double heartbeat_seconds = 0.0;
+    double ewma_tile_seconds = 0.0;
   };
 
   enum class FailureKind { kCrash, kStall, kCorrupt };
+  enum class RemoteFailureKind { kDisconnect, kTimeout, kCorrupt };
 
   void spawn_worker(std::size_t slot_index);
   /// SIGKILL + reap + fd teardown. Safe on already-dead processes.
@@ -221,7 +328,7 @@ class DecodeService {
                      std::size_t tile, const solvers::SolveOptions& ctrl);
   void complete_tile(ActiveFrame& frame, std::size_t tile,
                      const la::Matrix& padded, RecoveryReport report,
-                     bool in_process);
+                     bool in_process, bool remote);
   /// Drains every parseable message out of a slot's input buffer; returns
   /// false when the slot died (EOF / corrupt stream) and was torn down.
   bool collect_slot(std::size_t slot_index, const solvers::SolveOptions& ctrl);
@@ -230,14 +337,45 @@ class DecodeService {
             const solvers::SolveOptions& ctrl);
   RobustPipeline& in_process_pipeline();
 
+  // --- remote fleet ---
+  /// Forks one loopback process per remote slot, each running
+  /// remote_decode_worker_loop against our listener.
+  void spawn_loopback_remotes();
+  /// Accepts every pending connection and binds each to a free remote slot
+  /// (connecting / reconnecting first, then a revivable disconnected slot);
+  /// with no slot free the connection is closed and the peer retries.
+  void accept_remote_connections(Deadline::Clock::time_point now);
+  /// Tears the slot's connection down (counters, in-flight tile requeue) and
+  /// moves it to reconnecting — the peer owns the re-dial.
+  void handle_remote_failure(std::size_t remote_index, RemoteFailureKind kind,
+                             const solvers::SolveOptions& ctrl);
+  /// Handles one parsed message on a remote slot (Hello validation when
+  /// handshaking; Pong / TileResponse when healthy). Returns false when the
+  /// slot was torn down and its buffer must not be drained further.
+  bool process_remote_message(std::size_t remote_index,
+                              const wire::Message& msg,
+                              const solvers::SolveOptions& ctrl);
+  void dispatch_remote_tile(std::size_t remote_index, ActiveFrame& frame,
+                            std::size_t tile,
+                            const solvers::SolveOptions& ctrl);
+  /// True while any worker could still take a tile: a live forked worker, an
+  /// admitted remote, or a remote slot plausibly about to (re)connect —
+  /// within the connect grace. In-process fallback engages only when this
+  /// goes false, so a full partition degrades instead of hanging.
+  bool fleet_has_prospects(Deadline::Clock::time_point now) const;
+
   ServiceOptions opts_;
   TileGrid grid_;
   std::vector<WorkerSlot> slots_;
+  net::Listener listener_;
+  std::vector<RemoteSlot> remote_slots_;
+  std::vector<pid_t> loopback_pids_;  // forked remote workers, for reaping
   ServiceHealth health_;
   std::unique_ptr<RobustPipeline> in_process_;  // lazy fallback pipeline
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_frame_global_ = 0;
   int respawns_used_ = 0;
+  int remote_reconnects_used_ = 0;
   bool closed_ = false;
 };
 

@@ -90,6 +90,7 @@ struct TileReport {
   std::size_t tile_col = 0;
   int dispatch_attempts = 1;  // worker dispatches this tile consumed
   bool in_process = false;    // decoded by the broker fallback, not a worker
+  bool remote = false;        // decoded by a remote (TCP) worker
   RecoveryReport report;
 };
 

@@ -1,15 +1,12 @@
 #include "runtime/wire.hpp"
 
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <array>
 #include <bit>
-#include <cerrno>
 #include <cstring>
 #include <utility>
 
 #include "common/check.hpp"
+#include "runtime/posix_io.hpp"
 
 namespace flexcs::runtime::wire {
 namespace {
@@ -351,21 +348,75 @@ TileResponse decode_tile_response(const Message& msg) {
   return resp;
 }
 
+// --- remote worker handshake -----------------------------------------------
+
+const char* hello_reject_name(HelloReject reason) {
+  switch (reason) {
+    case HelloReject::kNone: return "accepted";
+    case HelloReject::kVersionMismatch: return "version-mismatch";
+    case HelloReject::kMissingCapability: return "missing-capability";
+    case HelloReject::kGeometryMismatch: return "geometry-mismatch";
+    case HelloReject::kSeedMismatch: return "seed-mismatch";
+    case HelloReject::kFleetFull: return "fleet-full";
+    case HelloReject::kBudgetExhausted: return "budget-exhausted";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_hello(const HelloRequest& req) {
+  Writer w;
+  w.put_u16(req.wire_version);
+  w.put_u64(req.capabilities);
+  w.put_u64(req.padded_rows);
+  w.put_u64(req.padded_cols);
+  w.put_u64(req.seed);
+  return encode_message(MessageType::kHello, w.take());
+}
+
+HelloRequest decode_hello(const Message& msg) {
+  FLEXCS_CHECK(msg.type == MessageType::kHello,
+               "wire message is not a hello");
+  Reader r(msg.payload);
+  HelloRequest req;
+  req.wire_version = r.get_u16();
+  req.capabilities = r.get_u64();
+  req.padded_rows = r.get_u64();
+  req.padded_cols = r.get_u64();
+  FLEXCS_CHECK(req.padded_rows <= kMaxDim && req.padded_cols <= kMaxDim,
+               "wire hello geometry out of range");
+  req.seed = r.get_u64();
+  FLEXCS_CHECK(r.exhausted(), "wire hello has trailing bytes");
+  return req;
+}
+
+std::vector<std::uint8_t> encode_hello_ack(const HelloAck& ack) {
+  Writer w;
+  w.put_bool(ack.accepted);
+  w.put_u8(static_cast<std::uint8_t>(ack.reason));
+  return encode_message(MessageType::kHelloAck, w.take());
+}
+
+HelloAck decode_hello_ack(const Message& msg) {
+  FLEXCS_CHECK(msg.type == MessageType::kHelloAck,
+               "wire message is not a hello ack");
+  Reader r(msg.payload);
+  HelloAck ack;
+  ack.accepted = r.get_bool();
+  const std::uint8_t reason = r.get_u8();
+  FLEXCS_CHECK(reason < kHelloRejectCount,
+               "wire hello ack reason out of range");
+  ack.reason = static_cast<HelloReject>(reason);
+  FLEXCS_CHECK(!ack.accepted || ack.reason == HelloReject::kNone,
+               "wire hello ack accepted with a reject reason");
+  FLEXCS_CHECK(r.exhausted(), "wire hello ack has trailing bytes");
+  return ack;
+}
+
 // --- blocking framed transport (worker side) -------------------------------
 
 bool send_message(int fd, const std::vector<std::uint8_t>& bytes) {
   FLEXCS_CHECK(fd >= 0, "wire send on an invalid fd");
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;  // EPIPE and friends: the peer is gone
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+  return io::send_all(fd, bytes.data(), bytes.size());
 }
 
 ReadStatus read_message(int fd, std::vector<std::uint8_t>& buffer,
@@ -382,13 +433,13 @@ ReadStatus read_message(int fd, std::vector<std::uint8_t>& buffer,
     }
     if (status != DecodeStatus::kShort) return ReadStatus::kCorrupt;
     std::uint8_t chunk[4096];
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n == 0) return ReadStatus::kEof;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ReadStatus::kError;
-    }
-    buffer.insert(buffer.end(), chunk, chunk + n);
+    std::size_t got = 0;
+    // posix_io retries EINTR internally, so a signal during a partial frame
+    // can never surface as a spurious short read here.
+    const io::ReadResult rr = io::read_some(fd, chunk, sizeof chunk, &got);
+    if (rr == io::ReadResult::kEof) return ReadStatus::kEof;
+    if (rr != io::ReadResult::kData) return ReadStatus::kError;
+    buffer.insert(buffer.end(), chunk, chunk + got);
   }
 }
 

@@ -58,6 +58,11 @@ enum class MessageType : std::uint16_t {
   kFrame = 5,
   kDecodeResult = 6,
   kRecoveryReport = 7,
+  // Remote worker protocol (TCP): connection handshake and keepalive.
+  kHello = 8,      // worker -> broker: version + capability announcement
+  kHelloAck = 9,   // broker -> worker: admit or refuse, with a reason
+  kPing = 10,      // broker -> idle worker: liveness probe (empty payload)
+  kPong = 11,      // worker -> broker: probe echo (empty payload)
 };
 
 /// Append-only payload builder.
@@ -182,11 +187,57 @@ struct TileResponse {
 std::vector<std::uint8_t> encode_tile_response(const TileResponse& resp);
 TileResponse decode_tile_response(const Message& msg);
 
+// --- remote worker handshake -----------------------------------------------
+
+/// Capability bits a remote worker announces in its Hello. The broker admits
+/// a worker only when every capability it needs is present; unknown bits are
+/// ignored, which is what lets future workers talk to older brokers.
+inline constexpr std::uint64_t kCapTileDecode = 1ull << 0;
+
+/// First message on every remote connection, worker -> broker. The broker
+/// admits the worker only when the wire version matches, kCapTileDecode is
+/// announced, and the tile geometry and base seed equal its own — the
+/// (seed, frame, tile) determinism contract only holds across hosts when
+/// every decoding process draws patterns from identical parameters.
+struct HelloRequest {
+  std::uint16_t wire_version = kVersion;
+  std::uint64_t capabilities = kCapTileDecode;
+  std::uint64_t padded_rows = 0;  // tile geometry the worker decodes
+  std::uint64_t padded_cols = 0;
+  std::uint64_t seed = 0;         // base seed for tile_seed()
+};
+
+std::vector<std::uint8_t> encode_hello(const HelloRequest& req);
+HelloRequest decode_hello(const Message& msg);
+
+enum class HelloReject : std::uint8_t {
+  kNone = 0,             // accepted
+  kVersionMismatch = 1,
+  kMissingCapability = 2,
+  kGeometryMismatch = 3,
+  kSeedMismatch = 4,
+  kFleetFull = 5,        // no remote slot available
+  kBudgetExhausted = 6,  // broker's reconnect budget is spent
+};
+inline constexpr std::uint8_t kHelloRejectCount = 7;
+
+/// Short stable identifier, e.g. "accepted" or "version-mismatch".
+const char* hello_reject_name(HelloReject reason);
+
+struct HelloAck {
+  bool accepted = false;
+  HelloReject reason = HelloReject::kNone;
+};
+
+std::vector<std::uint8_t> encode_hello_ack(const HelloAck& ack);
+HelloAck decode_hello_ack(const Message& msg);
+
 // --- blocking framed transport (worker side) -------------------------------
 
-/// Writes one encoded message to a socketpair fd, looping over partial sends
-/// (EINTR-safe, MSG_NOSIGNAL so a dead peer reads as EPIPE, not SIGPIPE).
-/// Returns false on any transport error.
+/// Writes one encoded message to a socket fd (socketpair or TCP), looping
+/// over partial sends (EINTR-safe via runtime/posix_io, MSG_NOSIGNAL so a
+/// dead peer reads as EPIPE, not SIGPIPE). Returns false on any transport
+/// error.
 bool send_message(int fd, const std::vector<std::uint8_t>& bytes);
 
 enum class ReadStatus { kMessage, kEof, kError, kCorrupt };

@@ -1,6 +1,7 @@
 #include "runtime/worker.hpp"
 
 #include <time.h>  // nanosleep: interruptible, so SIGKILL lands mid-stall
+#include <unistd.h>
 
 #include <algorithm>
 #include <csignal>
@@ -8,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "runtime/net.hpp"
 
 namespace flexcs::runtime {
 namespace {
@@ -113,6 +115,152 @@ int decode_worker_loop(int fd, const WorkerConfig& cfg) {
 
       if (!wire::send_message(fd, bytes)) return 0;  // broker went away
       ++handled;
+    }
+  } catch (...) {
+    return 5;  // CheckError or allocation failure inside the decode
+  }
+}
+
+namespace {
+
+// Outcome of serving one remote connection: nonnegative values are final
+// process exit codes, kReconnect sends the loop back to the dialer.
+constexpr int kReconnect = -1;
+
+// Serves tile requests on one established (post-handshake) connection.
+// `handled` counts tiles across the process lifetime so fault-injection
+// counters survive reconnects. `inbuf` carries any bytes the broker
+// pipelined behind the HelloAck.
+int serve_remote_connection(int fd, RobustPipeline& pipeline,
+                            const RemoteWorkerConfig& cfg,
+                            std::vector<std::uint8_t>& inbuf,
+                            std::int32_t& handled) {
+  for (;;) {
+    wire::Message msg;
+    const wire::ReadStatus rs = wire::read_message(fd, inbuf, msg);
+    if (rs != wire::ReadStatus::kMessage) return kReconnect;  // EOF/corrupt
+    if (msg.type == wire::MessageType::kShutdown) return 0;
+    if (msg.type == wire::MessageType::kPing) {
+      const std::vector<std::uint8_t> pong =
+          wire::encode_message(wire::MessageType::kPong, {});
+      if (!wire::send_message(fd, pong)) return kReconnect;
+      continue;
+    }
+    if (msg.type != wire::MessageType::kTileRequest) return kReconnect;
+
+    const wire::TileRequest req = wire::decode_tile_request(msg);
+    RobustPipeline::FrameResult result =
+        decode_tile(pipeline, req, cfg.worker.seed);
+    wire::TileResponse resp;
+    resp.seq = req.seq;
+    resp.tile = std::move(result.frame);
+    resp.report = std::move(result.report);
+    std::vector<std::uint8_t> bytes = wire::encode_tile_response(resp);
+
+    const RemoteFaultInjection& nf = cfg.net_faults;
+    if (nf.corrupt_after_tiles >= 0 && handled == nf.corrupt_after_tiles) {
+      // Byte corruption in flight: framing intact, checksum broken.
+      bytes[bytes.size() / 2] ^= 0x20u;
+    }
+    if (nf.stall_after_tiles >= 0 && handled == nf.stall_after_tiles) {
+      // Half-open connection: the socket stays up but goes silent.
+      stall_for(nf.stall_seconds);
+    }
+    if (nf.delay_seconds > 0.0) stall_for(nf.delay_seconds);
+    if (nf.disconnect_after_tiles >= 0 &&
+        handled == nf.disconnect_after_tiles) {
+      // Mid-message disconnect: half a frame, then the connection dies.
+      const std::vector<std::uint8_t> half(
+          bytes.begin(),
+          bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2));
+      wire::send_message(fd, half);
+      ++handled;  // the injection fired; the reconnect serves cleanly
+      return kReconnect;
+    }
+
+    if (!wire::send_message(fd, bytes)) return kReconnect;
+    ++handled;
+  }
+}
+
+}  // namespace
+
+int remote_decode_worker_loop(const RemoteWorkerConfig& cfg) {
+  FLEXCS_CHECK(cfg.port != 0, "remote worker needs the broker's port");
+  FLEXCS_CHECK(cfg.worker.padded_rows > 0 && cfg.worker.padded_cols > 0,
+               "remote worker over an empty tile geometry");
+  FLEXCS_CHECK(cfg.max_connect_attempts > 0,
+               "remote worker needs a positive connect budget");
+  // Same no-unwind contract as decode_worker_loop: loopback remote workers
+  // are forked copies of the broker.
+  try {
+    RobustPipeline pipeline(cfg.worker.padded_rows, cfg.worker.padded_cols,
+                            cfg.worker.pipeline, cfg.worker.solver);
+    std::int32_t handled = 0;    // tiles served, across all connections
+    std::int32_t attempts = 0;   // dial attempts, against the budget
+    std::int32_t failures = 0;   // consecutive failures, drives backoff
+    std::int32_t refused = 0;    // refuse-injection uses
+    std::int32_t flapped = 0;    // flap-injection uses
+    for (;;) {
+      if (attempts >= cfg.max_connect_attempts) return 6;
+      if (failures > 0) {
+        const double backoff =
+            std::min(cfg.backoff_cap_seconds,
+                     cfg.backoff_base_seconds *
+                         static_cast<double>(1u << std::min(failures - 1, 16)));
+        stall_for(backoff);
+      }
+      ++attempts;
+
+      if (cfg.net_faults.refuse_connects >= 0 &&
+          refused < cfg.net_faults.refuse_connects) {
+        ++refused;  // connection refused, injected before dialing
+        ++failures;
+        continue;
+      }
+      const int fd =
+          net::connect_to(cfg.host, cfg.port, cfg.connect_timeout_seconds);
+      if (fd < 0) {
+        ++failures;
+        continue;
+      }
+
+      // Handshake: announce version, capability, and decode parameters; the
+      // broker refuses anything that would break cross-host determinism.
+      wire::HelloRequest hello;
+      hello.padded_rows = cfg.worker.padded_rows;
+      hello.padded_cols = cfg.worker.padded_cols;
+      hello.seed = cfg.worker.seed;
+      std::vector<std::uint8_t> inbuf;
+      wire::Message msg;
+      if (!wire::send_message(fd, wire::encode_hello(hello)) ||
+          wire::read_message(fd, inbuf, msg) != wire::ReadStatus::kMessage ||
+          msg.type != wire::MessageType::kHelloAck) {
+        ::close(fd);
+        ++failures;
+        continue;
+      }
+      const wire::HelloAck ack = wire::decode_hello_ack(msg);
+      if (!ack.accepted) {
+        // A reasoned refusal is a policy decision, not a transient fault —
+        // retrying would only hammer the broker with the same parameters.
+        ::close(fd);
+        return 7;
+      }
+      if (cfg.net_faults.flap_connects >= 0 &&
+          flapped < cfg.net_faults.flap_connects) {
+        ++flapped;  // flapping peer: admitted, then immediately gone
+        ::close(fd);
+        ++failures;
+        continue;
+      }
+
+      failures = 0;  // healthy connection: reset the backoff ladder
+      const int code = serve_remote_connection(fd, pipeline, cfg, inbuf,
+                                               handled);
+      ::close(fd);
+      if (code >= 0) return code;
+      failures = 1;  // disconnect: re-dial after one base backoff step
     }
   } catch (...) {
     return 5;  // CheckError or allocation failure inside the decode

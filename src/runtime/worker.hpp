@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "runtime/pipeline.hpp"
 #include "runtime/wire.hpp"
@@ -78,5 +79,53 @@ RobustPipeline::FrameResult decode_tile(RobustPipeline& pipeline,
 /// code (0 on orderly shutdown). Never throws — a worker that dies must die
 /// by exit code or signal, not by unwinding into the forked runtime.
 int decode_worker_loop(int fd, const WorkerConfig& cfg);
+
+/// Deterministic network fault injection for one remote worker process.
+/// Mirrors WorkerFaultInjection, but the counters live across reconnects —
+/// they are properties of the process, not of any one connection — so a
+/// fault fires exactly once per worker lifetime and the post-fault reconnect
+/// serves cleanly. Negative values disable an injection.
+struct RemoteFaultInjection {
+  // Fail the first N connect attempts locally before dialing (indistinguishable
+  // from connection-refused at the reconnect loop).
+  std::int32_t refuse_connects = -1;
+  // Complete the handshake, then immediately drop the connection, for the
+  // first N admitted connections (a flapping peer).
+  std::int32_t flap_connects = -1;
+  // Send only the first half of the response to the (K+1)-th tile, then close
+  // the socket and reconnect (mid-message disconnect).
+  std::int32_t disconnect_after_tiles = -1;
+  // Flip one payload bit in the encoded response of the (K+1)-th tile
+  // (byte corruption in flight; checksum reject + teardown at the broker).
+  std::int32_t corrupt_after_tiles = -1;
+  // Go silent for stall_seconds before responding to the (K+1)-th tile
+  // (a stalled / half-open connection; the broker's read timeout recovers).
+  std::int32_t stall_after_tiles = -1;
+  double stall_seconds = 0.0;
+  // Sleep this long before every response (delayed delivery).
+  double delay_seconds = 0.0;
+};
+
+/// Everything a remote worker process needs to join a broker's fleet.
+struct RemoteWorkerConfig {
+  std::string host = "127.0.0.1";  // broker listener address (IPv4 dotted quad)
+  std::uint16_t port = 0;          // broker listener port
+  WorkerConfig worker;             // decode config; must match the broker's
+  double connect_timeout_seconds = 2.0;
+  // Reconnect policy: capped exponential backoff between attempts, with a
+  // finite attempt budget so a dead broker cannot pin the process forever.
+  std::int32_t max_connect_attempts = 64;
+  double backoff_base_seconds = 0.01;
+  double backoff_cap_seconds = 0.5;
+  RemoteFaultInjection net_faults;
+};
+
+/// The remote worker main loop: connect to the broker, handshake (wire
+/// version + capability + geometry/seed agreement), serve tile requests, and
+/// on ANY disconnect reconnect with capped exponential backoff until the
+/// attempt budget is spent. Exit codes: 0 orderly shutdown, 5 internal decode
+/// failure, 6 connect budget exhausted, 7 handshake rejected by the broker.
+/// Never throws, same contract as decode_worker_loop.
+int remote_decode_worker_loop(const RemoteWorkerConfig& cfg);
 
 }  // namespace flexcs::runtime

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
@@ -310,6 +311,29 @@ TEST(DecodeService, ValidatesOptionsAndRejectsUseAfterClose) {
   svc.close();  // idempotent
   EXPECT_EQ(svc.live_workers(), 0u);
   EXPECT_THROW(svc.process(thermal_frame(kDim, 3)), CheckError);
+}
+
+TEST(DecodeService, HealthToJsonEmitsEveryCounter) {
+  DecodeService svc(kDim, kDim, service_options(1));
+  svc.process(thermal_frame(kDim, 7));
+  const std::string json = svc.health().to_json();
+  // Flat object, one numeric field per counter — remote counters included
+  // even with no remote fleet configured.
+  for (const char* key :
+       {"frames_submitted", "frames_admitted", "frames_completed",
+        "frames_dropped", "frames_degraded", "frames_lost",
+        "tiles_dispatched", "tiles_completed", "tile_redispatches",
+        "tiles_in_process", "worker_crashes", "worker_stalls",
+        "worker_respawns", "checksum_rejects", "stale_responses",
+        "deadline_expired_tiles", "remote_connects", "remote_reconnects",
+        "remote_disconnects", "handshake_failures", "read_timeouts",
+        "redispatches_on_disconnect"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\": "), std::string::npos)
+        << "missing counter " << key << " in " << json;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"frames_completed\": 1"), std::string::npos) << json;
 }
 
 TEST(DecodeService, SequentialFramesStayDeterministicAcrossTheFleet) {

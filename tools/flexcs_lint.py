@@ -32,7 +32,12 @@ Enforces project invariants the compiler cannot express:
                     src/runtime/ — the decode-service broker owns worker
                     process lifecycles, and a stray fork() under a
                     multi-threaded layer inherits locked mutexes it can
-                    never unlock
+                    never unlock; socket syscalls (::socket / ::bind /
+                    ::listen / ::accept / ::connect) are likewise confined
+                    to src/runtime/ — every socket fd flows through the
+                    net transport (runtime/net.hpp) so nonblocking setup,
+                    EINTR handling, and fd hygiene across fork() live in
+                    exactly one place
   deadline-poll     every bounded iteration loop in the iterative kernels
                     (src/solvers/, src/rpca/, src/lp/, src/la/) polls its
                     cooperative deadline/cancel control — a loop over
@@ -124,7 +129,15 @@ ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
     # admission (process delegates to process_batch).
     ("src/runtime/wire.cpp", r"\bdecode_tile_request\b", ("FLEXCS_CHECK",)),
     ("src/runtime/wire.cpp", r"\bdecode_tile_response\b", ("FLEXCS_CHECK",)),
+    # Remote (TCP) fleet: the handshake decoders validate an untrusted
+    # peer's claims, the remote worker loop validates its target/geometry,
+    # and the transport validates its bind before exposing a port.
+    ("src/runtime/wire.cpp", r"\bdecode_hello\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/wire.cpp", r"\bdecode_hello_ack\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/net.cpp", r"Listener::open\b", ("FLEXCS_CHECK",)),
     ("src/runtime/worker.cpp", r"\bdecode_worker_loop\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/worker.cpp", r"\bremote_decode_worker_loop\b",
+     ("FLEXCS_CHECK",)),
     ("src/runtime/service.cpp", r"DecodeService::DecodeService\b", ("FLEXCS_CHECK",)),
     ("src/runtime/service.cpp", r"DecodeService::process\b", ("FLEXCS_CHECK", "process_batch")),
     ("src/runtime/service.cpp", r"DecodeService::process_batch\b", ("FLEXCS_CHECK",)),
@@ -355,6 +368,13 @@ _DETACH_RE = re.compile(r"\.\s*detach\s*\(")
 _PROCESS_CONTROL_RE = re.compile(
     r"(?<![\w>])::(?:v?fork|kill|raise|waitpid|wait|socketpair|pipe2?"
     r"|execvp?e?|_[eE]xit)\s*\(")
+# Socket transport syscalls: confined to src/runtime/ for the same reason —
+# the net transport (runtime/net.hpp) owns every socket fd, so nonblocking
+# setup, EINTR retries, and close-on-fork hygiene are implemented once. The
+# lookbehind again keeps member functions (service.connect(...)) out of
+# scope — only the global-scope-qualified syscall matches.
+_SOCKET_SYSCALL_RE = re.compile(
+    r"(?<![\w>])::(?:socket|bind|listen|accept4?|connect)\s*\(")
 _STD_MUTEX_MEMBER_RE = re.compile(
     r"\bstd::(?:shared_|recursive_|timed_|recursive_timed_)?mutex\s+(\w+)\s*;")
 _WRAPPED_MUTEX_MEMBER_RE = re.compile(
@@ -399,6 +419,16 @@ def check_threading(f: SourceFile) -> List[Finding]:
                 "process control (::fork/::kill/::waitpid/...) outside "
                 "src/runtime/ — the decode-service broker owns worker "
                 "process lifecycles")
+            if fd:
+                findings.append(fd)
+        if (_SOCKET_SYSCALL_RE.search(line)
+                and not f.relpath.startswith(THREAD_ALLOWED_PREFIX)):
+            fd = f.finding_unless_allowed(
+                idx, "threading",
+                "socket syscall (::socket/::bind/::listen/::accept/"
+                "::connect) outside src/runtime/ — go through the net "
+                "transport (net::Listener / net::connect_to) so fd "
+                "discipline lives in one place")
             if fd:
                 findings.append(fd)
     if f.is_header() and f.relpath not in MUTEX_CONTRACT_EXEMPT:

@@ -282,6 +282,46 @@ class ProcessControlTest(unittest.TestCase):
         self.assertNotIn("threading", rules_fired(f))
 
 
+class SocketSyscallTest(unittest.TestCase):
+    def test_socket_outside_runtime_fires(self):
+        f = lint_fixture({"src/cs/bad.cpp": "int fd = ::socket(2, 1, 0);\n"})
+        self.assertIn("threading", rules_fired(f))
+
+    def test_bind_listen_accept_connect_outside_runtime_fire(self):
+        src = ("void serve(int fd, void* a, unsigned l) {\n"
+               "  ::bind(fd, a, l);\n"
+               "  ::listen(fd, 8);\n"
+               "  ::accept(fd, nullptr, nullptr);\n"
+               "  ::connect(fd, a, l);\n"
+               "}\n")
+        f = lint_fixture({"tests/bad.cpp": src})
+        fired = [x for x in f if x.rule == "threading"]
+        self.assertEqual(4, len(fired), "\n".join(str(x) for x in fired))
+
+    def test_socket_syscalls_inside_runtime_clean(self):
+        src = ("int open_listener(void* a, unsigned l) {\n"
+               "  int fd = ::socket(2, 1, 0);\n"
+               "  ::bind(fd, a, l);\n"
+               "  ::listen(fd, 8);\n"
+               "  return ::accept(fd, nullptr, nullptr);\n"
+               "}\n")
+        f = lint_fixture({"src/runtime/net.cpp": src})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_member_connect_not_confused(self):
+        # Connection::connect(...) / service.connect(...) are member calls,
+        # not syscalls; std::bind-style qualified names are also out of scope.
+        src = ("void g(Client& c) { c.connect(); }\n"
+               "void h(Peer* p) { p->connect(); }\n")
+        f = lint_fixture({"src/cs/ok.cpp": src})
+        self.assertNotIn("threading", rules_fired(f))
+
+    def test_suppression_marker(self):
+        src = "int fd = ::socket(2, 1, 0);  // flexcs-lint: allow(threading)\n"
+        f = lint_fixture({"tests/ok.cpp": src})
+        self.assertNotIn("threading", rules_fired(f))
+
+
 class DeadlinePollTest(unittest.TestCase):
     POLLING = (
         "#include \"solvers/solver.hpp\"\n"

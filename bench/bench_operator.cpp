@@ -1,57 +1,92 @@
-// Dense vs matrix-free measurement-operator sweep through cs::Decoder.
-// Both arms decode the same thermal frame from the same sampling pattern
-// with the same FISTA configuration; the only difference is the operator
-// representation — dense A = Φ_M·Ψ (N x N Ψ materialised, M x N selection
-// cached) versus the implicit SubsampledTransformOperator (two 1-D DCT
-// factors, O(rows² + cols²) state, gather/scatter per apply).
+// Dense vs matrix-free measurement-operator sweep through cs::Decoder, plus
+// a per-apply transform microbenchmark.
 //
-// Operator memory is reported analytically rather than via an allocator
-// hook so the number is exact and platform-independent:
+// Decode sweep: both arms decode the same thermal frame from the same
+// sampling pattern with the same FISTA configuration; the only difference is
+// the operator representation — dense A = Φ_M·Ψ (N x N Ψ materialised,
+// M x N selection cached) versus the implicit SubsampledTransformOperator
+// (FFT-based 1-D DCT plans / in-place Haar lifting, gather/scatter per
+// apply).
+//
+// Operator memory: the dense figure is analytic (exact and platform
+// independent, computable even for sizes whose dense arm never runs):
 //   dense:    8 * (N² + M·N) bytes   (Ψ plus the cached measurement matrix)
-//   implicit: 8 * (rows² + cols²)    (cached 1-D DCT factors; per-apply
-//                                     scratch is O(N) and transient)
-// The dense figure is computable for every size, so implicit-only cells
-// (sizes whose dense arm would not fit a reasonable budget) still report
-// their memory ratio against the dense operator they avoided building.
+// The implicit figure is the operator's own cached_state_bytes() — the DCT
+// plan tables (bit-reversal + twiddles, O(rows + cols)); Haar caches
+// nothing. Per-apply scratch is O(N) and thread-local.
 //
-// The acceptance shape this bench exists to demonstrate: at 128 x 128 the
-// implicit decode reaches the dense arm's RMSE within 1e-6 with >= 10x less
-// operator memory, and a 256 x 256 monolithic decode — whose dense Ψ alone
-// would be ~34 GB — completes implicit-only.
+// Per-apply microbench (the `per_apply_*` sections): for each 1-D length,
+// one DCT-II and one DCT-III pass through three kernels — the naive O(n²)
+// cosine-sum (dsp::dct1d/idct1d, the golden reference), the cached dense
+// factor matvec (the pre-plan implicit kernel), and the Makhoul FFT plan
+// (dsp::Dct1dPlan) — with per-call wall time, speedups, and the max
+// fast-vs-naive error. For each grid size and basis, the measured per-apply
+// / per-adjoint cost of the full SubsampledTransformOperator via its own
+// ApplyStats metering.
 //
 // Usage:
-//   bench_operator [--smoke] [--json] [--out PATH]
+//   bench_operator [--smoke] [--json] [--out PATH] [--micro]
 //
-//   --smoke   tiny configuration (16x16, both arms) used by the ctest smoke
-//             registration; finishes in well under a second.
-//   --json    machine-readable output instead of the text table.
+//   --smoke   tiny configuration (16x16) used by the ctest smoke
+//             registrations; finishes in well under a second.
+//   --json    machine-readable output instead of the text tables.
+//   --micro   per-apply microbenchmark only (skips the decode sweep; never
+//             records to the default BENCH_operator.json path, so a partial
+//             run cannot clobber a recorded full sweep).
 //
-// JSON schema (--json): stdout carries exactly one JSON array; one object
-// per (size, mode) cell, all keys always present:
+// JSON schema (--json): stdout carries exactly one JSON object:
 //   {
-//     "rows":                integer — array rows (= cols, square sweep)
-//     "cols":                integer
-//     "mode":                string  — "dense" | "implicit"
-//     "m":                   integer — measurements (pattern size)
-//     "n":                   integer — pixels (rows * cols)
-//     "fraction":            number  — m / n
-//     "build_seconds":       number  — decoder construction + operator cache
-//                                      fill + spectral-norm warm-up
-//     "decode_seconds":      number  — the decode call alone
-//     "iterations":          integer — solver iterations
-//     "converged":           boolean
-//     "rmse":                number  — reconstruction RMSE vs ground truth
-//     "residual_norm":       number  — ||A x - y||_2 at the solution
-//     "operator_bytes":      integer — analytic operator memory (above)
-//     "mem_ratio_vs_dense":  number  — analytic dense bytes / this cell's
-//                                      bytes (1.0 for dense cells)
-//     "rmse_delta_vs_dense": number  — |rmse - dense-arm rmse|; -1.0 when
-//                                      the size has no dense arm to compare
+//     "decode": [            // one object per (size, mode) decode cell
+//       {
+//         "rows":                integer — array rows (= cols, square sweep)
+//         "cols":                integer
+//         "mode":                string  — "dense" | "implicit"
+//         "m":                   integer — measurements (pattern size)
+//         "n":                   integer — pixels (rows * cols)
+//         "fraction":            number  — m / n
+//         "build_seconds":       number  — decoder construction + operator
+//                                          cache fill + spectral warm-up
+//         "decode_seconds":      number  — the decode call alone
+//         "iterations":          integer — solver iterations
+//         "converged":           boolean
+//         "rmse":                number  — reconstruction RMSE vs truth
+//         "residual_norm":       number  — ||A x - y||_2 at the solution
+//         "operator_bytes":      integer — operator memory (above)
+//         "mem_ratio_vs_dense":  number  — analytic dense bytes / this
+//                                          cell's bytes (1.0 for dense)
+//         "rmse_delta_vs_dense": number or null — |rmse - dense-arm rmse|;
+//                                          null when the size has no dense
+//                                          arm to compare (no sentinels)
+//       }, ...
+//     ],
+//     "per_apply_1d": [      // one object per (length, DCT direction)
+//       {
+//         "n":                  integer — 1-D transform length
+//         "kind":               string  — "dct2" (forward) | "dct3"
+//         "naive_ms":           number  — per-call ms, O(n²) cosine sum
+//         "factor_ms":          number  — per-call ms, dense factor matvec
+//         "fast_ms":            number  — per-call ms, FFT plan
+//         "speedup_vs_naive":   number  — naive_ms / fast_ms
+//         "speedup_vs_factor":  number  — factor_ms / fast_ms
+//         "max_abs_err":        number  — max |fast - naive| on one input
+//       }, ...
+//     ],
+//     "per_apply_operator": [ // one object per (grid size, basis)
+//       {
+//         "dim":        integer — square grid dimension
+//         "basis":      string  — "dct2d" | "haar2d"
+//         "m":          integer — measurements (pattern size)
+//         "apply_ms":   number  — per-apply ms (operator's ApplyStats)
+//         "adjoint_ms": number  — per-adjoint ms
+//         "reps":       integer — timed repetitions per direction
+//       }, ...
+//     ]
 //   }
+// A --micro run emits the same object with "decode": [].
 //
-// Full (non-smoke) --json runs additionally record the same array to
+// Full (non-smoke, non-micro) --json runs additionally record the object to
 // BENCH_operator.json at the repository root; smoke runs never touch that
-// file so the ctest registration cannot overwrite a recorded sweep.
+// file so the ctest registrations cannot overwrite a recorded sweep.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -68,6 +103,9 @@
 #include "cs/metrics.hpp"
 #include "cs/sampling.hpp"
 #include "data/thermal.hpp"
+#include "dsp/dct.hpp"
+#include "dsp/fft.hpp"
+#include "la/matrix.hpp"
 #include "solvers/fista.hpp"
 
 namespace {
@@ -79,6 +117,8 @@ struct SweepConfig {
   // arm is priced analytically there — the point is that it never runs).
   std::vector<std::size_t> both_dims = {32, 64, 128};
   std::vector<std::size_t> implicit_only_dims = {256};
+  // Per-apply microbench sizes: 1-D lengths and square grid dims.
+  std::vector<std::size_t> micro_dims = {32, 64, 128, 256};
   double fraction = 0.3;
   // Tight tolerance: the equal-RMSE gate compares the two arms at 1e-6, so
   // both must converge well past the comparison threshold.
@@ -90,6 +130,7 @@ SweepConfig smoke_config() {
   SweepConfig cfg;
   cfg.both_dims = {16};
   cfg.implicit_only_dims = {};
+  cfg.micro_dims = {16};
   cfg.fraction = 0.4;
   cfg.fista_iterations = 1000;
   cfg.fista_tol = 1e-7;
@@ -109,15 +150,12 @@ struct OperatorCell {
   double residual_norm = 0.0;
   std::size_t operator_bytes = 0;
   double mem_ratio_vs_dense = 1.0;
-  double rmse_delta_vs_dense = -1.0;  // -1: no dense arm at this size
+  bool has_dense_delta = false;  // false: no dense arm at this size
+  double rmse_delta_vs_dense = 0.0;
 };
 
 std::size_t dense_operator_bytes(std::size_t n, std::size_t m) {
   return 8 * (n * n + m * n);
-}
-
-std::size_t implicit_operator_bytes(std::size_t rows, std::size_t cols) {
-  return 8 * (rows * rows + cols * cols);
 }
 
 OperatorCell run_cell(const SweepConfig& cfg, std::size_t dim, bool implicit) {
@@ -132,11 +170,6 @@ OperatorCell run_cell(const SweepConfig& cfg, std::size_t dim, bool implicit) {
       cs::random_pattern(dim, dim, cfg.fraction, pattern_rng);
   cell.m = p.m();
   cell.n = p.n();
-  cell.operator_bytes = implicit ? implicit_operator_bytes(dim, dim)
-                                 : dense_operator_bytes(cell.n, cell.m);
-  cell.mem_ratio_vs_dense =
-      static_cast<double>(dense_operator_bytes(cell.n, cell.m)) /
-      static_cast<double>(cell.operator_bytes);
 
   data::ThermalOptions topts;
   topts.rows = topts.cols = dim;
@@ -165,6 +198,15 @@ OperatorCell run_cell(const SweepConfig& cfg, std::size_t dim, bool implicit) {
   const auto b1 = std::chrono::steady_clock::now();
   cell.build_seconds = std::chrono::duration<double>(b1 - b0).count();
 
+  // Implicit cells report the operator's measured cached state (DCT plan
+  // tables); dense cells their analytic footprint.
+  cell.operator_bytes = implicit
+                            ? decoder.implicit_operator(p)->cached_state_bytes()
+                            : dense_operator_bytes(cell.n, cell.m);
+  cell.mem_ratio_vs_dense =
+      static_cast<double>(dense_operator_bytes(cell.n, cell.m)) /
+      static_cast<double>(std::max<std::size_t>(1, cell.operator_bytes));
+
   const auto t0 = std::chrono::steady_clock::now();
   const cs::DecodeResult res = decoder.decode(p, y);
   const auto t1 = std::chrono::steady_clock::now();
@@ -176,12 +218,14 @@ OperatorCell run_cell(const SweepConfig& cfg, std::size_t dim, bool implicit) {
   return cell;
 }
 
-// Fills rmse_delta_vs_dense for every implicit cell whose size also ran the
-// dense arm; dense cells compare against themselves (delta 0 by definition).
+// Fills rmse_delta_vs_dense for every cell whose size also ran the dense
+// arm; dense cells compare against themselves (delta 0 by definition).
+// Sizes without a dense arm keep has_dense_delta == false (JSON null).
 void fill_deltas(std::vector<OperatorCell>& cells) {
   for (OperatorCell& c : cells) {
     for (const OperatorCell& base : cells) {
       if (base.dim == c.dim && !base.implicit) {
+        c.has_dense_delta = true;
         c.rmse_delta_vs_dense = std::fabs(c.rmse - base.rmse);
         break;
       }
@@ -189,23 +233,182 @@ void fill_deltas(std::vector<OperatorCell>& cells) {
   }
 }
 
-std::string to_json(const std::vector<OperatorCell>& cells) {
-  std::string out = "[\n";
+// ---------------------------------------------------------------------------
+// Per-apply microbenchmark.
+// ---------------------------------------------------------------------------
+
+struct Micro1dCell {
+  std::size_t n = 0;
+  bool forward = true;  // DCT-II; false: DCT-III
+  double naive_ms = 0.0;
+  double factor_ms = 0.0;
+  double fast_ms = 0.0;
+  double max_abs_err = 0.0;
+};
+
+struct MicroOpCell {
+  std::size_t dim = 0;
+  dsp::BasisKind basis = dsp::BasisKind::kDct2D;
+  std::size_t m = 0;
+  double apply_ms = 0.0;
+  double adjoint_ms = 0.0;
+  int reps = 0;
+};
+
+// Keeps the timed kernels observable so the optimiser cannot drop them.
+volatile double g_sink = 0.0;
+
+template <typename F>
+double time_ms_per_call(int reps, F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  double sum = 0.0;
+  for (int r = 0; r < reps; ++r) sum += f();
+  const auto t1 = std::chrono::steady_clock::now();
+  g_sink = g_sink + sum;
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+         static_cast<double>(reps);
+}
+
+std::vector<Micro1dCell> run_micro_1d(const SweepConfig& cfg) {
+  std::vector<Micro1dCell> cells;
+  for (const std::size_t n : cfg.micro_dims) {
+    Rng rng(0xd0c7 + n);
+    la::Vector x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = rng.uniform() - 0.5;
+
+    const dsp::Dct1dPlan plan(n);
+    dsp::DctWorkspace ws;
+    const la::Matrix factor = dsp::dct_matrix(n);
+    la::Vector out(n);
+
+    // The naive cosine-sum recomputes cos() per element, so it gets fewer
+    // repetitions than the table-driven kernels at the same length.
+    const int reps_naive =
+        static_cast<int>(std::max<std::size_t>(5, 20000 / n));
+    const int reps_fast =
+        static_cast<int>(std::max<std::size_t>(200, 200000 / n));
+
+    for (const bool forward : {true, false}) {
+      Micro1dCell c;
+      c.n = n;
+      c.forward = forward;
+      c.naive_ms = time_ms_per_call(reps_naive, [&] {
+        out = forward ? dsp::dct1d(x) : dsp::idct1d(x);
+        return out[0];
+      });
+      c.factor_ms = time_ms_per_call(reps_fast, [&] {
+        // DCT-II is factor · x; DCT-III (the inverse) is factorᵀ · x.
+        out = forward ? la::matvec(factor, x) : la::matvec_t(factor, x);
+        return out[0];
+      });
+      c.fast_ms = time_ms_per_call(reps_fast, [&] {
+        if (forward)
+          plan.forward(x.data(), out.data(), ws);
+        else
+          plan.inverse(x.data(), out.data(), ws);
+        return out[0];
+      });
+      const la::Vector ref = forward ? dsp::dct1d(x) : dsp::idct1d(x);
+      la::Vector fast(n);
+      if (forward)
+        plan.forward(x.data(), fast.data(), ws);
+      else
+        plan.inverse(x.data(), fast.data(), ws);
+      for (std::size_t i = 0; i < n; ++i)
+        c.max_abs_err = std::max(c.max_abs_err, std::fabs(fast[i] - ref[i]));
+      cells.push_back(c);
+    }
+  }
+  return cells;
+}
+
+std::vector<MicroOpCell> run_micro_operator(const SweepConfig& cfg) {
+  std::vector<MicroOpCell> cells;
+  for (const std::size_t dim : cfg.micro_dims) {
+    Rng pattern_rng(0x0b5e + dim);
+    const cs::SamplingPattern p =
+        cs::random_pattern(dim, dim, cfg.fraction, pattern_rng);
+    for (const dsp::BasisKind basis :
+         {dsp::BasisKind::kDct2D, dsp::BasisKind::kHaar2D}) {
+      const cs::SubsampledTransformOperator op(basis, p);
+      Rng rng(0xa991 + dim);
+      la::Vector x(op.cols());
+      for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform() - 0.5;
+      la::Vector y(op.rows());
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] = rng.uniform() - 0.5;
+
+      MicroOpCell c;
+      c.dim = dim;
+      c.basis = basis;
+      c.m = p.m();
+      c.reps = static_cast<int>(std::max<std::size_t>(10, 20000 / dim));
+      // Warm the thread-local scratch so the first-apply allocation is not
+      // billed to the steady-state per-apply figure.
+      g_sink = g_sink + op.apply(x)[0] + op.apply_adjoint(y)[0];
+
+      const auto s0 = op.apply_stats();
+      for (int r = 0; r < c.reps; ++r) g_sink = g_sink + op.apply(x)[0];
+      for (int r = 0; r < c.reps; ++r)
+        g_sink = g_sink + op.apply_adjoint(y)[0];
+      const auto s1 = op.apply_stats();
+      c.apply_ms = (s1.apply_seconds - s0.apply_seconds) * 1e3 /
+                   static_cast<double>(s1.applies - s0.applies);
+      c.adjoint_ms = (s1.adjoint_seconds - s0.adjoint_seconds) * 1e3 /
+                     static_cast<double>(s1.adjoints - s0.adjoints);
+      cells.push_back(c);
+    }
+  }
+  return cells;
+}
+
+// ---------------------------------------------------------------------------
+// Output.
+// ---------------------------------------------------------------------------
+
+std::string to_json(const std::vector<OperatorCell>& cells,
+                    const std::vector<Micro1dCell>& micro1d,
+                    const std::vector<MicroOpCell>& microop) {
+  std::string out = "{\n\"decode\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const OperatorCell& c = cells[i];
+    const std::string delta =
+        c.has_dense_delta ? strformat("%.3e", c.rmse_delta_vs_dense)
+                          : std::string("null");
     out += strformat(
         "  {\"rows\": %zu, \"cols\": %zu, \"mode\": \"%s\", \"m\": %zu, "
         "\"n\": %zu, \"fraction\": %.4f, \"build_seconds\": %.4f, "
         "\"decode_seconds\": %.4f, \"iterations\": %d, \"converged\": %s, "
         "\"rmse\": %.9f, \"residual_norm\": %.3e, \"operator_bytes\": %zu, "
-        "\"mem_ratio_vs_dense\": %.1f, \"rmse_delta_vs_dense\": %.3e}%s\n",
+        "\"mem_ratio_vs_dense\": %.1f, \"rmse_delta_vs_dense\": %s}%s\n",
         c.dim, c.dim, c.implicit ? "implicit" : "dense", c.m, c.n,
         static_cast<double>(c.m) / static_cast<double>(c.n), c.build_seconds,
         c.decode_seconds, c.iterations, c.converged ? "true" : "false",
         c.rmse, c.residual_norm, c.operator_bytes, c.mem_ratio_vs_dense,
-        c.rmse_delta_vs_dense, i + 1 < cells.size() ? "," : "");
+        delta.c_str(), i + 1 < cells.size() ? "," : "");
   }
-  out += "]\n";
+  out += "],\n\"per_apply_1d\": [\n";
+  for (std::size_t i = 0; i < micro1d.size(); ++i) {
+    const Micro1dCell& c = micro1d[i];
+    out += strformat(
+        "  {\"n\": %zu, \"kind\": \"%s\", \"naive_ms\": %.6f, "
+        "\"factor_ms\": %.6f, \"fast_ms\": %.6f, "
+        "\"speedup_vs_naive\": %.1f, \"speedup_vs_factor\": %.1f, "
+        "\"max_abs_err\": %.3e}%s\n",
+        c.n, c.forward ? "dct2" : "dct3", c.naive_ms, c.factor_ms, c.fast_ms,
+        c.naive_ms / c.fast_ms, c.factor_ms / c.fast_ms, c.max_abs_err,
+        i + 1 < micro1d.size() ? "," : "");
+  }
+  out += "],\n\"per_apply_operator\": [\n";
+  for (std::size_t i = 0; i < microop.size(); ++i) {
+    const MicroOpCell& c = microop[i];
+    out += strformat(
+        "  {\"dim\": %zu, \"basis\": \"%s\", \"m\": %zu, "
+        "\"apply_ms\": %.4f, \"adjoint_ms\": %.4f, \"reps\": %d}%s\n",
+        c.dim, c.basis == dsp::BasisKind::kDct2D ? "dct2d" : "haar2d", c.m,
+        c.apply_ms, c.adjoint_ms, c.reps,
+        i + 1 < microop.size() ? "," : "");
+  }
+  out += "]\n}\n";
   return out;
 }
 
@@ -217,8 +420,8 @@ std::string human_bytes(std::size_t bytes) {
   return strformat("%.1f KB", static_cast<double>(bytes) / (1 << 10));
 }
 
-void print_table(const std::vector<OperatorCell>& cells,
-                 const SweepConfig& cfg) {
+void print_decode_table(const std::vector<OperatorCell>& cells,
+                        const SweepConfig& cfg) {
   std::printf(
       "Dense vs matrix-free measurement operator — cs::Decoder, FISTA "
       "tol %.0e, sampling fraction %.2f\n",
@@ -232,9 +435,8 @@ void print_table(const std::vector<OperatorCell>& cells,
                strformat("%d", c.iterations), strformat("%.6f", c.rmse),
                human_bytes(c.operator_bytes),
                strformat("%.0fx", c.mem_ratio_vs_dense),
-               c.rmse_delta_vs_dense < 0.0
-                   ? std::string("n/a")
-                   : strformat("%.1e", c.rmse_delta_vs_dense)});
+               c.has_dense_delta ? strformat("%.1e", c.rmse_delta_vs_dense)
+                                 : std::string("n/a")});
   }
   std::printf("%s", t.to_text().c_str());
   std::printf(
@@ -247,33 +449,86 @@ void print_table(const std::vector<OperatorCell>& cells,
           .c_str());
 }
 
+void print_micro_tables(const std::vector<Micro1dCell>& micro1d,
+                        const std::vector<MicroOpCell>& microop) {
+  std::printf(
+      "\nPer-apply 1-D DCT kernels — naive cosine sum vs cached dense "
+      "factor vs FFT plan (per-call ms)\n");
+  Table t1({"n", "kind", "naive ms", "factor ms", "fast ms", "vs naive",
+            "vs factor", "max err"});
+  for (const Micro1dCell& c : micro1d) {
+    t1.add_row({strformat("%zu", c.n), c.forward ? "dct2" : "dct3",
+                strformat("%.6f", c.naive_ms), strformat("%.6f", c.factor_ms),
+                strformat("%.6f", c.fast_ms),
+                strformat("%.1fx", c.naive_ms / c.fast_ms),
+                strformat("%.1fx", c.factor_ms / c.fast_ms),
+                strformat("%.1e", c.max_abs_err)});
+  }
+  std::printf("%s", t1.to_text().c_str());
+
+  std::printf(
+      "\nPer-apply measurement operator — SubsampledTransformOperator "
+      "ApplyStats (per-call ms)\n");
+  Table t2({"dim", "basis", "m", "apply ms", "adjoint ms", "reps"});
+  for (const MicroOpCell& c : microop) {
+    t2.add_row({strformat("%zu", c.dim),
+                c.basis == dsp::BasisKind::kDct2D ? "dct2d" : "haar2d",
+                strformat("%zu", c.m), strformat("%.4f", c.apply_ms),
+                strformat("%.4f", c.adjoint_ms), strformat("%d", c.reps)});
+  }
+  std::printf("%s", t2.to_text().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  // --micro is local to this bench: strip it before the shared parser (which
+  // rejects unknown flags).
+  bool micro_only = false;
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--micro") == 0)
+      micro_only = true;
+    else
+      filtered.push_back(argv[i]);
+  }
+  const bench::BenchArgs args =
+      bench::parse_bench_args(static_cast<int>(filtered.size()),
+                              filtered.data());
   if (!args.ok) {
-    bench::print_bench_usage(argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--smoke] [--json] [--out PATH] [--micro]\n",
+                 argv[0]);
     return 2;
   }
   const SweepConfig cfg = args.smoke ? smoke_config() : SweepConfig{};
 
   std::vector<OperatorCell> cells;
-  for (const std::size_t dim : cfg.both_dims) {
-    cells.push_back(run_cell(cfg, dim, /*implicit=*/false));
-    cells.push_back(run_cell(cfg, dim, /*implicit=*/true));
+  if (!micro_only) {
+    for (const std::size_t dim : cfg.both_dims) {
+      cells.push_back(run_cell(cfg, dim, /*implicit=*/false));
+      cells.push_back(run_cell(cfg, dim, /*implicit=*/true));
+    }
+    for (const std::size_t dim : cfg.implicit_only_dims)
+      cells.push_back(run_cell(cfg, dim, /*implicit=*/true));
+    fill_deltas(cells);
   }
-  for (const std::size_t dim : cfg.implicit_only_dims)
-    cells.push_back(run_cell(cfg, dim, /*implicit=*/true));
-  fill_deltas(cells);
+  const std::vector<Micro1dCell> micro1d = run_micro_1d(cfg);
+  const std::vector<MicroOpCell> microop = run_micro_operator(cfg);
 
   if (args.json) {
-    const std::string out = to_json(cells);
+    const std::string out = to_json(cells, micro1d, microop);
     std::fputs(out.c_str(), stdout);
-    if (bench::should_record(args))
+    // A micro-only run carries an empty decode section; recording it to the
+    // default path would clobber a recorded full sweep, so it only records
+    // under an explicit --out.
+    if (bench::should_record(args) && (!micro_only || !args.out.empty()))
       bench::record_json(out, bench::record_path(
           args, FLEXCS_SOURCE_DIR "/BENCH_operator.json"));
   } else {
-    print_table(cells, cfg);
+    if (!micro_only) print_decode_table(cells, cfg);
+    print_micro_tables(micro1d, microop);
   }
   return 0;
 }

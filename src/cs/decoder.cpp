@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "dsp/wavelet.hpp"
 #include "solvers/admm.hpp"
 
 namespace flexcs::cs {
@@ -27,11 +28,14 @@ Decoder::Decoder(std::size_t rows, std::size_t cols, DecoderOptions opts,
                ? la::Matrix()
                : dsp::synthesis_matrix(opts.basis, rows, cols)) {
   FLEXCS_CHECK(rows_ > 0 && cols_ > 0, "decoder over empty array");
-  // Implicit mode skips the Ψ build, so probe the basis here to surface
-  // geometry constraints (Haar needs dyadic dims) at construction, exactly
-  // where the dense build would have thrown.
-  if (opts_.implicit_psi)
-    dsp::analyze(opts_.basis, la::Matrix(rows_, cols_, 0.0));
+  // Implicit mode skips the Ψ build, so surface geometry constraints (Haar
+  // needs even dims) at construction, exactly where the dense build would
+  // have thrown — checked structurally, no probe transform or scratch grid.
+  if (opts_.implicit_psi && opts_.basis == dsp::BasisKind::kHaar2D) {
+    FLEXCS_CHECK(dsp::max_haar_levels(rows_) >= 1 &&
+                     dsp::max_haar_levels(cols_) >= 1,
+                 "decoder: Haar basis requires even dimensions");
+  }
   if (!solver_) solver_ = std::make_shared<solvers::AdmmLassoSolver>();
 }
 
@@ -130,10 +134,9 @@ DecodeResult Decoder::decode(const SamplingPattern& pattern,
   return decode_with(pattern, measurements, *solver_, opts_);
 }
 
-DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
-                                  const la::Vector& measurements,
-                                  const solvers::SparseSolver& solver,
-                                  const DecoderOptions& opts) const {
+void Decoder::check_decode_args(const SamplingPattern& pattern,
+                                const la::Vector& measurements,
+                                const DecoderOptions& opts) const {
   FLEXCS_CHECK(measurements.size() == pattern.m(),
                "decoder: measurement count mismatch");
   FLEXCS_CHECK(measurements.size() > 0, "decoder: no measurements");
@@ -144,6 +147,45 @@ DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
                "decode_with cannot change the basis (Ψ is cached)");
   FLEXCS_CHECK(pattern.rows == rows_ && pattern.cols == cols_,
                "decoder: pattern shape mismatch");
+}
+
+DecodeResult Decoder::finish_decode(const la::LinearOperator& a,
+                                    const la::Vector& measurements,
+                                    solvers::SolveResult sr,
+                                    const DecoderOptions& opts) const {
+  // Skip de-biasing on an interrupted solve: the caller's budget is spent,
+  // and a least-squares re-fit of a partial support isn't worth paying for.
+  // The operator overload refits matrix-free in implicit mode (no dense A
+  // exists) and delegates to the matrix version otherwise.
+  if (opts.debias && !sr.deadline_expired) {
+    sr.x = solvers::debias_on_support(a, measurements, sr.x,
+                                      opts.support_threshold);
+  }
+
+  DecodeResult out;
+  out.solver_iterations = sr.iterations;
+  out.converged = sr.converged;
+  out.deadline_expired = sr.deadline_expired;
+  out.residual_norm = sr.residual_norm;
+  out.solve_seconds = sr.solve_seconds;
+
+  // Synthesise the frame from the recovered coefficients (y = Ψ x, done via
+  // the fast transform rather than the dense matrix).
+  const la::Matrix coeff_grid = la::Matrix::from_flat(sr.x, rows_, cols_);
+  out.coefficients = std::move(sr.x);
+  out.frame = dsp::synthesize(opts.basis, coeff_grid);
+  if (opts.clamp01) {
+    for (std::size_t i = 0; i < out.frame.size(); ++i)
+      out.frame.data()[i] = std::clamp(out.frame.data()[i], 0.0, 1.0);
+  }
+  return out;
+}
+
+DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
+                                  const la::Vector& measurements,
+                                  const solvers::SparseSolver& solver,
+                                  const DecoderOptions& opts) const {
+  check_decode_args(pattern, measurements, opts);
   const CachedOperator entry = entry_for(pattern);
   const la::LinearOperator& a = entry.linop();
 
@@ -155,32 +197,7 @@ DecodeResult Decoder::decode_with(const SamplingPattern& pattern,
     effective.solve.operator_norm_hint = entry.sigma;
 
   solvers::SolveResult sr = solver.solve(a, measurements, effective.solve);
-  // Skip de-biasing on an interrupted solve: the caller's budget is spent,
-  // and a least-squares re-fit of a partial support isn't worth paying for.
-  // The operator overload refits matrix-free in implicit mode (no dense A
-  // exists) and delegates to the matrix version otherwise.
-  if (effective.debias && !sr.deadline_expired) {
-    sr.x = solvers::debias_on_support(a, measurements, sr.x,
-                                      effective.support_threshold);
-  }
-
-  DecodeResult out;
-  out.coefficients = sr.x;
-  out.solver_iterations = sr.iterations;
-  out.converged = sr.converged;
-  out.deadline_expired = sr.deadline_expired;
-  out.residual_norm = sr.residual_norm;
-  out.solve_seconds = sr.solve_seconds;
-
-  // Synthesise the frame from the recovered coefficients (y = Ψ x, done via
-  // the fast transform rather than the dense matrix).
-  const la::Matrix coeff_grid = la::Matrix::from_flat(sr.x, rows_, cols_);
-  out.frame = dsp::synthesize(effective.basis, coeff_grid);
-  if (effective.clamp01) {
-    for (std::size_t i = 0; i < out.frame.size(); ++i)
-      out.frame.data()[i] = std::clamp(out.frame.data()[i], 0.0, 1.0);
-  }
-  return out;
+  return finish_decode(a, measurements, std::move(sr), effective);
 }
 
 std::vector<DecodeResult> Decoder::decode_batch(
@@ -194,6 +211,8 @@ std::vector<DecodeResult> Decoder::decode_batch_with(
     const std::vector<la::Vector>& measurements,
     const solvers::SparseSolver& solver, const DecoderOptions& opts) const {
   FLEXCS_CHECK(!measurements.empty(), "decoder: empty batch");
+  for (const la::Vector& y : measurements) check_decode_args(pattern, y, opts);
+
   // Price the shared setup once: the operator build (cache) and its spectral
   // norm. Every per-frame solve below then starts at its main loop.
   const double sigma = operator_norm(pattern);
@@ -201,10 +220,21 @@ std::vector<DecodeResult> Decoder::decode_batch_with(
   if (batch_opts.solve.operator_norm_hint <= 0.0)
     batch_opts.solve.operator_norm_hint = sigma;
 
+  const CachedOperator entry = entry_for(pattern);
+  const la::LinearOperator& a = entry.linop();
+
+  // One batch-major solve for the window. Solvers with a lockstep main loop
+  // (FISTA/ISTA) amortise workspace and setup across frames; the rest fall
+  // back to sequential solve_impl calls inside solve_batch. Either way the
+  // per-frame results match one-by-one decode_with calls.
+  std::vector<solvers::SolveResult> srs =
+      solver.solve_batch(a, measurements, batch_opts.solve);
+
   std::vector<DecodeResult> out;
   out.reserve(measurements.size());
-  for (const la::Vector& y : measurements)
-    out.push_back(decode_with(pattern, y, solver, batch_opts));
+  for (std::size_t f = 0; f < measurements.size(); ++f)
+    out.push_back(
+        finish_decode(a, measurements[f], std::move(srs[f]), batch_opts));
   return out;
 }
 

@@ -86,10 +86,12 @@ class Decoder {
 
   /// Batch decode: every frame in `measurements` was sampled with the same
   /// `pattern`, so the measurement operator A = Φ_M·Ψ is built once (via the
-  /// cache) and its spectral norm is computed once and passed to every solve
-  /// as SolveOptions::operator_norm_hint — FISTA's Lipschitz setup, the
-  /// per-solve fixed cost, is paid once per batch instead of once per frame.
-  /// Results are index-aligned with the input.
+  /// cache), its spectral norm is computed once and passed to every solve as
+  /// SolveOptions::operator_norm_hint, and the whole batch runs through
+  /// SparseSolver::solve_batch — batch-major for solvers with a lockstep
+  /// main loop (FISTA/ISTA), so operator workspaces stay hot across frames.
+  /// Per-frame results are identical to one-by-one decode_with calls (frames
+  /// never interact in the lockstep solve) and index-aligned with the input.
   std::vector<DecodeResult> decode_batch(
       const SamplingPattern& pattern,
       const std::vector<la::Vector>& measurements) const;
@@ -143,6 +145,18 @@ class Decoder {
   /// pointers, cheap) so callers never hold references into the MRU vector.
   CachedOperator entry_for(const SamplingPattern& pattern) const
       FLEXCS_EXCLUDES(cache_mu_);
+
+  /// Per-frame argument validation shared by decode_with / decode_batch_with.
+  void check_decode_args(const SamplingPattern& pattern,
+                         const la::Vector& measurements,
+                         const DecoderOptions& opts) const;
+
+  /// Post-solve tail shared by the single and batched decode paths: optional
+  /// de-bias on the recovered support, then synthesis + clamp into a frame.
+  DecodeResult finish_decode(const la::LinearOperator& a,
+                             const la::Vector& measurements,
+                             solvers::SolveResult sr,
+                             const DecoderOptions& opts) const;
 
   std::size_t rows_;
   std::size_t cols_;

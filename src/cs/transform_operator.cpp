@@ -1,11 +1,44 @@
 #include "cs/transform_operator.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
-#include "dsp/dct.hpp"
+#include "dsp/wavelet.hpp"
 
 namespace flexcs::cs {
+
+// Per-thread workspace: the operator is shared across decode threads, so the
+// scratch cannot live on the (const) operator itself. One thread-local set
+// of buffers serves every operator instance on that thread; buffers only
+// grow, so a steady-state decode loop never reallocates.
+struct SubsampledTransformOperator::Scratch {
+  dsp::DctWorkspace dct;
+  std::vector<double> grid;   // coefficient / frame grid (n doubles)
+  std::vector<double> frame;  // second grid for the out-of-place DCT passes
+  std::vector<double> haar;   // in-place Haar scratch (half-plane)
+};
+
+SubsampledTransformOperator::Scratch&
+SubsampledTransformOperator::local_scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(SteadyClock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                           t0)
+          .count());
+}
+
+}  // namespace
 
 SubsampledTransformOperator::SubsampledTransformOperator(dsp::BasisKind basis,
                                                          SamplingPattern pattern)
@@ -24,39 +57,132 @@ SubsampledTransformOperator::SubsampledTransformOperator(dsp::BasisKind basis,
     prev = idx;
   }
   if (basis_ == dsp::BasisKind::kDct2D) {
-    dr_ = dsp::dct_matrix(pattern_.rows);
-    dc_ = dsp::dct_matrix(pattern_.cols);
+    row_plan_.emplace(pattern_.cols);
+    col_plan_.emplace(pattern_.rows);
   } else {
-    // Haar dimension constraints surface at construction, not mid-solve.
-    dsp::analyze(basis_, la::Matrix(pattern_.rows, pattern_.cols, 0.0));
+    // Haar dimension constraints surface at construction, not mid-solve —
+    // validated directly (no throwaway matrix, no probe transform).
+    haar_levels_ = std::min(dsp::max_haar_levels(pattern_.rows),
+                            dsp::max_haar_levels(pattern_.cols));
+    FLEXCS_CHECK(haar_levels_ >= 1, "Haar basis requires even dimensions");
+  }
+}
+
+std::size_t SubsampledTransformOperator::cached_state_bytes() const {
+  std::size_t bytes = 0;
+  if (row_plan_) bytes += row_plan_->memory_bytes();
+  if (col_plan_) bytes += col_plan_->memory_bytes();
+  return bytes;
+}
+
+SubsampledTransformOperator::ApplyStats
+SubsampledTransformOperator::apply_stats() const {
+  ApplyStats s;
+  s.applies = apply_count_.load(std::memory_order_relaxed);
+  s.adjoints = adjoint_count_.load(std::memory_order_relaxed);
+  s.apply_seconds =
+      static_cast<double>(apply_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  s.adjoint_seconds =
+      static_cast<double>(adjoint_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+void SubsampledTransformOperator::apply_into(const double* x, double* y,
+                                             Scratch& ws) const {
+  const std::size_t rows = pattern_.rows, cols = pattern_.cols;
+  const std::size_t n = pattern_.n();
+  ws.grid.resize(n);
+  std::copy(x, x + n, ws.grid.begin());
+  const double* frame = ws.grid.data();
+  if (basis_ == dsp::BasisKind::kDct2D) {
+    ws.frame.resize(n);
+    dsp::idct2d_apply(*row_plan_, *col_plan_, ws.grid.data(), ws.frame.data(),
+                      rows, cols, ws.dct);
+    frame = ws.frame.data();
+  } else {
+    dsp::ihaar2d_inplace(ws.grid.data(), rows, cols, haar_levels_, ws.haar);
+  }
+  const std::size_t m = pattern_.indices.size();
+  for (std::size_t k = 0; k < m; ++k) y[k] = frame[pattern_.indices[k]];
+}
+
+void SubsampledTransformOperator::adjoint_into(const double* y, double* x,
+                                               Scratch& ws) const {
+  const std::size_t rows = pattern_.rows, cols = pattern_.cols;
+  const std::size_t n = pattern_.n();
+  const std::size_t m = pattern_.indices.size();
+  if (basis_ == dsp::BasisKind::kDct2D) {
+    ws.grid.assign(n, 0.0);
+    for (std::size_t k = 0; k < m; ++k) ws.grid[pattern_.indices[k]] = y[k];
+    dsp::dct2d_apply(*row_plan_, *col_plan_, ws.grid.data(), x, rows, cols,
+                     ws.dct);
+  } else {
+    // Haar analyses in place: scatter straight into the output grid.
+    std::fill(x, x + n, 0.0);
+    for (std::size_t k = 0; k < m; ++k) x[pattern_.indices[k]] = y[k];
+    dsp::haar2d_inplace(x, rows, cols, haar_levels_, ws.haar);
   }
 }
 
 la::Vector SubsampledTransformOperator::apply(const la::Vector& x) const {
   FLEXCS_CHECK(x.size() == cols(),
                "SubsampledTransformOperator::apply shape mismatch");
-  const la::Matrix grid = la::Matrix::from_flat(x, pattern_.rows, pattern_.cols);
-  const la::Matrix frame =
-      basis_ == dsp::BasisKind::kDct2D
-          ? la::matmul(la::matmul_at_b(dr_, grid), dc_)  // = dsp::idct2d
-          : dsp::synthesize(basis_, grid);
+  const auto t0 = SteadyClock::now();
   la::Vector y(pattern_.m());
-  for (std::size_t k = 0; k < pattern_.indices.size(); ++k)
-    y[k] = frame.data()[pattern_.indices[k]];
+  apply_into(x.data(), y.data(), local_scratch());
+  apply_count_.fetch_add(1, std::memory_order_relaxed);
+  apply_ns_.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
   return y;
 }
 
 la::Vector SubsampledTransformOperator::apply_adjoint(const la::Vector& y) const {
   FLEXCS_CHECK(y.size() == rows(),
                "SubsampledTransformOperator::apply_adjoint shape mismatch");
-  la::Matrix frame(pattern_.rows, pattern_.cols, 0.0);
-  for (std::size_t k = 0; k < pattern_.indices.size(); ++k)
-    frame.data()[pattern_.indices[k]] = y[k];
-  const la::Matrix coeffs =
-      basis_ == dsp::BasisKind::kDct2D
-          ? la::matmul_a_bt(la::matmul(dr_, frame), dc_)  // = dsp::dct2d
-          : dsp::analyze(basis_, frame);
-  return coeffs.flatten();
+  const auto t0 = SteadyClock::now();
+  la::Vector x(pattern_.n());
+  adjoint_into(y.data(), x.data(), local_scratch());
+  adjoint_count_.fetch_add(1, std::memory_order_relaxed);
+  adjoint_ns_.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+  return x;
+}
+
+std::vector<la::Vector> SubsampledTransformOperator::apply_batch(
+    const std::vector<la::Vector>& xs) const {
+  for (const la::Vector& x : xs)
+    FLEXCS_CHECK(x.size() == cols(),
+                 "SubsampledTransformOperator::apply_batch shape mismatch");
+  const auto t0 = SteadyClock::now();
+  Scratch& ws = local_scratch();
+  std::vector<la::Vector> out;
+  out.reserve(xs.size());
+  for (const la::Vector& x : xs) {
+    la::Vector y(pattern_.m());
+    apply_into(x.data(), y.data(), ws);
+    out.push_back(std::move(y));
+  }
+  apply_count_.fetch_add(xs.size(), std::memory_order_relaxed);
+  apply_ns_.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<la::Vector> SubsampledTransformOperator::apply_adjoint_batch(
+    const std::vector<la::Vector>& ys) const {
+  for (const la::Vector& y : ys)
+    FLEXCS_CHECK(y.size() == rows(),
+                 "SubsampledTransformOperator::apply_adjoint_batch shape "
+                 "mismatch");
+  const auto t0 = SteadyClock::now();
+  Scratch& ws = local_scratch();
+  std::vector<la::Vector> out;
+  out.reserve(ys.size());
+  for (const la::Vector& y : ys) {
+    la::Vector x(pattern_.n());
+    adjoint_into(y.data(), x.data(), ws);
+    out.push_back(std::move(x));
+  }
+  adjoint_count_.fetch_add(ys.size(), std::memory_order_relaxed);
+  adjoint_ns_.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace flexcs::cs

@@ -1,19 +1,29 @@
 // Matrix-free measurement operator A = Φ_M · Ψ (Eq. 8): the subsampled
-// synthesis transform applied through the fast 2-D transform instead of a
+// synthesis transform applied through fast O(N log N) kernels instead of a
 // dense M x N matrix.
 //
 //   apply(x)         = gather(synthesize(grid(x)), pattern indices)
 //   apply_adjoint(y) = flatten(analyze(scatter(y, pattern indices)))
 //
 // The adjoint identity holds exactly because Φ_Mᵀ is scatter and Ψᵀ is the
-// analysis transform of an orthonormal basis. Peak state is O(N) for the
-// working grids plus the two cached 1-D DCT matrices (rows² + cols²) — a
-// 128×128 frame costs ~260 KB against the ~2 GB dense Ψ, and 256×256 fits
-// where the dense basis (~34 GB) cannot be built at all.
+// analysis transform of an orthonormal basis. The per-apply kernels are the
+// Makhoul FFT-based DCT plans (dsp::Dct1dPlan — O(N log N) per 1-D pass for
+// pow2 lengths, cached-factor matvec otherwise) and the in-place lifting
+// Haar (dsp::haar2d_inplace), running on raw contiguous buffers with no
+// Matrix::from_flat round-trips: a 256×256 apply is ~1 ms of table-driven
+// butterflies where the dense Ψ (~34 GB) cannot be built at all.
+//
+// Every apply is metered (count + wall time, relaxed atomics) so callers can
+// account per-apply cost without external profilers: see apply_stats().
 #pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
 
 #include "cs/sampling.hpp"
 #include "dsp/basis.hpp"
+#include "dsp/fft.hpp"
 #include "la/operator.hpp"
 
 namespace flexcs::cs {
@@ -28,6 +38,13 @@ class SubsampledTransformOperator final : public la::LinearOperator {
   std::size_t cols() const override { return pattern_.n(); }
   la::Vector apply(const la::Vector& x) const override;
   la::Vector apply_adjoint(const la::Vector& y) const override;
+  /// Batch-major applies: the whole batch runs back-to-back through one
+  /// thread-local workspace (plans, FFT lanes, grids stay hot), so the
+  /// per-frame setup cost is paid once per batch instead of once per frame.
+  std::vector<la::Vector> apply_batch(
+      const std::vector<la::Vector>& xs) const override;
+  std::vector<la::Vector> apply_adjoint_batch(
+      const std::vector<la::Vector>& ys) const override;
   /// sigma_max(Φ_M Ψ) <= sigma_max(Ψ) = 1: row selection of an orthonormal
   /// basis never expands norms. Exact (not just an upper bound) whenever at
   /// least one pixel is sampled per Ψ's row space — always true here.
@@ -36,13 +53,41 @@ class SubsampledTransformOperator final : public la::LinearOperator {
   dsp::BasisKind basis() const { return basis_; }
   const SamplingPattern& pattern() const { return pattern_; }
 
+  /// Bytes of cached transform state (DCT plan tables; Haar needs none).
+  /// The bench reports this as the implicit operator's memory footprint.
+  std::size_t cached_state_bytes() const;
+
+  /// Per-apply cost accounting: cumulative apply/adjoint counts and wall
+  /// time since construction. Counters are relaxed atomics — cheap enough
+  /// to stay on in production, coherent snapshots under concurrent decode.
+  struct ApplyStats {
+    std::uint64_t applies = 0;
+    std::uint64_t adjoints = 0;
+    double apply_seconds = 0.0;
+    double adjoint_seconds = 0.0;
+  };
+  ApplyStats apply_stats() const;
+
  private:
+  // Unchecked single-frame kernels (shape validated by the public wrappers);
+  // `ws` carries the DCT workspace and the Haar scratch.
+  struct Scratch;
+  static Scratch& local_scratch();
+  void apply_into(const double* x, double* y, Scratch& ws) const;
+  void adjoint_into(const double* y, double* x, Scratch& ws) const;
+
   dsp::BasisKind basis_;
   SamplingPattern pattern_;
-  // Cached 1-D DCT matrices (DCT basis only): dsp::dct2d/idct2d rebuild them
-  // per call, which would dominate the per-iteration cost inside a solver.
-  la::Matrix dr_;
-  la::Matrix dc_;
+  // Fast 1-D DCT plans (DCT basis only): row_plan_ spans cols, col_plan_
+  // spans rows. Haar runs the in-place lifting kernels with levels_.
+  std::optional<dsp::Dct1dPlan> row_plan_;
+  std::optional<dsp::Dct1dPlan> col_plan_;
+  std::size_t haar_levels_ = 0;
+
+  mutable std::atomic<std::uint64_t> apply_count_{0};
+  mutable std::atomic<std::uint64_t> adjoint_count_{0};
+  mutable std::atomic<std::uint64_t> apply_ns_{0};
+  mutable std::atomic<std::uint64_t> adjoint_ns_{0};
 };
 
 }  // namespace flexcs::cs

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "dsp/fft.hpp"
 
 namespace flexcs::dsp {
 namespace {
@@ -46,33 +47,43 @@ la::Vector idct1d(const la::Vector& X) {
   FLEXCS_CHECK(n > 0, "idct1d of empty vector");
   la::Vector out(n);
   const double nd = static_cast<double>(n);
+  // Normalisation hoisted out of the loops: the DC term carries a_0 once,
+  // every other coefficient shares the same a_u = sqrt(2/n).
+  const double a0 = std::sqrt(1.0 / nd);
+  const double a1 = std::sqrt(2.0 / nd);
   for (std::size_t i = 0; i < n; ++i) {
     double s = 0.0;
-    for (std::size_t u = 0; u < n; ++u) {
-      const double a = (u == 0) ? std::sqrt(1.0 / nd) : std::sqrt(2.0 / nd);
-      s += a * X[u] *
-           std::cos(kPi * (2.0 * static_cast<double>(i) + 1.0) *
-                    static_cast<double>(u) / (2.0 * nd));
+    for (std::size_t u = 1; u < n; ++u) {
+      s += X[u] * std::cos(kPi * (2.0 * static_cast<double>(i) + 1.0) *
+                           static_cast<double>(u) / (2.0 * nd));
     }
-    out[i] = s;
+    out[i] = a0 * X[0] + a1 * s;
   }
   return out;
 }
 
 la::Matrix dct2d(const la::Matrix& img) {
   FLEXCS_CHECK(!img.empty(), "dct2d of empty matrix");
-  // Separable: C = D_r * img * D_c^T where D_* are 1-D DCT matrices.
-  const la::Matrix dr = dct_matrix(img.rows());
-  const la::Matrix dc = dct_matrix(img.cols());
-  return matmul_a_bt(matmul(dr, img), dc);
+  // Separable fast path: 1-D plans along each axis (O(N log N) per pass for
+  // pow2 lengths, cached-factor matvec otherwise).
+  const Dct1dPlan row_plan(img.cols());
+  const Dct1dPlan col_plan(img.rows());
+  DctWorkspace ws;
+  la::Matrix out(img.rows(), img.cols());
+  dct2d_apply(row_plan, col_plan, img.data(), out.data(), img.rows(),
+              img.cols(), ws);
+  return out;
 }
 
 la::Matrix idct2d(const la::Matrix& coeffs) {
   FLEXCS_CHECK(!coeffs.empty(), "idct2d of empty matrix");
-  // Inverse of the separable transform: img = D_r^T * C * D_c.
-  const la::Matrix dr = dct_matrix(coeffs.rows());
-  const la::Matrix dc = dct_matrix(coeffs.cols());
-  return matmul(matmul_at_b(dr, coeffs), dc);
+  const Dct1dPlan row_plan(coeffs.cols());
+  const Dct1dPlan col_plan(coeffs.rows());
+  DctWorkspace ws;
+  la::Matrix out(coeffs.rows(), coeffs.cols());
+  idct2d_apply(row_plan, col_plan, coeffs.data(), out.data(), coeffs.rows(),
+               coeffs.cols(), ws);
+  return out;
 }
 
 std::vector<std::size_t> zigzag_order(std::size_t rows, std::size_t cols) {

@@ -1,0 +1,78 @@
+// Fast O(N log N) transform kernels: a radix-2 complex FFT and the Makhoul
+// real-FFT formulation of the orthonormal DCT-II / DCT-III built on it.
+//
+// Dct1dPlan precomputes everything a repeated 1-D pass needs (bit-reversal
+// permutation, FFT twiddles, the e^{-iπk/2N} DCT rotation, normalisation)
+// so the per-apply cost is a pair of table-driven loops over contiguous
+// arrays — the kernel the matrix-free measurement operator runs hundreds of
+// times per solver iteration. Power-of-two lengths take the O(N log N) FFT
+// path; other lengths fall back to a cached dense factor (O(N²) matvec, the
+// pre-plan behaviour), so a plan is valid for every N ≥ 1 and the naive
+// dsp::dct1d/idct1d remain the golden reference the fast path is tested
+// against (≤ 1e-12).
+//
+// All methods are const and touch only caller-provided workspace, so one
+// plan can be shared across threads exactly like the operators that own it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace flexcs::dsp {
+
+/// Reusable scratch for plan applies and the 2-D helpers. Buffers grow on
+/// demand and are never shrunk; keep one per thread (or per batch) so hot
+/// loops do not reallocate.
+struct DctWorkspace {
+  std::vector<double> re, im;  // FFT lanes (Dct1dPlan internals)
+  std::vector<double> a, b;    // 2-D pass ping-pong grids
+};
+
+class Dct1dPlan {
+ public:
+  /// Builds the tables for length `n` (> 0, checked).
+  explicit Dct1dPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  /// True on the O(N log N) FFT path (power-of-two lengths).
+  bool fast() const { return fast_; }
+  /// Bytes of cached table state (FFT twiddles + rotations, or the dense
+  /// fallback factor). What the bench reports as operator memory.
+  std::size_t memory_bytes() const;
+
+  /// Orthonormal DCT-II: out[u] = a_u Σ_x in[x] cos(π(2x+1)u / 2N).
+  /// `in` and `out` are length-N arrays and must not alias.
+  void forward(const double* in, double* out, DctWorkspace& ws) const;
+  /// Orthonormal DCT-III, the exact inverse of forward. No aliasing.
+  void inverse(const double* in, double* out, DctWorkspace& ws) const;
+
+ private:
+  void fft(double* re, double* im, bool invert) const;
+
+  std::size_t n_;
+  bool fast_;
+  std::vector<std::uint32_t> bitrev_;    // FFT input permutation
+  std::vector<double> tw_cos_, tw_sin_;  // e^{-2πi j/N}, j < N/2
+  std::vector<double> rot_cos_, rot_sin_;  // cos/sin(πk / 2N), k < N
+  double scale0_ = 0.0, scale_ = 0.0;      // a_0, a_{u>0}
+  double inv_scale0_ = 0.0, inv_scale_ = 0.0;
+  la::Matrix factor_;  // non-pow2 fallback: dct_matrix(n)
+};
+
+/// Separable 2-D DCT-II of a rows×cols row-major buffer: every row through
+/// `row_plan` (size cols), then every column through `col_plan` (size rows),
+/// with an explicit blocked transpose between passes so both inner loops run
+/// over contiguous memory. `in` and `out` must not alias.
+void dct2d_apply(const Dct1dPlan& row_plan, const Dct1dPlan& col_plan,
+                 const double* in, double* out, std::size_t rows,
+                 std::size_t cols, DctWorkspace& ws);
+
+/// Inverse of dct2d_apply (separable 2-D DCT-III). No aliasing.
+void idct2d_apply(const Dct1dPlan& row_plan, const Dct1dPlan& col_plan,
+                  const double* in, double* out, std::size_t rows,
+                  std::size_t cols, DctWorkspace& ws);
+
+}  // namespace flexcs::dsp

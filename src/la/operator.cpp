@@ -20,6 +20,22 @@ double frobenius_of(const Matrix& a) {
 
 }  // namespace
 
+std::vector<Vector> LinearOperator::apply_batch(
+    const std::vector<Vector>& xs) const {
+  std::vector<Vector> out;
+  out.reserve(xs.size());
+  for (const Vector& x : xs) out.push_back(apply(x));
+  return out;
+}
+
+std::vector<Vector> LinearOperator::apply_adjoint_batch(
+    const std::vector<Vector>& ys) const {
+  std::vector<Vector> out;
+  out.reserve(ys.size());
+  for (const Vector& y : ys) out.push_back(apply_adjoint(y));
+  return out;
+}
+
 DenseOperator::DenseOperator(Matrix a)
     : DenseOperator(std::make_shared<const Matrix>(std::move(a)), nullptr) {}
 

@@ -38,6 +38,17 @@ class LinearOperator {
   /// x = Aᵀ y. Requires y.size() == rows().
   virtual Vector apply_adjoint(const Vector& y) const = 0;
 
+  /// Batched y_i = A x_i over frames sharing this operator. The base
+  /// implementation loops apply(); operators with reusable per-apply scratch
+  /// (the subsampled transforms) override it to run the batch back-to-back
+  /// through one workspace so cache traffic is amortised across frames.
+  /// Results are index-aligned with the input.
+  virtual std::vector<Vector> apply_batch(const std::vector<Vector>& xs) const;
+
+  /// Batched x_i = Aᵀ y_i (same contract as apply_batch).
+  virtual std::vector<Vector> apply_adjoint_batch(
+      const std::vector<Vector>& ys) const;
+
   /// Non-null when the operator is (or caches) an explicit dense matrix.
   /// Solvers use it to keep their specialised dense kernels; entry-hungry
   /// solvers (OMP, BP-LP) require it and reject implicit operators.

@@ -21,6 +21,13 @@ class FistaSolver final : public SparseSolver {
  protected:
   SolveResult solve_impl(const la::LinearOperator& a, const la::Vector& b,
                          const SolveOptions& ctrl) const override;
+  /// Batch-major lockstep: all frames advance together, sharing one
+  /// Lipschitz setup and the operator's batched applies. Frames never
+  /// interact (per-frame lambda, momentum, and stopping), so each frame's
+  /// iterate sequence — and result — is identical to a sequential solve.
+  std::vector<SolveResult> solve_batch_impl(
+      const la::LinearOperator& a, const std::vector<la::Vector>& bs,
+      const SolveOptions& ctrl) const override;
 
  private:
   FistaOptions opts_;

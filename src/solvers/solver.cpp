@@ -31,6 +31,25 @@ SolveResult SparseSolver::solve(const la::LinearOperator& a,
   return solve(a, b, SolveOptions{});
 }
 
+namespace {
+
+// Partial-iterate guarantee: an interrupted solve must never hand back
+// something worse than not solving at all. Non-monotone solvers (FISTA
+// momentum, ADMM splitting) can be mid-overshoot when the deadline fires,
+// so fall back to the zero vector if the iterate lost to it.
+void enforce_partial_iterate(const la::LinearOperator& a, const la::Vector& b,
+                             SolveResult& result) {
+  if (!result.deadline_expired) return;
+  result.converged = false;
+  const double bnorm = b.norm2();
+  if (!la::all_finite(result.x) || !(result.residual_norm <= bnorm)) {
+    result.x = la::Vector(a.cols(), 0.0);
+    result.residual_norm = bnorm;
+  }
+}
+
+}  // namespace
+
 SolveResult SparseSolver::solve(const la::LinearOperator& a,
                                 const la::Vector& b,
                                 const SolveOptions& ctrl) const {
@@ -39,19 +58,36 @@ SolveResult SparseSolver::solve(const la::LinearOperator& a,
   result.solve_seconds =
       std::chrono::duration<double>(runtime::Deadline::Clock::now() - start)
           .count();
-  if (result.deadline_expired) {
-    result.converged = false;
-    // Partial-iterate guarantee: an interrupted solve must never hand back
-    // something worse than not solving at all. Non-monotone solvers (FISTA
-    // momentum, ADMM splitting) can be mid-overshoot when the deadline
-    // fires, so fall back to the zero vector if the iterate lost to it.
-    const double bnorm = b.norm2();
-    if (!la::all_finite(result.x) || !(result.residual_norm <= bnorm)) {
-      result.x = la::Vector(a.cols(), 0.0);
-      result.residual_norm = bnorm;
-    }
-  }
+  enforce_partial_iterate(a, b, result);
   return result;
+}
+
+std::vector<SolveResult> SparseSolver::solve_batch(
+    const la::LinearOperator& a, const std::vector<la::Vector>& bs,
+    const SolveOptions& ctrl) const {
+  FLEXCS_CHECK(!bs.empty(), "solve_batch: empty batch");
+  const auto start = runtime::Deadline::Clock::now();
+  std::vector<SolveResult> results = solve_batch_impl(a, bs, ctrl);
+  FLEXCS_CHECK(results.size() == bs.size(),
+               "solve_batch: result count mismatch");
+  const double total =
+      std::chrono::duration<double>(runtime::Deadline::Clock::now() - start)
+          .count();
+  const double share = total / static_cast<double>(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].solve_seconds = share;
+    enforce_partial_iterate(a, bs[i], results[i]);
+  }
+  return results;
+}
+
+std::vector<SolveResult> SparseSolver::solve_batch_impl(
+    const la::LinearOperator& a, const std::vector<la::Vector>& bs,
+    const SolveOptions& ctrl) const {
+  std::vector<SolveResult> results;
+  results.reserve(bs.size());
+  for (const la::Vector& b : bs) results.push_back(solve_impl(a, b, ctrl));
+  return results;
 }
 
 void validate_solve_inputs(const la::Matrix& a, const la::Vector& b,

@@ -80,6 +80,19 @@ class SparseSolver {
   SolveResult solve(const la::LinearOperator& a, const la::Vector& b,
                     const SolveOptions& ctrl) const;
 
+  /// Batched solve: every b in `bs` shares the operator A. The base
+  /// implementation solves frame-by-frame; solvers with a batch-major main
+  /// loop (FISTA/ISTA) override solve_batch_impl to run all frames in
+  /// lockstep through A's batched applies — per-frame iterate sequences are
+  /// identical to sequential solves (frames never interact), so results
+  /// match the one-by-one path bit for bit. Per-result deadline semantics
+  /// and the partial-iterate guarantee match solve(); solve_seconds carries
+  /// each frame's amortised share of the batch wall time. Requires a
+  /// non-empty batch.
+  std::vector<SolveResult> solve_batch(const la::LinearOperator& a,
+                                       const std::vector<la::Vector>& bs,
+                                       const SolveOptions& ctrl = {}) const;
+
  protected:
   /// Per-solver algorithm body. Must call validate_solve_inputs first
   /// (enforced by tools/flexcs_lint.py, rule entry-check), honour `ctrl`
@@ -90,6 +103,13 @@ class SparseSolver {
   virtual SolveResult solve_impl(const la::LinearOperator& a,
                                  const la::Vector& b,
                                  const SolveOptions& ctrl) const = 0;
+
+  /// Batched algorithm body. Defaults to frame-by-frame solve_impl calls;
+  /// overrides must keep per-frame results identical to sequential solves
+  /// (same contract as solve_impl, applied elementwise).
+  virtual std::vector<SolveResult> solve_batch_impl(
+      const la::LinearOperator& a, const std::vector<la::Vector>& bs,
+      const SolveOptions& ctrl) const;
 };
 
 /// Shared entry-point contract for SparseSolver::solve_impl implementations:

@@ -84,8 +84,13 @@ INSTANTIATE_TEST_SUITE_P(
         Geometry{16, 16, 0.3, dsp::BasisKind::kDct2D},
         Geometry{5, 7, 0.8, dsp::BasisKind::kDct2D},
         Geometry{32, 32, 0.25, dsp::BasisKind::kDct2D},
+        // Odd/non-pow2 dims exercise the DCT plans' cached-factor fallback;
+        // 64x64 the pure FFT path on both axes.
+        Geometry{17, 33, 0.5, dsp::BasisKind::kDct2D},
+        Geometry{64, 64, 0.2, dsp::BasisKind::kDct2D},
         Geometry{8, 8, 0.5, dsp::BasisKind::kHaar2D},
-        Geometry{16, 8, 0.4, dsp::BasisKind::kHaar2D}),
+        Geometry{16, 8, 0.4, dsp::BasisKind::kHaar2D},
+        Geometry{32, 16, 0.5, dsp::BasisKind::kHaar2D}),
     [](const ::testing::TestParamInfo<Geometry>& info) {
       return dsp::to_string(info.param.basis) + "_" +
              std::to_string(info.param.rows) + "x" +
@@ -217,6 +222,69 @@ TEST(ToDense, RoundTripsDenseOperator) {
   const la::Matrix a = random_matrix(5, 8, rng);
   EXPECT_EQ(la::max_abs_diff(la::to_dense(la::DenseOperator::borrowed(a)), a),
             0.0);
+}
+
+TEST(ApplyStats, MetersEveryApplyAndAdjoint) {
+  Rng rng(0x57A7);
+  const SamplingPattern p = random_pattern(16, 16, 0.4, rng);
+  const SubsampledTransformOperator op(dsp::BasisKind::kDct2D, p);
+  const auto before = op.apply_stats();
+  EXPECT_EQ(before.applies, 0u);
+  EXPECT_EQ(before.adjoints, 0u);
+
+  const la::Vector x = random_vector(op.cols(), rng);
+  const la::Vector y = random_vector(op.rows(), rng);
+  op.apply(x);
+  op.apply(x);
+  op.apply_adjoint(y);
+  op.apply_batch({x, x, x});
+  op.apply_adjoint_batch({y, y});
+
+  const auto after = op.apply_stats();
+  EXPECT_EQ(after.applies, 5u);
+  EXPECT_EQ(after.adjoints, 3u);
+  EXPECT_GE(after.apply_seconds, 0.0);
+  EXPECT_GE(after.adjoint_seconds, 0.0);
+}
+
+TEST(BatchApply, MatchesPerFrameAppliesExactly) {
+  // The batched applies only amortise workspace reuse — the per-frame
+  // numbers must be the single-apply numbers, bit for bit, in both bases.
+  for (const auto basis : {dsp::BasisKind::kDct2D, dsp::BasisKind::kHaar2D}) {
+    Rng rng(0xBA7C + static_cast<unsigned>(basis));
+    const SamplingPattern p = random_pattern(16, 16, 0.5, rng);
+    const SubsampledTransformOperator op(basis, p);
+
+    std::vector<la::Vector> xs, ys;
+    for (int f = 0; f < 4; ++f) {
+      xs.push_back(random_vector(op.cols(), rng));
+      ys.push_back(random_vector(op.rows(), rng));
+    }
+    const std::vector<la::Vector> batched = op.apply_batch(xs);
+    const std::vector<la::Vector> adj_batched = op.apply_adjoint_batch(ys);
+    ASSERT_EQ(batched.size(), xs.size());
+    ASSERT_EQ(adj_batched.size(), ys.size());
+    for (std::size_t f = 0; f < xs.size(); ++f) {
+      EXPECT_EQ(la::max_abs_diff(batched[f], op.apply(xs[f])), 0.0)
+          << dsp::to_string(basis) << " frame " << f;
+      EXPECT_EQ(la::max_abs_diff(adj_batched[f], op.apply_adjoint(ys[f])),
+                0.0)
+          << dsp::to_string(basis) << " frame " << f;
+    }
+  }
+}
+
+TEST(BatchApply, ShapeMismatchAnywhereInBatchThrows) {
+  Rng rng(0xBA7D);
+  const SamplingPattern p = random_pattern(8, 8, 0.5, rng);
+  const SubsampledTransformOperator op(dsp::BasisKind::kDct2D, p);
+  const la::Vector good_x(op.cols(), 0.0);
+  EXPECT_THROW(op.apply_batch({good_x, la::Vector(op.cols() + 1, 0.0)}),
+               CheckError);
+  const la::Vector good_y(op.rows(), 0.0);
+  EXPECT_THROW(
+      op.apply_adjoint_batch({good_y, la::Vector(op.rows() - 1, 0.0)}),
+      CheckError);
 }
 
 }  // namespace

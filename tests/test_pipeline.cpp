@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "cs/metrics.hpp"
 #include "data/thermal.hpp"
+#include "solvers/fista.hpp"
 
 namespace flexcs::cs {
 namespace {
@@ -282,6 +283,63 @@ TEST_F(PipelineTest, ImplicitPsiBatchDecodeMatchesSingleDecodes) {
   for (std::size_t f = 0; f < batch.size(); ++f) {
     const DecodeResult single = decoder.decode(p, batch[f]);
     EXPECT_LT(la::max_abs_diff(single.frame, batched[f].frame), 1e-6);
+  }
+}
+
+TEST_F(PipelineTest, FistaImplicitRmseMatchesDenseWithinTightTolerance) {
+  // Regression pinning the fast-kernel operator to the dense reference: the
+  // FFT-based DCT applies round differently from dense matvecs at ~1e-15
+  // per pass, but through a full FISTA decode the recovered RMSE must stay
+  // within 1e-12 of the dense arm (observed drift is ~1e-15).
+  Rng rng(25), rng2(25);
+  const la::Matrix frame = make_frame(rng);
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng2);
+  const la::Vector y = apply_pattern(p, frame.flatten());
+
+  solvers::FistaOptions fopts;
+  fopts.max_iterations = 2000;
+  fopts.tol = 1e-9;
+  const auto fista = std::make_shared<solvers::FistaSolver>(fopts);
+
+  DecoderOptions opts;
+  opts.debias = false;
+  opts.clamp01 = false;
+  const Decoder dense_decoder(32, 32, opts, fista);
+  opts.implicit_psi = true;
+  const Decoder implicit_decoder(32, 32, opts, fista);
+
+  const DecodeResult dense = dense_decoder.decode(p, y);
+  const DecodeResult implicit = implicit_decoder.decode(p, y);
+  EXPECT_EQ(dense.solver_iterations, implicit.solver_iterations);
+  EXPECT_NEAR(rmse(dense.frame, frame), rmse(implicit.frame, frame), 1e-12);
+}
+
+TEST_F(PipelineTest, FistaBatchDecodeIsBitIdenticalToSequential) {
+  // The lockstep batched FISTA advances every frame exactly as a sequential
+  // solve would (frames never interact), so batched decode results must be
+  // bit-identical to one-by-one decodes — not merely close.
+  Rng rng(26);
+  DecoderOptions opts;
+  opts.implicit_psi = true;
+  const Decoder decoder(32, 32, opts,
+                        std::make_shared<solvers::FistaSolver>());
+  const SamplingPattern p = random_pattern(32, 32, 0.5, rng);
+  std::vector<la::Vector> batch;
+  for (int f = 0; f < 3; ++f)
+    batch.push_back(encoder_.encode(make_frame(rng), p, rng));
+
+  const std::vector<DecodeResult> batched = decoder.decode_batch(p, batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t f = 0; f < batch.size(); ++f) {
+    const DecodeResult single = decoder.decode(p, batch[f]);
+    EXPECT_EQ(single.solver_iterations, batched[f].solver_iterations)
+        << "frame " << f;
+    EXPECT_EQ(single.converged, batched[f].converged) << "frame " << f;
+    EXPECT_EQ(la::max_abs_diff(single.frame, batched[f].frame), 0.0)
+        << "frame " << f;
+    EXPECT_EQ(la::max_abs_diff(single.coefficients, batched[f].coefficients),
+              0.0)
+        << "frame " << f;
   }
 }
 

@@ -81,6 +81,8 @@ RNG_ALLOWED = ("src/common/rng.hpp", "src/common/rng.cpp")
 # without the lint being updated.
 ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
     ("src/solvers/fista.cpp", r"FistaSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/fista.cpp", r"FistaSolver::solve_batch_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
+    ("src/solvers/solver.cpp", r"SparseSolver::solve_batch\b", ("FLEXCS_CHECK",)),
     ("src/solvers/omp.cpp", r"OmpSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
     ("src/solvers/cosamp.cpp", r"CosampSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
     ("src/solvers/irls.cpp", r"IrlsSolver::solve_impl\b", ("validate_solve_inputs", "FLEXCS_CHECK")),
@@ -98,12 +100,29 @@ ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
      r"SubsampledTransformOperator::apply\b", ("FLEXCS_CHECK",)),
     ("src/cs/transform_operator.cpp",
      r"SubsampledTransformOperator::apply_adjoint\b", ("FLEXCS_CHECK",)),
+    ("src/cs/transform_operator.cpp",
+     r"SubsampledTransformOperator::apply_batch\b", ("FLEXCS_CHECK",)),
+    ("src/cs/transform_operator.cpp",
+     r"SubsampledTransformOperator::apply_adjoint_batch\b", ("FLEXCS_CHECK",)),
+    # Fast transform kernels: the DCT plan constructor owns the length
+    # validation (every apply goes through a plan), the in-place Haar
+    # kernels re-run the level/dimension contract via check_levels.
+    ("src/dsp/fft.cpp", r"Dct1dPlan::Dct1dPlan\b", ("FLEXCS_CHECK",)),
+    ("src/dsp/fft.cpp", r"\bdct2d_apply\b", ("FLEXCS_CHECK",)),
+    ("src/dsp/fft.cpp", r"\bidct2d_apply\b", ("FLEXCS_CHECK",)),
+    ("src/dsp/wavelet.cpp", r"\bhaar2d_inplace\b", ("check_levels",)),
+    ("src/dsp/wavelet.cpp", r"\bihaar2d_inplace\b", ("check_levels",)),
     ("src/cs/encoder.cpp", r"Encoder::encode\b", ("FLEXCS_CHECK",)),
     ("src/cs/encoder.cpp", r"Encoder::encode_scanned\b", ("FLEXCS_CHECK",)),
     ("src/cs/decoder.cpp", r"Decoder::decode\b", ("FLEXCS_CHECK", "decode_with")),
-    ("src/cs/decoder.cpp", r"Decoder::decode_with\b", ("FLEXCS_CHECK",)),
+    # decode_with / decode_batch_with share per-frame validation through
+    # check_decode_args (itself FLEXCS_CHECK-based).
+    ("src/cs/decoder.cpp", r"Decoder::decode_with\b",
+     ("FLEXCS_CHECK", "check_decode_args")),
     ("src/cs/decoder.cpp", r"Decoder::decode_batch\b", ("FLEXCS_CHECK", "decode_batch_with")),
-    ("src/cs/decoder.cpp", r"Decoder::decode_batch_with\b", ("FLEXCS_CHECK",)),
+    ("src/cs/decoder.cpp", r"Decoder::decode_batch_with\b",
+     ("FLEXCS_CHECK", "check_decode_args")),
+    ("src/cs/decoder.cpp", r"Decoder::check_decode_args\b", ("FLEXCS_CHECK",)),
     ("src/cs/decoder.cpp", r"Decoder::measurement_matrix\b", ("FLEXCS_CHECK", "measurement_operator")),
     ("src/cs/decoder.cpp", r"Decoder::measurement_operator\b", ("FLEXCS_CHECK",)),
     ("src/cs/decoder.cpp", r"Decoder::operator_norm\b", ("FLEXCS_CHECK",)),

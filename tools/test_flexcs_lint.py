@@ -502,6 +502,15 @@ class EntryCheckTest(unittest.TestCase):
         "    const la::Vector& y) const {\n"
         "  return la::Vector(pattern_.n(), 0.0);\n"
         "}\n"
+        "std::vector<la::Vector> SubsampledTransformOperator::apply_batch(\n"
+        "    const std::vector<la::Vector>& xs) const {\n"
+        "  return xs;\n"
+        "}\n"
+        "std::vector<la::Vector>\n"
+        "SubsampledTransformOperator::apply_adjoint_batch(\n"
+        "    const std::vector<la::Vector>& ys) const {\n"
+        "  return ys;\n"
+        "}\n"
         "}\n")
 
     def test_unchecked_transform_operator_fires(self):
@@ -509,8 +518,9 @@ class EntryCheckTest(unittest.TestCase):
                           self.OPERATOR_UNCHECKED})
         fired = [x for x in f if x.rule == "entry-check"
                  and x.path == "src/cs/transform_operator.cpp"]
-        # ctor, apply, and apply_adjoint each carry their own spec.
-        self.assertEqual(3, len(fired), "\n".join(str(x) for x in fired))
+        # ctor, apply, apply_adjoint, and both batch applies each carry
+        # their own spec.
+        self.assertEqual(5, len(fired), "\n".join(str(x) for x in fired))
 
     def test_checked_transform_operator_clean(self):
         src = self.OPERATOR_UNCHECKED
@@ -527,6 +537,14 @@ class EntryCheckTest(unittest.TestCase):
             "  return la::Vector(pattern_.n(), 0.0);",
             "  FLEXCS_CHECK(y.size() == rows(), \"shape\");\n"
             "  return la::Vector(pattern_.n(), 0.0);")
+        src = src.replace(
+            "  return xs;",
+            "  FLEXCS_CHECK(!xs.empty(), \"shape\");\n"
+            "  return xs;")
+        src = src.replace(
+            "  return ys;",
+            "  FLEXCS_CHECK(!ys.empty(), \"shape\");\n"
+            "  return ys;")
         f = lint_fixture({"src/cs/transform_operator.cpp": src})
         fired = [x for x in f if x.rule == "entry-check"
                  and x.path == "src/cs/transform_operator.cpp"]

@@ -54,8 +54,10 @@ Decoder::CachedOperator Decoder::entry_for(
       // MRU: rotate the hit to the front so hot patterns stay resident.
       std::rotate(operator_cache_.begin(), operator_cache_.begin() + i,
                   operator_cache_.begin() + i + 1);
+      ++cache_stats_.hits;
       return operator_cache_.front();
     }
+    ++cache_stats_.misses;
   }
 
   // Build outside the lock: psi_ is immutable after construction, so a
@@ -79,9 +81,16 @@ Decoder::CachedOperator Decoder::entry_for(
     return operator_cache_.front();  // raced build won; keep its sigma
   }
   operator_cache_.insert(operator_cache_.begin(), entry);
-  if (operator_cache_.size() > kOperatorCacheCapacity)
+  if (operator_cache_.size() > kOperatorCacheCapacity) {
     operator_cache_.pop_back();
+    ++cache_stats_.evictions;
+  }
   return entry;
+}
+
+Decoder::OperatorCacheStats Decoder::cache_stats() const {
+  common::MutexLock lock(cache_mu_);
+  return cache_stats_;
 }
 
 std::shared_ptr<const la::Matrix> Decoder::measurement_operator(

@@ -126,6 +126,18 @@ class Decoder {
   /// as the solvers' Lipschitz/step-size bound.
   double operator_norm(const SamplingPattern& pattern) const;
 
+  /// Cumulative MRU-cache telemetry. The cache is keyed on the pattern's
+  /// full index vector, so patterns of different sampling fractions (the
+  /// event-driven dense/sparse tile schedules) can never collide — the
+  /// counters make that observable: a re-used pattern is a hit, a new or
+  /// evicted one a miss.
+  struct OperatorCacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;     // entry built (or rebuilt after eviction)
+    std::size_t evictions = 0;  // entries pushed out by capacity
+  };
+  OperatorCacheStats cache_stats() const;
+
  private:
   struct CachedOperator {
     std::vector<std::size_t> indices;  // cache key (pattern row selection)
@@ -169,6 +181,7 @@ class Decoder {
   mutable common::Mutex cache_mu_;
   mutable std::vector<CachedOperator> operator_cache_  // MRU order, bounded
       FLEXCS_GUARDED_BY(cache_mu_);
+  mutable OperatorCacheStats cache_stats_ FLEXCS_GUARDED_BY(cache_mu_);
 };
 
 }  // namespace flexcs::cs

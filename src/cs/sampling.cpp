@@ -21,6 +21,14 @@ SamplingPattern random_pattern(std::size_t rows, std::size_t cols,
   return p;
 }
 
+double resolve_fraction(double request, double fallback) {
+  FLEXCS_CHECK(request == 0.0 || (request > 0.0 && request <= 1.0),
+               "sampling fraction override must be 0 (default) or in (0,1]");
+  FLEXCS_CHECK(fallback > 0.0 && fallback <= 1.0,
+               "fallback sampling fraction must be in (0,1]");
+  return request == 0.0 ? fallback : request;
+}
+
 SamplingPattern random_pattern_excluding(std::size_t rows, std::size_t cols,
                                          double fraction,
                                          const std::vector<bool>& exclude,

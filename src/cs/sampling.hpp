@@ -33,6 +33,13 @@ struct SamplingPattern {
 SamplingPattern random_pattern(std::size_t rows, std::size_t cols,
                                double fraction, Rng& rng);
 
+/// Resolves a per-frame sampling-fraction override against a configured
+/// fallback: 0 selects the fallback, anything else must lie in (0, 1].
+/// This is the contract every adaptive-sampling caller (event-driven tile
+/// readout, degrade policies) goes through, so a bad override is rejected
+/// once here instead of deep inside pattern drawing.
+double resolve_fraction(double request, double fallback);
+
 /// Draws the pattern from the pixels NOT flagged in `exclude` (row-major
 /// mask, size N). The requested count is floor(fraction * N) capped at the
 /// number of available pixels — the paper's "sample good pixels only" mode.

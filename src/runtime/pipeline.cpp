@@ -166,12 +166,11 @@ void RobustPipeline::apply_measurement_channel(RecoveryReport& report,
 
 void RobustPipeline::acquire(const la::Matrix& frame, Rng& rng,
                              RecoveryReport& report,
-                             const std::vector<bool>* exclude,
+                             const std::vector<bool>* exclude, double fraction,
                              cs::SamplingPattern& p, la::Vector& y) {
   p = exclude == nullptr
-          ? cs::random_pattern(rows_, cols_, opts_.sampling_fraction, rng)
-          : cs::random_pattern_excluding(rows_, cols_, opts_.sampling_fraction,
-                                         *exclude, rng);
+          ? cs::random_pattern(rows_, cols_, fraction, rng)
+          : cs::random_pattern_excluding(rows_, cols_, fraction, *exclude, rng);
   y = encoder_.encode(frame, p, rng);
   apply_measurement_channel(report, p, y);
 }
@@ -194,6 +193,8 @@ RobustPipeline::FrameResult RobustPipeline::run_ladder(
     RecoveryReport report, int budget, Strategy max_rung, Attempt rung0,
     double rung0_seconds) {
   const auto ladder_start = Deadline::Clock::now();
+  const double fraction =
+      cs::resolve_fraction(ctrl.sampling_fraction, opts_.sampling_fraction);
   report.first_rel_residual = rung0.cand.score;
 
   // `last` is the most recent attempt (an accepted one ends the climb and is
@@ -235,7 +236,7 @@ RobustPipeline::FrameResult RobustPipeline::run_ladder(
 
   for (int retry = 0; retry < opts_.budget.fresh_pattern_retries; ++retry) {
     climb(Strategy::kFreshPatternRetry, 2, [&](Attempt& a) {
-      acquire(corrupted_frame, rng, report, nullptr, a.pattern, a.y);
+      acquire(corrupted_frame, rng, report, nullptr, fraction, a.pattern, a.y);
       const cs::TrimmedDecodeResult trimmed =
           cs::decode_trimmed_ex(decoder_, a.pattern, a.y, 4.0, 0.2, ctrl.solve);
       a.trimmed = trimmed.trimmed_count;
@@ -253,8 +254,8 @@ RobustPipeline::FrameResult RobustPipeline::run_ladder(
     a.pattern = last.pattern;
     a.y = last.y;
     a.cand = evaluate_aggregate(
-        cs::reconstruct_resample(corrupted_frame, opts_.sampling_fraction,
-                                 ropts, encoder_, decoder_, rng),
+        cs::reconstruct_resample(corrupted_frame, fraction, ropts, encoder_,
+                                 decoder_, rng),
         a.pattern, a.y);
   });
 
@@ -267,7 +268,8 @@ RobustPipeline::FrameResult RobustPipeline::run_ladder(
     filter_opts.rpca.cancel = ctrl.solve.cancel;
     const std::vector<std::vector<bool>> masks =
         cs::rpca_outlier_masks(frames, filter_opts);
-    acquire(corrupted_frame, rng, report, &masks.back(), a.pattern, a.y);
+    acquire(corrupted_frame, rng, report, &masks.back(), fraction, a.pattern,
+            a.y);
     const cs::TrimmedDecodeResult trimmed =
         cs::decode_trimmed_ex(decoder_, a.pattern, a.y, 4.0, 0.2, ctrl.solve);
     a.trimmed = trimmed.trimmed_count;
@@ -321,7 +323,9 @@ RobustPipeline::FrameResult RobustPipeline::process(
   plain_opts.solve = ctrl.solve;
   Attempt rung0;
   rung0.rung = Strategy::kPlainDecode;
-  acquire(corrupted_frame, rng, report, nullptr, rung0.pattern, rung0.y);
+  acquire(corrupted_frame, rng, report, nullptr,
+          cs::resolve_fraction(ctrl.sampling_fraction, opts_.sampling_fraction),
+          rung0.pattern, rung0.y);
   const cs::DecodeResult plain =
       decoder_.decode_with(rung0.pattern, rung0.y, decoder_.solver(),
                            plain_opts);
@@ -347,9 +351,13 @@ std::vector<RobustPipeline::FrameResult> RobustPipeline::process_batch(
   const Strategy max_rung = effective_max_rung(ctrl);
 
   // One shared acquisition pattern for the whole batch: the decoder's cached
-  // measurement operator and Lipschitz estimate are priced once.
-  const cs::SamplingPattern base =
-      cs::random_pattern(rows_, cols_, opts_.sampling_fraction, rng);
+  // measurement operator and Lipschitz estimate are priced once. The batch
+  // inherits ctrl's per-frame fraction override (callers must keep a batch
+  // fraction-homogeneous — the shared pattern can only have one size).
+  const cs::SamplingPattern base = cs::random_pattern(
+      rows_, cols_,
+      cs::resolve_fraction(ctrl.sampling_fraction, opts_.sampling_fraction),
+      rng);
 
   struct Acquired {
     RecoveryReport report;

@@ -103,6 +103,13 @@ struct FrameControl {
   int max_decode_calls = -1;
   // Caps the ladder at min(this, options().max_rung) for this frame.
   Strategy max_rung = Strategy::kRpcaWindow;
+  // When > 0, overrides options().sampling_fraction for every acquisition
+  // this frame makes (rung 0 and ladder re-acquisitions alike). 0 keeps the
+  // configured fraction. Event-driven tile readout uses this to sample
+  // active tiles densely and forced-refresh quiet tiles sparsely; the
+  // decoder's operator cache keys on the pattern's index vector, so the
+  // per-fraction patterns can never collide in the cache.
+  double sampling_fraction = 0.0;
 };
 
 /// What happened while recovering one frame.
@@ -230,11 +237,12 @@ class RobustPipeline {
   /// Applies the measurement-level fault channel to one acquisition.
   void apply_measurement_channel(RecoveryReport& report,
                                  cs::SamplingPattern& p, la::Vector& y);
-  /// Fresh acquisition: draws Φ (optionally excluding pixels), encodes, and
-  /// runs the measurement-fault channel.
+  /// Fresh acquisition at `fraction` (already resolved against the options):
+  /// draws Φ (optionally excluding pixels), encodes, and runs the
+  /// measurement-fault channel.
   void acquire(const la::Matrix& frame, Rng& rng, RecoveryReport& report,
-               const std::vector<bool>* exclude, cs::SamplingPattern& p,
-               la::Vector& y);
+               const std::vector<bool>* exclude, double fraction,
+               cs::SamplingPattern& p, la::Vector& y);
   /// Rungs 1-4 plus selection of the returned attempt and the per-frame
   /// bookkeeping. `budget` is what remains after rung 0; `rung0` is the
   /// plain-decode attempt; `rung0_seconds` is the wall time already spent on

@@ -12,89 +12,39 @@ namespace {
 // Validates the tiling-independent options before any member that depends on
 // them is built (the StreamServer is constructed in the initializer list over
 // the padded tile geometry, so the checks cannot wait for the constructor
-// body). The grid divisibility checks live in TileGrid itself.
+// body). The grid divisibility checks live in TileGrid itself; the gate
+// option checks live in ActivityGate.
 ShardOptions validated(ShardOptions opts) {
   FLEXCS_CHECK(opts.stream.policy != BackpressurePolicy::kDropOldest,
                "sharded decode cannot drop tiles "
                "(the gather would never complete)");
+  // Tile ids are stable (f * n_tiles + t), so per-submission seeding makes
+  // every tile decode a pure function of (seed, frame, tile, content) —
+  // reconstructions stop depending on worker count or pop interleaving, and
+  // an activity gate that skips tiles around a decode cannot change its
+  // sampling pattern (the gated and ungated arms of the same scene decode
+  // shared tiles identically).
+  opts.stream.per_submission_seeding = true;
   return opts;
 }
 
-std::size_t clamp_index(std::ptrdiff_t v, std::size_t hi) {
-  if (v < 0) return 0;
-  if (static_cast<std::size_t>(v) > hi) return hi;
-  return static_cast<std::size_t>(v);
-}
-
 }  // namespace
-
-TileGrid::TileGrid(std::size_t rows_in, std::size_t cols_in,
-                   std::size_t tile_rows_in, std::size_t tile_cols_in,
-                   std::size_t halo_in)
-    : rows(rows_in),
-      cols(cols_in),
-      tile_rows(tile_rows_in),
-      tile_cols(tile_cols_in),
-      halo(halo_in),
-      grid_rows(0),
-      grid_cols(0),
-      padded_rows(0),
-      padded_cols(0) {
-  FLEXCS_CHECK(rows > 0 && cols > 0, "tile grid over an empty array");
-  FLEXCS_CHECK(tile_rows >= 1 && tile_cols >= 1,
-               "grid tiles must be at least 1 x 1");
-  FLEXCS_CHECK(tile_rows <= rows && tile_cols <= cols,
-               "grid tile larger than the array");
-  FLEXCS_CHECK(rows % tile_rows == 0 && cols % tile_cols == 0,
-               "grid tiles must evenly divide the array");
-  grid_rows = rows / tile_rows;
-  grid_cols = cols / tile_cols;
-  padded_rows = tile_rows + 2 * halo;
-  padded_cols = tile_cols + 2 * halo;
-}
-
-la::Matrix TileGrid::extract(const la::Matrix& frame, std::size_t tile) const {
-  FLEXCS_CHECK(tile < tiles(), "tile index outside the grid");
-  FLEXCS_CHECK(frame.rows() == rows && frame.cols() == cols,
-               "tile extract: frame shape mismatch");
-  const std::size_t r0 = tile_row(tile) * tile_rows;
-  const std::size_t c0 = tile_col(tile) * tile_cols;
-  la::Matrix padded(padded_rows, padded_cols);
-  for (std::size_t i = 0; i < padded_rows; ++i) {
-    const std::size_t src_r = clamp_index(
-        static_cast<std::ptrdiff_t>(r0 + i) - static_cast<std::ptrdiff_t>(halo),
-        rows - 1);
-    for (std::size_t j = 0; j < padded_cols; ++j) {
-      const std::size_t src_c =
-          clamp_index(static_cast<std::ptrdiff_t>(c0 + j) -
-                          static_cast<std::ptrdiff_t>(halo),
-                      cols - 1);
-      padded(i, j) = frame(src_r, src_c);
-    }
-  }
-  return padded;
-}
-
-void TileGrid::stitch(const la::Matrix& padded, std::size_t tile,
-                      la::Matrix& out) const {
-  FLEXCS_CHECK(tile < tiles(), "tile index outside the grid");
-  FLEXCS_CHECK(padded.rows() == padded_rows && padded.cols() == padded_cols,
-               "tile stitch: padded tile shape mismatch");
-  FLEXCS_CHECK(out.rows() == rows && out.cols() == cols,
-               "tile stitch: output shape mismatch");
-  const std::size_t r0 = tile_row(tile) * tile_rows;
-  const std::size_t c0 = tile_col(tile) * tile_cols;
-  for (std::size_t i = 0; i < tile_rows; ++i)
-    for (std::size_t j = 0; j < tile_cols; ++j)
-      out(r0 + i, c0 + j) = padded(halo + i, halo + j);
-}
 
 ShardedDecoder::ShardedDecoder(std::size_t rows, std::size_t cols,
                                ShardOptions opts)
     : opts_(validated(std::move(opts))),
       grid_(rows, cols, opts_.tile_rows, opts_.tile_cols, opts_.halo),
-      server_(grid_.padded_rows, grid_.padded_cols, opts_.stream) {
+      server_(grid_.padded_rows, grid_.padded_cols, opts_.stream),
+      gate_(grid_, opts_.gate) {
   FLEXCS_CHECK(grid_.tiles() >= 1, "sharded decoder needs at least one tile");
+}
+
+StreamHealth ShardedDecoder::health() const {
+  StreamHealth h = server_.health();
+  h.tiles_skipped = gate_skipped_;
+  h.tiles_refreshed = gate_refreshed_;
+  h.tiles_forced = gate_forced_;
+  return h;
 }
 
 ShardFrameResult ShardedDecoder::process(const la::Matrix& frame,
@@ -113,22 +63,45 @@ std::vector<ShardFrameResult> ShardedDecoder::process_batch(
 
   const auto start = Deadline::Clock::now();
   const std::size_t n_tiles = shards();
+  const bool gated = opts_.gate.enabled;
   SubmitControl submit_ctrl;
   submit_ctrl.deadline = ctrl.deadline;
   submit_ctrl.cancel = ctrl.cancel;
 
+  // Gate pass, one per frame in submission order (the gate's hysteresis /
+  // refresh clocks advance per frame regardless of batching, so a batch of B
+  // frames gates exactly like B single-frame calls).
+  std::vector<FrameActivity> activity(frames.size());
+  if (gated)
+    for (std::size_t f = 0; f < frames.size(); ++f)
+      activity[f] = gate_.update(frames[f]);
+
   // Scatter, tile-position-major: consecutive submissions share the padded
   // tile geometry AND the tile position, so a batching StreamServer decodes
   // them with one shared sampling pattern (RobustPipeline::process_batch).
+  // In gated mode, tiles whose detector stayed quiet are simply never
+  // submitted — that is the entire saving — and each submitted tile carries
+  // its adaptive sampling fraction (the stream keeps batches
+  // fraction-homogeneous, so mixed dense/sparse tiles never share a
+  // pattern).
   for (std::size_t t = 0; t < n_tiles; ++t) {
     for (std::size_t f = 0; f < frames.size(); ++f) {
+      SubmitControl tile_ctrl = submit_ctrl;
+      if (gated) {
+        const TileActivity& ta = activity[f].tiles[t];
+        if (!ta.decode) continue;
+        tile_ctrl.sampling_fraction = gate_.decode_fraction(ta);
+      }
       const std::uint64_t id = static_cast<std::uint64_t>(f) * n_tiles + t;
       const bool ok =
-          server_.submit(id, grid_.extract(frames[f], t), submit_ctrl);
+          server_.submit(id, grid_.extract(frames[f], t), tile_ctrl);
       FLEXCS_CHECK(ok, "sharded decode: worker pool already closed");
       ++total_submitted_;
     }
   }
+  // Under strict batching, release any trailing partial batch — the gather
+  // below would otherwise wait forever for tiles still parked in the queue.
+  server_.flush();
 
   // Gather: block until the pool has finished every tile ever submitted
   // (cumulative count — results of concurrent callers are not supported;
@@ -136,10 +109,12 @@ std::vector<ShardFrameResult> ShardedDecoder::process_batch(
   server_.wait_for_completed(total_submitted_);
 
   std::vector<ShardFrameResult> out(frames.size());
-  for (ShardFrameResult& r : out) {
+  for (std::size_t f = 0; f < out.size(); ++f) {
+    ShardFrameResult& r = out[f];
     r.frame = la::Matrix(grid_.rows, grid_.cols);
     r.report.tiles = n_tiles;
     r.report.tile_reports.resize(n_tiles);
+    if (gated) r.report.activity = activity[f].tiles;
   }
   for (StreamResult& sr : server_.drain_results()) {
     const std::size_t f = static_cast<std::size_t>(sr.stream_id) / n_tiles;
@@ -148,6 +123,7 @@ std::vector<ShardFrameResult> ShardedDecoder::process_batch(
     ShardFrameResult& r = out[f];
     grid_.stitch(sr.frame, t, r.frame);
 
+    // Per-frame aggregation: every counter below describes frame f alone.
     ShardReport& rep = r.report;
     if (sr.report.accepted) ++rep.tiles_accepted;
     rep.decode_calls += sr.report.decode_calls;
@@ -159,6 +135,38 @@ std::vector<ShardFrameResult> ShardedDecoder::process_batch(
     tile_rep.tile_row = grid_.tile_row(t);
     tile_rep.tile_col = grid_.tile_col(t);
     tile_rep.report = std::move(sr.report);
+  }
+
+  // Serve the skipped tiles, in frame order: frame f's stale tiles come
+  // bit-for-bit from frame f-1's FINAL reconstruction (which may itself
+  // contain tiles served stale earlier — staleness chains until a decode or
+  // forced refresh replaces the tile). Frame 0 serves from the previous
+  // batch's last reconstruction; the first frame ever seen forces every
+  // tile, so last_recon_ is never read empty.
+  if (gated) {
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      ShardFrameResult& r = out[f];
+      const la::Matrix& prev = f == 0 ? last_recon_ : out[f - 1].frame;
+      for (std::size_t t = 0; t < n_tiles; ++t) {
+        const TileActivity& ta = activity[f].tiles[t];
+        if (ta.decode) continue;
+        FLEXCS_CHECK(prev.rows() == grid_.rows && prev.cols() == grid_.cols,
+                     "sharded decode: no previous reconstruction to serve "
+                     "stale tiles from");
+        grid_.copy_interior(prev, t, r.frame);
+        TileReport& tile_rep = r.report.tile_reports[t];
+        tile_rep.tile_row = grid_.tile_row(t);
+        tile_rep.tile_col = grid_.tile_col(t);
+        tile_rep.served_stale = true;
+      }
+      r.report.tiles_skipped = activity[f].skipped;
+      r.report.tiles_refreshed = activity[f].decoded;
+      r.report.tiles_forced = activity[f].forced;
+      gate_skipped_ += activity[f].skipped;
+      gate_refreshed_ += activity[f].decoded;
+      gate_forced_ += activity[f].forced;
+    }
+    last_recon_ = out.back().frame;
   }
 
   const double elapsed = std::chrono::duration<double>(

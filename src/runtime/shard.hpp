@@ -22,46 +22,28 @@
 // frames of the padded tile geometry and collected with wait_for_completed.
 // The caller's deadline/cancel control propagates into every tile solve via
 // SubmitControl. Tile→worker assignment is nondeterministic under more than
-// one worker (each worker owns its own RNG stream), so reconstructions are
-// deterministic only per worker count; tests compare by RMSE, not bits.
+// one worker, but the decoder enables the stream's per-submission seeding —
+// each tile's RNG derives from its stable id (frame * tiles + tile) — so
+// reconstructions are bit-reproducible regardless of worker count or pop
+// interleaving. (Batch partitioning under batch_depth > 1 still depends on
+// timing unless stream.strict_batching is set.)
+//
+// Event-driven mode (ShardOptions::gate.enabled) puts an ActivityGate in
+// front of the scatter: tiles whose change detector stays quiet are never
+// submitted — their pixels are served bit-for-bit from the previous frame's
+// stitched reconstruction — and tiles that are decoded can run at adaptive
+// sampling fractions (dense when activity woke them, sparse when only the
+// force-refresh period did). See activity.hpp for the detector contract.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "runtime/activity.hpp"
 #include "runtime/stream.hpp"
+#include "runtime/tile_grid.hpp"
 
 namespace flexcs::runtime {
-
-/// Tiling geometry shared by ShardedDecoder (thread pool) and DecodeService
-/// (worker processes): partitions a rows x cols frame into an evenly dividing
-/// grid of tile_rows x tile_cols tiles, each padded with `halo` replicated
-/// border pixels per side. Tiles are addressed by their row-major grid index.
-struct TileGrid {
-  TileGrid(std::size_t rows, std::size_t cols, std::size_t tile_rows,
-           std::size_t tile_cols, std::size_t halo);
-
-  std::size_t rows;
-  std::size_t cols;
-  std::size_t tile_rows;
-  std::size_t tile_cols;
-  std::size_t halo;
-  std::size_t grid_rows;
-  std::size_t grid_cols;
-  std::size_t padded_rows;  // tile_rows + 2 * halo
-  std::size_t padded_cols;
-
-  std::size_t tiles() const { return grid_rows * grid_cols; }
-  std::size_t tile_row(std::size_t tile) const { return tile / grid_cols; }
-  std::size_t tile_col(std::size_t tile) const { return tile % grid_cols; }
-
-  /// Copies tile `tile` plus its halo out of `frame`, replicating frame
-  /// border pixels where the halo sticks out of the array.
-  la::Matrix extract(const la::Matrix& frame, std::size_t tile) const;
-  /// Copies the interior of a decoded padded tile into the full frame.
-  void stitch(const la::Matrix& padded, std::size_t tile,
-              la::Matrix& out) const;
-};
 
 struct ShardOptions {
   std::size_t tile_rows = 32;  // must divide the frame rows
@@ -78,6 +60,10 @@ struct ShardOptions {
   // that (and is what makes an untiled large-frame decode possible when the
   // stitching artefacts of sharding are unacceptable).
   StreamOptions stream;
+  // Event-driven readout: when gate.enabled, a per-tile change detector
+  // decides which tiles are decoded each frame; the rest are served from the
+  // previous reconstruction. Disabled by default (every tile decodes).
+  ActivityGateOptions gate;
 };
 
 /// Per-tile outcome, in row-major tile-grid order. The full RecoveryReport of
@@ -91,10 +77,19 @@ struct TileReport {
   int dispatch_attempts = 1;  // worker dispatches this tile consumed
   bool in_process = false;    // decoded by the broker fallback, not a worker
   bool remote = false;        // decoded by a remote (TCP) worker
+  // Event-driven mode only: this tile was NOT decoded this frame — its
+  // pixels were copied verbatim from the previous reconstruction, and
+  // `report` is default-constructed (no solver ran).
+  bool served_stale = false;
   RecoveryReport report;
 };
 
-/// Aggregate of one sharded frame decode.
+/// Aggregate of one sharded frame decode. All counters are PER FRAME (each
+/// frame of a batch aggregates only its own tiles); the one batch-level value
+/// is decode_seconds, the wall time of the whole scatter/gather, which every
+/// frame of a batch shares. In event-driven mode the decode counters cover
+/// only the tiles actually decoded this frame — a served-stale tile
+/// contributes no decode_calls, no acceptance and no residual.
 struct ShardReport {
   std::size_t tiles = 0;
   std::size_t tiles_accepted = 0;  // tiles whose ladder sanity check passed
@@ -103,6 +98,13 @@ struct ShardReport {
   bool budget_exhausted = false;   // any tile ran out of ladder budget
   double max_rel_residual = 0.0;   // worst tile acceptance statistic
   double decode_seconds = 0.0;     // wall time of the scatter/gather
+  // Event-driven mode (all 0 / empty when the gate is disabled):
+  std::size_t tiles_skipped = 0;    // served stale from the previous frame
+  std::size_t tiles_refreshed = 0;  // decoded this frame (activity or forced)
+  std::size_t tiles_forced = 0;     // decoded only by the force-refresh clock
+  // Per-tile gate decisions for this frame, row-major tile-grid order (the
+  // frame's activity map). Empty when the gate is disabled.
+  std::vector<TileActivity> activity;
   std::vector<TileReport> tile_reports;
 };
 
@@ -130,9 +132,16 @@ class ShardedDecoder {
   std::size_t padded_cols() const { return grid_.padded_cols; }
   const ShardOptions& options() const { return opts_; }
   const TileGrid& grid() const { return grid_; }
+  /// The event-driven change detector (constructed and stateful even when
+  /// gate.enabled is false, so tests can exercise it directly; the decode
+  /// path only consults it when enabled).
+  const ActivityGate& gate() const { return gate_; }
 
-  /// Telemetry of the underlying worker pool (cumulative across frames).
-  StreamHealth health() const { return server_.health(); }
+  /// Telemetry of the underlying worker pool (cumulative across frames),
+  /// with the event-driven gate counters overlaid: tiles_skipped /
+  /// tiles_refreshed / tiles_forced accumulate across every gated frame this
+  /// decoder has processed.
+  StreamHealth health() const;
 
   /// Decodes one full frame: scatters its tiles across the worker pool,
   /// waits for every tile, and stitches the interiors back together.
@@ -153,7 +162,16 @@ class ShardedDecoder {
   ShardOptions opts_;
   TileGrid grid_;
   StreamServer server_;
+  ActivityGate gate_;
   std::size_t total_submitted_ = 0;  // cumulative, for wait_for_completed
+  // Event-driven mode: the previous frame's full stitched reconstruction —
+  // the source for served-stale tiles. Empty until the first gated frame
+  // completes (whose tiles are all forced, so it is never read empty).
+  la::Matrix last_recon_;
+  // Cumulative gate counters overlaid onto health().
+  std::size_t gate_skipped_ = 0;
+  std::size_t gate_refreshed_ = 0;
+  std::size_t gate_forced_ = 0;
 };
 
 }  // namespace flexcs::runtime

@@ -117,6 +117,7 @@ bool StreamServer::submit(std::uint64_t stream_id, la::Matrix frame,
     item.submitted_at = now;
     item.external_deadline = ctrl.deadline;
     item.external_cancel = ctrl.cancel;
+    item.sampling_fraction = ctrl.sampling_fraction;
     queue_.push_back(std::move(item));
     ++submitted_;
     queue_high_water_ = std::max(queue_high_water_, queue_.size());
@@ -125,17 +126,39 @@ bool StreamServer::submit(std::uint64_t stream_id, la::Matrix frame,
   return true;
 }
 
+void StreamServer::flush() {
+  {
+    common::MutexLock lock(mu_);
+    flush_upto_ = next_submit_index_;
+  }
+  queue_not_empty_.notify_all();
+}
+
 void StreamServer::worker_loop(std::size_t worker_index) {
   for (;;) {
     std::vector<Pending> batch;
     std::size_t depth_after = 0;
     {
       common::MutexLock lock(mu_);
-      while (!closed_ && queue_.empty()) queue_not_empty_.wait(mu_);
+      // Strict batching holds the pop until a full batch_depth run is
+      // queued, so batch partitioning is a function of submission order
+      // alone, not of producer/worker timing. close() and flush() release
+      // partial runs (there is nothing more to wait for).
+      while (!closed_ &&
+             (queue_.empty() ||
+              (opts_.strict_batching && queue_.size() < opts_.batch_depth &&
+               queue_.front().submit_index >= flush_upto_)))
+        queue_not_empty_.wait(mu_);
       if (queue_.empty()) return;  // closed and fully drained
       const std::size_t take = std::min(opts_.batch_depth, queue_.size());
       batch.reserve(take);
       for (std::size_t i = 0; i < take; ++i) {
+        // Batches stay fraction-homogeneous: process_batch samples every
+        // frame with ONE shared pattern, which can only have one size. The
+        // first mismatching frame starts the next batch instead.
+        if (i > 0 &&
+            queue_.front().sampling_fraction != batch.front().sampling_fraction)
+          break;
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
@@ -161,6 +184,8 @@ void StreamServer::worker_loop(std::size_t worker_index) {
         degrade ? degrade_level_for(depth_after, opts_.queue_capacity) : 0;
     double deadline_s = opts_.frame_deadline_seconds;
     FrameControl ctrl;
+    // Homogeneous across the batch (enforced at the pop above).
+    ctrl.sampling_fraction = batch.front().sampling_fraction;
     if (level == 1) {
       deadline_s *= 0.5;
       ctrl.max_rung = Strategy::kTrimmedDecode;
@@ -222,16 +247,22 @@ void StreamServer::worker_loop(std::size_t worker_index) {
         slot.externals.push_back(p.external_cancel);
     }
 
+    // Per-submission seeding derives the decode RNG from the batch head's
+    // stream id, so the result is a pure function of (seed, id, content) —
+    // which worker popped it, and what it decoded before, stop mattering.
+    Rng seeded(opts_.seed ^
+               (0x9e3779b97f4a7c15ULL * (batch.front().stream_id + 1)));
+    Rng& rng =
+        opts_.per_submission_seeding ? seeded : rngs_[worker_index];
     std::vector<RobustPipeline::FrameResult> frs;
     if (n == 1) {
-      frs.push_back(pipelines_[worker_index]->process(
-          batch.front().frame, rngs_[worker_index], ctrl));
+      frs.push_back(
+          pipelines_[worker_index]->process(batch.front().frame, rng, ctrl));
     } else {
       std::vector<la::Matrix> frames;
       frames.reserve(n);
       for (Pending& p : batch) frames.push_back(std::move(p.frame));
-      frs = pipelines_[worker_index]->process_batch(frames,
-                                                    rngs_[worker_index], ctrl);
+      frs = pipelines_[worker_index]->process_batch(frames, rng, ctrl);
     }
 
     bool was_stalled = false;

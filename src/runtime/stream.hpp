@@ -74,6 +74,16 @@ struct StreamOptions {
   // the batch size (one control spans the whole batch); degrade levels are
   // computed once per batch from the queue depth after the pop.
   std::size_t batch_depth = 1;
+  // Deterministic batch formation: a worker holds its pop until the queue
+  // holds a full batch_depth run (instead of taking whatever is queued at
+  // wake-up, which makes batch partitioning depend on producer/worker
+  // timing). With one worker this makes batched decode a pure function of
+  // the submission order — the property the gated-vs-ungated differential
+  // tests pin bit-for-bit. Callers that submit a count not divisible by
+  // batch_depth MUST call flush() afterwards (ShardedDecoder does) or the
+  // trailing partial batch waits until close(). Off by default: freshness
+  // policies (Degrade/DropOldest) prefer popping whatever is available.
+  bool strict_batching = false;
   // Per-worker recovery pipeline configuration (shared by all workers).
   // Each worker owns a RobustPipeline (and hence a Decoder) built from this.
   // Setting pipeline.decoder.implicit_psi routes every worker through the
@@ -85,6 +95,15 @@ struct StreamOptions {
   // so concurrent solve() calls are safe). Null selects the library default.
   std::shared_ptr<const solvers::SparseSolver> solver;
   std::uint64_t seed = 0x5eed;  // base seed; worker RNGs are forked from it
+  // Decode-RNG derivation. false (default): each worker consumes its own
+  // persistent stream forked from `seed`, so a frame's sampling pattern
+  // depends on everything that worker decoded before it. true: every batch
+  // seeds a fresh RNG from (seed, stream_id of the batch head), making each
+  // decode a pure function of its submission id — independent of worker
+  // count, pop interleaving, and of any frames that were never submitted.
+  // ShardedDecoder turns this on so tile (f, t) decodes identically whether
+  // or not an activity gate skipped other tiles around it.
+  bool per_submission_seeding = false;
 };
 
 /// Aggregate stream telemetry. Counters are cumulative since construction;
@@ -100,6 +119,14 @@ struct StreamHealth {
   std::size_t queue_high_water = 0;  // max queue depth observed
   double p50_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
+  // Event-driven tile gating (filled only by ShardedDecoder::health(); a
+  // plain StreamServer never skips work, so these stay 0 there). Cumulative
+  // like every other counter: tiles served stale from the previous
+  // reconstruction, tiles decoded because their activity detector fired, and
+  // tiles decoded only because their force-refresh period lapsed.
+  std::size_t tiles_skipped = 0;
+  std::size_t tiles_refreshed = 0;
+  std::size_t tiles_forced = 0;
 };
 
 /// Optional per-submission control: an external deadline tightens the
@@ -111,6 +138,12 @@ struct StreamHealth {
 struct SubmitControl {
   Deadline deadline;
   CancelToken cancel;
+  // When > 0, overrides the pipeline's configured sampling fraction for this
+  // frame (forwarded as FrameControl::sampling_fraction). Workers never mix
+  // fractions within one decode batch: a batch pop stops at the first queued
+  // frame whose fraction differs, preserving process_batch's one-shared-
+  // pattern invariant. 0 keeps the configured fraction.
+  double sampling_fraction = 0.0;
 };
 
 /// One recovered frame as delivered by the server.
@@ -152,6 +185,13 @@ class StreamServer {
   void wait_for_completed(std::size_t target) const
       FLEXCS_EXCLUDES(results_mu_);
 
+  /// Strict batching only (no-op otherwise): releases everything submitted
+  /// so far for processing even where it falls short of a full batch_depth
+  /// run. Call after the last submit of a logical group so trailing partial
+  /// batches do not wait for partners that will never arrive; submissions
+  /// made after the flush are again held to full batches. Thread-safe.
+  void flush() FLEXCS_EXCLUDES(mu_);
+
   /// Stops intake, lets the workers drain the queue, and joins all threads.
   /// Idempotent; called by the destructor.
   void close() FLEXCS_EXCLUDES(mu_, watchdog_mu_);
@@ -178,6 +218,7 @@ class StreamServer {
     Deadline::Clock::time_point submitted_at{};
     Deadline external_deadline;   // unlimited unless submitted with one
     CancelToken external_cancel;  // inert unless submitted with one
+    double sampling_fraction = 0.0;  // 0 = pipeline default
   };
 
   // Per-worker in-flight slot, scanned by the watchdog.
@@ -210,6 +251,9 @@ class StreamServer {
   std::deque<Pending> queue_ FLEXCS_GUARDED_BY(mu_);
   bool closed_ FLEXCS_GUARDED_BY(mu_) = false;
   std::uint64_t next_submit_index_ FLEXCS_GUARDED_BY(mu_) = 0;
+  // Strict batching: submissions with submit_index < flush_upto_ may be
+  // popped as a partial batch; later ones wait for a full batch_depth run.
+  std::uint64_t flush_upto_ FLEXCS_GUARDED_BY(mu_) = 0;
   std::size_t queue_high_water_ FLEXCS_GUARDED_BY(mu_) = 0;
   std::size_t submitted_ FLEXCS_GUARDED_BY(mu_) = 0;
   std::size_t dropped_ FLEXCS_GUARDED_BY(mu_) = 0;

@@ -1,0 +1,91 @@
+#include "runtime/tile_grid.hpp"
+
+#include "common/check.hpp"
+
+namespace flexcs::runtime {
+namespace {
+
+std::size_t clamp_index(std::ptrdiff_t v, std::size_t hi) {
+  if (v < 0) return 0;
+  if (static_cast<std::size_t>(v) > hi) return hi;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+TileGrid::TileGrid(std::size_t rows_in, std::size_t cols_in,
+                   std::size_t tile_rows_in, std::size_t tile_cols_in,
+                   std::size_t halo_in)
+    : rows(rows_in),
+      cols(cols_in),
+      tile_rows(tile_rows_in),
+      tile_cols(tile_cols_in),
+      halo(halo_in),
+      grid_rows(0),
+      grid_cols(0),
+      padded_rows(0),
+      padded_cols(0) {
+  FLEXCS_CHECK(rows > 0 && cols > 0, "tile grid over an empty array");
+  FLEXCS_CHECK(tile_rows >= 1 && tile_cols >= 1,
+               "grid tiles must be at least 1 x 1");
+  FLEXCS_CHECK(tile_rows <= rows && tile_cols <= cols,
+               "grid tile larger than the array");
+  FLEXCS_CHECK(rows % tile_rows == 0 && cols % tile_cols == 0,
+               "grid tiles must evenly divide the array");
+  grid_rows = rows / tile_rows;
+  grid_cols = cols / tile_cols;
+  padded_rows = tile_rows + 2 * halo;
+  padded_cols = tile_cols + 2 * halo;
+}
+
+la::Matrix TileGrid::extract(const la::Matrix& frame, std::size_t tile) const {
+  FLEXCS_CHECK(tile < tiles(), "tile index outside the grid");
+  FLEXCS_CHECK(frame.rows() == rows && frame.cols() == cols,
+               "tile extract: frame shape mismatch");
+  const std::size_t r0 = tile_row(tile) * tile_rows;
+  const std::size_t c0 = tile_col(tile) * tile_cols;
+  la::Matrix padded(padded_rows, padded_cols);
+  for (std::size_t i = 0; i < padded_rows; ++i) {
+    const std::size_t src_r = clamp_index(
+        static_cast<std::ptrdiff_t>(r0 + i) - static_cast<std::ptrdiff_t>(halo),
+        rows - 1);
+    for (std::size_t j = 0; j < padded_cols; ++j) {
+      const std::size_t src_c =
+          clamp_index(static_cast<std::ptrdiff_t>(c0 + j) -
+                          static_cast<std::ptrdiff_t>(halo),
+                      cols - 1);
+      padded(i, j) = frame(src_r, src_c);
+    }
+  }
+  return padded;
+}
+
+void TileGrid::stitch(const la::Matrix& padded, std::size_t tile,
+                      la::Matrix& out) const {
+  FLEXCS_CHECK(tile < tiles(), "tile index outside the grid");
+  FLEXCS_CHECK(padded.rows() == padded_rows && padded.cols() == padded_cols,
+               "tile stitch: padded tile shape mismatch");
+  FLEXCS_CHECK(out.rows() == rows && out.cols() == cols,
+               "tile stitch: output shape mismatch");
+  const std::size_t r0 = tile_row(tile) * tile_rows;
+  const std::size_t c0 = tile_col(tile) * tile_cols;
+  for (std::size_t i = 0; i < tile_rows; ++i)
+    for (std::size_t j = 0; j < tile_cols; ++j)
+      out(r0 + i, c0 + j) = padded(halo + i, halo + j);
+}
+
+void TileGrid::copy_interior(const la::Matrix& src, std::size_t tile,
+                             la::Matrix& dst) const {
+  FLEXCS_CHECK(tile < tiles(), "tile index outside the grid");
+  FLEXCS_CHECK(src.rows() == rows && src.cols() == cols,
+               "tile copy: source shape mismatch");
+  FLEXCS_CHECK(dst.rows() == rows && dst.cols() == cols,
+               "tile copy: destination shape mismatch");
+  const std::size_t r0 = tile_row(tile) * tile_rows;
+  const std::size_t c0 = tile_col(tile) * tile_cols;
+  for (std::size_t i = 0; i < tile_rows; ++i)
+    for (std::size_t j = 0; j < tile_cols; ++j)
+      dst(r0 + i, c0 + j) = src(r0 + i, c0 + j);
+}
+
+}  // namespace flexcs::runtime

@@ -128,6 +128,7 @@ ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
     ("src/cs/decoder.cpp", r"Decoder::operator_norm\b", ("FLEXCS_CHECK",)),
     ("src/cs/decoder.cpp", r"Decoder::implicit_operator\b", ("FLEXCS_CHECK",)),
     ("src/cs/sampling.cpp", r"\bapply_pattern\b", ("FLEXCS_CHECK",)),
+    ("src/cs/sampling.cpp", r"\bresolve_fraction\b", ("FLEXCS_CHECK",)),
     ("src/cs/faults.cpp", r"FaultScenario::corrupt_frame\b", ("FLEXCS_CHECK",)),
     ("src/cs/faults.cpp", r"FaultScenario::corrupt_measurements\b", ("FLEXCS_CHECK",)),
     ("src/cs/pipeline.cpp", r"\bdecode_trimmed_ex\b", ("FLEXCS_CHECK",)),
@@ -141,7 +142,17 @@ ENTRY_POINTS: Sequence[Tuple[str, str, Tuple[str, ...]]] = (
     # ShardedDecoder::process delegates to process_batch, which validates.
     ("src/runtime/shard.cpp", r"ShardedDecoder::process\b", ("FLEXCS_CHECK", "process_batch")),
     ("src/runtime/shard.cpp", r"ShardedDecoder::process_batch\b", ("FLEXCS_CHECK",)),
-    ("src/runtime/shard.cpp", r"TileGrid::TileGrid\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/tile_grid.cpp", r"TileGrid::TileGrid\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/tile_grid.cpp", r"TileGrid::copy_interior\b",
+     ("FLEXCS_CHECK",)),
+    # Event-driven readout: the gate validates its options at construction
+    # and every frame's shape on update; the detector accessor bounds-checks
+    # the tile index.
+    ("src/runtime/activity.cpp", r"ActivityGate::ActivityGate\b",
+     ("FLEXCS_CHECK",)),
+    ("src/runtime/activity.cpp", r"ActivityGate::update\b", ("FLEXCS_CHECK",)),
+    ("src/runtime/activity.cpp", r"ActivityGate::detector\b",
+     ("FLEXCS_CHECK",)),
     # Multi-process decode service: the typed wire decoders validate every
     # structural claim an untrusted peer process can make, the worker loop
     # validates its transport/geometry, and the broker validates frames at

@@ -584,6 +584,130 @@ class ServiceEntryCheckTest(unittest.TestCase):
         self.assertFalse(fired, "\n".join(str(x) for x in fired))
 
 
+class ActivityEntryCheckTest(unittest.TestCase):
+    # Event-driven readout surface: the gate constructor must validate its
+    # options, update must validate the frame shape, and the detector
+    # accessor must bounds-check the tile index.
+    UNCHECKED = (
+        "#include \"runtime/activity.hpp\"\n"
+        "namespace flexcs::runtime {\n"
+        "ActivityGate::ActivityGate(const TileGrid& grid,\n"
+        "                           ActivityGateOptions opts)\n"
+        "    : grid_(grid), opts_(std::move(opts)) {\n"
+        "  state_.resize(grid_.tiles());\n"
+        "}\n"
+        "const cs::SamplingPattern& ActivityGate::detector(\n"
+        "    std::size_t tile) const {\n"
+        "  return detectors_[tile];\n"
+        "}\n"
+        "FrameActivity ActivityGate::update(const la::Matrix& frame) {\n"
+        "  FrameActivity fa;\n"
+        "  return fa;\n"
+        "}\n"
+        "}\n")
+
+    def test_unchecked_gate_fires(self):
+        f = lint_fixture({"src/runtime/activity.cpp": self.UNCHECKED})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/runtime/activity.cpp"
+                 and "validate" in x.message]
+        # ctor, detector accessor, and update each carry their own spec.
+        self.assertEqual(3, len(fired), "\n".join(str(x) for x in fired))
+
+    def test_checked_gate_clean(self):
+        src = self.UNCHECKED
+        src = src.replace(
+            "  state_.resize(grid_.tiles());\n",
+            "  FLEXCS_CHECK(opts_.threshold >= 0.0, \"threshold\");\n"
+            "  state_.resize(grid_.tiles());\n")
+        src = src.replace(
+            "  return detectors_[tile];\n",
+            "  FLEXCS_CHECK(tile < detectors_.size(), \"tile\");\n"
+            "  return detectors_[tile];\n")
+        src = src.replace(
+            "  FrameActivity fa;\n",
+            "  FLEXCS_CHECK(frame.rows() == grid_.rows, \"shape\");\n"
+            "  FrameActivity fa;\n")
+        f = lint_fixture({"src/runtime/activity.cpp": src})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/runtime/activity.cpp"]
+        self.assertFalse(fired, "\n".join(str(x) for x in fired))
+
+
+class TileGridEntryCheckTest(unittest.TestCase):
+    # The tile geometry (moved out of shard.cpp) keeps its contract: the
+    # constructor rejects non-dividing tilings and copy_interior re-checks
+    # both frame shapes before writing pixels.
+    UNCHECKED = (
+        "#include \"runtime/tile_grid.hpp\"\n"
+        "namespace flexcs::runtime {\n"
+        "TileGrid::TileGrid(std::size_t rows_in, std::size_t cols_in,\n"
+        "                   std::size_t tr, std::size_t tc, std::size_t h)\n"
+        "    : rows(rows_in), cols(cols_in) {\n"
+        "  grid_rows = rows / tr;\n"
+        "}\n"
+        "void TileGrid::copy_interior(const la::Matrix& src,\n"
+        "                             std::size_t tile,\n"
+        "                             la::Matrix& dst) const {\n"
+        "  (void)src;\n"
+        "}\n"
+        "}\n")
+
+    def test_unchecked_tile_grid_fires(self):
+        f = lint_fixture({"src/runtime/tile_grid.cpp": self.UNCHECKED})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/runtime/tile_grid.cpp"
+                 and "validate" in x.message]
+        self.assertEqual(2, len(fired), "\n".join(str(x) for x in fired))
+
+    def test_checked_tile_grid_clean(self):
+        src = self.UNCHECKED
+        src = src.replace(
+            "  grid_rows = rows / tr;\n",
+            "  FLEXCS_CHECK(rows % tr == 0, \"divisibility\");\n"
+            "  grid_rows = rows / tr;\n")
+        src = src.replace(
+            "  (void)src;\n",
+            "  FLEXCS_CHECK(tile < tiles(), \"tile\");\n"
+            "  (void)src;\n")
+        f = lint_fixture({"src/runtime/tile_grid.cpp": src})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/runtime/tile_grid.cpp"]
+        self.assertFalse(fired, "\n".join(str(x) for x in fired))
+
+
+class ResolveFractionEntryCheckTest(unittest.TestCase):
+    # The per-frame fraction override resolver is what keeps event-driven
+    # adaptive sampling inside (0,1]; it must reject out-of-range overrides
+    # rather than forward them into pattern generation.
+    UNCHECKED = (
+        "#include \"cs/sampling.hpp\"\n"
+        "namespace flexcs::cs {\n"
+        "double resolve_fraction(double request, double fallback) {\n"
+        "  return request == 0.0 ? fallback : request;\n"
+        "}\n"
+        "}\n")
+
+    def test_unchecked_resolver_fires(self):
+        f = lint_fixture({"src/cs/sampling.cpp": self.UNCHECKED})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/cs/sampling.cpp"
+                 and "resolve_fraction" in x.message
+                 and "validate" in x.message]
+        self.assertTrue(fired)
+
+    def test_checked_resolver_clean(self):
+        src = self.UNCHECKED.replace(
+            "  return request == 0.0 ? fallback : request;\n",
+            "  FLEXCS_CHECK(request >= 0.0 && request <= 1.0, \"range\");\n"
+            "  return request == 0.0 ? fallback : request;\n")
+        f = lint_fixture({"src/cs/sampling.cpp": src})
+        fired = [x for x in f if x.rule == "entry-check"
+                 and x.path == "src/cs/sampling.cpp"
+                 and "resolve_fraction" in x.message]
+        self.assertFalse(fired, "\n".join(str(x) for x in fired))
+
+
 class PartialLintTest(unittest.TestCase):
     def test_single_file_mode_skips_other_entry_points(self):
         with tempfile.TemporaryDirectory() as td:
